@@ -1,0 +1,298 @@
+//! SASE-style NFA evaluation — the no-preprocessing baseline of Table 8.
+//!
+//! SASE [30, 34] compiles a sequential pattern into an NFA and runs it over
+//! the event stream. For the paper's offline setting that means: every query
+//! scans the *entire* log, advancing one automaton instance per trace. No
+//! index, no build phase — and therefore the per-query cost grows linearly
+//! with log size, which is the degradation Table 8 demonstrates on
+//! `bpi_2017`/`max_10000`.
+//!
+//! Match semantics follow the paper's §2.1 definitions: under STNM the
+//! automaton skips non-matching events and emits greedy non-overlapping
+//! completions (the AAB-over-AAABAACB example yields exactly (1,2,4) and
+//! (5,6,8)); under SC every window of consecutive events is tested.
+
+use seqdet_log::{EventLog, Pattern, TraceId, Ts};
+
+/// One pattern completion found by the scan.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NfaMatch {
+    /// Trace the completion occurred in.
+    pub trace: TraceId,
+    /// Timestamps of the matched events.
+    pub timestamps: Vec<Ts>,
+}
+
+/// The scan engine. Holds only a borrowed view of the log — there is, by
+/// design, no preprocessing to pay for or benefit from.
+pub struct SaseEngine<'a> {
+    log: &'a EventLog,
+}
+
+impl<'a> SaseEngine<'a> {
+    /// Wrap a log. O(1).
+    pub fn new(log: &'a EventLog) -> Self {
+        Self { log }
+    }
+
+    /// Skip-till-next-match evaluation: greedy non-overlapping runs of the
+    /// automaton per trace.
+    pub fn detect_stnm(&self, pattern: &Pattern) -> Vec<NfaMatch> {
+        let acts = pattern.activities();
+        let mut out = Vec::new();
+        if acts.is_empty() {
+            return out;
+        }
+        for trace in self.log.traces() {
+            // NFA state: next pattern symbol to match + partial timestamps.
+            let mut state = 0usize;
+            let mut partial: Vec<Ts> = Vec::with_capacity(acts.len());
+            for ev in trace.events() {
+                if ev.activity == acts[state] {
+                    partial.push(ev.ts);
+                    state += 1;
+                    if state == acts.len() {
+                        out.push(NfaMatch { trace: trace.id(), timestamps: partial.clone() });
+                        partial.clear();
+                        state = 0;
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Strict-contiguity evaluation: window scan per trace, reporting every
+    /// (possibly overlapping) contiguous occurrence.
+    pub fn detect_sc(&self, pattern: &Pattern) -> Vec<NfaMatch> {
+        let acts = pattern.activities();
+        let mut out = Vec::new();
+        if acts.is_empty() {
+            return out;
+        }
+        for trace in self.log.traces() {
+            let events = trace.events();
+            if events.len() < acts.len() {
+                continue;
+            }
+            for w in events.windows(acts.len()) {
+                if w.iter().map(|e| e.activity).eq(acts.iter().copied()) {
+                    out.push(NfaMatch {
+                        trace: trace.id(),
+                        timestamps: w.iter().map(|e| e.ts).collect(),
+                    });
+                }
+            }
+        }
+        out
+    }
+
+    /// Skip-till-next-match evaluation with a time window (CEP's `WITHIN`
+    /// operator): a completion is valid only if its total span does not
+    /// exceed `window`. A run whose span is already wider than the window
+    /// restarts from scratch (greedy semantics, like [`Self::detect_stnm`]).
+    pub fn detect_stnm_within(&self, pattern: &Pattern, window: Ts) -> Vec<NfaMatch> {
+        let acts = pattern.activities();
+        let mut out = Vec::new();
+        if acts.is_empty() {
+            return out;
+        }
+        for trace in self.log.traces() {
+            let mut state = 0usize;
+            let mut partial: Vec<Ts> = Vec::with_capacity(acts.len());
+            for ev in trace.events() {
+                if state > 0 && ev.ts - partial[0] > window {
+                    // The open run can never complete within the window.
+                    partial.clear();
+                    state = 0;
+                }
+                if ev.activity == acts[state] {
+                    partial.push(ev.ts);
+                    state += 1;
+                    if state == acts.len() {
+                        out.push(NfaMatch { trace: trace.id(), timestamps: partial.clone() });
+                        partial.clear();
+                        state = 0;
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// SASE's actual evaluation model: a *run* is spawned at **every**
+    /// occurrence of the pattern's first symbol, and each run then advances
+    /// with skip-till-next-match semantics independently (NFA^b with match
+    /// buffers). This returns possibly overlapping matches (one per
+    /// initiating event that completes) and is the cost model behind the
+    /// paper's Table-8 SASE timings: frequent first symbols spawn many
+    /// simultaneous runs, each touching every subsequent event.
+    pub fn detect_runs(&self, pattern: &Pattern) -> Vec<NfaMatch> {
+        let acts = pattern.activities();
+        let mut out = Vec::new();
+        if acts.is_empty() {
+            return out;
+        }
+        for trace in self.log.traces() {
+            // Active runs: (next pattern index, partial timestamps).
+            let mut runs: Vec<(usize, Vec<Ts>)> = Vec::new();
+            for ev in trace.events() {
+                // Advance every active run whose next symbol matches.
+                let mut i = 0;
+                while i < runs.len() {
+                    if ev.activity == acts[runs[i].0] {
+                        runs[i].0 += 1;
+                        runs[i].1.push(ev.ts);
+                        if runs[i].0 == acts.len() {
+                            let (_, timestamps) = runs.swap_remove(i);
+                            out.push(NfaMatch { trace: trace.id(), timestamps });
+                            continue; // don't advance i — swapped element
+                        }
+                    }
+                    i += 1;
+                }
+                // Spawn a new run at every first-symbol occurrence.
+                if ev.activity == acts[0] {
+                    runs.push((1, vec![ev.ts]));
+                    if acts.len() == 1 {
+                        let (_, timestamps) = runs.pop().expect("just pushed");
+                        out.push(NfaMatch { trace: trace.id(), timestamps });
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Distinct traces containing at least one STNM completion.
+    pub fn traces_stnm(&self, pattern: &Pattern) -> Vec<TraceId> {
+        let mut t: Vec<TraceId> = self.detect_stnm(pattern).into_iter().map(|m| m.trace).collect();
+        t.sort_unstable();
+        t.dedup();
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seqdet_log::EventLogBuilder;
+
+    fn paper_log() -> EventLog {
+        let mut b = EventLogBuilder::new();
+        for (i, a) in "AAABAACB".chars().enumerate() {
+            b.add("t", &a.to_string(), i as u64 + 1);
+        }
+        b.build()
+    }
+
+    fn pat(l: &EventLog, names: &[&str]) -> Pattern {
+        Pattern::from_log(l, names).unwrap()
+    }
+
+    #[test]
+    fn paper_example_stnm() {
+        // §2.1: STNM detects AAB at (1,2,4) and (5,6,8).
+        let l = paper_log();
+        let e = SaseEngine::new(&l);
+        let m = e.detect_stnm(&pat(&l, &["A", "A", "B"]));
+        assert_eq!(m.len(), 2);
+        assert_eq!(m[0].timestamps, vec![1, 2, 4]);
+        assert_eq!(m[1].timestamps, vec![5, 6, 8]);
+    }
+
+    #[test]
+    fn paper_example_sc() {
+        // §2.1: SC detects AAB starting at the 2nd position only.
+        let l = paper_log();
+        let e = SaseEngine::new(&l);
+        let m = e.detect_sc(&pat(&l, &["A", "A", "B"]));
+        assert_eq!(m.len(), 1);
+        assert_eq!(m[0].timestamps, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn sc_reports_overlapping_windows() {
+        let mut b = EventLogBuilder::new();
+        for (i, a) in "AAA".chars().enumerate() {
+            b.add("t", &a.to_string(), i as u64 + 1);
+        }
+        let l = b.build();
+        let e = SaseEngine::new(&l);
+        assert_eq!(e.detect_sc(&pat(&l, &["A", "A"])).len(), 2);
+    }
+
+    #[test]
+    fn stnm_across_traces() {
+        let mut b = EventLogBuilder::new();
+        b.add("t1", "A", 1).add("t1", "B", 2);
+        b.add("t2", "B", 1).add("t2", "A", 2);
+        b.add("t3", "A", 1).add("t3", "C", 2).add("t3", "B", 3);
+        let l = b.build();
+        let e = SaseEngine::new(&l);
+        let p = pat(&l, &["A", "B"]);
+        assert_eq!(e.detect_stnm(&p).len(), 2);
+        assert_eq!(e.traces_stnm(&p).len(), 2);
+    }
+
+    #[test]
+    fn windowed_stnm_restarts_stale_runs() {
+        let mut b = EventLogBuilder::new();
+        // A@1 … B@50 is out of a 10-window; A@60 B@62 is inside.
+        b.add("t", "A", 1).add("t", "B", 50).add("t", "A", 60).add("t", "B", 62);
+        let l = b.build();
+        let e = SaseEngine::new(&l);
+        let p = pat(&l, &["A", "B"]);
+        assert_eq!(e.detect_stnm(&p).len(), 2);
+        let m = e.detect_stnm_within(&p, 10);
+        assert_eq!(m.len(), 1);
+        assert_eq!(m[0].timestamps, vec![60, 62]);
+        // Large windows admit everything.
+        assert_eq!(e.detect_stnm_within(&p, 1000).len(), 2);
+    }
+
+    #[test]
+    fn run_model_reports_one_match_per_initiating_event() {
+        let mut b = EventLogBuilder::new();
+        b.add("t", "A", 1).add("t", "A", 2).add("t", "B", 3);
+        let l = b.build();
+        let e = SaseEngine::new(&l);
+        let p = pat(&l, &["A", "B"]);
+        // Greedy non-overlapping: one match. Run model: two (from A@1, A@2).
+        assert_eq!(e.detect_stnm(&p).len(), 1);
+        let mut runs = e.detect_runs(&p);
+        runs.sort_by_key(|m| m.timestamps.clone());
+        assert_eq!(runs.len(), 2);
+        assert_eq!(runs[0].timestamps, vec![1, 3]);
+        assert_eq!(runs[1].timestamps, vec![2, 3]);
+    }
+
+    #[test]
+    fn run_model_on_paper_example() {
+        let l = paper_log();
+        let e = SaseEngine::new(&l);
+        let m = e.detect_runs(&pat(&l, &["A", "A", "B"]));
+        // Runs from A@1, A@2, A@3, A@5 complete; A@6's run never does.
+        assert_eq!(m.len(), 4);
+        assert!(m.iter().any(|x| x.timestamps == vec![1, 2, 4]));
+        assert!(m.iter().any(|x| x.timestamps == vec![5, 6, 8]));
+    }
+
+    #[test]
+    fn run_model_single_symbol_counts_occurrences() {
+        let l = paper_log();
+        let e = SaseEngine::new(&l);
+        assert_eq!(e.detect_runs(&pat(&l, &["A"])).len(), 5);
+    }
+
+    #[test]
+    fn empty_pattern_and_short_traces() {
+        let l = paper_log();
+        let e = SaseEngine::new(&l);
+        assert!(e.detect_stnm(&Pattern::new(vec![])).is_empty());
+        assert!(e.detect_sc(&Pattern::new(vec![])).is_empty());
+        // Pattern longer than the trace.
+        let long = pat(&l, &["A", "A", "A", "A", "A", "A", "A", "A", "A"]);
+        assert!(e.detect_sc(&long).is_empty());
+    }
+}

@@ -1,0 +1,143 @@
+//! Suffix-array construction and search over integer alphabets.
+//!
+//! Used by the \[19\]-style subtree matcher. The builder is the classic
+//! prefix-doubling algorithm (`O(n log n)`), which comfortably handles the
+//! preorder strings of the paper's datasets; binary search compares at most
+//! `|pattern|` symbols per probe.
+
+/// Build the suffix array of `text` (any `u32` symbols) by prefix doubling.
+/// Returns suffix start positions in lexicographic order of the suffixes.
+pub fn suffix_array(text: &[u32]) -> Vec<u32> {
+    let n = text.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    // Initial ranks = symbol values, compacted.
+    let mut sa: Vec<u32> = (0..n as u32).collect();
+    let mut rank: Vec<u64> = text.iter().map(|&c| c as u64).collect();
+    let mut tmp: Vec<u64> = vec![0; n];
+    let mut k = 1usize;
+    loop {
+        // Sort by (rank[i], rank[i + k]) pairs.
+        let key = |i: u32| -> (u64, u64) {
+            let i = i as usize;
+            let second = if i + k < n { rank[i + k] + 1 } else { 0 };
+            (rank[i], second)
+        };
+        sa.sort_unstable_by_key(|&i| key(i));
+        // Re-rank.
+        tmp[sa[0] as usize] = 0;
+        for w in 1..n {
+            let prev = key(sa[w - 1]);
+            let cur = key(sa[w]);
+            tmp[sa[w] as usize] = tmp[sa[w - 1] as usize] + u64::from(cur != prev);
+        }
+        std::mem::swap(&mut rank, &mut tmp);
+        if rank[sa[n - 1] as usize] as usize == n - 1 {
+            break; // all ranks distinct
+        }
+        k *= 2;
+    }
+    sa
+}
+
+/// Compare `pattern` against the suffix of `text` starting at `pos`,
+/// considering only the first `pattern.len()` symbols.
+fn cmp_prefix(text: &[u32], pos: usize, pattern: &[u32]) -> std::cmp::Ordering {
+    let suffix = &text[pos..];
+    let len = pattern.len().min(suffix.len());
+    match suffix[..len].cmp(&pattern[..len]) {
+        std::cmp::Ordering::Equal if suffix.len() < pattern.len() => std::cmp::Ordering::Less,
+        ord => ord,
+    }
+}
+
+/// Binary-search `sa` for the half-open range of suffixes starting with
+/// `pattern`. `O(|pattern| · log n)`.
+pub fn find_range(text: &[u32], sa: &[u32], pattern: &[u32]) -> std::ops::Range<usize> {
+    let lo = sa.partition_point(|&pos| cmp_prefix(text, pos as usize, pattern).is_lt());
+    let hi = sa.partition_point(|&pos| cmp_prefix(text, pos as usize, pattern).is_le());
+    lo..hi
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive_sa(text: &[u32]) -> Vec<u32> {
+        let mut sa: Vec<u32> = (0..text.len() as u32).collect();
+        sa.sort_by(|&a, &b| text[a as usize..].cmp(&text[b as usize..]));
+        sa
+    }
+
+    #[test]
+    fn matches_naive_on_banana() {
+        // "banana" as integers.
+        let text: Vec<u32> = "banana".bytes().map(u32::from).collect();
+        assert_eq!(suffix_array(&text), naive_sa(&text));
+    }
+
+    #[test]
+    fn matches_naive_on_many_random_inputs() {
+        let mut state = 0x1234_5678_u64;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 33) as u32
+        };
+        for len in [0usize, 1, 2, 3, 7, 50, 200] {
+            for alphabet in [1u32, 2, 4, 16] {
+                let text: Vec<u32> = (0..len).map(|_| next() % alphabet).collect();
+                assert_eq!(suffix_array(&text), naive_sa(&text), "len={len} alpha={alphabet}");
+            }
+        }
+    }
+
+    #[test]
+    fn find_range_locates_all_occurrences() {
+        // text = a b a b b a b
+        let text = vec![0u32, 1, 0, 1, 1, 0, 1];
+        let sa = suffix_array(&text);
+        let range = find_range(&text, &sa, &[0, 1]);
+        let mut hits: Vec<u32> = sa[range].to_vec();
+        hits.sort_unstable();
+        assert_eq!(hits, vec![0, 2, 5]);
+        // absent pattern
+        assert!(find_range(&text, &sa, &[1, 1, 1]).is_empty());
+        // pattern longer than any suffix match
+        assert!(find_range(&text, &sa, &[0, 1, 0, 1, 1, 0, 1, 0]).is_empty());
+    }
+
+    #[test]
+    fn empty_pattern_matches_everywhere() {
+        let text = vec![3u32, 1, 2];
+        let sa = suffix_array(&text);
+        assert_eq!(find_range(&text, &sa, &[]).len(), 3);
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #[test]
+            fn doubling_equals_naive(text in prop::collection::vec(0u32..5, 0..120)) {
+                prop_assert_eq!(suffix_array(&text), naive_sa(&text));
+            }
+
+            #[test]
+            fn range_equals_scan(
+                text in prop::collection::vec(0u32..4, 0..100),
+                pat in prop::collection::vec(0u32..4, 1..5),
+            ) {
+                let sa = suffix_array(&text);
+                let range = find_range(&text, &sa, &pat);
+                let mut hits: Vec<usize> = sa[range].iter().map(|&p| p as usize).collect();
+                hits.sort_unstable();
+                let expected: Vec<usize> = (0..text.len())
+                    .filter(|&i| text[i..].starts_with(&pat))
+                    .collect();
+                prop_assert_eq!(hits, expected);
+            }
+        }
+    }
+}

@@ -1,0 +1,92 @@
+//! Ablation benches for the design choices called out in DESIGN.md:
+//!
+//! * hash vs nested-loop join in Algorithm 2,
+//! * in-memory vs disk-backed store during index building,
+//! * single vs per-period partitioned `Index` table at query time.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use seqdet_core::{IndexConfig, Indexer, Policy};
+use seqdet_datagen::patterns::{pattern_batch, PatternMode};
+use seqdet_datagen::DatasetProfile;
+use seqdet_query::{JoinStrategy, QueryEngine};
+use seqdet_storage::DiskStore;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn bench_join_strategy(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_join_strategy");
+    group.sample_size(15).warm_up_time(Duration::from_millis(200)).measurement_time(Duration::from_secs(2));
+    let log = DatasetProfile::by_name("bpi_2017").expect("profile exists").scaled(100).generate();
+    let mut ix = Indexer::new(IndexConfig::new(Policy::SkipTillNextMatch));
+    ix.index_log(&log).expect("valid log");
+    let batch = pattern_batch(&log, 5, 20, PatternMode::Embedded, 23);
+    for (name, join) in [("hash", JoinStrategy::Hash), ("nested_loop", JoinStrategy::NestedLoop)] {
+        let engine = QueryEngine::new(ix.store()).expect("indexed store").with_join(join);
+        group.bench_with_input(BenchmarkId::from_parameter(name), &batch, |b, batch| {
+            b.iter(|| {
+                batch
+                    .iter()
+                    .map(|p| engine.detect(p).expect("detect runs").total_completions())
+                    .sum::<usize>()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_store_backend(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_store_backend");
+    group.sample_size(10).warm_up_time(Duration::from_millis(200)).measurement_time(Duration::from_secs(3));
+    let log = DatasetProfile::by_name("bpi_2020").expect("profile exists").scaled(50).generate();
+    group.bench_function("mem", |b| {
+        b.iter(|| {
+            let mut ix = Indexer::new(IndexConfig::new(Policy::SkipTillNextMatch));
+            ix.index_log(&log).expect("valid log").new_pairs
+        })
+    });
+    group.bench_function("disk", |b| {
+        let dir = std::env::temp_dir().join(format!("seqdet-ab-{}", std::process::id()));
+        b.iter(|| {
+            let _ = std::fs::remove_dir_all(&dir);
+            let store = Arc::new(DiskStore::open(&dir).expect("dir writable"));
+            let mut ix =
+                Indexer::with_store(store, IndexConfig::new(Policy::SkipTillNextMatch))
+                    .expect("fresh store");
+            ix.index_log(&log).expect("valid log").new_pairs
+        });
+        let _ = std::fs::remove_dir_all(&dir);
+    });
+    group.finish();
+}
+
+fn bench_partitioning(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_partitioning");
+    group.sample_size(15).warm_up_time(Duration::from_millis(200)).measurement_time(Duration::from_secs(2));
+    let log = DatasetProfile::by_name("med_5000").expect("profile exists").scaled(20).generate();
+    let horizon = log.max_trace_len() as u64 + 1;
+    for (name, cfg) in [
+        ("single", IndexConfig::new(Policy::SkipTillNextMatch)),
+        (
+            "partitioned_8",
+            IndexConfig::new(Policy::SkipTillNextMatch)
+                .with_partition_period((horizon / 8).max(1)),
+        ),
+    ] {
+        let mut ix = Indexer::new(cfg);
+        ix.index_log(&log).expect("valid log");
+        let engine = QueryEngine::new(ix.store()).expect("indexed store");
+        let batch = pattern_batch(&log, 4, 20, PatternMode::Embedded, 29);
+        group.bench_with_input(BenchmarkId::from_parameter(name), &batch, |b, batch| {
+            b.iter(|| {
+                batch
+                    .iter()
+                    .map(|p| engine.detect(p).expect("detect runs").total_completions())
+                    .sum::<usize>()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_join_strategy, bench_store_backend, bench_partitioning);
+criterion_main!(benches);

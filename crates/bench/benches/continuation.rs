@@ -1,0 +1,80 @@
+//! Figures 5 & 6 bench: pattern-continuation flavors — Accurate vs Fast by
+//! pattern length, and Hybrid across topK.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use seqdet_core::{IndexConfig, Indexer, Policy};
+use seqdet_datagen::patterns::{pattern_batch, PatternMode};
+use seqdet_datagen::DatasetProfile;
+use seqdet_query::{ContinuationMethod, QueryEngine};
+use seqdet_storage::MemStore;
+use std::time::Duration;
+
+fn engine() -> (seqdet_log::EventLog, QueryEngine<MemStore>) {
+    let log = DatasetProfile::by_name("max_10000").expect("profile exists").scaled(100).generate();
+    let mut ix = Indexer::new(IndexConfig::new(Policy::SkipTillNextMatch));
+    ix.index_log(&log).expect("valid log");
+    let e = QueryEngine::new(ix.store()).expect("indexed store");
+    (log, e)
+}
+
+fn bench_fig5_by_length(c: &mut Criterion) {
+    let (log, engine) = engine();
+    let mut group = c.benchmark_group("fig5_continuation_length");
+    group.sample_size(10).warm_up_time(Duration::from_millis(200)).measurement_time(Duration::from_secs(2));
+    for len in [1usize, 2, 4, 6] {
+        let batch = pattern_batch(&log, len, 5, PatternMode::Embedded, 17);
+        group.bench_with_input(BenchmarkId::new("accurate", len), &batch, |b, batch| {
+            b.iter(|| {
+                batch
+                    .iter()
+                    .map(|p| {
+                        engine
+                            .continuations(p, ContinuationMethod::Accurate { max_gap: None })
+                            .expect("continuation runs")
+                            .len()
+                    })
+                    .sum::<usize>()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("fast", len), &batch, |b, batch| {
+            b.iter(|| {
+                batch
+                    .iter()
+                    .map(|p| {
+                        engine
+                            .continuations(p, ContinuationMethod::Fast)
+                            .expect("continuation runs")
+                            .len()
+                    })
+                    .sum::<usize>()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_fig6_by_topk(c: &mut Criterion) {
+    let (log, engine) = engine();
+    let mut group = c.benchmark_group("fig6_continuation_topk");
+    group.sample_size(10).warm_up_time(Duration::from_millis(200)).measurement_time(Duration::from_secs(2));
+    let batch = pattern_batch(&log, 4, 5, PatternMode::Embedded, 19);
+    for k in [0usize, 2, 8, 32, log.num_activities()] {
+        group.bench_with_input(BenchmarkId::from_parameter(k), &batch, |b, batch| {
+            b.iter(|| {
+                batch
+                    .iter()
+                    .map(|p| {
+                        engine
+                            .continuations(p, ContinuationMethod::Hybrid { k, max_gap: None })
+                            .expect("continuation runs")
+                            .len()
+                    })
+                    .sum::<usize>()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig5_by_length, bench_fig6_by_topk);
+criterion_main!(benches);

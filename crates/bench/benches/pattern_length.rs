@@ -1,0 +1,33 @@
+//! Figure 4 bench: detection latency vs query-pattern length (STNM index,
+//! max_10000 replica).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use seqdet_core::{IndexConfig, Indexer, Policy};
+use seqdet_datagen::patterns::{pattern_batch, PatternMode};
+use seqdet_datagen::DatasetProfile;
+use seqdet_query::QueryEngine;
+use std::time::Duration;
+
+fn bench_pattern_length(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig4_pattern_length");
+    group.sample_size(15).warm_up_time(Duration::from_millis(200)).measurement_time(Duration::from_secs(2));
+    let log = DatasetProfile::by_name("max_10000").expect("profile exists").scaled(50).generate();
+    let mut ix = Indexer::new(IndexConfig::new(Policy::SkipTillNextMatch));
+    ix.index_log(&log).expect("valid log");
+    let engine = QueryEngine::new(ix.store()).expect("indexed store");
+    for len in [2usize, 4, 6, 8, 10] {
+        let batch = pattern_batch(&log, len, 20, PatternMode::Embedded, 11);
+        group.bench_with_input(BenchmarkId::from_parameter(len), &batch, |b, batch| {
+            b.iter(|| {
+                batch
+                    .iter()
+                    .map(|p| engine.detect(p).expect("detect runs").total_completions())
+                    .sum::<usize>()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pattern_length);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Table 6 bench: pre-processing time — [19] subtree indexing vs our SC /
+//! STNM pair indexing vs the ES-like positional index.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use seqdet_baselines::{SubtreeIndex, TextSearchIndex};
+use seqdet_core::{IndexConfig, Indexer, Policy, StnmMethod};
+use seqdet_datagen::DatasetProfile;
+use std::time::Duration;
+
+fn bench_preprocess(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table6_preprocess");
+    group.sample_size(10).warm_up_time(Duration::from_millis(300)).measurement_time(Duration::from_secs(2));
+    for name in ["bpi_2013", "bpi_2017", "max_1000"] {
+        let log = DatasetProfile::by_name(name).expect("profile exists").scaled(50).generate();
+        group.bench_with_input(BenchmarkId::new("subtree_19", name), &log, |b, log| {
+            b.iter(|| SubtreeIndex::build(log).num_subtrees())
+        });
+        group.bench_with_input(BenchmarkId::new("strict", name), &log, |b, log| {
+            b.iter(|| {
+                let mut ix = Indexer::new(IndexConfig::new(Policy::StrictContiguity));
+                ix.index_log(log).expect("valid log").new_pairs
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("stnm_indexing", name), &log, |b, log| {
+            b.iter(|| {
+                let cfg = IndexConfig::new(Policy::SkipTillNextMatch)
+                    .with_method(StnmMethod::Indexing);
+                let mut ix = Indexer::new(cfg);
+                ix.index_log(log).expect("valid log").new_pairs
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("es_like", name), &log, |b, log| {
+            b.iter(|| TextSearchIndex::build(log).num_terms())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_preprocess);
+criterion_main!(benches);

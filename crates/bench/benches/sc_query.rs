@@ -1,0 +1,40 @@
+//! Table 7 bench: SC detection latency — [19] binary search vs our
+//! pair-index join, pattern lengths 2 and 10.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use seqdet_baselines::SubtreeIndex;
+use seqdet_core::{IndexConfig, Indexer, Policy};
+use seqdet_datagen::patterns::{pattern_batch, PatternMode};
+use seqdet_datagen::DatasetProfile;
+use seqdet_query::QueryEngine;
+use std::time::Duration;
+
+fn bench_sc_query(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table7_sc_query");
+    group.sample_size(20).warm_up_time(Duration::from_millis(200)).measurement_time(Duration::from_secs(2));
+    let log = DatasetProfile::by_name("med_5000").expect("profile exists").scaled(20).generate();
+    let subtree = SubtreeIndex::build(&log);
+    let mut ix = Indexer::new(IndexConfig::new(Policy::StrictContiguity));
+    ix.index_log(&log).expect("valid log");
+    let engine = QueryEngine::new(ix.store()).expect("indexed store");
+    for len in [2usize, 10] {
+        let batch = pattern_batch(&log, len, 25, PatternMode::Contiguous, 7);
+        group.bench_with_input(BenchmarkId::new("subtree_19", len), &batch, |b, batch| {
+            b.iter(|| {
+                batch.iter().map(|p| subtree.detect_sc(p).occurrences).sum::<usize>()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("ours", len), &batch, |b, batch| {
+            b.iter(|| {
+                batch
+                    .iter()
+                    .map(|p| engine.detect(p).expect("detect runs").total_completions())
+                    .sum::<usize>()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sc_query);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Table 8 bench: STNM query latency — ES-like vs SASE-like scan vs our
+//! pair index, pattern lengths 2 / 5 / 10.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use seqdet_baselines::{SaseEngine, TextSearchIndex};
+use seqdet_core::{IndexConfig, Indexer, Policy};
+use seqdet_datagen::patterns::{pattern_batch, PatternMode};
+use seqdet_datagen::DatasetProfile;
+use seqdet_query::QueryEngine;
+use std::time::Duration;
+
+fn bench_stnm_query(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table8_stnm_query");
+    group.sample_size(10).warm_up_time(Duration::from_millis(200)).measurement_time(Duration::from_secs(2));
+    let log = DatasetProfile::by_name("bpi_2017").expect("profile exists").scaled(100).generate();
+    let es = TextSearchIndex::build(&log);
+    let sase = SaseEngine::new(&log);
+    let mut ix = Indexer::new(IndexConfig::new(Policy::SkipTillNextMatch));
+    ix.index_log(&log).expect("valid log");
+    let engine = QueryEngine::new(ix.store()).expect("indexed store");
+    for len in [2usize, 5, 10] {
+        let batch = pattern_batch(&log, len, 25, PatternMode::Random, 13);
+        group.bench_with_input(BenchmarkId::new("es_like", len), &batch, |b, batch| {
+            b.iter(|| batch.iter().map(|p| es.query_stnm(p).len()).sum::<usize>())
+        });
+        group.bench_with_input(BenchmarkId::new("sase_like", len), &batch, |b, batch| {
+            b.iter(|| batch.iter().map(|p| sase.detect_runs(p).len()).sum::<usize>())
+        });
+        group.bench_with_input(BenchmarkId::new("ours", len), &batch, |b, batch| {
+            b.iter(|| {
+                batch
+                    .iter()
+                    .map(|p| engine.detect(p).expect("detect runs").total_completions())
+                    .sum::<usize>()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_stnm_query);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Figure 3 bench: STNM flavor scaling on uncorrelated random logs along
+//! the paper's three axes (events/trace, traces, distinct activities).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use seqdet_core::{IndexConfig, Indexer, Policy, StnmMethod};
+use seqdet_datagen::RandomLogSpec;
+use std::time::Duration;
+
+fn run(log: &seqdet_log::EventLog, method: StnmMethod) -> usize {
+    let cfg = IndexConfig::new(Policy::SkipTillNextMatch).with_method(method);
+    let mut ix = Indexer::new(cfg);
+    ix.index_log(log).expect("valid log").new_pairs
+}
+
+fn bench_events_axis(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig3_events_per_trace");
+    group.sample_size(10).warm_up_time(Duration::from_millis(200)).measurement_time(Duration::from_secs(2));
+    for events in [10usize, 50, 100, 200] {
+        let log = RandomLogSpec::new(100, events, 50).generate();
+        group.throughput(Throughput::Elements(log.num_events() as u64));
+        for method in StnmMethod::ALL {
+            group.bench_with_input(BenchmarkId::new(method.name(), events), &log, |b, log| {
+                b.iter(|| run(log, method))
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_traces_axis(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig3_traces");
+    group.sample_size(10).warm_up_time(Duration::from_millis(200)).measurement_time(Duration::from_secs(2));
+    for traces in [10usize, 50, 100, 250] {
+        let log = RandomLogSpec::new(traces, 100, 10).generate();
+        group.throughput(Throughput::Elements(log.num_events() as u64));
+        for method in StnmMethod::ALL {
+            group.bench_with_input(BenchmarkId::new(method.name(), traces), &log, |b, log| {
+                b.iter(|| run(log, method))
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_activities_axis(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig3_activities");
+    group.sample_size(10).warm_up_time(Duration::from_millis(200)).measurement_time(Duration::from_secs(2));
+    for acts in [4usize, 20, 100, 500] {
+        let log = RandomLogSpec::new(50, 50, acts).generate();
+        for method in StnmMethod::ALL {
+            group.bench_with_input(BenchmarkId::new(method.name(), acts), &log, |b, log| {
+                b.iter(|| run(log, method))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_events_axis, bench_traces_axis, bench_activities_axis);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Dataset registry with caching for the experiment harness.
+
+use seqdet_datagen::DatasetProfile;
+use seqdet_log::EventLog;
+use std::collections::HashMap;
+
+/// Lazily generated, cached datasets at a fixed scale divisor.
+pub struct Datasets {
+    scale: usize,
+    cache: HashMap<&'static str, EventLog>,
+}
+
+impl Datasets {
+    /// Registry dividing every profile's trace count by `scale` (min 1).
+    pub fn new(scale: usize) -> Self {
+        Self { scale: scale.max(1), cache: HashMap::new() }
+    }
+
+    /// The scale divisor in effect.
+    pub fn scale(&self) -> usize {
+        self.scale
+    }
+
+    /// The Table-4 profile names, in paper order.
+    pub fn names() -> impl Iterator<Item = &'static str> {
+        DatasetProfile::ALL.iter().map(|p| p.name)
+    }
+
+    /// Get (generating on first use) the scaled replica of `name`.
+    /// Panics on unknown names — experiment code only uses Table-4 names.
+    pub fn get(&mut self, name: &str) -> &EventLog {
+        let profile = DatasetProfile::by_name(name)
+            .unwrap_or_else(|| panic!("unknown dataset profile {name:?}"));
+        self.cache.entry(profile.name).or_insert_with(|| profile.scaled(self.scale).generate())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn caches_generated_logs() {
+        let mut d = Datasets::new(200);
+        let a = d.get("bpi_2013").num_events();
+        let b = d.get("bpi_2013").num_events();
+        assert_eq!(a, b);
+        assert_eq!(d.scale(), 200);
+        assert_eq!(Datasets::names().count(), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown dataset profile")]
+    fn unknown_name_panics() {
+        Datasets::new(10).get("nope");
+    }
+}

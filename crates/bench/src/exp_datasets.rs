@@ -1,0 +1,60 @@
+//! Figure 2 + Table 4: dataset characteristics.
+
+use crate::datasets::Datasets;
+use crate::table::TextTable;
+use seqdet_log::stats::{activities_per_trace, events_per_trace, Histogram, LogStats};
+use std::fmt::Write as _;
+
+/// Regenerate Table 4 and the Figure 2 distributions for every dataset
+/// profile (at the registry's scale).
+pub fn fig2(data: &mut Datasets) -> String {
+    let mut out = String::new();
+    let mut table = TextTable::new(&[
+        "log file", "traces", "activities", "events", "events/trace (min/mean/max)",
+        "acts/trace (min/mean/max)",
+    ]);
+    for name in Datasets::names().collect::<Vec<_>>() {
+        let log = data.get(name);
+        let s = LogStats::of(log);
+        table.row(vec![
+            name.to_string(),
+            s.num_traces.to_string(),
+            s.num_activities.to_string(),
+            s.num_events.to_string(),
+            format!("{}/{:.1}/{}", s.min_trace_len, s.mean_trace_len, s.max_trace_len),
+            format!(
+                "{}/{:.1}/{}",
+                s.min_trace_activities, s.mean_trace_activities, s.max_trace_activities
+            ),
+        ]);
+    }
+    out.push_str(&table.render());
+    out.push('\n');
+    // Distribution plots (Figure 2), one pair per dataset.
+    for name in Datasets::names().collect::<Vec<_>>() {
+        let log = data.get(name);
+        let ev = Histogram::build(&events_per_trace(log), 8);
+        let ac = Histogram::build(&activities_per_trace(log), 8);
+        let _ = writeln!(out, "{name}: events per trace");
+        out.push_str(&ev.render(30));
+        let _ = writeln!(out, "{name}: unique activities per trace");
+        out.push_str(&ac.render(30));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig2_reports_every_dataset() {
+        let mut data = Datasets::new(500);
+        let report = fig2(&mut data);
+        for name in Datasets::names() {
+            assert!(report.contains(name), "missing {name}");
+        }
+        assert!(report.contains("events per trace"));
+    }
+}

@@ -1,0 +1,62 @@
+//! Timing helpers: repeat-and-average as in the paper's protocol.
+
+use std::time::{Duration, Instant};
+
+/// Repetitions per measurement ("Each experiment is repeated 5 times and
+/// the average time is presented", §5).
+pub const REPS: usize = 5;
+
+/// Time a single run of `f`.
+pub fn time<R>(f: impl FnOnce() -> R) -> (R, Duration) {
+    let start = Instant::now();
+    let r = f();
+    (r, start.elapsed())
+}
+
+/// Run `f` `reps` times and return the mean duration. The closure receives
+/// the repetition number; its result is black-boxed via a volatile read to
+/// keep the optimizer honest.
+pub fn mean_time<R>(reps: usize, mut f: impl FnMut(usize) -> R) -> Duration {
+    assert!(reps > 0);
+    let mut total = Duration::ZERO;
+    for rep in 0..reps {
+        let start = Instant::now();
+        let r = f(rep);
+        total += start.elapsed();
+        std::hint::black_box(&r);
+    }
+    total / reps as u32
+}
+
+/// Like [`mean_time`], but runs one untimed warm-up iteration first (heap
+/// growth and page faults otherwise land in the first timed run and can
+/// dwarf the effect under measurement).
+pub fn mean_time_warm<R>(reps: usize, mut f: impl FnMut(usize) -> R) -> Duration {
+    std::hint::black_box(f(usize::MAX));
+    mean_time(reps, f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_measures_something() {
+        let (v, d) = time(|| (0..10_000u64).sum::<u64>());
+        assert_eq!(v, 49_995_000);
+        assert!(d < Duration::from_secs(1));
+    }
+
+    #[test]
+    fn mean_time_runs_exactly_reps() {
+        let mut count = 0;
+        let _ = mean_time(3, |_| count += 1);
+        assert_eq!(count, 3);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_reps_panics() {
+        mean_time(0, |_| ());
+    }
+}

@@ -1,0 +1,431 @@
+//! Hand-rolled argument parsing (no external CLI crate is available).
+
+use seqdet_core::{Policy, StnmMethod};
+
+/// Usage text printed on parse errors and `--help`.
+pub const USAGE: &str = "\
+usage:
+  seqdet gen      --profile NAME [--scale N] [--seed S] --out FILE.{csv,xes}
+  seqdet gen      --random TRACES,EVENTS,ACTS [--seed S] --out FILE.{csv,xes}
+  seqdet index    --input FILE.{csv,xes} --store DIR [--policy sc|stnm]
+                  [--method indexing|parsing|state] [--threads N]
+                  [--partition-period P]
+  seqdet info     --store DIR
+  seqdet detect   --store DIR --pattern A,B,C [--any-match]
+  seqdet stats    --store DIR --pattern A,B,C [--all-pairs]
+  seqdet continue --store DIR --pattern A,B --method accurate|fast|hybrid
+                  [--k N] [--max-gap G]
+  seqdet query    --store DIR \"DETECT a -> b [WITHIN n] [ANY MATCH]\"
+  seqdet serve    --store DIR [--addr 127.0.0.1:7878]
+profiles: max_100 max_500 med_5000 max_5000 max_1000 max_10000 min_10000
+          bpi_2013 bpi_2020 bpi_2017";
+
+/// Parsed command.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// Generate a dataset.
+    Gen {
+        /// Table-4 profile name (mutually exclusive with `random`).
+        profile: Option<String>,
+        /// `(traces, events_per_trace, activities)` random-log spec.
+        random: Option<(usize, usize, usize)>,
+        /// Trace-count divisor for profiles.
+        scale: usize,
+        /// RNG seed.
+        seed: u64,
+        /// Output path (`.csv` or `.xes`).
+        out: String,
+    },
+    /// Index (or incrementally extend) a store from a log file.
+    Index {
+        /// Input log path.
+        input: String,
+        /// Store directory.
+        store: String,
+        /// SC or STNM.
+        policy: Policy,
+        /// STNM pair-creation flavor.
+        method: StnmMethod,
+        /// Worker threads (0 = all).
+        threads: usize,
+        /// Optional §3.1.3 partition period.
+        partition_period: Option<u64>,
+    },
+    /// Print store summary.
+    Info {
+        /// Store directory.
+        store: String,
+    },
+    /// Pattern detection.
+    Detect {
+        /// Store directory.
+        store: String,
+        /// Comma-separated activity names.
+        pattern: Vec<String>,
+        /// Use skip-till-any-match instead of the index policy.
+        any_match: bool,
+    },
+    /// Statistics query.
+    Stats {
+        /// Store directory.
+        store: String,
+        /// Comma-separated activity names.
+        pattern: Vec<String>,
+        /// Use the all-pairs (tighter) bound.
+        all_pairs: bool,
+    },
+    /// Run a query-language statement.
+    Query {
+        /// Store directory.
+        store: String,
+        /// The statement text.
+        statement: String,
+    },
+    /// Start the HTTP query service.
+    Serve {
+        /// Store directory.
+        store: String,
+        /// Listen address.
+        addr: String,
+    },
+    /// Pattern continuation.
+    Continue {
+        /// Store directory.
+        store: String,
+        /// Comma-separated activity names.
+        pattern: Vec<String>,
+        /// accurate | fast | hybrid.
+        method: String,
+        /// `topK` for hybrid.
+        k: usize,
+        /// Optional max gap for accurate/hybrid.
+        max_gap: Option<u64>,
+    },
+}
+
+/// Parse failure with a human-readable message.
+pub type ParseError = String;
+
+struct Cursor<'a> {
+    args: &'a [String],
+    i: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn value(&mut self, flag: &str) -> Result<String, ParseError> {
+        self.i += 1;
+        self.args
+            .get(self.i)
+            .cloned()
+            .ok_or_else(|| format!("flag {flag} expects a value"))
+    }
+}
+
+fn parse_usize(s: &str, what: &str) -> Result<usize, ParseError> {
+    s.parse().map_err(|_| format!("invalid {what}: {s:?}"))
+}
+
+fn parse_u64(s: &str, what: &str) -> Result<u64, ParseError> {
+    s.parse().map_err(|_| format!("invalid {what}: {s:?}"))
+}
+
+fn split_pattern(s: &str) -> Vec<String> {
+    s.split(',').map(|p| p.trim().to_string()).filter(|p| !p.is_empty()).collect()
+}
+
+/// Parse the full argument vector (without the program name).
+pub fn parse(args: &[String]) -> Result<Command, ParseError> {
+    let sub = args.first().ok_or_else(|| "missing subcommand".to_string())?;
+    let mut cur = Cursor { args, i: 0 };
+    match sub.as_str() {
+        "gen" => {
+            let (mut profile, mut random, mut scale, mut seed, mut out) =
+                (None, None, 1usize, 42u64, None);
+            while cur.i + 1 < args.len() {
+                cur.i += 1;
+                match args[cur.i].as_str() {
+                    "--profile" => profile = Some(cur.value("--profile")?),
+                    "--random" => {
+                        let v = cur.value("--random")?;
+                        let parts: Vec<&str> = v.split(',').collect();
+                        if parts.len() != 3 {
+                            return Err("--random expects TRACES,EVENTS,ACTS".into());
+                        }
+                        random = Some((
+                            parse_usize(parts[0], "traces")?,
+                            parse_usize(parts[1], "events per trace")?,
+                            parse_usize(parts[2], "activities")?,
+                        ));
+                    }
+                    "--scale" => scale = parse_usize(&cur.value("--scale")?, "scale")?,
+                    "--seed" => seed = parse_u64(&cur.value("--seed")?, "seed")?,
+                    "--out" => out = Some(cur.value("--out")?),
+                    other => return Err(format!("unknown flag {other} for gen")),
+                }
+            }
+            if profile.is_some() == random.is_some() {
+                return Err("gen needs exactly one of --profile / --random".into());
+            }
+            let out = out.ok_or_else(|| "gen requires --out".to_string())?;
+            Ok(Command::Gen { profile, random, scale: scale.max(1), seed, out })
+        }
+        "index" => {
+            let (mut input, mut store) = (None, None);
+            let mut policy = Policy::SkipTillNextMatch;
+            let mut method = StnmMethod::Indexing;
+            let mut threads = 0usize;
+            let mut partition_period = None;
+            while cur.i + 1 < args.len() {
+                cur.i += 1;
+                match args[cur.i].as_str() {
+                    "--input" => input = Some(cur.value("--input")?),
+                    "--store" => store = Some(cur.value("--store")?),
+                    "--policy" => {
+                        policy = match cur.value("--policy")?.as_str() {
+                            "sc" => Policy::StrictContiguity,
+                            "stnm" => Policy::SkipTillNextMatch,
+                            other => return Err(format!("unknown policy {other:?}")),
+                        }
+                    }
+                    "--method" => {
+                        method = match cur.value("--method")?.as_str() {
+                            "indexing" => StnmMethod::Indexing,
+                            "parsing" => StnmMethod::Parsing,
+                            "state" => StnmMethod::State,
+                            other => return Err(format!("unknown method {other:?}")),
+                        }
+                    }
+                    "--threads" => threads = parse_usize(&cur.value("--threads")?, "threads")?,
+                    "--partition-period" => {
+                        partition_period =
+                            Some(parse_u64(&cur.value("--partition-period")?, "period")?)
+                    }
+                    other => return Err(format!("unknown flag {other} for index")),
+                }
+            }
+            Ok(Command::Index {
+                input: input.ok_or_else(|| "index requires --input".to_string())?,
+                store: store.ok_or_else(|| "index requires --store".to_string())?,
+                policy,
+                method,
+                threads,
+                partition_period,
+            })
+        }
+        "query" => {
+            let (mut store, mut statement) = (None, None);
+            while cur.i + 1 < args.len() {
+                cur.i += 1;
+                match args[cur.i].as_str() {
+                    "--store" => store = Some(cur.value("--store")?),
+                    other if statement.is_none() && !other.starts_with("--") => {
+                        statement = Some(other.to_owned())
+                    }
+                    other => return Err(format!("unknown flag {other} for query")),
+                }
+            }
+            Ok(Command::Query {
+                store: store.ok_or_else(|| "query requires --store".to_string())?,
+                statement: statement.ok_or_else(|| "query requires a statement".to_string())?,
+            })
+        }
+        "serve" => {
+            let (mut store, mut addr) = (None, "127.0.0.1:7878".to_owned());
+            while cur.i + 1 < args.len() {
+                cur.i += 1;
+                match args[cur.i].as_str() {
+                    "--store" => store = Some(cur.value("--store")?),
+                    "--addr" => addr = cur.value("--addr")?,
+                    other => return Err(format!("unknown flag {other} for serve")),
+                }
+            }
+            Ok(Command::Serve {
+                store: store.ok_or_else(|| "serve requires --store".to_string())?,
+                addr,
+            })
+        }
+        "info" | "detect" | "stats" | "continue" => {
+            let (mut store, mut pattern) = (None, Vec::new());
+            let mut any_match = false;
+            let mut all_pairs = false;
+            let mut method = "accurate".to_string();
+            let mut k = 5usize;
+            let mut max_gap = None;
+            while cur.i + 1 < args.len() {
+                cur.i += 1;
+                match args[cur.i].as_str() {
+                    "--store" => store = Some(cur.value("--store")?),
+                    "--pattern" => pattern = split_pattern(&cur.value("--pattern")?),
+                    "--any-match" => any_match = true,
+                    "--all-pairs" => all_pairs = true,
+                    "--method" => method = cur.value("--method")?,
+                    "--k" => k = parse_usize(&cur.value("--k")?, "k")?,
+                    "--max-gap" => max_gap = Some(parse_u64(&cur.value("--max-gap")?, "max gap")?),
+                    other => return Err(format!("unknown flag {other} for {sub}")),
+                }
+            }
+            let store = store.ok_or_else(|| format!("{sub} requires --store"))?;
+            match sub.as_str() {
+                "info" => Ok(Command::Info { store }),
+                "detect" => {
+                    require_pattern(&pattern, "detect")?;
+                    Ok(Command::Detect { store, pattern, any_match })
+                }
+                "stats" => {
+                    require_pattern(&pattern, "stats")?;
+                    Ok(Command::Stats { store, pattern, all_pairs })
+                }
+                _ => {
+                    require_pattern(&pattern, "continue")?;
+                    if !["accurate", "fast", "hybrid"].contains(&method.as_str()) {
+                        return Err(format!("unknown continuation method {method:?}"));
+                    }
+                    Ok(Command::Continue { store, pattern, method, k, max_gap })
+                }
+            }
+        }
+        "--help" | "-h" | "help" => Err("help requested".into()),
+        other => Err(format!("unknown subcommand {other:?}")),
+    }
+}
+
+fn require_pattern(pattern: &[String], sub: &str) -> Result<(), ParseError> {
+    if pattern.is_empty() {
+        return Err(format!("{sub} requires --pattern A,B,…"));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn parse_gen_profile() {
+        let c = parse(&argv("gen --profile bpi_2013 --scale 10 --out x.csv")).unwrap();
+        match c {
+            Command::Gen { profile, random, scale, out, .. } => {
+                assert_eq!(profile.as_deref(), Some("bpi_2013"));
+                assert!(random.is_none());
+                assert_eq!(scale, 10);
+                assert_eq!(out, "x.csv");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_gen_random() {
+        let c = parse(&argv("gen --random 100,50,10 --out x.xes --seed 7")).unwrap();
+        match c {
+            Command::Gen { random, seed, .. } => {
+                assert_eq!(random, Some((100, 50, 10)));
+                assert_eq!(seed, 7);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn gen_requires_exactly_one_source() {
+        assert!(parse(&argv("gen --out x.csv")).is_err());
+        assert!(parse(&argv("gen --profile a --random 1,1,1 --out x.csv")).is_err());
+        assert!(parse(&argv("gen --profile a")).is_err()); // no --out
+    }
+
+    #[test]
+    fn parse_index_defaults() {
+        let c = parse(&argv("index --input a.csv --store dir")).unwrap();
+        match c {
+            Command::Index { policy, method, threads, partition_period, .. } => {
+                assert_eq!(policy, Policy::SkipTillNextMatch);
+                assert_eq!(method, StnmMethod::Indexing);
+                assert_eq!(threads, 0);
+                assert!(partition_period.is_none());
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_index_full() {
+        let c = parse(&argv(
+            "index --input a.xes --store d --policy sc --method state --threads 2 --partition-period 100",
+        ))
+        .unwrap();
+        match c {
+            Command::Index { policy, method, threads, partition_period, .. } => {
+                assert_eq!(policy, Policy::StrictContiguity);
+                assert_eq!(method, StnmMethod::State);
+                assert_eq!(threads, 2);
+                assert_eq!(partition_period, Some(100));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_detect_and_pattern_split() {
+        let c = parse(&argv("detect --store d --pattern A,B,C --any-match")).unwrap();
+        match c {
+            Command::Detect { pattern, any_match, .. } => {
+                assert_eq!(pattern, ["A", "B", "C"]);
+                assert!(any_match);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(parse(&argv("detect --store d")).is_err());
+    }
+
+    #[test]
+    fn parse_continue_validates_method() {
+        let c = parse(&argv("continue --store d --pattern A --method hybrid --k 3")).unwrap();
+        match c {
+            Command::Continue { method, k, .. } => {
+                assert_eq!(method, "hybrid");
+                assert_eq!(k, 3);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(parse(&argv("continue --store d --pattern A --method bogus")).is_err());
+    }
+
+    #[test]
+    fn parse_query_statement() {
+        let c = parse(&argv("query --store d DETECT_PLACEHOLDER")).unwrap();
+        match c {
+            Command::Query { store, statement } => {
+                assert_eq!(store, "d");
+                assert_eq!(statement, "DETECT_PLACEHOLDER");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(parse(&argv("query --store d")).is_err());
+        assert!(parse(&argv("query DETECT")).is_err());
+    }
+
+    #[test]
+    fn parse_serve_defaults() {
+        let c = parse(&argv("serve --store d")).unwrap();
+        match c {
+            Command::Serve { store, addr } => {
+                assert_eq!(store, "d");
+                assert_eq!(addr, "127.0.0.1:7878");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        let c = parse(&argv("serve --store d --addr 0.0.0.0:9000")).unwrap();
+        assert!(matches!(c, Command::Serve { addr, .. } if addr == "0.0.0.0:9000"));
+    }
+
+    #[test]
+    fn unknown_subcommand_and_flags() {
+        assert!(parse(&argv("frobnicate")).is_err());
+        assert!(parse(&argv("info --store d --bogus")).is_err());
+        assert!(parse(&[]).is_err());
+    }
+}

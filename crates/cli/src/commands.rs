@@ -1,0 +1,201 @@
+//! Command execution.
+
+use crate::args::Command;
+use seqdet_core::{IndexConfig, Indexer};
+use seqdet_datagen::{DatasetProfile, RandomLogSpec};
+use seqdet_log::{csv, xes, EventLog, Pattern};
+use seqdet_query::{ContinuationMethod, QueryEngine};
+use seqdet_storage::{DiskStore, KvStore};
+use std::fs::File;
+use std::io::{BufReader, BufWriter};
+use std::sync::Arc;
+
+/// Boxed error for the CLI surface.
+pub type CliError = Box<dyn std::error::Error>;
+
+/// Execute one parsed command.
+pub fn run(cmd: Command) -> Result<(), CliError> {
+    match cmd {
+        Command::Gen { profile, random, scale, seed, out } => gen(profile, random, scale, seed, &out),
+        Command::Index { input, store, policy, method, threads, partition_period } => {
+            let log = load_log(&input)?;
+            let mut cfg = IndexConfig::new(policy).with_method(method).with_threads(threads);
+            if let Some(p) = partition_period {
+                cfg = cfg.with_partition_period(p);
+            }
+            let disk = Arc::new(DiskStore::open(&store)?);
+            let mut indexer = Indexer::with_store(disk.clone(), cfg)?;
+            let start = std::time::Instant::now();
+            let stats = indexer.index_log(&log)?;
+            disk.flush()?;
+            println!(
+                "indexed {} traces / {} new events ({} skipped as duplicates), {} new pairs in {:.3}s",
+                stats.traces,
+                stats.new_events,
+                stats.skipped_events,
+                stats.new_pairs,
+                start.elapsed().as_secs_f64()
+            );
+            Ok(())
+        }
+        Command::Info { store } => {
+            let disk = Arc::new(DiskStore::open(&store)?);
+            let engine = QueryEngine::new(disk.clone())?;
+            println!("store: {store}");
+            println!("activities: {}", engine.catalog().num_activities());
+            println!("traces: {}", engine.catalog().num_traces());
+            let stats = seqdet_core::IndexStats::collect(disk.as_ref())?;
+            println!("open traces (Seq rows): {} ({} bytes)", stats.seq_rows, stats.seq_bytes);
+            println!(
+                "indexed pairs: {} ({} postings, {:.1} per pair, {} bytes, {} partition(s))",
+                stats.index_rows,
+                stats.postings,
+                stats.avg_postings_per_pair(),
+                stats.index_bytes,
+                stats.partitions
+            );
+            println!("count rows: {} / reverse {}", stats.count_rows, stats.reverse_count_rows);
+            println!("last-checked pairs: {}", stats.last_checked_rows);
+            println!("segments on disk: {}", disk.num_segments()?);
+            Ok(())
+        }
+        Command::Detect { store, pattern, any_match } => {
+            let disk = Arc::new(DiskStore::open(&store)?);
+            let engine = QueryEngine::new(disk)?;
+            let names: Vec<&str> = pattern.iter().map(String::as_str).collect();
+            let p: Pattern = engine.pattern(&names)?;
+            if any_match {
+                let r = engine.detect_any_match(&p, 3)?;
+                println!("{} embeddings in {} traces", r.total(), r.num_traces());
+                for t in r.traces.iter().take(20) {
+                    println!(
+                        "  {}: {} embeddings, e.g. {:?}",
+                        engine.catalog().trace_name(t.trace).unwrap_or("?"),
+                        t.count,
+                        t.examples.first().map(Vec::as_slice).unwrap_or(&[])
+                    );
+                }
+            } else {
+                let r = engine.detect(&p)?;
+                println!("{} completions in {} traces", r.total_completions(), r.traces().len());
+                for m in r.matches.iter().take(20) {
+                    println!(
+                        "  {} @ {:?}",
+                        engine.catalog().trace_name(m.trace).unwrap_or("?"),
+                        m.timestamps
+                    );
+                }
+                if r.total_completions() > 20 {
+                    println!("  … ({} more)", r.total_completions() - 20);
+                }
+            }
+            Ok(())
+        }
+        Command::Stats { store, pattern, all_pairs } => {
+            let disk = Arc::new(DiskStore::open(&store)?);
+            let engine = QueryEngine::new(disk)?;
+            let names: Vec<&str> = pattern.iter().map(String::as_str).collect();
+            let p: Pattern = engine.pattern(&names)?;
+            let s = if all_pairs { engine.stats_all_pairs(&p)? } else { engine.stats(&p)? };
+            for ps in &s.pairs {
+                println!(
+                    "  ({}, {}): {} completions, avg duration {:.2}, last at {:?}",
+                    engine.catalog().activity_name(ps.pair.0).unwrap_or("?"),
+                    engine.catalog().activity_name(ps.pair.1).unwrap_or("?"),
+                    ps.completions,
+                    ps.avg_duration,
+                    ps.last_completion
+                );
+            }
+            println!("whole-pattern completions ≤ {}", s.max_completions);
+            println!("estimated whole-pattern duration ≈ {:.2}", s.est_duration);
+            Ok(())
+        }
+        Command::Query { store, statement } => {
+            let disk = Arc::new(DiskStore::open(&store)?);
+            let engine = QueryEngine::new(disk.clone())?;
+            let catalog = seqdet_core::Catalog::load(disk.as_ref())?;
+            let output = seqdet_query::lang::run(&engine, &statement)?;
+            print!("{}", seqdet_server::render::render(&catalog, &output));
+            Ok(())
+        }
+        Command::Serve { store, addr } => {
+            let disk = Arc::new(DiskStore::open(&store)?);
+            let server = seqdet_server::QueryServer::bind(addr.as_str(), disk)?;
+            println!("seqdet query service listening on {}", server.local_addr()?);
+            println!("try: curl 'http://{addr}/query?q=DETECT%20a%20-%3E%20b'");
+            server.serve_forever()?;
+            Ok(())
+        }
+        Command::Continue { store, pattern, method, k, max_gap } => {
+            let disk = Arc::new(DiskStore::open(&store)?);
+            let engine = QueryEngine::new(disk)?;
+            let names: Vec<&str> = pattern.iter().map(String::as_str).collect();
+            let p: Pattern = engine.pattern(&names)?;
+            let m = match method.as_str() {
+                "fast" => ContinuationMethod::Fast,
+                "hybrid" => ContinuationMethod::Hybrid { k, max_gap },
+                _ => ContinuationMethod::Accurate { max_gap },
+            };
+            let props = engine.continuations(&p, m)?;
+            println!("{:<20} {:>12} {:>12} {:>10}", "activity", "completions", "avg dur", "score");
+            for pr in props.iter().take(15) {
+                println!(
+                    "{:<20} {:>12} {:>12.2} {:>10.4}",
+                    engine.catalog().activity_name(pr.activity).unwrap_or("?"),
+                    pr.completions,
+                    pr.avg_duration,
+                    pr.score()
+                );
+            }
+            Ok(())
+        }
+    }
+}
+
+fn gen(
+    profile: Option<String>,
+    random: Option<(usize, usize, usize)>,
+    scale: usize,
+    seed: u64,
+    out: &str,
+) -> Result<(), CliError> {
+    let log = match (profile, random) {
+        (Some(name), None) => {
+            let p = DatasetProfile::by_name(&name)
+                .ok_or_else(|| format!("unknown profile {name:?}"))?;
+            p.scaled(scale).generate_seeded(seed)
+        }
+        (None, Some((traces, events, acts))) => {
+            RandomLogSpec { traces, events_per_trace: events, activities: acts, seed }.generate()
+        }
+        _ => unreachable!("parser enforces exactly one source"),
+    };
+    save_log(&log, out)?;
+    println!(
+        "wrote {} traces / {} events / {} activities to {out}",
+        log.num_traces(),
+        log.num_events(),
+        log.num_activities()
+    );
+    Ok(())
+}
+
+fn load_log(path: &str) -> Result<EventLog, CliError> {
+    let reader = BufReader::new(File::open(path)?);
+    if path.ends_with(".xes") {
+        Ok(xes::read_xes(reader)?)
+    } else {
+        Ok(csv::read_csv(reader)?)
+    }
+}
+
+fn save_log(log: &EventLog, path: &str) -> Result<(), CliError> {
+    let writer = BufWriter::new(File::create(path)?);
+    if path.ends_with(".xes") {
+        xes::write_xes(log, writer)?;
+    } else {
+        csv::write_csv(log, writer)?;
+    }
+    Ok(())
+}

@@ -1,0 +1,206 @@
+//! Activity / trace catalogs and their persistence.
+//!
+//! The tables store dense integer ids; the catalog is the mapping back to
+//! the external names, persisted in the `Meta` table so a disk-backed index
+//! can be reopened by a later process (e.g. the query processor, which in
+//! the paper is a separate service from the pre-processing component).
+
+use crate::tables::META;
+use crate::Result;
+use seqdet_log::{Activity, ActivityInterner, TraceId};
+use seqdet_storage::codec::{Dec, Enc};
+use seqdet_storage::{FxHashMap, KvStore};
+
+const KEY_ACTIVITIES: &[u8] = b"activities";
+const KEY_TRACES: &[u8] = b"traces";
+
+/// Bidirectional activity and trace-name catalogs.
+#[derive(Debug, Default, Clone)]
+pub struct Catalog {
+    activities: ActivityInterner,
+    trace_names: Vec<String>,
+    traces_by_name: FxHashMap<String, TraceId>,
+}
+
+impl Catalog {
+    /// Empty catalog.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The activity interner.
+    pub fn activities(&self) -> &ActivityInterner {
+        &self.activities
+    }
+
+    /// Intern an activity name.
+    pub fn intern_activity(&mut self, name: &str) -> Activity {
+        self.activities.intern(name)
+    }
+
+    /// Resolve an activity name (without interning).
+    pub fn activity(&self, name: &str) -> Option<Activity> {
+        self.activities.get(name)
+    }
+
+    /// Resolve an activity id to its name.
+    pub fn activity_name(&self, a: Activity) -> Option<&str> {
+        self.activities.name(a)
+    }
+
+    /// Number of distinct activities (`l`).
+    pub fn num_activities(&self) -> usize {
+        self.activities.len()
+    }
+
+    /// Intern a trace name, issuing a new id on first sight.
+    pub fn intern_trace(&mut self, name: &str) -> TraceId {
+        if let Some(&id) = self.traces_by_name.get(name) {
+            return id;
+        }
+        let id = TraceId(self.trace_names.len() as u32);
+        self.trace_names.push(name.to_owned());
+        self.traces_by_name.insert(name.to_owned(), id);
+        id
+    }
+
+    /// Resolve a trace name (without interning).
+    pub fn trace(&self, name: &str) -> Option<TraceId> {
+        self.traces_by_name.get(name).copied()
+    }
+
+    /// Resolve a trace id to its external name.
+    pub fn trace_name(&self, id: TraceId) -> Option<&str> {
+        self.trace_names.get(id.index()).map(String::as_str)
+    }
+
+    /// Number of known traces (`m`).
+    pub fn num_traces(&self) -> usize {
+        self.trace_names.len()
+    }
+
+    /// All trace ids issued so far.
+    pub fn trace_ids(&self) -> impl Iterator<Item = TraceId> + '_ {
+        (0..self.trace_names.len() as u32).map(TraceId)
+    }
+
+    /// Persist both catalogs into the `Meta` table.
+    pub fn save<S: KvStore>(&self, store: &S) {
+        store.put(META, KEY_ACTIVITIES, &encode_names(self.activities.iter().map(|(_, n)| n)));
+        store.put(META, KEY_TRACES, &encode_names(self.trace_names.iter().map(String::as_str)));
+    }
+
+    /// Load the catalogs from the `Meta` table (empty catalog if absent).
+    pub fn load<S: KvStore>(store: &S) -> Result<Self> {
+        let mut cat = Catalog::new();
+        if let Some(row) = store.get(META, KEY_ACTIVITIES) {
+            for name in decode_names(&row)? {
+                cat.activities.intern(&name);
+            }
+        }
+        if let Some(row) = store.get(META, KEY_TRACES) {
+            for name in decode_names(&row)? {
+                cat.intern_trace(&name);
+            }
+        }
+        Ok(cat)
+    }
+}
+
+fn encode_names<'a>(names: impl Iterator<Item = &'a str>) -> Vec<u8> {
+    let mut e = Enc::new();
+    for n in names {
+        e.len_bytes(n.as_bytes());
+    }
+    e.into_vec()
+}
+
+fn decode_names(row: &[u8]) -> Result<Vec<String>> {
+    let mut d = Dec::new(row);
+    let mut out = Vec::new();
+    while !d.is_done() {
+        let bytes = d.len_bytes().ok_or(crate::CoreError::Corrupt {
+            table: "Meta",
+            message: "truncated name record".into(),
+        })?;
+        out.push(String::from_utf8_lossy(bytes).into_owned());
+    }
+    Ok(out)
+}
+
+/// Generic string-keyed meta accessors (used for config persistence).
+pub fn put_meta<S: KvStore>(store: &S, key: &str, value: &str) {
+    store.put(META, key.as_bytes(), value.as_bytes());
+}
+
+/// Read a meta string.
+pub fn get_meta<S: KvStore>(store: &S, key: &str) -> Option<String> {
+    store.get(META, key.as_bytes()).map(|b| String::from_utf8_lossy(&b).into_owned())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seqdet_storage::MemStore;
+
+    #[test]
+    fn interning_is_stable() {
+        let mut c = Catalog::new();
+        let a = c.intern_activity("submit");
+        let t = c.intern_trace("case-1");
+        assert_eq!(c.intern_activity("submit"), a);
+        assert_eq!(c.intern_trace("case-1"), t);
+        assert_eq!(c.activity_name(a), Some("submit"));
+        assert_eq!(c.trace_name(t), Some("case-1"));
+        assert_eq!(c.num_activities(), 1);
+        assert_eq!(c.num_traces(), 1);
+        assert_eq!(c.trace("nope"), None);
+    }
+
+    #[test]
+    fn save_load_roundtrip() {
+        let store = MemStore::new();
+        let mut c = Catalog::new();
+        for n in ["A", "B", "C"] {
+            c.intern_activity(n);
+        }
+        for t in ["t-1", "t-2"] {
+            c.intern_trace(t);
+        }
+        c.save(&store);
+        let loaded = Catalog::load(&store).unwrap();
+        assert_eq!(loaded.num_activities(), 3);
+        assert_eq!(loaded.num_traces(), 2);
+        assert_eq!(loaded.activity("B"), c.activity("B"));
+        assert_eq!(loaded.trace("t-2"), c.trace("t-2"));
+        assert_eq!(loaded.trace_ids().count(), 2);
+    }
+
+    #[test]
+    fn load_from_empty_store_is_empty() {
+        let store = MemStore::new();
+        let c = Catalog::load(&store).unwrap();
+        assert_eq!(c.num_activities(), 0);
+        assert_eq!(c.num_traces(), 0);
+    }
+
+    #[test]
+    fn meta_string_roundtrip() {
+        let store = MemStore::new();
+        put_meta(&store, "policy", "STNM");
+        assert_eq!(get_meta(&store, "policy").as_deref(), Some("STNM"));
+        assert_eq!(get_meta(&store, "absent"), None);
+    }
+
+    #[test]
+    fn unicode_names_survive() {
+        let store = MemStore::new();
+        let mut c = Catalog::new();
+        c.intern_activity("απόφαση");
+        c.intern_trace("περίπτωση-1");
+        c.save(&store);
+        let loaded = Catalog::load(&store).unwrap();
+        assert!(loaded.activity("απόφαση").is_some());
+        assert!(loaded.trace("περίπτωση-1").is_some());
+    }
+}

@@ -1,0 +1,89 @@
+//! Error type of the indexing layer.
+
+use std::fmt;
+
+/// Errors surfaced while building or updating the pair index.
+#[derive(Debug)]
+pub enum CoreError {
+    /// The underlying log model rejected input (ordering, parsing, …).
+    Log(seqdet_log::LogError),
+    /// A stored table row failed to decode (corruption or version skew).
+    Corrupt {
+        /// Which table the row came from.
+        table: &'static str,
+        /// What went wrong.
+        message: String,
+    },
+    /// The store configuration recorded in the catalog conflicts with the
+    /// requested configuration (e.g. reopening an SC index as STNM).
+    ConfigMismatch {
+        /// Configuration recorded in the store.
+        stored: String,
+        /// Configuration requested by the caller.
+        requested: String,
+    },
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Log(e) => write!(f, "log error: {e}"),
+            CoreError::Corrupt { table, message } => {
+                write!(f, "corrupt row in table {table}: {message}")
+            }
+            CoreError::ConfigMismatch { stored, requested } => write!(
+                f,
+                "index config mismatch: store holds {stored}, caller requested {requested}"
+            ),
+            CoreError::Io(e) => write!(f, "io error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Log(e) => Some(e),
+            CoreError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<seqdet_log::LogError> for CoreError {
+    fn from(e: seqdet_log::LogError) -> Self {
+        CoreError::Log(e)
+    }
+}
+
+impl From<std::io::Error> for CoreError {
+    fn from(e: std::io::Error) -> Self {
+        CoreError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        let e = CoreError::Corrupt { table: "Index", message: "short row".into() };
+        assert!(e.to_string().contains("Index"));
+        let e = CoreError::ConfigMismatch { stored: "SC".into(), requested: "STNM".into() };
+        assert!(e.to_string().contains("SC") && e.to_string().contains("STNM"));
+        let e = CoreError::from(std::io::Error::other("x"));
+        assert!(e.to_string().contains("io error"));
+    }
+
+    #[test]
+    fn log_error_converts() {
+        let le = seqdet_log::LogError::UnknownActivity(3);
+        let e: CoreError = le.into();
+        assert!(e.to_string().contains("unknown activity"));
+        use std::error::Error;
+        assert!(e.source().is_some());
+    }
+}

@@ -1,0 +1,42 @@
+//! # seqdet-core — pair-based inverted indexing of event logs
+//!
+//! The primary contribution of *"Sequence detection in event log files"*
+//! (EDBT 2021): an inverted index over **all event pairs** of every trace,
+//! maintained incrementally as new log batches arrive, that downstream query
+//! processing (see `seqdet-query`) turns into pattern detection, statistics
+//! and pattern-continuation answers.
+//!
+//! ## Structure
+//!
+//! * [`policy`] — the two pattern-matching policies (Strict Contiguity and
+//!   Skip-Till-Next-Match) and the three STNM pair-creation flavors
+//!   (*Parsing*, *Indexing*, *State*; paper §4).
+//! * [`pairs`] — the pair-creation algorithms themselves. All STNM flavors
+//!   produce identical pair sets (property-tested); they differ only in cost
+//!   profile, which is precisely what Table 5 / Figure 3 measure.
+//! * [`tables`] — the five tables of §3.1.2 (`Seq`, `Index`, `Count`,
+//!   `ReverseCount`, `LastChecked`) with their binary row codecs over any
+//!   [`seqdet_storage::KvStore`].
+//! * [`catalog`] — activity/trace name catalogs, persisted alongside the
+//!   tables so an index can be reopened from disk.
+//! * [`indexer`] — Algorithm 1: batched, duplicate-free index maintenance,
+//!   parallelized per trace; plus the §3.1.3 extensions (period partitioning
+//!   of the `Index` table, pruning of completed traces).
+
+pub mod catalog;
+pub mod error;
+pub mod indexer;
+pub mod pairs;
+pub mod policy;
+pub mod stats;
+pub mod tables;
+
+pub use catalog::Catalog;
+pub use error::CoreError;
+pub use indexer::{IndexConfig, Indexer, UpdateStats};
+pub use pairs::{create_pairs, PairKey, TracePairs};
+pub use stats::IndexStats;
+pub use policy::{Policy, StnmMethod};
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, CoreError>;

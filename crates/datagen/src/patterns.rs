@@ -1,0 +1,155 @@
+//! Query-pattern samplers for the evaluation harness.
+//!
+//! Table 8 searches "100 random patterns" per configuration; Table 7 and
+//! Figures 4-7 need patterns of controlled length that actually occur in
+//! the log (otherwise response times collapse to the empty-result fast
+//! path, which the paper notes: "when events in the querying pattern have
+//! low frequency, the response time will be shorter").
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use seqdet_log::{Activity, EventLog, Pattern};
+
+/// A pattern of `len` activities drawn uniformly from the log's alphabet
+/// (may or may not occur anywhere — the Table-8 "random patterns").
+pub fn random_pattern(log: &EventLog, len: usize, rng: &mut StdRng) -> Pattern {
+    let l = log.num_activities() as u32;
+    assert!(l > 0, "log has no activities");
+    Pattern::new((0..len).map(|_| Activity(rng.gen_range(0..l))).collect())
+}
+
+/// A pattern that occurs in the log under STNM: `len` events sampled (in
+/// order) from a random trace with at least `len` events. Returns `None`
+/// if no trace is long enough.
+pub fn embedded_pattern(log: &EventLog, len: usize, rng: &mut StdRng) -> Option<Pattern> {
+    let candidates: Vec<_> = log.traces().filter(|t| t.len() >= len).collect();
+    let trace = candidates.choose(rng)?;
+    let mut positions: Vec<usize> = (0..trace.len()).collect();
+    positions.shuffle(rng);
+    let mut chosen: Vec<usize> = positions.into_iter().take(len).collect();
+    chosen.sort_unstable();
+    Some(Pattern::new(chosen.into_iter().map(|i| trace.events()[i].activity).collect()))
+}
+
+/// A pattern that occurs contiguously (SC) in the log: a random window of a
+/// random trace. Returns `None` if no trace is long enough.
+pub fn contiguous_pattern(log: &EventLog, len: usize, rng: &mut StdRng) -> Option<Pattern> {
+    let candidates: Vec<_> = log.traces().filter(|t| t.len() >= len).collect();
+    let trace = candidates.choose(rng)?;
+    let start = rng.gen_range(0..=trace.len() - len);
+    Some(Pattern::new(
+        trace.events()[start..start + len].iter().map(|e| e.activity).collect(),
+    ))
+}
+
+/// The evaluation's standard batch: `count` patterns of length `len`,
+/// deterministic for a seed. `mode` selects the sampler.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PatternMode {
+    /// Uniformly random activities.
+    Random,
+    /// Guaranteed STNM-embedded.
+    Embedded,
+    /// Guaranteed SC-contiguous.
+    Contiguous,
+}
+
+/// Sample a batch of patterns.
+pub fn pattern_batch(
+    log: &EventLog,
+    len: usize,
+    count: usize,
+    mode: PatternMode,
+    seed: u64,
+) -> Vec<Pattern> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = Vec::with_capacity(count);
+    for _ in 0..count {
+        let p = match mode {
+            PatternMode::Random => Some(random_pattern(log, len, &mut rng)),
+            PatternMode::Embedded => embedded_pattern(log, len, &mut rng),
+            PatternMode::Contiguous => contiguous_pattern(log, len, &mut rng),
+        };
+        if let Some(p) = p {
+            out.push(p);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seqdet_log::EventLogBuilder;
+
+    fn log() -> EventLog {
+        let mut b = EventLogBuilder::new();
+        for t in 0..5 {
+            let name = format!("t{t}");
+            for (i, a) in ["A", "B", "C", "D", "E", "F"].iter().enumerate() {
+                b.add(&name, a, (i + 1) as u64);
+            }
+        }
+        b.build()
+    }
+
+    #[test]
+    fn random_pattern_uses_alphabet() {
+        let l = log();
+        let mut rng = StdRng::seed_from_u64(1);
+        let p = random_pattern(&l, 4, &mut rng);
+        assert_eq!(p.len(), 4);
+        for &a in p.activities() {
+            assert!(a.0 < l.num_activities() as u32);
+        }
+    }
+
+    #[test]
+    fn embedded_pattern_is_a_subsequence_of_some_trace() {
+        let l = log();
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..20 {
+            let p = embedded_pattern(&l, 3, &mut rng).unwrap();
+            let found = l.traces().any(|t| {
+                let mut it = t.events().iter();
+                p.activities().iter().all(|&a| it.any(|e| e.activity == a))
+            });
+            assert!(found, "pattern {:?} not embedded", p);
+        }
+    }
+
+    #[test]
+    fn contiguous_pattern_is_a_window_of_some_trace() {
+        let l = log();
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..20 {
+            let p = contiguous_pattern(&l, 3, &mut rng).unwrap();
+            let found = l.traces().any(|t| {
+                t.events()
+                    .windows(3)
+                    .any(|w| w.iter().map(|e| e.activity).eq(p.activities().iter().copied()))
+            });
+            assert!(found);
+        }
+    }
+
+    #[test]
+    fn too_long_patterns_return_none() {
+        let l = log();
+        let mut rng = StdRng::seed_from_u64(4);
+        assert!(embedded_pattern(&l, 100, &mut rng).is_none());
+        assert!(contiguous_pattern(&l, 100, &mut rng).is_none());
+    }
+
+    #[test]
+    fn batch_is_deterministic() {
+        let l = log();
+        let a = pattern_batch(&l, 3, 10, PatternMode::Embedded, 7);
+        let b = pattern_batch(&l, 3, 10, PatternMode::Embedded, 7);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 10);
+        let c = pattern_batch(&l, 3, 10, PatternMode::Embedded, 8);
+        assert_ne!(a, c);
+    }
+}

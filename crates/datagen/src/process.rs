@@ -1,0 +1,290 @@
+//! Process-like log generation — the PLG2 substitute.
+//!
+//! The paper's synthetic datasets come from PLG2: "with the help of the
+//! PLG2 tool, we created 3 different processes, with different number of
+//! distinct activities (15, 95, 160)" (§5.1). PLG2 builds random process
+//! models from the standard workflow operators; [`ProcessTree`] does the
+//! same — a random tree of SEQ / XOR / AND / LOOP operators over activity
+//! leaves — and simulates it into traces, giving logs with the correlated
+//! activity structure that distinguishes "process-like" from "random".
+//!
+//! [`MarkovProcess`] is the second, calibration-oriented generator used for
+//! the Table-4 profile replicas: a sparse random transition graph (process-
+//! like co-occurrence) walked for an externally sampled number of steps, so
+//! the published events-per-trace distributions can be matched exactly.
+
+use crate::random::activity_name;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use seqdet_log::{EventLog, EventLogBuilder};
+
+/// A workflow process tree.
+#[derive(Debug, Clone)]
+pub enum ProcessTree {
+    /// Execute one activity.
+    Leaf(usize),
+    /// Execute children in order.
+    Seq(Vec<ProcessTree>),
+    /// Execute exactly one child.
+    Xor(Vec<ProcessTree>),
+    /// Execute all children, in an interleaved (here: shuffled) order.
+    And(Vec<ProcessTree>),
+    /// Execute the body 1+ times; after each run, repeat with
+    /// probability `repeat` (percent, 0-99).
+    Loop(Box<ProcessTree>, u8),
+}
+
+impl ProcessTree {
+    /// Generate a random process tree with exactly `activities` distinct
+    /// leaf activities, PLG2-style.
+    pub fn generate(activities: usize, seed: u64) -> Self {
+        assert!(activities > 0, "a process needs at least one activity");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let leaves: Vec<usize> = (0..activities).collect();
+        Self::build(&leaves, &mut rng, 0)
+    }
+
+    fn build(leaves: &[usize], rng: &mut StdRng, depth: usize) -> Self {
+        if leaves.len() == 1 {
+            let leaf = ProcessTree::Leaf(leaves[0]);
+            // Occasionally wrap a leaf in a loop.
+            if depth > 0 && rng.gen_ratio(1, 8) {
+                return ProcessTree::Loop(Box::new(leaf), 30);
+            }
+            return leaf;
+        }
+        // Split the activities among 2..=4 children.
+        let num_children = rng.gen_range(2..=4.min(leaves.len()));
+        let mut shuffled = leaves.to_vec();
+        shuffled.shuffle(rng);
+        let mut children = Vec::with_capacity(num_children);
+        let base = shuffled.len() / num_children;
+        let extra = shuffled.len() % num_children;
+        let mut start = 0;
+        for c in 0..num_children {
+            let size = base + usize::from(c < extra);
+            children.push(Self::build(&shuffled[start..start + size], rng, depth + 1));
+            start += size;
+        }
+        match rng.gen_range(0..10) {
+            0..=4 => ProcessTree::Seq(children),          // sequences dominate
+            5..=7 => ProcessTree::Xor(children),          // choices common
+            8 => ProcessTree::And(children),              // parallelism rarer
+            _ => ProcessTree::Loop(Box::new(ProcessTree::Seq(children)), 25),
+        }
+    }
+
+    /// Number of distinct activities in the tree.
+    pub fn num_activities(&self) -> usize {
+        let mut acts = Vec::new();
+        self.collect(&mut acts);
+        acts.sort_unstable();
+        acts.dedup();
+        acts.len()
+    }
+
+    fn collect(&self, out: &mut Vec<usize>) {
+        match self {
+            ProcessTree::Leaf(a) => out.push(*a),
+            ProcessTree::Seq(c) | ProcessTree::Xor(c) | ProcessTree::And(c) => {
+                for ch in c {
+                    ch.collect(out);
+                }
+            }
+            ProcessTree::Loop(b, _) => b.collect(out),
+        }
+    }
+
+    /// Simulate one case, appending activity ids.
+    fn run(&self, rng: &mut StdRng, out: &mut Vec<usize>, fuel: &mut usize) {
+        if *fuel == 0 {
+            return;
+        }
+        match self {
+            ProcessTree::Leaf(a) => {
+                out.push(*a);
+                *fuel -= 1;
+            }
+            ProcessTree::Seq(c) => {
+                for ch in c {
+                    ch.run(rng, out, fuel);
+                }
+            }
+            ProcessTree::Xor(c) => {
+                let pick = rng.gen_range(0..c.len());
+                c[pick].run(rng, out, fuel);
+            }
+            ProcessTree::And(c) => {
+                let mut order: Vec<usize> = (0..c.len()).collect();
+                order.shuffle(rng);
+                for i in order {
+                    c[i].run(rng, out, fuel);
+                }
+            }
+            ProcessTree::Loop(body, repeat) => {
+                body.run(rng, out, fuel);
+                while *fuel > 0 && rng.gen_range(0..100) < *repeat {
+                    body.run(rng, out, fuel);
+                }
+            }
+        }
+    }
+
+    /// Simulate `traces` cases into an event log (positional timestamps).
+    /// `max_events_per_trace` bounds runaway loops.
+    pub fn simulate(&self, traces: usize, max_events_per_trace: usize, seed: u64) -> EventLog {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut b = EventLogBuilder::new();
+        for t in 0..traces {
+            let tname = format!("case-{t}");
+            let mut acts = Vec::new();
+            let mut fuel = max_events_per_trace;
+            self.run(&mut rng, &mut acts, &mut fuel);
+            for a in acts {
+                b.add_positional(&tname, &activity_name(a));
+            }
+        }
+        b.build()
+    }
+}
+
+/// A sparse random transition graph walked for a prescribed number of
+/// steps — process-like activity correlation with exact length control.
+#[derive(Debug, Clone)]
+pub struct MarkovProcess {
+    /// `successors[a]` = activities that may follow `a` (1..=3 of them).
+    successors: Vec<Vec<usize>>,
+    /// Activities a case may start with.
+    starts: Vec<usize>,
+}
+
+impl MarkovProcess {
+    /// Random sparse process over `activities` activities.
+    pub fn generate(activities: usize, seed: u64) -> Self {
+        assert!(activities > 0);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let successors = (0..activities)
+            .map(|_| {
+                let n = rng.gen_range(1..=3usize.min(activities));
+                (0..n).map(|_| rng.gen_range(0..activities)).collect()
+            })
+            .collect();
+        let starts = (0..activities.min(1 + activities / 10)).collect();
+        Self { successors, starts }
+    }
+
+    /// Number of activities.
+    pub fn num_activities(&self) -> usize {
+        self.successors.len()
+    }
+
+    /// Walk the chain for exactly `len` steps.
+    pub fn walk(&self, len: usize, rng: &mut StdRng) -> Vec<usize> {
+        let mut out = Vec::with_capacity(len);
+        if len == 0 {
+            return out;
+        }
+        let mut cur = self.starts[rng.gen_range(0..self.starts.len())];
+        out.push(cur);
+        for _ in 1..len {
+            let succ = &self.successors[cur];
+            cur = succ[rng.gen_range(0..succ.len())];
+            out.push(cur);
+        }
+        out
+    }
+
+    /// Simulate a log whose trace lengths are produced by `length_of`
+    /// (called once per trace with the trace number).
+    pub fn simulate_with_lengths(
+        &self,
+        traces: usize,
+        seed: u64,
+        mut length_of: impl FnMut(usize, &mut StdRng) -> usize,
+    ) -> EventLog {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut b = EventLogBuilder::new();
+        for t in 0..traces {
+            let len = length_of(t, &mut rng);
+            let tname = format!("case-{t}");
+            for a in self.walk(len, &mut rng) {
+                b.add_positional(&tname, &activity_name(a));
+            }
+        }
+        b.build()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seqdet_log::stats::LogStats;
+
+    #[test]
+    fn tree_has_exact_activity_count() {
+        for n in [1, 5, 15, 95, 160] {
+            let t = ProcessTree::generate(n, 1);
+            assert_eq!(t.num_activities(), n, "activities for n={n}");
+        }
+    }
+
+    #[test]
+    fn simulation_is_deterministic_and_bounded() {
+        let t = ProcessTree::generate(20, 3);
+        let a = t.simulate(50, 200, 9);
+        let b = t.simulate(50, 200, 9);
+        assert_eq!(a.num_events(), b.num_events());
+        assert_eq!(a.num_traces(), 50);
+        let s = LogStats::of(&a);
+        assert!(s.max_trace_len <= 200);
+        assert!(s.num_events > 0);
+    }
+
+    #[test]
+    fn process_logs_are_correlated_not_uniform() {
+        // In a process-like log, the set of distinct SC-adjacent pairs is
+        // far smaller than l², unlike a random log.
+        let tree = ProcessTree::generate(30, 5);
+        let log = tree.simulate(200, 100, 11);
+        let mut pairs = std::collections::HashSet::new();
+        for t in log.traces() {
+            for w in t.events().windows(2) {
+                pairs.insert((w[0].activity.0, w[1].activity.0));
+            }
+        }
+        let l = log.num_activities();
+        assert!(
+            pairs.len() < l * l / 2,
+            "expected sparse adjacency: {} of {} possible",
+            pairs.len(),
+            l * l
+        );
+    }
+
+    #[test]
+    fn markov_walk_has_exact_length() {
+        let mp = MarkovProcess::generate(10, 2);
+        let mut rng = StdRng::seed_from_u64(0);
+        for len in [0usize, 1, 5, 100] {
+            assert_eq!(mp.walk(len, &mut rng).len(), len);
+        }
+        assert_eq!(mp.num_activities(), 10);
+    }
+
+    #[test]
+    fn markov_log_respects_length_function() {
+        let mp = MarkovProcess::generate(8, 2);
+        let log = mp.simulate_with_lengths(10, 3, |t, _| t + 1);
+        let lens: Vec<usize> = log.traces().map(|t| t.len()).collect();
+        assert_eq!(lens, (1..=10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn markov_transitions_are_sparse() {
+        let mp = MarkovProcess::generate(50, 4);
+        for succ in &mp.successors {
+            assert!(!succ.is_empty() && succ.len() <= 3);
+        }
+    }
+}

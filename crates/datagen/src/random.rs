@@ -1,0 +1,108 @@
+//! Uncorrelated random logs — the Figure 3 workloads.
+//!
+//! "We created log files in which the events were not based on a process.
+//! We range the number of traces from 100 to 5000, the number of max events
+//! per trace from 50 to 4000 and the number of activities from 4 to 2000 …
+//! due to the lack of correlation between the appearance of two events in a
+//! trace, … \[this\] renders the indexing problem more challenging" (§5.2).
+//!
+//! Each trace has exactly `events_per_trace` events (the paper's sweeps
+//! multiply out to the quoted totals — e.g. 1000 traces × 4000 events = the
+//! "up to 4M events" of the first plot) with activities drawn uniformly.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use seqdet_log::{EventLog, EventLogBuilder};
+
+/// Specification of one random log.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RandomLogSpec {
+    /// Number of traces (`m`).
+    pub traces: usize,
+    /// Events per trace (fixed; the paper's "max events per trace" axis).
+    pub events_per_trace: usize,
+    /// Alphabet size (`l`).
+    pub activities: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl RandomLogSpec {
+    /// Convenience constructor with a fixed default seed.
+    pub fn new(traces: usize, events_per_trace: usize, activities: usize) -> Self {
+        Self { traces, events_per_trace, activities, seed: 42 }
+    }
+
+    /// Total number of events the log will contain.
+    pub fn total_events(&self) -> usize {
+        self.traces * self.events_per_trace
+    }
+
+    /// Generate the log. Timestamps are per-trace positions (1-based), as
+    /// the paper's positional fallback prescribes for synthetic data.
+    pub fn generate(&self) -> EventLog {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut b = EventLogBuilder::new();
+        let names: Vec<String> = (0..self.activities).map(activity_name).collect();
+        for t in 0..self.traces {
+            let tname = format!("r{t}");
+            for _ in 0..self.events_per_trace {
+                let a = rng.gen_range(0..self.activities);
+                b.add_positional(&tname, &names[a]);
+            }
+        }
+        b.build()
+    }
+}
+
+/// Stable activity naming shared by the generators (`act000`, `act001`, …).
+pub fn activity_name(i: usize) -> String {
+    format!("act{i:03}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seqdet_log::stats::LogStats;
+
+    #[test]
+    fn generates_exact_shape() {
+        let spec = RandomLogSpec::new(50, 20, 10);
+        let log = spec.generate();
+        let s = LogStats::of(&log);
+        assert_eq!(s.num_traces, 50);
+        assert_eq!(s.num_events, 1000);
+        assert_eq!(s.min_trace_len, 20);
+        assert_eq!(s.max_trace_len, 20);
+        assert!(s.num_activities <= 10);
+        assert_eq!(spec.total_events(), 1000);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = RandomLogSpec { seed: 7, ..RandomLogSpec::new(10, 10, 5) }.generate();
+        let b = RandomLogSpec { seed: 7, ..RandomLogSpec::new(10, 10, 5) }.generate();
+        let c = RandomLogSpec { seed: 8, ..RandomLogSpec::new(10, 10, 5) }.generate();
+        let flat = |l: &EventLog| -> Vec<(u32, u64)> {
+            l.traces().flat_map(|t| t.events().iter().map(|e| (e.activity.0, e.ts))).collect()
+        };
+        assert_eq!(flat(&a), flat(&b));
+        assert_ne!(flat(&a), flat(&c));
+    }
+
+    #[test]
+    fn alphabet_is_roughly_uniform() {
+        let log = RandomLogSpec::new(20, 100, 4).generate();
+        let mut counts = [0usize; 4];
+        for t in log.traces() {
+            for e in t.events() {
+                counts[e.activity.index()] += 1;
+            }
+        }
+        let total: usize = counts.iter().sum();
+        assert_eq!(total, 2000);
+        for c in counts {
+            assert!(c > total / 8, "skewed alphabet: {counts:?}");
+        }
+    }
+}

@@ -1,0 +1,177 @@
+//! CSV event-log reader/writer.
+//!
+//! The log database of the paper has "a typical relational form, where each
+//! record corresponds to a specific event … the trace identifier, the event
+//! type, the timestamp" (§3.1). This module reads and writes exactly that
+//! relation as `trace,activity,timestamp` CSV rows.
+//!
+//! * A header row (`trace,activity,timestamp`, case-insensitive) is skipped
+//!   if present.
+//! * The timestamp column may be omitted (2-column rows); the event then
+//!   receives its per-trace position, per the paper's positional fallback.
+//! * Fields containing commas can be double-quoted; `""` escapes a quote.
+
+use crate::error::LogError;
+use crate::trace::{EventLog, EventLogBuilder, Ts};
+use crate::Result;
+use std::io::{BufRead, Write};
+
+/// Parse one CSV line into fields, honouring double quotes.
+fn split_csv(line: &str) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut cur = String::new();
+    let mut chars = line.chars().peekable();
+    let mut quoted = false;
+    while let Some(c) = chars.next() {
+        match c {
+            '"' if quoted => {
+                if chars.peek() == Some(&'"') {
+                    chars.next();
+                    cur.push('"');
+                } else {
+                    quoted = false;
+                }
+            }
+            '"' if cur.is_empty() => quoted = true,
+            ',' if !quoted => {
+                fields.push(std::mem::take(&mut cur));
+            }
+            _ => cur.push(c),
+        }
+    }
+    fields.push(cur);
+    fields
+}
+
+/// Quote a field if it needs quoting.
+fn quote_csv(field: &str) -> String {
+    if field.contains(',') || field.contains('"') || field.contains('\n') {
+        format!("\"{}\"", field.replace('"', "\"\""))
+    } else {
+        field.to_owned()
+    }
+}
+
+/// Read an event log from CSV.
+pub fn read_csv<R: BufRead>(reader: R) -> Result<EventLog> {
+    let mut builder = EventLogBuilder::new();
+    read_csv_into(reader, &mut builder)?;
+    Ok(builder.build())
+}
+
+/// Read CSV records into an existing builder (used to merge batches while
+/// keeping activity ids stable).
+pub fn read_csv_into<R: BufRead>(reader: R, builder: &mut EventLogBuilder) -> Result<()> {
+    for (i, line) in reader.lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        let fields = split_csv(trimmed);
+        if i == 0 && fields.first().is_some_and(|f| f.eq_ignore_ascii_case("trace")) {
+            continue; // header
+        }
+        match fields.len() {
+            2 => {
+                builder.add_positional(&fields[0], &fields[1]);
+            }
+            3 => {
+                let ts: Ts = fields[2].trim().parse().map_err(|_| LogError::Parse {
+                    line: i + 1,
+                    message: format!("invalid timestamp {:?}", fields[2]),
+                })?;
+                builder.add(&fields[0], &fields[1], ts);
+            }
+            n => {
+                return Err(LogError::Parse {
+                    line: i + 1,
+                    message: format!("expected 2 or 3 fields, got {n}"),
+                })
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Write an event log as CSV (with header), one row per event.
+pub fn write_csv<W: Write>(log: &EventLog, mut out: W) -> Result<()> {
+    writeln!(out, "trace,activity,timestamp")?;
+    for trace in log.traces() {
+        let tname = log.trace_name(trace.id()).unwrap_or("?");
+        for ev in trace.events() {
+            let aname = log.activity_name(ev.activity).unwrap_or("?");
+            writeln!(out, "{},{},{}", quote_csv(tname), quote_csv(aname), ev.ts)?;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn roundtrip_simple() {
+        let text = "trace,activity,timestamp\nt1,A,1\nt1,B,2\nt2,A,5\n";
+        let log = read_csv(Cursor::new(text)).unwrap();
+        assert_eq!(log.num_traces(), 2);
+        assert_eq!(log.num_events(), 3);
+        let mut out = Vec::new();
+        write_csv(&log, &mut out).unwrap();
+        let log2 = read_csv(Cursor::new(out)).unwrap();
+        assert_eq!(log2.num_events(), 3);
+        assert_eq!(
+            log2.trace_by_name("t1").unwrap().as_pairs(),
+            log.trace_by_name("t1").unwrap().as_pairs()
+        );
+    }
+
+    #[test]
+    fn header_is_optional() {
+        let log = read_csv(Cursor::new("t1,A,1\nt1,B,2\n")).unwrap();
+        assert_eq!(log.num_events(), 2);
+    }
+
+    #[test]
+    fn positional_rows() {
+        let log = read_csv(Cursor::new("t1,A\nt1,B\nt1,A\n")).unwrap();
+        let t = log.trace_by_name("t1").unwrap();
+        assert_eq!(t.events().iter().map(|e| e.ts).collect::<Vec<_>>(), [1, 2, 3]);
+    }
+
+    #[test]
+    fn quoted_fields() {
+        let text = "\"case, 1\",\"say \"\"hi\"\"\",3\n";
+        let log = read_csv(Cursor::new(text)).unwrap();
+        assert!(log.trace_by_name("case, 1").is_some());
+        assert!(log.activity("say \"hi\"").is_some());
+        // And the writer quotes them back.
+        let mut out = Vec::new();
+        write_csv(&log, &mut out).unwrap();
+        let log2 = read_csv(Cursor::new(out)).unwrap();
+        assert!(log2.trace_by_name("case, 1").is_some());
+    }
+
+    #[test]
+    fn bad_timestamp_reports_line() {
+        let err = read_csv(Cursor::new("t1,A,1\nt1,B,xyz\n")).unwrap_err();
+        match err {
+            LogError::Parse { line, .. } => assert_eq!(line, 2),
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn wrong_arity_rejected() {
+        assert!(read_csv(Cursor::new("t1,A,1,extra\n")).is_err());
+        assert!(read_csv(Cursor::new("justone\n")).is_err());
+    }
+
+    #[test]
+    fn blank_lines_skipped() {
+        let log = read_csv(Cursor::new("t1,A,1\n\n   \nt1,B,2\n")).unwrap();
+        assert_eq!(log.num_events(), 2);
+    }
+}

@@ -1,0 +1,96 @@
+//! Error type shared by the log-model crate.
+
+use std::fmt;
+
+/// Errors produced while building, parsing or writing event logs.
+#[derive(Debug)]
+pub enum LogError {
+    /// An event violated the strict total order of its trace
+    /// (its timestamp was not greater than the previous event's).
+    OutOfOrder {
+        /// Trace the offending event belongs to.
+        trace: String,
+        /// Timestamp of the previous event in the trace.
+        previous: u64,
+        /// Timestamp of the offending event.
+        current: u64,
+    },
+    /// A line or element of an input file could not be parsed.
+    Parse {
+        /// 1-based line number (0 when unknown, e.g. streaming XML).
+        line: usize,
+        /// Human-readable description of the problem.
+        message: String,
+    },
+    /// An activity id was used that the interner has never issued.
+    UnknownActivity(u32),
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for LogError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LogError::OutOfOrder { trace, previous, current } => write!(
+                f,
+                "event out of order in trace {trace}: ts {current} after ts {previous}"
+            ),
+            LogError::Parse { line, message } => {
+                if *line == 0 {
+                    write!(f, "parse error: {message}")
+                } else {
+                    write!(f, "parse error at line {line}: {message}")
+                }
+            }
+            LogError::UnknownActivity(id) => write!(f, "unknown activity id {id}"),
+            LogError::Io(e) => write!(f, "io error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for LogError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            LogError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for LogError {
+    fn from(e: std::io::Error) -> Self {
+        LogError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_out_of_order() {
+        let e = LogError::OutOfOrder { trace: "t1".into(), previous: 5, current: 3 };
+        assert_eq!(e.to_string(), "event out of order in trace t1: ts 3 after ts 5");
+    }
+
+    #[test]
+    fn display_parse_with_and_without_line() {
+        let e = LogError::Parse { line: 7, message: "bad field".into() };
+        assert!(e.to_string().contains("line 7"));
+        let e = LogError::Parse { line: 0, message: "bad field".into() };
+        assert!(!e.to_string().contains("line"));
+    }
+
+    #[test]
+    fn io_error_preserves_source() {
+        use std::error::Error;
+        let e = LogError::from(std::io::Error::new(std::io::ErrorKind::NotFound, "gone"));
+        assert!(e.source().is_some());
+        assert!(e.to_string().contains("gone"));
+    }
+
+    #[test]
+    fn display_unknown_activity() {
+        assert_eq!(LogError::UnknownActivity(42).to_string(), "unknown activity id 42");
+    }
+}

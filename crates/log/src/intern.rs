@@ -1,0 +1,166 @@
+//! Activity (event-type) interning.
+//!
+//! The paper's set `A` of activities is typically small (4 — 2000 in the
+//! evaluation) while the event set `E` is large (up to millions). Interning
+//! activity names into dense [`Activity`] ids keeps events at 12 bytes and
+//! lets the pair index pack an activity pair into a single `u64` key.
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// A dense identifier for an activity (event type). `Activity(0)` is the
+/// first activity ever interned. The identifier is only meaningful relative
+/// to the [`ActivityInterner`] that issued it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Activity(pub u32);
+
+impl Activity {
+    /// Raw id as a `usize`, handy for indexing per-activity vectors.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Pack an ordered pair of activities into one `u64` key
+    /// (`a` in the high 32 bits). Used as the key of the paper's
+    /// `Index`/`LastChecked` tables.
+    #[inline]
+    pub fn pair_key(a: Activity, b: Activity) -> u64 {
+        ((a.0 as u64) << 32) | b.0 as u64
+    }
+
+    /// Inverse of [`Activity::pair_key`].
+    #[inline]
+    pub fn unpack_pair(key: u64) -> (Activity, Activity) {
+        (Activity((key >> 32) as u32), Activity(key as u32))
+    }
+}
+
+impl std::fmt::Display for Activity {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "a{}", self.0)
+    }
+}
+
+/// Bidirectional mapping between activity names and [`Activity`] ids.
+///
+/// Ids are issued densely in first-seen order, so `len()` ids exist in
+/// `0..len()` and per-activity tables can be plain vectors.
+#[derive(Debug, Default, Clone, Serialize, Deserialize)]
+pub struct ActivityInterner {
+    names: Vec<String>,
+    by_name: HashMap<String, Activity>,
+}
+
+impl ActivityInterner {
+    /// Create an empty interner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Intern `name`, returning the existing id if already present.
+    pub fn intern(&mut self, name: &str) -> Activity {
+        if let Some(&a) = self.by_name.get(name) {
+            return a;
+        }
+        let a = Activity(self.names.len() as u32);
+        self.names.push(name.to_owned());
+        self.by_name.insert(name.to_owned(), a);
+        a
+    }
+
+    /// Look up the id of a name without interning.
+    pub fn get(&self, name: &str) -> Option<Activity> {
+        self.by_name.get(name).copied()
+    }
+
+    /// Resolve an id back to its name. Returns `None` for ids this interner
+    /// never issued.
+    pub fn name(&self, a: Activity) -> Option<&str> {
+        self.names.get(a.index()).map(String::as_str)
+    }
+
+    /// Number of distinct activities interned so far (the paper's `l = |A|`).
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// True when no activity has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Iterate over `(Activity, name)` pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (Activity, &str)> {
+        self.names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (Activity(i as u32), n.as_str()))
+    }
+
+    /// All issued ids, in order.
+    pub fn activities(&self) -> impl Iterator<Item = Activity> + '_ {
+        (0..self.names.len() as u32).map(Activity)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent_and_dense() {
+        let mut it = ActivityInterner::new();
+        let a = it.intern("submit");
+        let b = it.intern("approve");
+        let a2 = it.intern("submit");
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        assert_eq!(a, Activity(0));
+        assert_eq!(b, Activity(1));
+        assert_eq!(it.len(), 2);
+    }
+
+    #[test]
+    fn roundtrip_names() {
+        let mut it = ActivityInterner::new();
+        let a = it.intern("x");
+        assert_eq!(it.name(a), Some("x"));
+        assert_eq!(it.get("x"), Some(a));
+        assert_eq!(it.get("y"), None);
+        assert_eq!(it.name(Activity(99)), None);
+    }
+
+    #[test]
+    fn pair_key_roundtrip() {
+        let a = Activity(7);
+        let b = Activity(123_456);
+        let k = Activity::pair_key(a, b);
+        assert_eq!(Activity::unpack_pair(k), (a, b));
+        // order matters
+        assert_ne!(k, Activity::pair_key(b, a));
+    }
+
+    #[test]
+    fn pair_key_is_injective_on_extremes() {
+        let cases = [0u32, 1, u32::MAX - 1, u32::MAX];
+        let mut seen = std::collections::HashSet::new();
+        for &x in &cases {
+            for &y in &cases {
+                assert!(seen.insert(Activity::pair_key(Activity(x), Activity(y))));
+            }
+        }
+    }
+
+    #[test]
+    fn iter_yields_in_id_order() {
+        let mut it = ActivityInterner::new();
+        it.intern("c");
+        it.intern("a");
+        it.intern("b");
+        let names: Vec<&str> = it.iter().map(|(_, n)| n).collect();
+        assert_eq!(names, ["c", "a", "b"]);
+        let ids: Vec<Activity> = it.activities().collect();
+        assert_eq!(ids, [Activity(0), Activity(1), Activity(2)]);
+    }
+}

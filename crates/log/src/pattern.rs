@@ -1,0 +1,157 @@
+//! Query patterns: sequences of activities `⟨ev1, ev2, …, evp⟩`.
+
+use crate::intern::{Activity, ActivityInterner};
+use crate::trace::EventLog;
+use serde::{Deserialize, Serialize};
+
+/// A sequential pattern: the input of every query type in the paper
+/// (statistics, pattern detection, pattern continuation).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Pattern {
+    activities: Vec<Activity>,
+}
+
+impl Pattern {
+    /// Build from interned activities.
+    pub fn new(activities: Vec<Activity>) -> Self {
+        Self { activities }
+    }
+
+    /// Build from names against an existing catalog. Returns `None` if any
+    /// name is unknown (such a pattern trivially has no completions, and
+    /// callers usually want to know that before paying for a query).
+    pub fn from_names(interner: &ActivityInterner, names: &[&str]) -> Option<Self> {
+        names.iter().map(|n| interner.get(n)).collect::<Option<Vec<_>>>().map(Self::new)
+    }
+
+    /// Build from names against a log's catalog.
+    pub fn from_log(log: &EventLog, names: &[&str]) -> Option<Self> {
+        Self::from_names(log.activities(), names)
+    }
+
+    /// Pattern length `p`.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.activities.len()
+    }
+
+    /// True for the empty pattern.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.activities.is_empty()
+    }
+
+    /// The activities in order.
+    #[inline]
+    pub fn activities(&self) -> &[Activity] {
+        &self.activities
+    }
+
+    /// Activity at position `i`.
+    #[inline]
+    pub fn get(&self, i: usize) -> Option<Activity> {
+        self.activities.get(i).copied()
+    }
+
+    /// Last activity (`ev_p`), the anchor of continuation queries.
+    pub fn last(&self) -> Option<Activity> {
+        self.activities.last().copied()
+    }
+
+    /// Consecutive activity pairs `(ev_i, ev_{i+1})` — the units the
+    /// inverted index is keyed by.
+    pub fn consecutive_pairs(&self) -> impl Iterator<Item = (Activity, Activity)> + '_ {
+        self.activities.windows(2).map(|w| (w[0], w[1]))
+    }
+
+    /// A new pattern with `a` appended (pattern-continuation candidate).
+    pub fn extended(&self, a: Activity) -> Pattern {
+        let mut acts = self.activities.clone();
+        acts.push(a);
+        Pattern::new(acts)
+    }
+
+    /// A new pattern with `a` inserted at `pos` (the paper's §7 extension:
+    /// continuation "at arbitrary places in the query pattern").
+    pub fn inserted(&self, pos: usize, a: Activity) -> Pattern {
+        let mut acts = self.activities.clone();
+        acts.insert(pos.min(acts.len()), a);
+        Pattern::new(acts)
+    }
+
+    /// Render with a name catalog, e.g. `⟨submit, approve, pay⟩`.
+    pub fn display(&self, interner: &ActivityInterner) -> String {
+        let names: Vec<&str> =
+            self.activities.iter().map(|&a| interner.name(a).unwrap_or("?")).collect();
+        format!("⟨{}⟩", names.join(", "))
+    }
+}
+
+impl From<Vec<Activity>> for Pattern {
+    fn from(v: Vec<Activity>) -> Self {
+        Pattern::new(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn catalog() -> ActivityInterner {
+        let mut it = ActivityInterner::new();
+        for n in ["A", "B", "C"] {
+            it.intern(n);
+        }
+        it
+    }
+
+    #[test]
+    fn from_names_resolves_or_fails() {
+        let cat = catalog();
+        let p = Pattern::from_names(&cat, &["A", "C", "A"]).unwrap();
+        assert_eq!(p.len(), 3);
+        assert_eq!(p.get(1), cat.get("C"));
+        assert!(Pattern::from_names(&cat, &["A", "Z"]).is_none());
+    }
+
+    #[test]
+    fn consecutive_pairs_windows() {
+        let cat = catalog();
+        let p = Pattern::from_names(&cat, &["A", "B", "C"]).unwrap();
+        let pairs: Vec<_> = p.consecutive_pairs().collect();
+        let (a, b, c) = (cat.get("A").unwrap(), cat.get("B").unwrap(), cat.get("C").unwrap());
+        assert_eq!(pairs, vec![(a, b), (b, c)]);
+        let single = Pattern::new(vec![a]);
+        assert_eq!(single.consecutive_pairs().count(), 0);
+    }
+
+    #[test]
+    fn extended_and_inserted() {
+        let cat = catalog();
+        let (a, b, c) = (cat.get("A").unwrap(), cat.get("B").unwrap(), cat.get("C").unwrap());
+        let p = Pattern::new(vec![a, b]);
+        assert_eq!(p.extended(c).activities(), &[a, b, c]);
+        assert_eq!(p.inserted(0, c).activities(), &[c, a, b]);
+        assert_eq!(p.inserted(1, c).activities(), &[a, c, b]);
+        assert_eq!(p.inserted(99, c).activities(), &[a, b, c]);
+        // original untouched
+        assert_eq!(p.len(), 2);
+    }
+
+    #[test]
+    fn display_uses_names() {
+        let cat = catalog();
+        let p = Pattern::from_names(&cat, &["B", "A"]).unwrap();
+        assert_eq!(p.display(&cat), "⟨B, A⟩");
+    }
+
+    #[test]
+    fn last_and_empty() {
+        let cat = catalog();
+        let p = Pattern::from_names(&cat, &["B"]).unwrap();
+        assert_eq!(p.last(), cat.get("B"));
+        let e = Pattern::new(vec![]);
+        assert!(e.is_empty());
+        assert_eq!(e.last(), None);
+    }
+}

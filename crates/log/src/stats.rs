@@ -1,0 +1,171 @@
+//! Descriptive statistics over event logs.
+//!
+//! Regenerates the quantities reported in Table 4 and Figure 2 of the paper:
+//! per-dataset trace counts, distinct-activity counts, and the distributions
+//! of events-per-trace and unique-activities-per-trace.
+
+use crate::trace::EventLog;
+
+/// Summary statistics of one event log (one row of the paper's Table 4 plus
+/// the per-trace aggregates quoted in §5.1).
+#[derive(Debug, Clone, PartialEq)]
+pub struct LogStats {
+    /// Number of traces (`m`).
+    pub num_traces: usize,
+    /// Number of distinct activities (`l`).
+    pub num_activities: usize,
+    /// Total number of events (`|E|`).
+    pub num_events: usize,
+    /// Minimum events per trace.
+    pub min_trace_len: usize,
+    /// Maximum events per trace (`n`).
+    pub max_trace_len: usize,
+    /// Mean events per trace.
+    pub mean_trace_len: f64,
+    /// Minimum distinct activities per trace.
+    pub min_trace_activities: usize,
+    /// Maximum distinct activities per trace.
+    pub max_trace_activities: usize,
+    /// Mean distinct activities per trace.
+    pub mean_trace_activities: f64,
+}
+
+impl LogStats {
+    /// Compute statistics for `log`.
+    pub fn of(log: &EventLog) -> Self {
+        let lens: Vec<usize> = log.traces().map(|t| t.len()).collect();
+        let acts: Vec<usize> = log.traces().map(|t| t.distinct_activities()).collect();
+        let num_events: usize = lens.iter().sum();
+        let m = lens.len();
+        let mean = |v: &[usize]| if v.is_empty() { 0.0 } else { v.iter().sum::<usize>() as f64 / v.len() as f64 };
+        Self {
+            num_traces: m,
+            num_activities: log.num_activities(),
+            num_events,
+            min_trace_len: lens.iter().copied().min().unwrap_or(0),
+            max_trace_len: lens.iter().copied().max().unwrap_or(0),
+            mean_trace_len: mean(&lens),
+            min_trace_activities: acts.iter().copied().min().unwrap_or(0),
+            max_trace_activities: acts.iter().copied().max().unwrap_or(0),
+            mean_trace_activities: mean(&acts),
+        }
+    }
+}
+
+/// A fixed-bin histogram over per-trace values; used to render the Figure 2
+/// distributions as text.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    /// Inclusive lower edge of each bin.
+    pub edges: Vec<usize>,
+    /// Count of traces falling in each bin.
+    pub counts: Vec<usize>,
+}
+
+impl Histogram {
+    /// Histogram of `values` using `bins` equal-width bins over the data
+    /// range. An empty input yields an empty histogram.
+    pub fn build(values: &[usize], bins: usize) -> Self {
+        if values.is_empty() || bins == 0 {
+            return Self { edges: Vec::new(), counts: Vec::new() };
+        }
+        let lo = *values.iter().min().unwrap();
+        let hi = *values.iter().max().unwrap();
+        let width = ((hi - lo) / bins).max(1) + 1;
+        let nbins = (hi - lo) / width + 1;
+        let mut counts = vec![0usize; nbins];
+        for &v in values {
+            counts[(v - lo) / width] += 1;
+        }
+        let edges = (0..nbins).map(|i| lo + i * width).collect();
+        Self { edges, counts }
+    }
+
+    /// Total count across bins.
+    pub fn total(&self) -> usize {
+        self.counts.iter().sum()
+    }
+
+    /// Render as `edge: count` lines with a proportional bar, matching the
+    /// role of the Figure 2 plots.
+    pub fn render(&self, width: usize) -> String {
+        let max = self.counts.iter().copied().max().unwrap_or(1).max(1);
+        let mut out = String::new();
+        for (e, c) in self.edges.iter().zip(&self.counts) {
+            let bar = "#".repeat(c * width / max);
+            out.push_str(&format!("{e:>8} | {bar} {c}\n"));
+        }
+        out
+    }
+}
+
+/// Distribution of events-per-trace (left column of Figure 2).
+pub fn events_per_trace(log: &EventLog) -> Vec<usize> {
+    log.traces().map(|t| t.len()).collect()
+}
+
+/// Distribution of unique-activities-per-trace (right column of Figure 2).
+pub fn activities_per_trace(log: &EventLog) -> Vec<usize> {
+    log.traces().map(|t| t.distinct_activities()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::EventLogBuilder;
+
+    fn sample_log() -> EventLog {
+        let mut b = EventLogBuilder::new();
+        // t1: A B A (3 events, 2 distinct), t2: C (1 event, 1 distinct)
+        b.add("t1", "A", 1).add("t1", "B", 2).add("t1", "A", 3).add("t2", "C", 1);
+        b.build()
+    }
+
+    #[test]
+    fn stats_basic() {
+        let s = LogStats::of(&sample_log());
+        assert_eq!(s.num_traces, 2);
+        assert_eq!(s.num_activities, 3);
+        assert_eq!(s.num_events, 4);
+        assert_eq!(s.min_trace_len, 1);
+        assert_eq!(s.max_trace_len, 3);
+        assert!((s.mean_trace_len - 2.0).abs() < 1e-9);
+        assert_eq!(s.min_trace_activities, 1);
+        assert_eq!(s.max_trace_activities, 2);
+    }
+
+    #[test]
+    fn stats_empty_log() {
+        let s = LogStats::of(&EventLog::new());
+        assert_eq!(s.num_traces, 0);
+        assert_eq!(s.num_events, 0);
+        assert_eq!(s.mean_trace_len, 0.0);
+    }
+
+    #[test]
+    fn distributions() {
+        let log = sample_log();
+        assert_eq!(events_per_trace(&log), vec![3, 1]);
+        assert_eq!(activities_per_trace(&log), vec![2, 1]);
+    }
+
+    #[test]
+    fn histogram_covers_all_values() {
+        let values = vec![1, 2, 2, 3, 10, 10, 10];
+        let h = Histogram::build(&values, 3);
+        assert_eq!(h.total(), values.len());
+        // All bins start at or after the min and the render mentions counts.
+        assert!(h.edges[0] == 1);
+        let text = h.render(20);
+        assert!(text.contains('#'));
+    }
+
+    #[test]
+    fn histogram_degenerate_inputs() {
+        assert!(Histogram::build(&[], 5).counts.is_empty());
+        assert!(Histogram::build(&[7], 0).counts.is_empty());
+        let h = Histogram::build(&[5, 5, 5], 4);
+        assert_eq!(h.total(), 3);
+        assert_eq!(h.counts.len(), 1);
+    }
+}

@@ -1,0 +1,504 @@
+//! Events, traces (cases) and event logs.
+//!
+//! A [`Trace`] is the paper's *case*: the sequence of all events of one
+//! logical execution unit, strictly ordered by timestamp. An [`EventLog`]
+//! is a set of traces together with the activity/trace-name catalogs.
+//!
+//! The per-case ordering is *strict* (Definition 2.1 requires a strict total
+//! order `≤` per case, and the pattern-detection join of Algorithm 2 matches
+//! events by timestamp equality, which is only unambiguous when timestamps
+//! are unique within a trace). Builders therefore enforce strictly
+//! increasing timestamps; the batch-oriented [`EventLogBuilder`] resolves
+//! ties deterministically by bumping the later event forward.
+
+use crate::error::LogError;
+use crate::intern::{Activity, ActivityInterner};
+use crate::Result;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Timestamp type. Either a real epoch-based stamp or, per the paper, the
+/// position of the event in its trace when no timestamp is recorded.
+pub type Ts = u64;
+
+/// Dense identifier of a trace within one [`EventLog`] (and within the
+/// indexer catalog built on top of it).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct TraceId(pub u32);
+
+impl TraceId {
+    /// Raw id as `usize` for vector indexing.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for TraceId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+/// A single timestamped event instance: an activity occurrence inside a
+/// trace. 8 + 4 bytes; traces store events contiguously.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Event {
+    /// The event type (the paper's `δ(ev)`).
+    pub activity: Activity,
+    /// The timestamp (the paper's `ev.ts`).
+    pub ts: Ts,
+}
+
+impl Event {
+    /// Convenience constructor.
+    #[inline]
+    pub fn new(activity: Activity, ts: Ts) -> Self {
+        Self { activity, ts }
+    }
+}
+
+/// A case/trace/session: the strictly-ordered event sequence of one logical
+/// execution unit.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Trace {
+    id: TraceId,
+    events: Vec<Event>,
+}
+
+impl Trace {
+    /// Build a trace from pre-validated events.
+    ///
+    /// Returns an error if timestamps are not strictly increasing.
+    pub fn new(id: TraceId, events: Vec<Event>) -> Result<Self> {
+        for w in events.windows(2) {
+            if w[1].ts <= w[0].ts {
+                return Err(LogError::OutOfOrder {
+                    trace: id.to_string(),
+                    previous: w[0].ts,
+                    current: w[1].ts,
+                });
+            }
+        }
+        Ok(Self { id, events })
+    }
+
+    /// The trace id.
+    #[inline]
+    pub fn id(&self) -> TraceId {
+        self.id
+    }
+
+    /// The ordered events.
+    #[inline]
+    pub fn events(&self) -> &[Event] {
+        &self.events
+    }
+
+    /// Number of events in the trace.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True for an empty trace.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Timestamp of the last event, if any.
+    pub fn last_ts(&self) -> Option<Ts> {
+        self.events.last().map(|e| e.ts)
+    }
+
+    /// Number of *distinct* activities appearing in the trace.
+    pub fn distinct_activities(&self) -> usize {
+        let mut acts: Vec<u32> = self.events.iter().map(|e| e.activity.0).collect();
+        acts.sort_unstable();
+        acts.dedup();
+        acts.len()
+    }
+
+    /// Events as `(activity, ts)` pairs — handy in tests.
+    pub fn as_pairs(&self) -> Vec<(Activity, Ts)> {
+        self.events.iter().map(|e| (e.activity, e.ts)).collect()
+    }
+
+    /// Append further events (used when a batch extends an open trace).
+    /// The first new event must be later than the current last event.
+    pub fn extend(&mut self, more: &[Event]) -> Result<()> {
+        for &e in more {
+            if let Some(last) = self.events.last() {
+                if e.ts <= last.ts {
+                    return Err(LogError::OutOfOrder {
+                        trace: self.id.to_string(),
+                        previous: last.ts,
+                        current: e.ts,
+                    });
+                }
+            }
+            self.events.push(e);
+        }
+        Ok(())
+    }
+}
+
+/// Incremental builder for a single [`Trace`].
+#[derive(Debug, Clone)]
+pub struct TraceBuilder {
+    id: TraceId,
+    events: Vec<Event>,
+}
+
+impl TraceBuilder {
+    /// Start a new trace with the given id.
+    pub fn new(id: TraceId) -> Self {
+        Self { id, events: Vec::new() }
+    }
+
+    /// Append an event with an explicit timestamp; must be strictly greater
+    /// than the previous timestamp.
+    pub fn append(&mut self, activity: Activity, ts: Ts) -> Result<&mut Self> {
+        if let Some(last) = self.events.last() {
+            if ts <= last.ts {
+                return Err(LogError::OutOfOrder {
+                    trace: self.id.to_string(),
+                    previous: last.ts,
+                    current: ts,
+                });
+            }
+        }
+        self.events.push(Event::new(activity, ts));
+        Ok(self)
+    }
+
+    /// Append an event without a timestamp: its 1-based position in the
+    /// trace is used instead (paper §3.1.1, final note).
+    pub fn append_next(&mut self, activity: Activity) -> &mut Self {
+        let ts = self.events.last().map_or(1, |e| e.ts + 1);
+        self.events.push(Event::new(activity, ts));
+        self
+    }
+
+    /// Number of events appended so far.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when nothing has been appended.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Finish the trace.
+    pub fn build(self) -> Trace {
+        // Ordering was enforced on every append.
+        Trace { id: self.id, events: self.events }
+    }
+}
+
+/// An event log: the activity catalog, the trace-name catalog and the traces
+/// themselves. `traces[i].id() == TraceId(i)` always holds.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct EventLog {
+    activities: ActivityInterner,
+    trace_names: Vec<String>,
+    traces: Vec<Trace>,
+    #[serde(skip)]
+    by_name: HashMap<String, TraceId>,
+}
+
+impl EventLog {
+    /// Empty log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The activity catalog.
+    #[inline]
+    pub fn activities(&self) -> &ActivityInterner {
+        &self.activities
+    }
+
+    /// Number of traces (the paper's `m = |C|`).
+    #[inline]
+    pub fn num_traces(&self) -> usize {
+        self.traces.len()
+    }
+
+    /// Number of distinct activities (the paper's `l = |A|`).
+    #[inline]
+    pub fn num_activities(&self) -> usize {
+        self.activities.len()
+    }
+
+    /// Total number of events across all traces (the paper's `|E|`).
+    pub fn num_events(&self) -> usize {
+        self.traces.iter().map(Trace::len).sum()
+    }
+
+    /// Maximum trace length (the paper's `n`).
+    pub fn max_trace_len(&self) -> usize {
+        self.traces.iter().map(Trace::len).max().unwrap_or(0)
+    }
+
+    /// Look up a trace by id.
+    pub fn trace(&self, id: TraceId) -> Option<&Trace> {
+        self.traces.get(id.index())
+    }
+
+    /// Look up a trace by its external (string) name.
+    pub fn trace_by_name(&self, name: &str) -> Option<&Trace> {
+        self.by_name.get(name).and_then(|&id| self.trace(id))
+    }
+
+    /// External name of a trace id.
+    pub fn trace_name(&self, id: TraceId) -> Option<&str> {
+        self.trace_names.get(id.index()).map(String::as_str)
+    }
+
+    /// Iterate over all traces in id order.
+    pub fn traces(&self) -> impl Iterator<Item = &Trace> {
+        self.traces.iter()
+    }
+
+    /// Resolve an activity name (without interning).
+    pub fn activity(&self, name: &str) -> Option<Activity> {
+        self.activities.get(name)
+    }
+
+    /// Resolve an activity id back to its name.
+    pub fn activity_name(&self, a: Activity) -> Option<&str> {
+        self.activities.name(a)
+    }
+}
+
+/// Builder that accepts raw `(trace name, activity name, timestamp)` records
+/// in any order and assembles a well-formed [`EventLog`].
+///
+/// Records within a trace are sorted by timestamp (stable, so equal stamps
+/// keep arrival order) and ties are resolved by bumping the later event by
+/// the minimal amount that restores strictness. Records without timestamps
+/// receive their per-trace arrival position.
+#[derive(Debug, Default)]
+pub struct EventLogBuilder {
+    activities: ActivityInterner,
+    trace_names: Vec<String>,
+    by_name: HashMap<String, TraceId>,
+    // (arrival order kept per trace)
+    pending: Vec<Vec<(Activity, Option<Ts>)>>,
+}
+
+impl EventLogBuilder {
+    /// Empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Seed the builder with an existing activity catalog so that ids stay
+    /// compatible across batches.
+    pub fn with_activities(activities: ActivityInterner) -> Self {
+        Self { activities, ..Self::default() }
+    }
+
+    fn trace_slot(&mut self, trace: &str) -> usize {
+        if let Some(&id) = self.by_name.get(trace) {
+            return id.index();
+        }
+        let id = TraceId(self.trace_names.len() as u32);
+        self.trace_names.push(trace.to_owned());
+        self.by_name.insert(trace.to_owned(), id);
+        self.pending.push(Vec::new());
+        id.index()
+    }
+
+    /// Add one event with an explicit timestamp.
+    pub fn add(&mut self, trace: &str, activity: &str, ts: Ts) -> &mut Self {
+        let a = self.activities.intern(activity);
+        let slot = self.trace_slot(trace);
+        self.pending[slot].push((a, Some(ts)));
+        self
+    }
+
+    /// Add one event without a timestamp; its per-trace position is used.
+    pub fn add_positional(&mut self, trace: &str, activity: &str) -> &mut Self {
+        let a = self.activities.intern(activity);
+        let slot = self.trace_slot(trace);
+        self.pending[slot].push((a, None));
+        self
+    }
+
+    /// Number of events added so far.
+    pub fn num_events(&self) -> usize {
+        self.pending.iter().map(Vec::len).sum()
+    }
+
+    /// Assemble the final log.
+    pub fn build(self) -> EventLog {
+        let mut traces = Vec::with_capacity(self.pending.len());
+        for (i, pend) in self.pending.into_iter().enumerate() {
+            let id = TraceId(i as u32);
+            // Assign positional stamps, then stable-sort by ts.
+            let mut evs: Vec<Event> = pend
+                .into_iter()
+                .enumerate()
+                .map(|(pos, (a, ts))| Event::new(a, ts.unwrap_or(pos as Ts + 1)))
+                .collect();
+            evs.sort_by_key(|e| e.ts);
+            // An identical (activity, ts) record is a resend — drop it.
+            // (Log shippers re-deliver; §3.1.3's LastChecked guard handles
+            // cross-batch resends, this handles within-batch ones.) Resends
+            // may be interleaved with other same-ts events, so dedup within
+            // each equal-ts run, keeping first-arrival order.
+            {
+                let mut kept: Vec<Event> = Vec::with_capacity(evs.len());
+                let mut run_start = 0;
+                for ev in evs.drain(..) {
+                    if kept.last().is_some_and(|last| last.ts != ev.ts) {
+                        run_start = kept.len();
+                    }
+                    if !kept[run_start..].contains(&ev) {
+                        kept.push(ev);
+                    }
+                }
+                evs = kept;
+            }
+            // Bump remaining (genuinely different) ties minimally to
+            // restore strictness.
+            for j in 1..evs.len() {
+                if evs[j].ts <= evs[j - 1].ts {
+                    evs[j].ts = evs[j - 1].ts + 1;
+                }
+            }
+            traces.push(Trace { id, events: evs });
+        }
+        EventLog {
+            activities: self.activities,
+            trace_names: self.trace_names,
+            by_name: self.by_name,
+            traces,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn act(i: u32) -> Activity {
+        Activity(i)
+    }
+
+    #[test]
+    fn trace_rejects_non_increasing() {
+        let evs = vec![Event::new(act(0), 1), Event::new(act(1), 1)];
+        assert!(Trace::new(TraceId(0), evs).is_err());
+        let evs = vec![Event::new(act(0), 2), Event::new(act(1), 1)];
+        assert!(Trace::new(TraceId(0), evs).is_err());
+    }
+
+    #[test]
+    fn trace_accepts_strictly_increasing() {
+        let evs = vec![Event::new(act(0), 1), Event::new(act(1), 5), Event::new(act(0), 6)];
+        let t = Trace::new(TraceId(3), evs).unwrap();
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.id(), TraceId(3));
+        assert_eq!(t.last_ts(), Some(6));
+        assert_eq!(t.distinct_activities(), 2);
+    }
+
+    #[test]
+    fn builder_positional_timestamps_start_at_one() {
+        let mut b = TraceBuilder::new(TraceId(0));
+        b.append_next(act(0)).append_next(act(1)).append_next(act(0));
+        let t = b.build();
+        assert_eq!(t.as_pairs(), vec![(act(0), 1), (act(1), 2), (act(0), 3)]);
+    }
+
+    #[test]
+    fn builder_mixed_append_enforces_order() {
+        let mut b = TraceBuilder::new(TraceId(0));
+        b.append(act(0), 10).unwrap();
+        assert!(b.append(act(1), 10).is_err());
+        assert!(b.append(act(1), 9).is_err());
+        b.append(act(1), 11).unwrap();
+        assert_eq!(b.len(), 2);
+    }
+
+    #[test]
+    fn trace_extend_appends_and_validates() {
+        let mut t = Trace::new(TraceId(0), vec![Event::new(act(0), 1)]).unwrap();
+        t.extend(&[Event::new(act(1), 2), Event::new(act(0), 3)]).unwrap();
+        assert_eq!(t.len(), 3);
+        assert!(t.extend(&[Event::new(act(1), 3)]).is_err());
+    }
+
+    #[test]
+    fn log_builder_groups_sorts_and_bumps_ties() {
+        let mut b = EventLogBuilder::new();
+        b.add("t1", "B", 5).add("t1", "A", 1).add("t2", "A", 7).add("t1", "C", 5);
+        let log = b.build();
+        assert_eq!(log.num_traces(), 2);
+        assert_eq!(log.num_activities(), 3);
+        assert_eq!(log.num_events(), 3 + 1);
+        let t1 = log.trace_by_name("t1").unwrap();
+        // A@1, then B@5 and C@5 -> C bumped to 6, arrival order kept.
+        let names: Vec<&str> =
+            t1.events().iter().map(|e| log.activity_name(e.activity).unwrap()).collect();
+        assert_eq!(names, ["A", "B", "C"]);
+        assert_eq!(t1.events()[2].ts, 6);
+    }
+
+    #[test]
+    fn log_builder_drops_exact_resends_but_bumps_distinct_ties() {
+        let mut b = EventLogBuilder::new();
+        // (A,5) resent twice — once interleaved with a distinct (B,5) tie.
+        b.add("t", "A", 5).add("t", "B", 5).add("t", "A", 5).add("t", "A", 5);
+        let log = b.build();
+        let t = log.trace_by_name("t").unwrap();
+        let rendered: Vec<(&str, Ts)> = t
+            .events()
+            .iter()
+            .map(|e| (log.activity_name(e.activity).unwrap(), e.ts))
+            .collect();
+        // Resends dropped; the genuine B tie is bumped past A.
+        assert_eq!(rendered, [("A", 5), ("B", 6)]);
+    }
+
+    #[test]
+    fn log_builder_positional() {
+        let mut b = EventLogBuilder::new();
+        b.add_positional("t", "A").add_positional("t", "B").add_positional("t", "A");
+        let log = b.build();
+        let t = log.trace_by_name("t").unwrap();
+        assert_eq!(t.events().iter().map(|e| e.ts).collect::<Vec<_>>(), [1, 2, 3]);
+    }
+
+    #[test]
+    fn log_metadata_accessors() {
+        let mut b = EventLogBuilder::new();
+        b.add("x", "A", 1).add("x", "B", 2).add("y", "A", 1);
+        let log = b.build();
+        assert_eq!(log.max_trace_len(), 2);
+        assert_eq!(log.trace_name(TraceId(0)), Some("x"));
+        assert_eq!(log.trace_name(TraceId(1)), Some("y"));
+        assert_eq!(log.trace_name(TraceId(2)), None);
+        let a = log.activity("A").unwrap();
+        assert_eq!(log.activity_name(a), Some("A"));
+        assert!(log.activity("Z").is_none());
+        assert_eq!(log.traces().count(), 2);
+        assert_eq!(log.trace(TraceId(1)).unwrap().id(), TraceId(1));
+    }
+
+    #[test]
+    fn with_activities_preserves_catalog_ids() {
+        let mut cat = ActivityInterner::new();
+        let a0 = cat.intern("A");
+        let mut b = EventLogBuilder::with_activities(cat);
+        b.add("t", "B", 1).add("t", "A", 2);
+        let log = b.build();
+        assert_eq!(log.activity("A"), Some(a0));
+        assert_eq!(log.activity("B"), Some(Activity(1)));
+    }
+}

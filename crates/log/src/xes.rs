@@ -1,0 +1,495 @@
+//! Minimal XES (eXtensible Event Stream) reader/writer.
+//!
+//! The paper's datasets "are in the XES format" (§5.1). XES is an XML
+//! dialect; the structurally relevant subset is
+//!
+//! ```xml
+//! <log>
+//!   <trace>
+//!     <string key="concept:name" value="case-17"/>
+//!     <event>
+//!       <string key="concept:name" value="Submit"/>
+//!       <date key="time:timestamp" value="2017-01-02T12:00:00.000+00:00"/>
+//!     </event>
+//!   </trace>
+//! </log>
+//! ```
+//!
+//! This module implements a self-contained tag-level XML scanner (we cannot
+//! pull an XML crate) that understands exactly this subset: `trace`/`event`
+//! nesting and `string`/`date`/`int` attribute elements. Unknown elements and
+//! attributes are skipped. Timestamps are converted to epoch milliseconds;
+//! events without a timestamp get their per-trace position (the paper's
+//! positional fallback).
+
+use crate::error::LogError;
+use crate::trace::{EventLog, EventLogBuilder, Ts};
+use crate::Result;
+use std::io::{BufRead, Write};
+
+/// One scanned XML tag.
+#[derive(Debug, PartialEq)]
+enum Tag {
+    /// `<name attr="v" …>`; bool = self-closing.
+    Open { name: String, attrs: Vec<(String, String)>, self_closing: bool },
+    /// `</name>`
+    Close(String),
+}
+
+/// Decode the five predefined XML entities.
+fn decode_entities(s: &str) -> String {
+    if !s.contains('&') {
+        return s.to_owned();
+    }
+    s.replace("&lt;", "<")
+        .replace("&gt;", ">")
+        .replace("&quot;", "\"")
+        .replace("&apos;", "'")
+        .replace("&amp;", "&")
+}
+
+/// Encode text for attribute values.
+fn encode_entities(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' => out.push_str("&quot;"),
+            '\'' => out.push_str("&apos;"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// Tag-level scanner over the full document text.
+struct Scanner<'a> {
+    text: &'a str,
+    pos: usize,
+}
+
+impl<'a> Scanner<'a> {
+    fn new(text: &'a str) -> Self {
+        Self { text, pos: 0 }
+    }
+
+    /// Next tag, skipping text content, comments, PIs and the XML decl.
+    fn next_tag(&mut self) -> Result<Option<Tag>> {
+        loop {
+            let rest = &self.text[self.pos..];
+            let Some(lt) = rest.find('<') else { return Ok(None) };
+            let start = self.pos + lt;
+            let after = &self.text[start..];
+            if after.starts_with("<!--") {
+                let end = after.find("-->").ok_or_else(|| parse_err("unterminated comment"))?;
+                self.pos = start + end + 3;
+                continue;
+            }
+            if after.starts_with("<?") {
+                let end = after.find("?>").ok_or_else(|| parse_err("unterminated PI"))?;
+                self.pos = start + end + 2;
+                continue;
+            }
+            if after.starts_with("<!") {
+                // DOCTYPE etc. — skip to the matching '>'
+                let end = after.find('>').ok_or_else(|| parse_err("unterminated declaration"))?;
+                self.pos = start + end + 1;
+                continue;
+            }
+            let end = after.find('>').ok_or_else(|| parse_err("unterminated tag"))?;
+            let inner = &after[1..end];
+            self.pos = start + end + 1;
+            if let Some(name) = inner.strip_prefix('/') {
+                return Ok(Some(Tag::Close(name.trim().to_owned())));
+            }
+            let self_closing = inner.ends_with('/');
+            let inner = inner.strip_suffix('/').unwrap_or(inner).trim();
+            let (name, attr_text) = match inner.find(char::is_whitespace) {
+                Some(i) => (&inner[..i], inner[i..].trim()),
+                None => (inner, ""),
+            };
+            let attrs = parse_attrs(attr_text)?;
+            return Ok(Some(Tag::Open { name: name.to_owned(), attrs, self_closing }));
+        }
+    }
+}
+
+fn parse_err(message: &str) -> LogError {
+    LogError::Parse { line: 0, message: message.to_owned() }
+}
+
+/// Parse `key="value"` pairs.
+fn parse_attrs(mut s: &str) -> Result<Vec<(String, String)>> {
+    let mut attrs = Vec::new();
+    loop {
+        s = s.trim_start();
+        if s.is_empty() {
+            return Ok(attrs);
+        }
+        let eq = s.find('=').ok_or_else(|| parse_err("attribute without '='"))?;
+        let key = s[..eq].trim().to_owned();
+        let rest = s[eq + 1..].trim_start();
+        let quote = rest.chars().next().filter(|&c| c == '"' || c == '\'');
+        let Some(q) = quote else { return Err(parse_err("unquoted attribute value")) };
+        let body = &rest[1..];
+        let close = body.find(q).ok_or_else(|| parse_err("unterminated attribute value"))?;
+        attrs.push((key, decode_entities(&body[..close])));
+        s = &body[close + 1..];
+    }
+}
+
+fn attr<'a>(attrs: &'a [(String, String)], key: &str) -> Option<&'a str> {
+    attrs.iter().find(|(k, _)| k == key).map(|(_, v)| v.as_str())
+}
+
+// ---------------------------------------------------------------------------
+// ISO-8601 timestamp handling (epoch milliseconds)
+// ---------------------------------------------------------------------------
+
+/// Days from civil date (Howard Hinnant's algorithm); valid far beyond the
+/// range any event log uses.
+fn days_from_civil(y: i64, m: i64, d: i64) -> i64 {
+    let y = if m <= 2 { y - 1 } else { y };
+    let era = if y >= 0 { y } else { y - 399 } / 400;
+    let yoe = y - era * 400;
+    let mp = (m + 9) % 12;
+    let doy = (153 * mp + 2) / 5 + d - 1;
+    let doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;
+    era * 146_097 + doe - 719_468
+}
+
+/// Inverse of [`days_from_civil`].
+fn civil_from_days(z: i64) -> (i64, i64, i64) {
+    let z = z + 719_468;
+    let era = if z >= 0 { z } else { z - 146_096 } / 146_097;
+    let doe = z - era * 146_097;
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365;
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = doy - (153 * mp + 2) / 5 + 1;
+    let m = (mp + 2) % 12 + 1;
+    (if m <= 2 { y + 1 } else { y }, m, d)
+}
+
+/// Parse an ISO-8601 timestamp (`YYYY-MM-DDTHH:MM:SS[.fff][Z|±HH:MM]`) into
+/// epoch milliseconds. Returns `None` on malformed input.
+pub fn parse_iso8601_millis(s: &str) -> Option<i64> {
+    let s = s.trim();
+    let bytes = s.as_bytes();
+    if bytes.len() < 19 || bytes[4] != b'-' || bytes[7] != b'-' {
+        return None;
+    }
+    let sep = bytes[10];
+    if sep != b'T' && sep != b' ' {
+        return None;
+    }
+    let year: i64 = s[0..4].parse().ok()?;
+    let month: i64 = s[5..7].parse().ok()?;
+    let day: i64 = s[8..10].parse().ok()?;
+    let hour: i64 = s[11..13].parse().ok()?;
+    let min: i64 = s[14..16].parse().ok()?;
+    let sec: i64 = s[17..19].parse().ok()?;
+    if !(1..=12).contains(&month) || !(1..=31).contains(&day) {
+        return None;
+    }
+    let mut rest = &s[19..];
+    let mut millis = 0i64;
+    if let Some(frac) = rest.strip_prefix('.') {
+        let digits: String = frac.chars().take_while(|c| c.is_ascii_digit()).collect();
+        let consumed = digits.len();
+        if consumed == 0 {
+            return None;
+        }
+        let scaled: i64 = digits[..consumed.min(3)].parse().ok()?;
+        millis = match consumed.min(3) {
+            1 => scaled * 100,
+            2 => scaled * 10,
+            _ => scaled,
+        };
+        rest = &frac[consumed..];
+    }
+    let offset_min: i64 = if rest.is_empty() || rest.eq_ignore_ascii_case("Z") {
+        0
+    } else {
+        let sign = match rest.chars().next()? {
+            '+' => 1,
+            '-' => -1,
+            _ => return None,
+        };
+        let body = &rest[1..];
+        let (h, m) = if let Some((h, m)) = body.split_once(':') {
+            (h.parse::<i64>().ok()?, m.parse::<i64>().ok()?)
+        } else if body.len() == 4 {
+            (body[..2].parse().ok()?, body[2..].parse().ok()?)
+        } else if body.len() == 2 {
+            (body.parse().ok()?, 0)
+        } else {
+            return None;
+        };
+        sign * (h * 60 + m)
+    };
+    let days = days_from_civil(year, month, day);
+    let secs = days * 86_400 + hour * 3600 + min * 60 + sec - offset_min * 60;
+    Some(secs * 1000 + millis)
+}
+
+/// Format epoch milliseconds as UTC ISO-8601 (`YYYY-MM-DDTHH:MM:SS.fffZ`).
+pub fn format_iso8601_millis(ms: i64) -> String {
+    let (days, rem) = (ms.div_euclid(86_400_000), ms.rem_euclid(86_400_000));
+    let (y, mo, d) = civil_from_days(days);
+    let (h, rem) = (rem / 3_600_000, rem % 3_600_000);
+    let (mi, rem) = (rem / 60_000, rem % 60_000);
+    let (s, ms) = (rem / 1000, rem % 1000);
+    format!("{y:04}-{mo:02}-{d:02}T{h:02}:{mi:02}:{s:02}.{ms:03}Z")
+}
+
+// ---------------------------------------------------------------------------
+// XES reading / writing
+// ---------------------------------------------------------------------------
+
+/// Read an XES document into an [`EventLog`].
+pub fn read_xes<R: BufRead>(mut reader: R) -> Result<EventLog> {
+    let mut text = String::new();
+    reader.read_to_string(&mut text)?;
+    read_xes_str(&text)
+}
+
+/// Read an XES document from a string.
+pub fn read_xes_str(text: &str) -> Result<EventLog> {
+    let mut builder = EventLogBuilder::new();
+    let mut scanner = Scanner::new(text);
+    let mut anon_trace = 0usize;
+
+    // Parser state machine over trace/event nesting.
+    let mut in_trace = false;
+    let mut in_event = false;
+    let mut trace_name: Option<String> = None;
+    let mut pending_events: Vec<(Option<String>, Option<Ts>)> = Vec::new();
+    let mut cur_activity: Option<String> = None;
+    let mut cur_ts: Option<Ts> = None;
+
+    while let Some(tag) = scanner.next_tag()? {
+        match tag {
+            Tag::Open { name, attrs, self_closing } => match name.as_str() {
+                "trace" if !self_closing => {
+                    in_trace = true;
+                    trace_name = None;
+                    pending_events.clear();
+                }
+                "event" if in_trace && !self_closing => {
+                    in_event = true;
+                    cur_activity = None;
+                    cur_ts = None;
+                }
+                "string"
+                    if attr(&attrs, "key") == Some("concept:name") => {
+                        let value = attr(&attrs, "value").unwrap_or("").to_owned();
+                        if in_event {
+                            cur_activity = Some(value);
+                        } else if in_trace {
+                            trace_name = Some(value);
+                        }
+                    }
+                "date" if in_event
+                    && attr(&attrs, "key") == Some("time:timestamp") => {
+                        let v = attr(&attrs, "value").unwrap_or("");
+                        let ms = parse_iso8601_millis(v).ok_or_else(|| LogError::Parse {
+                            line: 0,
+                            message: format!("invalid time:timestamp {v:?}"),
+                        })?;
+                        cur_ts = Some(ms.max(0) as Ts);
+                    }
+                "int" if in_event
+                    && attr(&attrs, "key") == Some("time:timestamp") => {
+                        let v = attr(&attrs, "value").unwrap_or("");
+                        let ts: Ts = v.parse().map_err(|_| LogError::Parse {
+                            line: 0,
+                            message: format!("invalid int timestamp {v:?}"),
+                        })?;
+                        cur_ts = Some(ts);
+                    }
+                _ => {}
+            },
+            Tag::Close(name) => match name.as_str() {
+                "event" if in_event => {
+                    in_event = false;
+                    pending_events.push((cur_activity.take(), cur_ts.take()));
+                }
+                "trace" if in_trace => {
+                    in_trace = false;
+                    let tname = trace_name.take().unwrap_or_else(|| {
+                        anon_trace += 1;
+                        format!("trace-{anon_trace}")
+                    });
+                    for (act, ts) in pending_events.drain(..) {
+                        let act = act.unwrap_or_else(|| "unknown".to_owned());
+                        match ts {
+                            Some(ts) => {
+                                builder.add(&tname, &act, ts);
+                            }
+                            None => {
+                                builder.add_positional(&tname, &act);
+                            }
+                        }
+                    }
+                }
+                _ => {}
+            },
+        }
+    }
+    Ok(builder.build())
+}
+
+/// Write an [`EventLog`] as an XES document. Timestamps are emitted as
+/// `<int key="time:timestamp">` to round-trip exactly.
+pub fn write_xes<W: Write>(log: &EventLog, mut out: W) -> Result<()> {
+    writeln!(out, "<?xml version=\"1.0\" encoding=\"UTF-8\"?>")?;
+    writeln!(out, "<log xes.version=\"1.0\">")?;
+    for trace in log.traces() {
+        let tname = log.trace_name(trace.id()).unwrap_or("?");
+        writeln!(out, "  <trace>")?;
+        writeln!(
+            out,
+            "    <string key=\"concept:name\" value=\"{}\"/>",
+            encode_entities(tname)
+        )?;
+        for ev in trace.events() {
+            let aname = log.activity_name(ev.activity).unwrap_or("?");
+            writeln!(out, "    <event>")?;
+            writeln!(
+                out,
+                "      <string key=\"concept:name\" value=\"{}\"/>",
+                encode_entities(aname)
+            )?;
+            writeln!(out, "      <int key=\"time:timestamp\" value=\"{}\"/>", ev.ts)?;
+            writeln!(out, "    </event>")?;
+        }
+        writeln!(out, "  </trace>")?;
+    }
+    writeln!(out, "</log>")?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    const SAMPLE: &str = r#"<?xml version="1.0"?>
+<!-- exported by a tool -->
+<log xes.version="1.0">
+  <string key="concept:name" value="whole log name"/>
+  <trace>
+    <string key="concept:name" value="case1"/>
+    <event>
+      <string key="concept:name" value="A"/>
+      <date key="time:timestamp" value="2020-01-01T00:00:00.000+00:00"/>
+    </event>
+    <event>
+      <string key="concept:name" value="B"/>
+      <date key="time:timestamp" value="2020-01-01T00:00:01Z"/>
+    </event>
+  </trace>
+  <trace>
+    <string key="concept:name" value="case2"/>
+    <event><string key="concept:name" value="A"/></event>
+    <event><string key="concept:name" value="A"/></event>
+  </trace>
+</log>"#;
+
+    #[test]
+    fn parse_sample_document() {
+        let log = read_xes_str(SAMPLE).unwrap();
+        assert_eq!(log.num_traces(), 2);
+        assert_eq!(log.num_events(), 4);
+        assert_eq!(log.num_activities(), 2);
+        let c1 = log.trace_by_name("case1").unwrap();
+        assert_eq!(c1.events()[1].ts - c1.events()[0].ts, 1000);
+        // case2 has positional stamps
+        let c2 = log.trace_by_name("case2").unwrap();
+        assert_eq!(c2.events().iter().map(|e| e.ts).collect::<Vec<_>>(), [1, 2]);
+    }
+
+    #[test]
+    fn log_level_concept_name_is_not_a_trace_name() {
+        let log = read_xes_str(SAMPLE).unwrap();
+        assert!(log.trace_by_name("whole log name").is_none());
+    }
+
+    #[test]
+    fn roundtrip_via_writer() {
+        let log = read_xes_str(SAMPLE).unwrap();
+        let mut buf = Vec::new();
+        write_xes(&log, &mut buf).unwrap();
+        let log2 = read_xes(Cursor::new(buf)).unwrap();
+        assert_eq!(log2.num_events(), log.num_events());
+        assert_eq!(
+            log2.trace_by_name("case1").unwrap().as_pairs(),
+            log.trace_by_name("case1").unwrap().as_pairs()
+        );
+    }
+
+    #[test]
+    fn entities_roundtrip() {
+        let mut b = crate::trace::EventLogBuilder::new();
+        b.add("a<b>&\"'", "x&y", 1);
+        let log = b.build();
+        let mut buf = Vec::new();
+        write_xes(&log, &mut buf).unwrap();
+        let log2 = read_xes(Cursor::new(buf)).unwrap();
+        assert!(log2.trace_by_name("a<b>&\"'").is_some());
+        assert!(log2.activity("x&y").is_some());
+    }
+
+    #[test]
+    fn iso8601_epoch_and_offsets() {
+        assert_eq!(parse_iso8601_millis("1970-01-01T00:00:00Z"), Some(0));
+        assert_eq!(parse_iso8601_millis("1970-01-01T00:00:00.5Z"), Some(500));
+        assert_eq!(parse_iso8601_millis("1970-01-01T01:00:00+01:00"), Some(0));
+        assert_eq!(parse_iso8601_millis("1969-12-31T23:00:00-01:00"), Some(0));
+        assert_eq!(
+            parse_iso8601_millis("2020-01-01T00:00:00.123+00:00"),
+            Some(1_577_836_800_123)
+        );
+        assert_eq!(parse_iso8601_millis("not a date"), None);
+        assert_eq!(parse_iso8601_millis("2020-13-01T00:00:00Z"), None);
+    }
+
+    #[test]
+    fn iso8601_format_parses_back() {
+        for ms in [0i64, 1, 999, 1_577_836_800_123, 86_400_000] {
+            let s = format_iso8601_millis(ms);
+            assert_eq!(parse_iso8601_millis(&s), Some(ms), "roundtrip of {s}");
+        }
+    }
+
+    #[test]
+    fn malformed_timestamp_is_an_error() {
+        let doc = r#"<log><trace><string key="concept:name" value="t"/>
+            <event><string key="concept:name" value="A"/>
+            <date key="time:timestamp" value="garbage"/></event></trace></log>"#;
+        assert!(read_xes_str(doc).is_err());
+    }
+
+    #[test]
+    fn unknown_elements_are_skipped() {
+        let doc = r#"<log><extension name="x"/><global scope="event"><string key="k" value="v"/></global>
+          <trace><string key="concept:name" value="t"/>
+          <event><string key="concept:name" value="A"/><string key="org:resource" value="bob"/>
+          <int key="time:timestamp" value="42"/></event></trace></log>"#;
+        let log = read_xes_str(doc).unwrap();
+        assert_eq!(log.num_events(), 1);
+        assert_eq!(log.trace_by_name("t").unwrap().events()[0].ts, 42);
+    }
+
+    #[test]
+    fn civil_day_conversion_is_bijective() {
+        for z in (-1_000_000..1_000_000).step_by(9973) {
+            let (y, m, d) = civil_from_days(z);
+            assert_eq!(days_from_civil(y, m, d), z);
+        }
+    }
+}

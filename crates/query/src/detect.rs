@@ -1,0 +1,341 @@
+//! Pattern detection — Algorithm 2 (`GetCompletions`).
+//!
+//! Query processing "starts by searching for all the traces that contain
+//! event pair `(ev_1, ev_2)`. At the next step, the technique keeps only the
+//! traces where the same instance of `ev_2` is followed by `ev_3`" (§3.2.1):
+//! partial matches are extended pair by pair, joining the previous partial's
+//! last timestamp with the next posting's first timestamp within the same
+//! trace.
+//!
+//! Note on semantics: Algorithm 2 chains the *pairwise greedy* occurrences
+//! stored in the index. This is not always identical to running a
+//! pattern-level STNM automaton over the trace (the §2.1 example's
+//! semantics, implemented by the SASE-style baseline): a greedy pair
+//! occurrence can "reach over" the event the automaton would use (e.g. in
+//! `B A B C` the pair `(B,C)` is `(1,4)`, so `⟨A,B,C⟩` has no chained
+//! completion although the embedding `2,3,4` exists). Every completion
+//! this module reports *is* a real in-order occurrence; the pairwise join
+//! simply under-approximates the automaton semantics — see the
+//! `cross_engine_agreement` integration tests, and the skip-till-any-match
+//! extension for the exhaustive variant.
+//!
+//! The per-trace join comes in two flavors, benchmarked as an ablation:
+//!
+//! * [`JoinStrategy::Hash`] (default) — build a `ts_a → ts_b` map of the
+//!   next pair's postings per trace; each partial extends in `O(1)`.
+//!   (Timestamps are unique within a trace, and greedy pair occurrences
+//!   never share their first event, so the map is injective.)
+//! * [`JoinStrategy::NestedLoop`] — the paper's literal pseudocode: for
+//!   every partial, scan the trace's posting list.
+
+use crate::Result;
+use seqdet_core::tables::{read_postings, Posting};
+use seqdet_core::PairKey;
+use seqdet_log::{Activity, Pattern, TraceId, Ts};
+use seqdet_storage::{FxHashMap, KvStore, TableId};
+
+/// Per-trace join implementation used when extending partial matches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum JoinStrategy {
+    /// Hash join on the shared timestamp (default).
+    #[default]
+    Hash,
+    /// Literal nested-loop join of Algorithm 2.
+    NestedLoop,
+}
+
+/// One completion of the query pattern in one trace: the matched events'
+/// timestamps, in pattern order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PatternMatch {
+    /// Trace containing the completion.
+    pub trace: TraceId,
+    /// Timestamp of each matched event (`pattern.len()` entries).
+    pub timestamps: Vec<Ts>,
+}
+
+impl PatternMatch {
+    /// Timestamp of the first matched event.
+    pub fn start(&self) -> Ts {
+        *self.timestamps.first().expect("matches are non-empty")
+    }
+
+    /// Timestamp of the last matched event.
+    pub fn end(&self) -> Ts {
+        *self.timestamps.last().expect("matches are non-empty")
+    }
+
+    /// Total span of the completion.
+    pub fn duration(&self) -> Ts {
+        self.end() - self.start()
+    }
+}
+
+/// All completions of a pattern.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DetectResult {
+    /// Completions, grouped by trace in ascending trace order, ascending by
+    /// end timestamp within a trace.
+    pub matches: Vec<PatternMatch>,
+}
+
+impl DetectResult {
+    /// Number of completions across all traces.
+    pub fn total_completions(&self) -> usize {
+        self.matches.len()
+    }
+
+    /// True when the pattern was not found at all.
+    pub fn is_empty(&self) -> bool {
+        self.matches.is_empty()
+    }
+
+    /// Distinct traces containing at least one completion, ascending.
+    pub fn traces(&self) -> Vec<TraceId> {
+        let mut t: Vec<TraceId> = self.matches.iter().map(|m| m.trace).collect();
+        t.sort_unstable();
+        t.dedup();
+        t
+    }
+}
+
+/// Read the postings of `key` from every active index partition.
+pub(crate) fn read_all_postings<S: KvStore>(
+    store: &S,
+    tables: &[TableId],
+    key: PairKey,
+) -> Result<Vec<Posting>> {
+    let mut out = Vec::new();
+    for &t in tables {
+        out.extend(read_postings(store, t, key)?);
+    }
+    Ok(out)
+}
+
+/// Group postings per trace.
+fn group_by_trace(postings: Vec<Posting>) -> FxHashMap<TraceId, Vec<(Ts, Ts)>> {
+    let mut map: FxHashMap<TraceId, Vec<(Ts, Ts)>> = FxHashMap::default();
+    for p in postings {
+        map.entry(p.trace).or_default().push((p.ts_a, p.ts_b));
+    }
+    map
+}
+
+/// Detect all completions of `pattern` (length ≥ 2), optionally collecting
+/// the intermediate result after each join step (the "sub-pattern
+/// by-products" the paper highlights in §5.4.1).
+pub(crate) fn get_completions<S: KvStore>(
+    store: &S,
+    tables: &[TableId],
+    pattern: &Pattern,
+    join: JoinStrategy,
+    on_prefix: Option<&mut Vec<DetectResult>>,
+) -> Result<DetectResult> {
+    get_completions_within(store, tables, pattern, join, None, on_prefix)
+}
+
+/// [`get_completions`] with an optional CEP-style time window: a completion
+/// is valid only if `last.ts - first.ts <= window`. The bound is applied
+/// *during* the join (a partial already wider than the window can never
+/// shrink), so tight windows also prune work, not just results.
+pub(crate) fn get_completions_within<S: KvStore>(
+    store: &S,
+    tables: &[TableId],
+    pattern: &Pattern,
+    join: JoinStrategy,
+    window: Option<Ts>,
+    mut on_prefix: Option<&mut Vec<DetectResult>>,
+) -> Result<DetectResult> {
+    let p = pattern.len();
+    debug_assert!(p >= 2, "get_completions requires a pattern of length >= 2");
+    let acts = pattern.activities();
+
+    // previous ← Index.get(ev_1, ev_2), as per-trace partial matches.
+    let first_key = Activity::pair_key(acts[0], acts[1]);
+    let mut partials: FxHashMap<TraceId, Vec<Vec<Ts>>> = FxHashMap::default();
+    for (trace, occs) in group_by_trace(read_all_postings(store, tables, first_key)?) {
+        let parts: Vec<Vec<Ts>> = occs
+            .into_iter()
+            .filter(|&(a, b)| window.is_none_or(|w| b - a <= w))
+            .map(|(a, b)| vec![a, b])
+            .collect();
+        if !parts.is_empty() {
+            partials.insert(trace, parts);
+        }
+    }
+    if let Some(prefixes) = on_prefix.as_deref_mut() {
+        prefixes.push(collect(&partials));
+    }
+
+    for i in 1..p - 1 {
+        let key = Activity::pair_key(acts[i], acts[i + 1]);
+        let next = group_by_trace(read_all_postings(store, tables, key)?);
+        let mut new_partials: FxHashMap<TraceId, Vec<Vec<Ts>>> = FxHashMap::default();
+        for (trace, parts) in partials {
+            let Some(occs) = next.get(&trace) else { continue };
+            let mut extended = Vec::new();
+            match join {
+                JoinStrategy::Hash => {
+                    let by_start: FxHashMap<Ts, Ts> = occs.iter().copied().collect();
+                    for mut part in parts {
+                        let last = *part.last().expect("partials are non-empty");
+                        if let Some(&ts_b) = by_start.get(&last) {
+                            if window.is_some_and(|w| ts_b - part[0] > w) {
+                                continue;
+                            }
+                            part.push(ts_b);
+                            extended.push(part);
+                        }
+                    }
+                }
+                JoinStrategy::NestedLoop => {
+                    for part in parts {
+                        let last = *part.last().expect("partials are non-empty");
+                        for &(a, b) in occs {
+                            if a == last && window.is_none_or(|w| b - part[0] <= w) {
+                                let mut next_part = part.clone();
+                                next_part.push(b);
+                                extended.push(next_part);
+                            }
+                        }
+                    }
+                }
+            }
+            if !extended.is_empty() {
+                new_partials.insert(trace, extended);
+            }
+        }
+        partials = new_partials;
+        if let Some(prefixes) = on_prefix.as_deref_mut() {
+            prefixes.push(collect(&partials));
+        }
+    }
+    Ok(collect(&partials))
+}
+
+/// Detect the traces/positions of a single activity (`p == 1`). The pair
+/// index cannot answer this (pairs need two events), so the stored `Seq`
+/// rows are scanned — documented as the length-1 fallback.
+pub(crate) fn detect_single<S: KvStore>(store: &S, activity: Activity) -> Result<DetectResult> {
+    let mut matches = Vec::new();
+    for (key, row) in store.scan(seqdet_core::tables::SEQ) {
+        let raw: [u8; 4] = key.as_ref().try_into().map_err(|_| {
+            seqdet_core::CoreError::Corrupt { table: "Seq", message: "key is not 4 bytes".into() }
+        })?;
+        let trace = TraceId(u32::from_le_bytes(raw));
+        for ev in seqdet_core::tables::decode_events(&row)? {
+            if ev.activity == activity {
+                matches.push(PatternMatch { trace, timestamps: vec![ev.ts] });
+            }
+        }
+    }
+    matches.sort_by_key(|m| (m.trace, m.end()));
+    Ok(DetectResult { matches })
+}
+
+fn collect(partials: &FxHashMap<TraceId, Vec<Vec<Ts>>>) -> DetectResult {
+    let mut matches: Vec<PatternMatch> = partials
+        .iter()
+        .flat_map(|(&trace, parts)| {
+            parts.iter().map(move |p| PatternMatch { trace, timestamps: p.clone() })
+        })
+        .collect();
+    matches.sort_by_key(|m| (m.trace, m.end()));
+    DetectResult { matches }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seqdet_core::{IndexConfig, Indexer, Policy};
+    use seqdet_log::EventLogBuilder;
+
+    fn indexed() -> (Indexer, Pattern, Pattern) {
+        let mut b = EventLogBuilder::new();
+        for (act, ts) in [("A", 1), ("A", 2), ("B", 3), ("A", 4), ("B", 5), ("A", 6)] {
+            b.add("t1", act, ts);
+        }
+        b.add("t2", "A", 1).add("t2", "B", 2).add("t2", "C", 3);
+        let log = b.build();
+        let mut ix = Indexer::new(IndexConfig::new(Policy::SkipTillNextMatch));
+        ix.index_log(&log).unwrap();
+        let ab = Pattern::new(vec![
+            ix.catalog().activity("A").unwrap(),
+            ix.catalog().activity("B").unwrap(),
+        ]);
+        let abc = Pattern::new(vec![
+            ix.catalog().activity("A").unwrap(),
+            ix.catalog().activity("B").unwrap(),
+            ix.catalog().activity("C").unwrap(),
+        ]);
+        (ix, ab, abc)
+    }
+
+    #[test]
+    fn pair_pattern_returns_postings() {
+        let (ix, ab, _) = indexed();
+        let store = ix.store();
+        let tables = seqdet_core::indexer::active_index_tables(store.as_ref());
+        let r =
+            get_completions(store.as_ref(), &tables, &ab, JoinStrategy::Hash, None).unwrap();
+        assert_eq!(r.total_completions(), 3); // t1: (1,3),(4,5); t2: (1,2)
+        assert_eq!(r.traces().len(), 2);
+    }
+
+    #[test]
+    fn three_step_pattern_joins_on_shared_timestamp() {
+        let (ix, _, abc) = indexed();
+        let store = ix.store();
+        let tables = seqdet_core::indexer::active_index_tables(store.as_ref());
+        for join in [JoinStrategy::Hash, JoinStrategy::NestedLoop] {
+            let r = get_completions(store.as_ref(), &tables, &abc, join, None).unwrap();
+            assert_eq!(r.total_completions(), 1, "{join:?}");
+            let m = &r.matches[0];
+            assert_eq!(m.timestamps, vec![1, 2, 3]);
+            assert_eq!(m.duration(), 2);
+            assert_eq!((m.start(), m.end()), (1, 3));
+        }
+    }
+
+    #[test]
+    fn prefixes_are_collected_as_byproduct() {
+        let (ix, _, abc) = indexed();
+        let store = ix.store();
+        let tables = seqdet_core::indexer::active_index_tables(store.as_ref());
+        let mut prefixes = Vec::new();
+        let r = get_completions(
+            store.as_ref(),
+            &tables,
+            &abc,
+            JoinStrategy::Hash,
+            Some(&mut prefixes),
+        )
+        .unwrap();
+        assert_eq!(prefixes.len(), 2); // ⟨A,B⟩ and ⟨A,B,C⟩
+        assert_eq!(prefixes[0].total_completions(), 3);
+        assert_eq!(prefixes[1], r);
+    }
+
+    #[test]
+    fn missing_pair_yields_empty() {
+        let (ix, _, _) = indexed();
+        let store = ix.store();
+        let tables = seqdet_core::indexer::active_index_tables(store.as_ref());
+        let c = ix.catalog().activity("C").unwrap();
+        let a = ix.catalog().activity("A").unwrap();
+        let ca = Pattern::new(vec![c, a]);
+        let r =
+            get_completions(store.as_ref(), &tables, &ca, JoinStrategy::Hash, None).unwrap();
+        assert!(r.is_empty());
+        assert_eq!(r.traces(), vec![]);
+    }
+
+    #[test]
+    fn single_activity_fallback_scans_seq() {
+        let (ix, _, _) = indexed();
+        let store = ix.store();
+        let b = ix.catalog().activity("B").unwrap();
+        let r = detect_single(store.as_ref(), b).unwrap();
+        assert_eq!(r.total_completions(), 3); // t1 has B@3, B@5; t2 has B@2
+    }
+}

@@ -1,0 +1,333 @@
+//! The query-processor facade.
+
+use crate::anymatch::{self, AnyMatchResult};
+use crate::continuation::{self, ContinuationMethod, Proposition};
+use crate::detect::{self, DetectResult, JoinStrategy};
+use crate::stats::{self, PatternStats};
+use crate::{QueryError, Result};
+use seqdet_core::indexer::active_index_tables;
+use seqdet_core::Catalog;
+use seqdet_log::Pattern;
+use seqdet_storage::{KvStore, TableId};
+use std::sync::Arc;
+
+/// The query processor: loads the catalog and partition layout from an
+/// indexed store and answers pattern queries against it.
+///
+/// The engine is read-only and cheap to clone conceptually; open one per
+/// store. Re-open after further index updates to pick up catalog additions
+/// (new activities/traces).
+pub struct QueryEngine<S: KvStore> {
+    store: Arc<S>,
+    catalog: Catalog,
+    tables: Vec<TableId>,
+    join: JoinStrategy,
+}
+
+impl<S: KvStore> QueryEngine<S> {
+    /// Open a query engine over an indexed store.
+    pub fn new(store: Arc<S>) -> Result<Self> {
+        let catalog = Catalog::load(store.as_ref())?;
+        let tables = active_index_tables(store.as_ref());
+        Ok(Self { store, catalog, tables, join: JoinStrategy::default() })
+    }
+
+    /// Select the per-trace join strategy (ablation knob; default Hash).
+    pub fn with_join(mut self, join: JoinStrategy) -> Self {
+        self.join = join;
+        self
+    }
+
+    /// The catalog loaded from the store.
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// Resolve a pattern from activity names; errors on unknown names
+    /// (an unknown activity trivially has zero completions, but callers
+    /// almost always want to hear about the typo instead).
+    pub fn pattern(&self, names: &[&str]) -> Result<Pattern> {
+        let mut acts = Vec::with_capacity(names.len());
+        for n in names {
+            acts.push(
+                self.catalog
+                    .activity(n)
+                    .ok_or_else(|| QueryError::UnknownActivity((*n).to_owned()))?,
+            );
+        }
+        Ok(Pattern::new(acts))
+    }
+
+    /// **Pattern detection** (Algorithm 2): all completions of `pattern`.
+    /// Length-1 patterns fall back to a `Seq` scan (see
+    /// [`crate::detect`]); the empty pattern is rejected.
+    pub fn detect(&self, pattern: &Pattern) -> Result<DetectResult> {
+        match pattern.len() {
+            0 => Err(QueryError::PatternTooShort { required: 1, actual: 0 }),
+            1 => detect::detect_single(self.store.as_ref(), pattern.get(0).expect("len 1")),
+            _ => detect::get_completions(
+                self.store.as_ref(),
+                &self.tables,
+                pattern,
+                self.join,
+                None,
+            ),
+        }
+    }
+
+    /// Pattern detection with a CEP-style time window: only completions
+    /// whose total span (`last.ts - first.ts`) does not exceed `window`
+    /// are returned; the bound prunes partial matches during the join.
+    /// Requires a pattern of length ≥ 2.
+    pub fn detect_within(&self, pattern: &Pattern, window: seqdet_log::Ts) -> Result<DetectResult> {
+        if pattern.len() < 2 {
+            return Err(QueryError::PatternTooShort { required: 2, actual: pattern.len() });
+        }
+        detect::get_completions_within(
+            self.store.as_ref(),
+            &self.tables,
+            pattern,
+            self.join,
+            Some(window),
+            None,
+        )
+    }
+
+    /// Pattern detection that also returns every prefix's completions
+    /// (`⟨ev1,ev2⟩`, `⟨ev1,ev2,ev3⟩`, …) — the incremental by-product the
+    /// paper contrasts against restart-from-scratch engines. Entry `i`
+    /// holds the matches of the prefix of length `i + 2`; the last entry is
+    /// the full pattern's result.
+    pub fn detect_prefixes(&self, pattern: &Pattern) -> Result<Vec<DetectResult>> {
+        if pattern.len() < 2 {
+            return Err(QueryError::PatternTooShort { required: 2, actual: pattern.len() });
+        }
+        let mut prefixes = Vec::with_capacity(pattern.len() - 1);
+        detect::get_completions(
+            self.store.as_ref(),
+            &self.tables,
+            pattern,
+            self.join,
+            Some(&mut prefixes),
+        )?;
+        Ok(prefixes)
+    }
+
+    /// **Statistics** over the consecutive pairs of `pattern`.
+    pub fn stats(&self, pattern: &Pattern) -> Result<PatternStats> {
+        stats::pattern_stats(self.store.as_ref(), pattern)
+    }
+
+    /// Statistics over all ordered pattern pairs — the tighter, slower
+    /// completion bound of §3.2.1.
+    pub fn stats_all_pairs(&self, pattern: &Pattern) -> Result<PatternStats> {
+        stats::pattern_stats_all_pairs(self.store.as_ref(), pattern)
+    }
+
+    /// **Pattern continuation**: ranked next-event propositions.
+    pub fn continuations(
+        &self,
+        pattern: &Pattern,
+        method: ContinuationMethod,
+    ) -> Result<Vec<Proposition>> {
+        if pattern.is_empty() {
+            return Err(QueryError::PatternTooShort { required: 1, actual: 0 });
+        }
+        match method {
+            ContinuationMethod::Accurate { max_gap } => continuation::accurate(
+                self.store.as_ref(),
+                &self.tables,
+                pattern,
+                self.join,
+                max_gap,
+            ),
+            ContinuationMethod::Fast => continuation::fast(self.store.as_ref(), pattern),
+            ContinuationMethod::Hybrid { k, max_gap } => continuation::hybrid(
+                self.store.as_ref(),
+                &self.tables,
+                pattern,
+                self.join,
+                k,
+                max_gap,
+            ),
+        }
+    }
+
+    /// §7 extension: continuation with the candidate inserted at position
+    /// `pos` (0 = front, `pattern.len()` = append). Always exact.
+    pub fn continuations_at(&self, pattern: &Pattern, pos: usize) -> Result<Vec<Proposition>> {
+        if pattern.is_empty() {
+            return Err(QueryError::PatternTooShort { required: 1, actual: 0 });
+        }
+        continuation::accurate_at(self.store.as_ref(), &self.tables, pattern, pos, self.join)
+    }
+
+    /// §7 extension: skip-till-any-match detection with exact embedding
+    /// counts and up to `enumerate_limit` example embeddings per trace.
+    pub fn detect_any_match(
+        &self,
+        pattern: &Pattern,
+        enumerate_limit: usize,
+    ) -> Result<AnyMatchResult> {
+        if pattern.len() < 2 {
+            return Err(QueryError::PatternTooShort { required: 2, actual: pattern.len() });
+        }
+        anymatch::detect_any_match(self.store.as_ref(), &self.tables, pattern, enumerate_limit)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seqdet_core::{IndexConfig, Indexer, Policy};
+    use seqdet_log::EventLogBuilder;
+
+    fn engine() -> QueryEngine<seqdet_storage::MemStore> {
+        let mut b = EventLogBuilder::new();
+        for (act, ts) in [("A", 1), ("A", 2), ("B", 3), ("A", 4), ("B", 5), ("A", 6)] {
+            b.add("t1", act, ts);
+        }
+        b.add("t2", "A", 1).add("t2", "B", 2).add("t2", "C", 3);
+        let mut ix = Indexer::new(IndexConfig::new(Policy::SkipTillNextMatch));
+        ix.index_log(&b.build()).unwrap();
+        QueryEngine::new(ix.store()).unwrap()
+    }
+
+    #[test]
+    fn end_to_end_detection() {
+        let e = engine();
+        let p = e.pattern(&["A", "B"]).unwrap();
+        assert_eq!(e.detect(&p).unwrap().total_completions(), 3);
+        let p3 = e.pattern(&["A", "B", "C"]).unwrap();
+        assert_eq!(e.detect(&p3).unwrap().total_completions(), 1);
+    }
+
+    #[test]
+    fn unknown_activity_is_an_error() {
+        let e = engine();
+        match e.pattern(&["A", "ZZZ"]) {
+            Err(QueryError::UnknownActivity(n)) => assert_eq!(n, "ZZZ"),
+            other => panic!("expected UnknownActivity, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_pattern_rejected_everywhere() {
+        let e = engine();
+        let empty = Pattern::new(vec![]);
+        assert!(matches!(e.detect(&empty), Err(QueryError::PatternTooShort { .. })));
+        assert!(matches!(
+            e.continuations(&empty, ContinuationMethod::Fast),
+            Err(QueryError::PatternTooShort { .. })
+        ));
+        assert!(matches!(e.detect_any_match(&empty, 1), Err(QueryError::PatternTooShort { .. })));
+        assert!(matches!(e.detect_prefixes(&empty), Err(QueryError::PatternTooShort { .. })));
+    }
+
+    #[test]
+    fn single_event_detection_falls_back() {
+        let e = engine();
+        let p = e.pattern(&["C"]).unwrap();
+        assert_eq!(e.detect(&p).unwrap().total_completions(), 1);
+    }
+
+    #[test]
+    fn prefixes_end_with_full_result() {
+        let e = engine();
+        let p = e.pattern(&["A", "B", "C"]).unwrap();
+        let prefixes = e.detect_prefixes(&p).unwrap();
+        assert_eq!(prefixes.len(), 2);
+        assert_eq!(prefixes[1], e.detect(&p).unwrap());
+        assert!(prefixes[0].total_completions() >= prefixes[1].total_completions());
+    }
+
+    #[test]
+    fn stats_and_continuations_run() {
+        let e = engine();
+        let p = e.pattern(&["A", "B"]).unwrap();
+        let s = e.stats(&p).unwrap();
+        assert_eq!(s.pairs.len(), 1);
+        assert_eq!(s.max_completions, 3);
+        let props = e.continuations(&p, ContinuationMethod::Fast).unwrap();
+        assert!(!props.is_empty());
+        let props = e
+            .continuations(&p, ContinuationMethod::Hybrid { k: 1, max_gap: None })
+            .unwrap();
+        assert!(!props.is_empty());
+        // Inserting between A and B: ⟨A,B,B⟩ completes once in t1 via
+        // (A,B)=(1,3) ⋈ (B,B)=(3,5); ⟨A,A,B⟩ never joins.
+        let at = e.continuations_at(&p, 1).unwrap();
+        let b = e.catalog().activity("B").unwrap();
+        let a = e.catalog().activity("A").unwrap();
+        assert_eq!(at.iter().find(|pr| pr.activity == b).unwrap().completions, 1);
+        assert_eq!(at.iter().find(|pr| pr.activity == a).unwrap().completions, 0);
+    }
+
+    #[test]
+    fn join_strategies_agree() {
+        let mut b = EventLogBuilder::new();
+        for t in 0..20 {
+            let name = format!("t{t}");
+            for (i, a) in ["A", "B", "C", "A", "B", "C"].iter().enumerate() {
+                b.add(&name, a, (t + 1) * 100 + i as u64);
+            }
+        }
+        let mut ix = Indexer::new(IndexConfig::new(Policy::SkipTillNextMatch));
+        ix.index_log(&b.build()).unwrap();
+        let hash = QueryEngine::new(ix.store()).unwrap();
+        let nested = QueryEngine::new(ix.store()).unwrap().with_join(JoinStrategy::NestedLoop);
+        let p = hash.pattern(&["A", "B", "C", "A"]).unwrap();
+        assert_eq!(hash.detect(&p).unwrap(), nested.detect(&p).unwrap());
+    }
+
+    #[test]
+    fn windowed_detection_filters_wide_matches() {
+        let mut b = EventLogBuilder::new();
+        b.add("quick", "A", 1).add("quick", "B", 3);
+        b.add("slow", "A", 1).add("slow", "B", 100);
+        let mut ix = Indexer::new(IndexConfig::new(Policy::SkipTillNextMatch));
+        ix.index_log(&b.build()).unwrap();
+        let e = QueryEngine::new(ix.store()).unwrap();
+        let p = e.pattern(&["A", "B"]).unwrap();
+        assert_eq!(e.detect(&p).unwrap().total_completions(), 2);
+        let r = e.detect_within(&p, 10).unwrap();
+        assert_eq!(r.total_completions(), 1);
+        assert_eq!(r.matches[0].timestamps, vec![1, 3]);
+        // Window large enough admits everything; length-1 is rejected.
+        assert_eq!(e.detect_within(&p, 1000).unwrap().total_completions(), 2);
+        let single = e.pattern(&["A"]).unwrap();
+        assert!(matches!(
+            e.detect_within(&single, 10),
+            Err(QueryError::PatternTooShort { .. })
+        ));
+    }
+
+    #[test]
+    fn windowed_detection_prunes_mid_join() {
+        // ⟨A,B,C⟩ where A→B is fast but B→C pushes the span over the
+        // window: the partial must be dropped at the second join step.
+        let mut b = EventLogBuilder::new();
+        b.add("t", "A", 1).add("t", "B", 2).add("t", "C", 50);
+        let mut ix = Indexer::new(IndexConfig::new(Policy::SkipTillNextMatch));
+        ix.index_log(&b.build()).unwrap();
+        let e = QueryEngine::new(ix.store()).unwrap();
+        let p = e.pattern(&["A", "B", "C"]).unwrap();
+        assert_eq!(e.detect(&p).unwrap().total_completions(), 1);
+        assert_eq!(e.detect_within(&p, 10).unwrap().total_completions(), 0);
+        assert_eq!(e.detect_within(&p, 49).unwrap().total_completions(), 1);
+    }
+
+    #[test]
+    fn detection_over_partitioned_index() {
+        let mut b = EventLogBuilder::new();
+        b.add("t", "A", 1).add("t", "B", 50).add("t", "C", 120);
+        let cfg = IndexConfig::new(Policy::SkipTillNextMatch).with_partition_period(40);
+        let mut ix = Indexer::new(cfg);
+        ix.index_log(&b.build()).unwrap();
+        let e = QueryEngine::new(ix.store()).unwrap();
+        let p = e.pattern(&["A", "B", "C"]).unwrap();
+        let r = e.detect(&p).unwrap();
+        assert_eq!(r.total_completions(), 1);
+        assert_eq!(r.matches[0].timestamps, vec![1, 50, 120]);
+    }
+}

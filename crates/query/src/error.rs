@@ -1,0 +1,66 @@
+//! Error type of the query layer.
+
+use std::fmt;
+
+/// Errors surfaced while answering queries.
+#[derive(Debug)]
+pub enum QueryError {
+    /// The indexing layer failed (corrupt row, I/O, …).
+    Core(seqdet_core::CoreError),
+    /// The pattern references an activity name unknown to the catalog.
+    UnknownActivity(String),
+    /// The pattern is too short for the requested query.
+    PatternTooShort {
+        /// Required minimum length.
+        required: usize,
+        /// Actual pattern length.
+        actual: usize,
+    },
+}
+
+impl fmt::Display for QueryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueryError::Core(e) => write!(f, "index error: {e}"),
+            QueryError::UnknownActivity(name) => {
+                write!(f, "pattern references unknown activity {name:?}")
+            }
+            QueryError::PatternTooShort { required, actual } => {
+                write!(f, "pattern of length {actual} is too short (need ≥ {required})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for QueryError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            QueryError::Core(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<seqdet_core::CoreError> for QueryError {
+    fn from(e: seqdet_core::CoreError) -> Self {
+        QueryError::Core(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(QueryError::UnknownActivity("X".into()).to_string().contains("\"X\""));
+        let e = QueryError::PatternTooShort { required: 2, actual: 1 };
+        assert!(e.to_string().contains("length 1"));
+        let e: QueryError = seqdet_core::CoreError::Corrupt {
+            table: "Index",
+            message: "bad".into(),
+        }
+        .into();
+        assert!(e.to_string().contains("Index"));
+    }
+}

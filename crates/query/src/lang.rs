@@ -1,0 +1,433 @@
+//! A small textual query language for the query-processor service.
+//!
+//! The paper's query processor is a standalone service (Java Spring)
+//! receiving user queries; this module gives the Rust reproduction an
+//! equivalent surface. Three statements mirror the three query families:
+//!
+//! ```text
+//! DETECT   search -> view -> checkout [WITHIN 100] [ANY MATCH] [LIMIT 10]
+//! STATS    search -> view -> checkout [ALL PAIRS]
+//! CONTINUE search -> view USING hybrid [K 5] [MAX GAP 100] [AT 1]
+//! ```
+//!
+//! * activities are separated by `->`; names with spaces or arrows are
+//!   single-quoted (`'add to cart'`),
+//! * keywords are case-insensitive, activity names are not,
+//! * `WITHIN n` bounds the completion span (CEP-style window),
+//! * `ANY MATCH` switches detection to skip-till-any-match (§7 extension),
+//! * `USING accurate|fast|hybrid` picks the continuation flavor
+//!   (default `accurate`); `AT p` asks for insertion at position `p`
+//!   instead of appending (§7 extension).
+
+use crate::continuation::ContinuationMethod;
+use crate::engine::QueryEngine;
+use crate::{Proposition, QueryError, Result};
+use seqdet_log::Ts;
+use seqdet_storage::KvStore;
+use std::fmt;
+
+/// A parsed query statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Query {
+    /// `DETECT` — pattern detection.
+    Detect {
+        /// Activity names, in pattern order.
+        pattern: Vec<String>,
+        /// `WITHIN n` window bound.
+        within: Option<Ts>,
+        /// `ANY MATCH` — skip-till-any-match semantics.
+        any_match: bool,
+        /// `LIMIT n` — cap on reported matches/examples.
+        limit: Option<usize>,
+    },
+    /// `STATS` — pairwise statistics.
+    Stats {
+        /// Activity names, in pattern order.
+        pattern: Vec<String>,
+        /// `ALL PAIRS` — the tighter all-pairs bound.
+        all_pairs: bool,
+    },
+    /// `CONTINUE` — pattern continuation.
+    Continue {
+        /// Activity names, in pattern order.
+        pattern: Vec<String>,
+        /// Flavor name: `accurate` / `fast` / `hybrid`.
+        method: String,
+        /// `K n` for hybrid.
+        k: usize,
+        /// `MAX GAP n`.
+        max_gap: Option<Ts>,
+        /// `AT p` — insertion position instead of append.
+        at: Option<usize>,
+    },
+}
+
+/// Query-language parse error with position information.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseError {
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "query parse error: {}", self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn err<T>(message: impl Into<String>) -> std::result::Result<T, ParseError> {
+    Err(ParseError { message: message.into() })
+}
+
+/// Tokenize: whitespace-separated words, single-quoted strings kept intact
+/// (with `''` as an escaped quote), and `->` as its own token even when
+/// glued to names.
+fn tokenize(input: &str) -> std::result::Result<Vec<String>, ParseError> {
+    let mut tokens = Vec::new();
+    let mut chars = input.chars().peekable();
+    while let Some(&c) = chars.peek() {
+        if c.is_whitespace() {
+            chars.next();
+        } else if c == '\'' {
+            chars.next();
+            let mut s = String::new();
+            loop {
+                match chars.next() {
+                    Some('\'') => {
+                        if chars.peek() == Some(&'\'') {
+                            chars.next();
+                            s.push('\'');
+                        } else {
+                            break;
+                        }
+                    }
+                    Some(ch) => s.push(ch),
+                    None => return err("unterminated quoted string"),
+                }
+            }
+            tokens.push(s);
+        } else {
+            let mut s = String::new();
+            while let Some(&ch) = chars.peek() {
+                if ch.is_whitespace() || ch == '\'' {
+                    break;
+                }
+                s.push(ch);
+                chars.next();
+            }
+            // Split embedded arrows: "a->b" → "a", "->", "b".
+            let mut rest = s.as_str();
+            while let Some(pos) = rest.find("->") {
+                if pos > 0 {
+                    tokens.push(rest[..pos].to_owned());
+                }
+                tokens.push("->".to_owned());
+                rest = &rest[pos + 2..];
+            }
+            if !rest.is_empty() {
+                tokens.push(rest.to_owned());
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+fn is_kw(token: &str, kw: &str) -> bool {
+    token.eq_ignore_ascii_case(kw)
+}
+
+/// Parse the leading pattern: `name (-> name)*`. Returns the pattern and
+/// the number of tokens consumed.
+fn parse_pattern(tokens: &[String]) -> std::result::Result<(Vec<String>, usize), ParseError> {
+    let mut pattern = Vec::new();
+    let mut i = 0;
+    while let Some(tok) = tokens.get(i) {
+        if tok == "->" {
+            return err("pattern must not start with or repeat '->'");
+        }
+        pattern.push(tok.clone());
+        i += 1;
+        if tokens.get(i).map(String::as_str) == Some("->") {
+            i += 1;
+            if tokens.get(i).is_none() {
+                return err("pattern ends with a dangling '->'");
+            }
+        } else {
+            break;
+        }
+    }
+    if pattern.is_empty() {
+        return err("expected a pattern");
+    }
+    Ok((pattern, i))
+}
+
+fn parse_number(tokens: &[String], i: usize, what: &str) -> std::result::Result<u64, ParseError> {
+    match tokens.get(i) {
+        Some(t) => t.parse().map_err(|_| ParseError {
+            message: format!("{what} expects a number, got {t:?}"),
+        }),
+        None => err(format!("{what} expects a number")),
+    }
+}
+
+/// Parse one statement.
+pub fn parse_query(input: &str) -> std::result::Result<Query, ParseError> {
+    let tokens = tokenize(input)?;
+    let Some(head) = tokens.first() else { return err("empty query") };
+    let rest = &tokens[1..];
+    if is_kw(head, "DETECT") {
+        let (pattern, mut i) = parse_pattern(rest)?;
+        let (mut within, mut any_match, mut limit) = (None, false, None);
+        while let Some(tok) = rest.get(i) {
+            if is_kw(tok, "WITHIN") {
+                within = Some(parse_number(rest, i + 1, "WITHIN")?);
+                i += 2;
+            } else if is_kw(tok, "ANY") && rest.get(i + 1).is_some_and(|t| is_kw(t, "MATCH")) {
+                any_match = true;
+                i += 2;
+            } else if is_kw(tok, "LIMIT") {
+                limit = Some(parse_number(rest, i + 1, "LIMIT")? as usize);
+                i += 2;
+            } else {
+                return err(format!("unexpected token {tok:?} in DETECT"));
+            }
+        }
+        Ok(Query::Detect { pattern, within, any_match, limit })
+    } else if is_kw(head, "STATS") {
+        let (pattern, mut i) = parse_pattern(rest)?;
+        let mut all_pairs = false;
+        while let Some(tok) = rest.get(i) {
+            if is_kw(tok, "ALL") && rest.get(i + 1).is_some_and(|t| is_kw(t, "PAIRS")) {
+                all_pairs = true;
+                i += 2;
+            } else {
+                return err(format!("unexpected token {tok:?} in STATS"));
+            }
+        }
+        Ok(Query::Stats { pattern, all_pairs })
+    } else if is_kw(head, "CONTINUE") {
+        let (pattern, mut i) = parse_pattern(rest)?;
+        let mut method = "accurate".to_owned();
+        let mut k = 5usize;
+        let (mut max_gap, mut at) = (None, None);
+        while let Some(tok) = rest.get(i) {
+            if is_kw(tok, "USING") {
+                let Some(m) = rest.get(i + 1) else { return err("USING expects a method") };
+                let m = m.to_ascii_lowercase();
+                if !["accurate", "fast", "hybrid"].contains(&m.as_str()) {
+                    return err(format!("unknown continuation method {m:?}"));
+                }
+                method = m;
+                i += 2;
+            } else if is_kw(tok, "K") {
+                k = parse_number(rest, i + 1, "K")? as usize;
+                i += 2;
+            } else if is_kw(tok, "MAX") && rest.get(i + 1).is_some_and(|t| is_kw(t, "GAP")) {
+                max_gap = Some(parse_number(rest, i + 2, "MAX GAP")?);
+                i += 3;
+            } else if is_kw(tok, "AT") {
+                at = Some(parse_number(rest, i + 1, "AT")? as usize);
+                i += 2;
+            } else {
+                return err(format!("unexpected token {tok:?} in CONTINUE"));
+            }
+        }
+        Ok(Query::Continue { pattern, method, k, max_gap, at })
+    } else {
+        err(format!("unknown statement {head:?} (expected DETECT, STATS or CONTINUE)"))
+    }
+}
+
+/// Execution result of a textual query.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueryOutput {
+    /// `DETECT` result.
+    Detection(crate::DetectResult),
+    /// `DETECT … ANY MATCH` result.
+    AnyMatch(crate::AnyMatchResult),
+    /// `STATS` result.
+    Stats(crate::PatternStats),
+    /// `CONTINUE` result.
+    Continuations(Vec<Proposition>),
+}
+
+/// Execute a parsed query against an engine.
+pub fn execute<S: KvStore>(engine: &QueryEngine<S>, query: &Query) -> Result<QueryOutput> {
+    fn names(pattern: &[String]) -> Vec<&str> {
+        pattern.iter().map(String::as_str).collect()
+    }
+    match query {
+        Query::Detect { pattern, within, any_match, limit } => {
+            let p = engine.pattern(&names(pattern))?;
+            if *any_match {
+                let r = engine.detect_any_match(&p, limit.unwrap_or(3))?;
+                Ok(QueryOutput::AnyMatch(r))
+            } else {
+                let mut r = match within {
+                    Some(w) => engine.detect_within(&p, *w)?,
+                    None => engine.detect(&p)?,
+                };
+                if let Some(l) = limit {
+                    r.matches.truncate(*l);
+                }
+                Ok(QueryOutput::Detection(r))
+            }
+        }
+        Query::Stats { pattern, all_pairs } => {
+            let p = engine.pattern(&names(pattern))?;
+            let s = if *all_pairs { engine.stats_all_pairs(&p)? } else { engine.stats(&p)? };
+            Ok(QueryOutput::Stats(s))
+        }
+        Query::Continue { pattern, method, k, max_gap, at } => {
+            let p = engine.pattern(&names(pattern))?;
+            if let Some(pos) = at {
+                return Ok(QueryOutput::Continuations(engine.continuations_at(&p, *pos)?));
+            }
+            let m = match method.as_str() {
+                "fast" => ContinuationMethod::Fast,
+                "hybrid" => ContinuationMethod::Hybrid { k: *k, max_gap: *max_gap },
+                _ => ContinuationMethod::Accurate { max_gap: *max_gap },
+            };
+            Ok(QueryOutput::Continuations(engine.continuations(&p, m)?))
+        }
+    }
+}
+
+/// Parse and execute in one step.
+pub fn run<S: KvStore>(engine: &QueryEngine<S>, input: &str) -> Result<QueryOutput> {
+    let query = parse_query(input)
+        .map_err(|e| QueryError::UnknownActivity(format!("<parse error: {e}>")))?;
+    execute(engine, &query)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seqdet_core::{IndexConfig, Indexer, Policy};
+    use seqdet_log::EventLogBuilder;
+
+    #[test]
+    fn tokenizer_handles_arrows_and_quotes() {
+        assert_eq!(tokenize("a->b -> c").unwrap(), ["a", "->", "b", "->", "c"]);
+        assert_eq!(tokenize("'add to cart'->x").unwrap(), ["add to cart", "->", "x"]);
+        assert_eq!(tokenize("'it''s'").unwrap(), ["it's"]);
+        assert!(tokenize("'unterminated").is_err());
+    }
+
+    #[test]
+    fn parse_detect_variants() {
+        let q = parse_query("DETECT a -> b -> c WITHIN 100 LIMIT 5").unwrap();
+        assert_eq!(
+            q,
+            Query::Detect {
+                pattern: vec!["a".into(), "b".into(), "c".into()],
+                within: Some(100),
+                any_match: false,
+                limit: Some(5),
+            }
+        );
+        let q = parse_query("detect a->b any match").unwrap();
+        assert!(matches!(q, Query::Detect { any_match: true, .. }));
+    }
+
+    #[test]
+    fn parse_stats_and_continue() {
+        let q = parse_query("STATS a -> b ALL PAIRS").unwrap();
+        assert_eq!(q, Query::Stats { pattern: vec!["a".into(), "b".into()], all_pairs: true });
+        let q = parse_query("CONTINUE a USING hybrid K 3 MAX GAP 50").unwrap();
+        assert_eq!(
+            q,
+            Query::Continue {
+                pattern: vec!["a".into()],
+                method: "hybrid".into(),
+                k: 3,
+                max_gap: Some(50),
+                at: None,
+            }
+        );
+        let q = parse_query("CONTINUE a -> b AT 1").unwrap();
+        assert!(matches!(q, Query::Continue { at: Some(1), .. }));
+    }
+
+    #[test]
+    fn parse_errors_are_reported() {
+        assert!(parse_query("").is_err());
+        assert!(parse_query("FROBNICATE a").is_err());
+        assert!(parse_query("DETECT -> a").is_err());
+        assert!(parse_query("DETECT a ->").is_err());
+        assert!(parse_query("DETECT a -> b WITHIN x").is_err());
+        assert!(parse_query("CONTINUE a USING bogus").is_err());
+        assert!(parse_query("STATS a EXTRA").is_err());
+    }
+
+    #[test]
+    fn case_sensitivity_rules() {
+        // Keywords fold case; activity names do not.
+        let q = parse_query("dEtEcT Send -> SEND").unwrap();
+        match q {
+            Query::Detect { pattern, .. } => assert_eq!(pattern, ["Send", "SEND"]),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    fn engine() -> QueryEngine<seqdet_storage::MemStore> {
+        let mut b = EventLogBuilder::new();
+        b.add("t1", "A", 1).add("t1", "B", 2).add("t1", "C", 30);
+        b.add("t2", "A", 1).add("t2", "B", 5);
+        let mut ix = Indexer::new(IndexConfig::new(Policy::SkipTillNextMatch));
+        ix.index_log(&b.build()).unwrap();
+        QueryEngine::new(ix.store()).unwrap()
+    }
+
+    #[test]
+    fn execute_detect_with_window() {
+        let e = engine();
+        let out = run(&e, "DETECT A -> B").unwrap();
+        match out {
+            QueryOutput::Detection(r) => assert_eq!(r.total_completions(), 2),
+            other => panic!("unexpected {other:?}"),
+        }
+        let out = run(&e, "DETECT A -> B WITHIN 2").unwrap();
+        match out {
+            QueryOutput::Detection(r) => assert_eq!(r.total_completions(), 1),
+            other => panic!("unexpected {other:?}"),
+        }
+        let out = run(&e, "DETECT A -> C ANY MATCH").unwrap();
+        match out {
+            QueryOutput::AnyMatch(r) => assert_eq!(r.total(), 1),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn execute_stats_and_continue() {
+        let e = engine();
+        match run(&e, "STATS A -> B").unwrap() {
+            QueryOutput::Stats(s) => assert_eq!(s.max_completions, 2),
+            other => panic!("unexpected {other:?}"),
+        }
+        match run(&e, "CONTINUE A USING fast").unwrap() {
+            QueryOutput::Continuations(props) => assert!(!props.is_empty()),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn execute_surfaces_unknown_activities() {
+        let e = engine();
+        assert!(run(&e, "DETECT A -> NOPE").is_err());
+        assert!(run(&e, "GIBBERISH").is_err());
+    }
+
+    #[test]
+    fn detect_limit_truncates() {
+        let e = engine();
+        match run(&e, "DETECT A -> B LIMIT 1").unwrap() {
+            QueryOutput::Detection(r) => assert_eq!(r.total_completions(), 1),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,45 @@
+//! # seqdet-query — the query processor component
+//!
+//! The second component of the paper's architecture (§3.2): receives pattern
+//! queries, retrieves the relevant index rows, and constructs responses.
+//! Three query families are supported, in ascending complexity:
+//!
+//! * **Statistics** ([`QueryEngine::stats`]) — per-consecutive-pair
+//!   completion counts, average durations and last completions, plus
+//!   whole-pattern bounds derived from them (and a tighter all-pairs
+//!   variant, [`QueryEngine::stats_all_pairs`]).
+//! * **Pattern detection** ([`QueryEngine::detect`]) — Algorithm 2: the
+//!   posting lists of consecutive pattern pairs are joined on matching
+//!   timestamps per trace; every completion of the full pattern (and, as a
+//!   by-product, of each prefix — [`QueryEngine::detect_prefixes`]) is
+//!   returned.
+//! * **Pattern continuation** ([`QueryEngine::continuations`]) — ranked
+//!   next-event propositions using Equation 1
+//!   (`score = total_completions / average_duration`), in the three flavors
+//!   of §3.2.2: *Accurate* (Algorithm 3), *Fast* (Algorithm 4) and *Hybrid*
+//!   (Algorithm 5).
+//!
+//! Two extensions from the paper's discussion section (§7) are implemented
+//! as well: **skip-till-any-match** detection
+//! ([`QueryEngine::detect_any_match`]) and continuation with the candidate
+//! event inserted at an arbitrary pattern position
+//! ([`QueryEngine::continuations_at`]).
+
+pub mod anymatch;
+pub mod continuation;
+pub mod detect;
+pub mod engine;
+pub mod lang;
+pub mod error;
+pub mod stats;
+
+pub use anymatch::AnyMatchResult;
+pub use continuation::{ContinuationMethod, Proposition};
+pub use detect::{DetectResult, JoinStrategy, PatternMatch};
+pub use engine::QueryEngine;
+pub use lang::{parse_query, Query, QueryOutput};
+pub use error::QueryError;
+pub use stats::{PairStats, PatternStats};
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, QueryError>;

@@ -1,0 +1,165 @@
+//! The Statistics query (§3.2.1).
+//!
+//! "This type of query returns statistics regarding each pair of consecutive
+//! events in the pattern … the minimum number of completions of a pair
+//! provides an upper bound of the completions of the whole pattern … the sum
+//! of the average durations gives an estimate of the average duration of the
+//! whole pattern." The tighter (slower) variant considers *all* pattern
+//! pairs, not only the consecutive ones — the accuracy/latency trade-off the
+//! paper mentions.
+
+use crate::Result;
+use seqdet_core::tables::{pair_count, read_last_checked};
+use seqdet_log::{Activity, Pattern, Ts};
+use seqdet_storage::KvStore;
+
+/// Statistics of one activity pair, as answered from `Count`/`LastChecked`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PairStats {
+    /// The pair `(ev_a, ev_b)`.
+    pub pair: (Activity, Activity),
+    /// Number of indexed completions of the pair.
+    pub completions: u64,
+    /// Mean completion duration (0 when never completed).
+    pub avg_duration: f64,
+    /// Timestamp of the most recent indexed completion across all traces.
+    pub last_completion: Option<Ts>,
+}
+
+/// Statistics of a whole pattern.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PatternStats {
+    /// Per-pair statistics (consecutive pairs, in pattern order; for the
+    /// all-pairs variant, all ordered pairs `i < j`).
+    pub pairs: Vec<PairStats>,
+    /// Upper bound on the completions of the whole pattern: the minimum
+    /// pair completion count.
+    pub max_completions: u64,
+    /// Estimated duration of the whole pattern: the sum of consecutive-pair
+    /// average durations.
+    pub est_duration: f64,
+}
+
+/// Compute stats for one pair.
+fn one_pair<S: KvStore>(store: &S, a: Activity, b: Activity) -> Result<PairStats> {
+    let entry = pair_count(store, a, b)?;
+    let (completions, avg_duration) =
+        entry.map_or((0, 0.0), |e| (e.total_completions, e.avg_duration()));
+    let last_completion = read_last_checked(store, Activity::pair_key(a, b))?
+        .iter()
+        .map(|e| e.last_completion)
+        .max();
+    Ok(PairStats { pair: (a, b), completions, avg_duration, last_completion })
+}
+
+/// Statistics over the consecutive pairs of `pattern`.
+pub(crate) fn pattern_stats<S: KvStore>(store: &S, pattern: &Pattern) -> Result<PatternStats> {
+    let mut pairs = Vec::with_capacity(pattern.len().saturating_sub(1));
+    for (a, b) in pattern.consecutive_pairs() {
+        pairs.push(one_pair(store, a, b)?);
+    }
+    Ok(summarize(pairs))
+}
+
+/// Statistics over **all** ordered pairs `(ev_i, ev_j)`, `i < j`, of
+/// `pattern` — a tighter completion bound at higher query cost. The duration
+/// estimate still uses only the consecutive pairs (non-consecutive pairs
+/// would double-count spans).
+pub(crate) fn pattern_stats_all_pairs<S: KvStore>(
+    store: &S,
+    pattern: &Pattern,
+) -> Result<PatternStats> {
+    let acts = pattern.activities();
+    let mut pairs = Vec::new();
+    for i in 0..acts.len() {
+        for j in i + 1..acts.len() {
+            pairs.push(one_pair(store, acts[i], acts[j])?);
+        }
+    }
+    let mut stats = summarize(pairs);
+    // Recompute the duration estimate over consecutive pairs only.
+    stats.est_duration = 0.0;
+    let consecutive: Vec<(Activity, Activity)> = pattern.consecutive_pairs().collect();
+    for ps in &stats.pairs {
+        if consecutive.contains(&ps.pair) {
+            stats.est_duration += ps.avg_duration;
+        }
+    }
+    Ok(stats)
+}
+
+fn summarize(pairs: Vec<PairStats>) -> PatternStats {
+    let max_completions = pairs.iter().map(|p| p.completions).min().unwrap_or(0);
+    let est_duration = pairs.iter().map(|p| p.avg_duration).sum();
+    PatternStats { pairs, max_completions, est_duration }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seqdet_core::{IndexConfig, Indexer, Policy};
+    use seqdet_log::EventLogBuilder;
+
+    fn indexed() -> Indexer {
+        let mut b = EventLogBuilder::new();
+        // t1: A@1 B@3 C@4 ; t2: A@1 B@2
+        b.add("t1", "A", 1).add("t1", "B", 3).add("t1", "C", 4);
+        b.add("t2", "A", 1).add("t2", "B", 2);
+        let mut ix = Indexer::new(IndexConfig::new(Policy::SkipTillNextMatch));
+        ix.index_log(&b.build()).unwrap();
+        ix
+    }
+
+    fn pat(ix: &Indexer, names: &[&str]) -> Pattern {
+        Pattern::from_names(ix.catalog().activities(), names).unwrap()
+    }
+
+    #[test]
+    fn consecutive_pair_stats() {
+        let ix = indexed();
+        let p = pat(&ix, &["A", "B", "C"]);
+        let s = pattern_stats(ix.store().as_ref(), &p).unwrap();
+        assert_eq!(s.pairs.len(), 2);
+        // (A,B): completions 2 (t1 dur 2, t2 dur 1) → avg 1.5, last = 3.
+        assert_eq!(s.pairs[0].completions, 2);
+        assert!((s.pairs[0].avg_duration - 1.5).abs() < 1e-9);
+        assert_eq!(s.pairs[0].last_completion, Some(3));
+        // (B,C): completions 1 (t1 dur 1).
+        assert_eq!(s.pairs[1].completions, 1);
+        // Whole-pattern bound = min(2, 1); est duration = 1.5 + 1.0.
+        assert_eq!(s.max_completions, 1);
+        assert!((s.est_duration - 2.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unseen_pair_yields_zero_bound() {
+        let ix = indexed();
+        let p = pat(&ix, &["C", "A"]);
+        let s = pattern_stats(ix.store().as_ref(), &p).unwrap();
+        assert_eq!(s.pairs[0].completions, 0);
+        assert_eq!(s.pairs[0].last_completion, None);
+        assert_eq!(s.max_completions, 0);
+    }
+
+    #[test]
+    fn all_pairs_bound_is_tighter_or_equal() {
+        let ix = indexed();
+        let p = pat(&ix, &["A", "B", "C"]);
+        let cons = pattern_stats(ix.store().as_ref(), &p).unwrap();
+        let all = pattern_stats_all_pairs(ix.store().as_ref(), &p).unwrap();
+        assert!(all.max_completions <= cons.max_completions);
+        assert_eq!(all.pairs.len(), 3); // (A,B), (A,C), (B,C)
+        // Duration estimate unchanged: still the consecutive-pairs sum.
+        assert!((all.est_duration - cons.est_duration).abs() < 1e-9);
+    }
+
+    #[test]
+    fn single_event_pattern_has_no_pairs() {
+        let ix = indexed();
+        let p = pat(&ix, &["A"]);
+        let s = pattern_stats(ix.store().as_ref(), &p).unwrap();
+        assert!(s.pairs.is_empty());
+        assert_eq!(s.max_completions, 0);
+        assert_eq!(s.est_duration, 0.0);
+    }
+}

@@ -1,0 +1,206 @@
+//! Minimal HTTP/1.1 request parsing and response writing.
+//!
+//! Deliberately small: request line + headers + optional
+//! `Content-Length`-delimited body, hard caps on sizes, no keep-alive, no
+//! chunked encoding. Enough for a local query service and for tests to
+//! speak to it with a plain `TcpStream`.
+
+use std::io::{self, BufRead, BufReader, Read, Write};
+
+/// Upper bound on header section size.
+const MAX_HEAD: usize = 16 * 1024;
+/// Upper bound on body size.
+const MAX_BODY: usize = 1024 * 1024;
+
+/// A parsed request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// `GET`, `POST`, …
+    pub method: String,
+    /// Path without the query string.
+    pub path: String,
+    /// Decoded query parameters, in order.
+    pub params: Vec<(String, String)>,
+    /// Request body (possibly empty).
+    pub body: String,
+}
+
+impl Request {
+    /// First value of a query parameter.
+    pub fn param(&self, name: &str) -> Option<&str> {
+        self.params.iter().find(|(k, _)| k == name).map(|(_, v)| v.as_str())
+    }
+}
+
+/// Percent-decode a URL component (`+` decodes to space).
+pub fn percent_decode(s: &str) -> String {
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'+' => {
+                out.push(b' ');
+                i += 1;
+            }
+            b'%' => {
+                let hex = bytes.get(i + 1..i + 3);
+                match hex.and_then(|h| u8::from_str_radix(std::str::from_utf8(h).ok()?, 16).ok())
+                {
+                    Some(b) => {
+                        out.push(b);
+                        i += 3;
+                    }
+                    None => {
+                        out.push(b'%');
+                        i += 1;
+                    }
+                }
+            }
+            b => {
+                out.push(b);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+/// Percent-encode a URL component.
+pub fn percent_encode(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for b in s.bytes() {
+        match b {
+            b'A'..=b'Z' | b'a'..=b'z' | b'0'..=b'9' | b'-' | b'_' | b'.' | b'~' => {
+                out.push(b as char)
+            }
+            _ => out.push_str(&format!("%{b:02X}")),
+        }
+    }
+    out
+}
+
+fn parse_query_string(qs: &str) -> Vec<(String, String)> {
+    qs.split('&')
+        .filter(|p| !p.is_empty())
+        .map(|p| match p.split_once('=') {
+            Some((k, v)) => (percent_decode(k), percent_decode(v)),
+            None => (percent_decode(p), String::new()),
+        })
+        .collect()
+}
+
+/// Read and parse one request from a stream.
+pub fn read_request<R: Read>(stream: R) -> io::Result<Request> {
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    reader.read_line(&mut line)?;
+    let mut parts = line.split_whitespace();
+    let method = parts.next().unwrap_or_default().to_owned();
+    let target = parts.next().unwrap_or_default().to_owned();
+    if method.is_empty() || target.is_empty() {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "malformed request line"));
+    }
+    // Headers: we only care about Content-Length.
+    let mut content_length = 0usize;
+    let mut head_bytes = line.len();
+    loop {
+        let mut header = String::new();
+        let n = reader.read_line(&mut header)?;
+        head_bytes += n;
+        if head_bytes > MAX_HEAD {
+            return Err(io::Error::new(io::ErrorKind::InvalidData, "header section too large"));
+        }
+        let header = header.trim_end();
+        if n == 0 || header.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = header.split_once(':') {
+            if name.trim().eq_ignore_ascii_case("content-length") {
+                content_length = value.trim().parse().map_err(|_| {
+                    io::Error::new(io::ErrorKind::InvalidData, "bad content-length")
+                })?;
+            }
+        }
+    }
+    if content_length > MAX_BODY {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "body too large"));
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body)?;
+    let body = String::from_utf8_lossy(&body).into_owned();
+    let (path, params) = match target.split_once('?') {
+        Some((p, qs)) => (p.to_owned(), parse_query_string(qs)),
+        None => (target, Vec::new()),
+    };
+    Ok(Request { method, path, params, body })
+}
+
+/// Write a plain-text response.
+pub fn write_response<W: Write>(
+    mut stream: W,
+    status: u16,
+    reason: &str,
+    body: &str,
+) -> io::Result<()> {
+    write!(
+        stream,
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: text/plain; charset=utf-8\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len(),
+    )?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn parses_get_with_query_string() {
+        let raw = "GET /query?q=DETECT%20a&x=1+2 HTTP/1.1\r\nHost: h\r\n\r\n";
+        let r = read_request(Cursor::new(raw)).unwrap();
+        assert_eq!(r.method, "GET");
+        assert_eq!(r.path, "/query");
+        assert_eq!(r.param("q"), Some("DETECT a"));
+        assert_eq!(r.param("x"), Some("1 2"));
+        assert_eq!(r.param("nope"), None);
+        assert!(r.body.is_empty());
+    }
+
+    #[test]
+    fn parses_post_with_body() {
+        let raw = "POST /query HTTP/1.1\r\nContent-Length: 11\r\n\r\nDETECT a->b";
+        let r = read_request(Cursor::new(raw)).unwrap();
+        assert_eq!(r.method, "POST");
+        assert_eq!(r.body, "DETECT a->b");
+    }
+
+    #[test]
+    fn rejects_malformed_request_line_and_bad_lengths() {
+        assert!(read_request(Cursor::new("\r\n\r\n")).is_err());
+        let raw = "POST / HTTP/1.1\r\nContent-Length: zebra\r\n\r\n";
+        assert!(read_request(Cursor::new(raw)).is_err());
+        let raw = format!("POST / HTTP/1.1\r\nContent-Length: {}\r\n\r\n", MAX_BODY + 1);
+        assert!(read_request(Cursor::new(raw)).is_err());
+    }
+
+    #[test]
+    fn percent_roundtrip() {
+        let s = "DETECT 'add to cart' -> ship WITHIN 10";
+        assert_eq!(percent_decode(&percent_encode(s)), s);
+        assert_eq!(percent_decode("a%2Bb"), "a+b");
+        assert_eq!(percent_decode("bad%zz"), "bad%zz");
+        assert_eq!(percent_decode("trunc%2"), "trunc%2");
+    }
+
+    #[test]
+    fn response_format() {
+        let mut out = Vec::new();
+        write_response(&mut out, 200, "OK", "hello").unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("Content-Length: 5\r\n"));
+        assert!(text.ends_with("hello"));
+    }
+}

@@ -1,0 +1,37 @@
+//! # seqdet-server — the query-processor service
+//!
+//! The paper's architecture (Figure 1) runs the query processor as a
+//! standalone service (Java Spring in the original) that "receiv\[es\] user
+//! queries, retriev\[es\] the relevant index entries and construct\[s\] the
+//! response". This crate is that service for the Rust reproduction: a
+//! small, dependency-free HTTP/1.1 server exposing the query language of
+//! [`seqdet_query::lang`] over an indexed store.
+//!
+//! ## Endpoints
+//!
+//! | Method & path | Body / params | Response |
+//! |---|---|---|
+//! | `GET /health` | — | `200 ok` |
+//! | `GET /info` | — | catalog summary (traces, activities) |
+//! | `POST /query` | a query statement (`DETECT a -> b WITHIN 10` …) | rendered result |
+//! | `GET /query?q=…` | percent-encoded statement | rendered result |
+//!
+//! Errors map to `400` (bad query / unknown activity) or `404` (unknown
+//! path); the body carries the human-readable message.
+//!
+//! ```no_run
+//! use seqdet_server::QueryServer;
+//! use seqdet_storage::DiskStore;
+//! use std::sync::Arc;
+//!
+//! let store = Arc::new(DiskStore::open("./ixdir")?);
+//! let server = QueryServer::bind("127.0.0.1:7878", store)?;
+//! server.serve_forever()?; // one thread per connection
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+pub mod http;
+pub mod render;
+pub mod server;
+
+pub use server::QueryServer;

@@ -1,0 +1,104 @@
+//! Text rendering of query outputs with catalog names resolved.
+
+use seqdet_core::Catalog;
+use seqdet_query::QueryOutput;
+use std::fmt::Write as _;
+
+/// Render a query output as the service's plain-text response body.
+pub fn render(catalog: &Catalog, output: &QueryOutput) -> String {
+    let mut out = String::new();
+    let name = |a: seqdet_log::Activity| catalog.activity_name(a).unwrap_or("?").to_owned();
+    let trace = |t: seqdet_log::TraceId| catalog.trace_name(t).unwrap_or("?").to_owned();
+    match output {
+        QueryOutput::Detection(r) => {
+            let _ = writeln!(
+                out,
+                "{} completions in {} traces",
+                r.total_completions(),
+                r.traces().len()
+            );
+            for m in &r.matches {
+                let _ = writeln!(out, "{} @ {:?}", trace(m.trace), m.timestamps);
+            }
+        }
+        QueryOutput::AnyMatch(r) => {
+            let _ = writeln!(out, "{} embeddings in {} traces", r.total(), r.num_traces());
+            for t in &r.traces {
+                let _ = writeln!(
+                    out,
+                    "{}: {} embeddings, examples {:?}",
+                    trace(t.trace),
+                    t.count,
+                    t.examples
+                );
+            }
+        }
+        QueryOutput::Stats(s) => {
+            for ps in &s.pairs {
+                let _ = writeln!(
+                    out,
+                    "({}, {}): completions={} avg_duration={:.3} last={:?}",
+                    name(ps.pair.0),
+                    name(ps.pair.1),
+                    ps.completions,
+                    ps.avg_duration,
+                    ps.last_completion
+                );
+            }
+            let _ = writeln!(out, "pattern completions <= {}", s.max_completions);
+            let _ = writeln!(out, "estimated duration ~= {:.3}", s.est_duration);
+        }
+        QueryOutput::Continuations(props) => {
+            let _ = writeln!(out, "{} propositions", props.len());
+            for p in props {
+                let _ = writeln!(
+                    out,
+                    "{}: completions={} avg_duration={:.3} score={:.4}",
+                    name(p.activity),
+                    p.completions,
+                    p.avg_duration,
+                    p.score()
+                );
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seqdet_core::{IndexConfig, Indexer, Policy};
+    use seqdet_log::EventLogBuilder;
+    use seqdet_query::{lang, QueryEngine};
+
+    fn setup() -> (Catalog, QueryEngine<seqdet_storage::MemStore>) {
+        let mut b = EventLogBuilder::new();
+        b.add("t1", "go", 1).add("t1", "stop", 2);
+        let mut ix = Indexer::new(IndexConfig::new(Policy::SkipTillNextMatch));
+        ix.index_log(&b.build()).unwrap();
+        let engine = QueryEngine::new(ix.store()).unwrap();
+        (ix.catalog().clone(), engine)
+    }
+
+    #[test]
+    fn renders_each_output_kind() {
+        let (catalog, engine) = setup();
+        let det = lang::run(&engine, "DETECT go -> stop").unwrap();
+        let text = render(&catalog, &det);
+        assert!(text.contains("1 completions in 1 traces"));
+        assert!(text.contains("t1 @ [1, 2]"));
+
+        let stats = lang::run(&engine, "STATS go -> stop").unwrap();
+        let text = render(&catalog, &stats);
+        assert!(text.contains("(go, stop): completions=1"));
+
+        let cont = lang::run(&engine, "CONTINUE go USING fast").unwrap();
+        let text = render(&catalog, &cont);
+        assert!(text.contains("stop: completions=1"));
+
+        let any = lang::run(&engine, "DETECT go -> stop ANY MATCH").unwrap();
+        let text = render(&catalog, &any);
+        assert!(text.contains("1 embeddings in 1 traces"));
+    }
+}

@@ -1,0 +1,198 @@
+//! The accept loop and request routing.
+
+use crate::http::{read_request, write_response, Request};
+use crate::render::render;
+use seqdet_core::Catalog;
+use seqdet_query::{lang, QueryEngine, QueryError};
+use seqdet_storage::KvStore;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// The query-processor service.
+pub struct QueryServer<S: KvStore> {
+    listener: TcpListener,
+    engine: Arc<QueryEngine<S>>,
+    catalog: Catalog,
+    shutdown: Arc<AtomicBool>,
+}
+
+impl<S: KvStore + 'static> QueryServer<S> {
+    /// Bind to `addr` and load the catalog from the indexed `store`.
+    /// Use port 0 to let the OS pick (see [`QueryServer::local_addr`]).
+    pub fn bind(addr: impl ToSocketAddrs, store: Arc<S>) -> io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let engine = QueryEngine::new(Arc::clone(&store))
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        let catalog = Catalog::load(store.as_ref())
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        Ok(Self {
+            listener,
+            engine: Arc::new(engine),
+            catalog,
+            shutdown: Arc::new(AtomicBool::new(false)),
+        })
+    }
+
+    /// The bound address.
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// A handle that makes [`QueryServer::serve_forever`] return after the
+    /// next connection is handled.
+    pub fn shutdown_handle(&self) -> Arc<AtomicBool> {
+        Arc::clone(&self.shutdown)
+    }
+
+    /// Accept and serve connections until the shutdown flag is set. Each
+    /// connection is handled on its own thread; connections are closed
+    /// after one response (no keep-alive).
+    pub fn serve_forever(&self) -> io::Result<()> {
+        for conn in self.listener.incoming() {
+            if self.shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+            let stream = conn?;
+            let engine = Arc::clone(&self.engine);
+            let catalog = self.catalog.clone();
+            std::thread::spawn(move || {
+                let _ = handle_connection(stream, &engine, &catalog);
+            });
+        }
+        Ok(())
+    }
+
+    /// Handle exactly `n` connections (useful in tests).
+    pub fn serve_n(&self, n: usize) -> io::Result<()> {
+        for _ in 0..n {
+            let (stream, _) = self.listener.accept()?;
+            handle_connection(stream, &self.engine, &self.catalog)?;
+        }
+        Ok(())
+    }
+}
+
+fn handle_connection<S: KvStore>(
+    stream: TcpStream,
+    engine: &QueryEngine<S>,
+    catalog: &Catalog,
+) -> io::Result<()> {
+    let request = match read_request(&stream) {
+        Ok(r) => r,
+        Err(e) => {
+            return write_response(&stream, 400, "Bad Request", &format!("bad request: {e}\n"));
+        }
+    };
+    let (status, reason, body) = route(&request, engine, catalog);
+    write_response(&stream, status, reason, &body)
+}
+
+fn route<S: KvStore>(
+    request: &Request,
+    engine: &QueryEngine<S>,
+    catalog: &Catalog,
+) -> (u16, &'static str, String) {
+    match (request.method.as_str(), request.path.as_str()) {
+        ("GET", "/health") => (200, "OK", "ok\n".to_owned()),
+        ("GET", "/info") => (
+            200,
+            "OK",
+            format!(
+                "traces: {}\nactivities: {}\n",
+                catalog.num_traces(),
+                catalog.num_activities()
+            ),
+        ),
+        ("POST", "/query") | ("GET", "/query") => {
+            let statement = if request.method == "POST" {
+                request.body.trim().to_owned()
+            } else {
+                request.param("q").unwrap_or_default().trim().to_owned()
+            };
+            if statement.is_empty() {
+                return (400, "Bad Request", "empty query\n".to_owned());
+            }
+            match lang::run(engine, &statement) {
+                Ok(output) => (200, "OK", render(catalog, &output)),
+                Err(QueryError::Core(e)) => (500, "Internal Server Error", format!("{e}\n")),
+                Err(e) => (400, "Bad Request", format!("{e}\n")),
+            }
+        }
+        _ => (404, "Not Found", format!("no route for {} {}\n", request.method, request.path)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::http::percent_encode;
+    use seqdet_core::{IndexConfig, Indexer, Policy};
+    use seqdet_log::EventLogBuilder;
+    use seqdet_storage::MemStore;
+    use std::io::{Read, Write};
+
+    fn spawn_server(n: usize) -> SocketAddr {
+        let mut b = EventLogBuilder::new();
+        b.add("t1", "go", 1).add("t1", "work", 2).add("t1", "stop", 3);
+        b.add("t2", "go", 1).add("t2", "stop", 5);
+        let mut ix = Indexer::new(IndexConfig::new(Policy::SkipTillNextMatch));
+        ix.index_log(&b.build()).unwrap();
+        let server: QueryServer<MemStore> =
+            QueryServer::bind("127.0.0.1:0", ix.store()).unwrap();
+        let addr = server.local_addr().unwrap();
+        std::thread::spawn(move || server.serve_n(n).unwrap());
+        addr
+    }
+
+    fn roundtrip(addr: SocketAddr, raw: &str) -> String {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream.write_all(raw.as_bytes()).unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        response
+    }
+
+    #[test]
+    fn health_info_and_query_roundtrip() {
+        let addr = spawn_server(4);
+        let r = roundtrip(addr, "GET /health HTTP/1.1\r\nHost: x\r\n\r\n");
+        assert!(r.starts_with("HTTP/1.1 200"));
+        assert!(r.ends_with("ok\n"));
+
+        let r = roundtrip(addr, "GET /info HTTP/1.1\r\nHost: x\r\n\r\n");
+        assert!(r.contains("traces: 2"));
+        assert!(r.contains("activities: 3"));
+
+        let body = "DETECT go -> stop";
+        let r = roundtrip(
+            addr,
+            &format!("POST /query HTTP/1.1\r\nContent-Length: {}\r\n\r\n{body}", body.len()),
+        );
+        assert!(r.starts_with("HTTP/1.1 200"), "{r}");
+        assert!(r.contains("2 completions in 2 traces"));
+
+        let q = percent_encode("CONTINUE go USING fast");
+        let r = roundtrip(addr, &format!("GET /query?q={q} HTTP/1.1\r\nHost: x\r\n\r\n"));
+        assert!(r.contains("propositions"));
+    }
+
+    #[test]
+    fn error_statuses() {
+        let addr = spawn_server(3);
+        let r = roundtrip(addr, "GET /nope HTTP/1.1\r\nHost: x\r\n\r\n");
+        assert!(r.starts_with("HTTP/1.1 404"));
+
+        let body = "DETECT go -> UNKNOWN_ACT";
+        let r = roundtrip(
+            addr,
+            &format!("POST /query HTTP/1.1\r\nContent-Length: {}\r\n\r\n{body}", body.len()),
+        );
+        assert!(r.starts_with("HTTP/1.1 400"), "{r}");
+
+        let r = roundtrip(addr, "GET /query HTTP/1.1\r\nHost: x\r\n\r\n");
+        assert!(r.starts_with("HTTP/1.1 400"));
+        assert!(r.contains("empty query"));
+    }
+}

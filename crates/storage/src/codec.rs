@@ -1,0 +1,217 @@
+//! Bounds-checked fixed-width binary encoding primitives.
+//!
+//! The index tables store flat little-endian records (postings are
+//! `(trace: u32, ts_a: u64, ts_b: u64)` triples, sequences are
+//! `(activity: u32, ts: u64)` pairs, …). [`Enc`] builds such rows; [`Dec`]
+//! walks them without panicking on truncated input, so a corrupt disk row
+//! surfaces as `None` rather than UB or a panic deep inside a query.
+
+use bytes::{Buf, BufMut};
+
+/// Append-only record encoder over a byte vector.
+#[derive(Debug, Default)]
+pub struct Enc {
+    buf: Vec<u8>,
+}
+
+impl Enc {
+    /// Fresh empty encoder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Encoder with pre-reserved capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        Self { buf: Vec::with_capacity(cap) }
+    }
+
+    /// Append a `u8`.
+    #[inline]
+    pub fn u8(&mut self, v: u8) -> &mut Self {
+        self.buf.put_u8(v);
+        self
+    }
+
+    /// Append a little-endian `u32`.
+    #[inline]
+    pub fn u32(&mut self, v: u32) -> &mut Self {
+        self.buf.put_u32_le(v);
+        self
+    }
+
+    /// Append a little-endian `u64`.
+    #[inline]
+    pub fn u64(&mut self, v: u64) -> &mut Self {
+        self.buf.put_u64_le(v);
+        self
+    }
+
+    /// Append raw bytes.
+    #[inline]
+    pub fn bytes(&mut self, v: &[u8]) -> &mut Self {
+        self.buf.put_slice(v);
+        self
+    }
+
+    /// Append a length-prefixed byte string (`u32` length).
+    #[inline]
+    pub fn len_bytes(&mut self, v: &[u8]) -> &mut Self {
+        self.u32(v.len() as u32);
+        self.bytes(v)
+    }
+
+    /// Bytes written so far.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when nothing has been written.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// View of the encoded bytes.
+    #[inline]
+    pub fn as_slice(&self) -> &[u8] {
+        &self.buf
+    }
+
+    /// Take ownership of the encoded bytes.
+    #[inline]
+    pub fn into_vec(self) -> Vec<u8> {
+        self.buf
+    }
+}
+
+/// Bounds-checked cursor over encoded bytes.
+#[derive(Debug, Clone)]
+pub struct Dec<'a> {
+    buf: &'a [u8],
+}
+
+impl<'a> Dec<'a> {
+    /// Cursor over `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Self { buf }
+    }
+
+    /// Remaining unread bytes.
+    #[inline]
+    pub fn remaining(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when fully consumed.
+    #[inline]
+    pub fn is_done(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Read a `u8`.
+    #[inline]
+    pub fn u8(&mut self) -> Option<u8> {
+        if self.buf.is_empty() {
+            return None;
+        }
+        Some(self.buf.get_u8())
+    }
+
+    /// Read a little-endian `u32`.
+    #[inline]
+    pub fn u32(&mut self) -> Option<u32> {
+        if self.buf.len() < 4 {
+            return None;
+        }
+        Some(self.buf.get_u32_le())
+    }
+
+    /// Read a little-endian `u64`.
+    #[inline]
+    pub fn u64(&mut self) -> Option<u64> {
+        if self.buf.len() < 8 {
+            return None;
+        }
+        Some(self.buf.get_u64_le())
+    }
+
+    /// Read `n` raw bytes.
+    #[inline]
+    pub fn bytes(&mut self, n: usize) -> Option<&'a [u8]> {
+        if self.buf.len() < n {
+            return None;
+        }
+        let (head, tail) = self.buf.split_at(n);
+        self.buf = tail;
+        Some(head)
+    }
+
+    /// Read a `u32`-length-prefixed byte string.
+    #[inline]
+    pub fn len_bytes(&mut self) -> Option<&'a [u8]> {
+        let n = self.u32()? as usize;
+        self.bytes(n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_scalars() {
+        let mut e = Enc::new();
+        e.u8(7).u32(0xDEAD_BEEF).u64(u64::MAX).bytes(b"xy");
+        let v = e.into_vec();
+        let mut d = Dec::new(&v);
+        assert_eq!(d.u8(), Some(7));
+        assert_eq!(d.u32(), Some(0xDEAD_BEEF));
+        assert_eq!(d.u64(), Some(u64::MAX));
+        assert_eq!(d.bytes(2), Some(&b"xy"[..]));
+        assert!(d.is_done());
+    }
+
+    #[test]
+    fn truncated_reads_return_none() {
+        let mut e = Enc::new();
+        e.u32(1);
+        let v = e.into_vec();
+        let mut d = Dec::new(&v);
+        assert_eq!(d.u64(), None); // not enough bytes
+        assert_eq!(d.u32(), Some(1)); // cursor unchanged by the failed read
+        assert_eq!(d.u8(), None);
+    }
+
+    #[test]
+    fn len_prefixed_strings() {
+        let mut e = Enc::new();
+        e.len_bytes(b"hello").len_bytes(b"");
+        let v = e.into_vec();
+        let mut d = Dec::new(&v);
+        assert_eq!(d.len_bytes(), Some(&b"hello"[..]));
+        assert_eq!(d.len_bytes(), Some(&b""[..]));
+        assert_eq!(d.len_bytes(), None);
+    }
+
+    #[test]
+    fn len_prefix_longer_than_buffer_is_rejected() {
+        let mut e = Enc::new();
+        e.u32(1000); // claims 1000 bytes follow
+        e.bytes(b"short");
+        let v = e.into_vec();
+        let mut d = Dec::new(&v);
+        assert_eq!(d.len_bytes(), None);
+    }
+
+    #[test]
+    fn capacity_and_len_accessors() {
+        let mut e = Enc::with_capacity(64);
+        assert!(e.is_empty());
+        e.u64(1);
+        assert_eq!(e.len(), 8);
+        assert_eq!(e.as_slice().len(), 8);
+        let d = Dec::new(e.as_slice());
+        assert_eq!(d.remaining(), 8);
+    }
+}

@@ -1,0 +1,364 @@
+//! Log-structured persistent store.
+//!
+//! Every mutation is appended as one record to the active segment file; the
+//! current state is kept in an inner [`MemStore`] (the "memtable") and
+//! rebuilt by replaying segments on open. [`DiskStore::compact`] folds all
+//! segments into a single snapshot segment of `put`s.
+//!
+//! This mirrors the write path Cassandra gives the paper — sequential
+//! appends, point reads served from memory — at laptop scale, and keeps
+//! index persistence across the periodic update runs of §3.1.3.
+//!
+//! ## Record format
+//!
+//! ```text
+//! [crc32: u32 le][op: u8][table: u8][key_len: u32 le][val_len: u32 le][key][value]
+//! ```
+//!
+//! `op`: 1 = put, 2 = append, 3 = delete (delete carries an empty value);
+//! the checksum covers everything after itself. A truncated trailing record
+//! (torn write at crash) is ignored on replay, and replay of a segment
+//! stops at the first checksum mismatch — records after a corrupted one
+//! cannot be trusted.
+
+use crate::codec::{Dec, Enc};
+use crate::crc::crc32;
+use crate::kv::{KvStore, TableId};
+use crate::mem::MemStore;
+use bytes::Bytes;
+use parking_lot::Mutex;
+use std::fs::{self, File, OpenOptions};
+use std::io::{self, BufWriter, Read, Write};
+use std::path::{Path, PathBuf};
+
+const OP_PUT: u8 = 1;
+const OP_APPEND: u8 = 2;
+const OP_DELETE: u8 = 3;
+
+/// Persistent [`KvStore`] backed by append-only segment files in one
+/// directory.
+pub struct DiskStore {
+    dir: PathBuf,
+    state: MemStore,
+    writer: Mutex<Writer>,
+}
+
+struct Writer {
+    file: BufWriter<File>,
+    segment: u64,
+}
+
+impl std::fmt::Debug for DiskStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DiskStore").field("dir", &self.dir).finish()
+    }
+}
+
+fn segment_path(dir: &Path, n: u64) -> PathBuf {
+    dir.join(format!("seg-{n:06}.log"))
+}
+
+/// Segment numbers present in `dir`, ascending.
+fn list_segments(dir: &Path) -> io::Result<Vec<u64>> {
+    let mut nums = Vec::new();
+    for entry in fs::read_dir(dir)? {
+        let name = entry?.file_name();
+        let name = name.to_string_lossy();
+        if let Some(num) = name.strip_prefix("seg-").and_then(|s| s.strip_suffix(".log")) {
+            if let Ok(n) = num.parse() {
+                nums.push(n);
+            }
+        }
+    }
+    nums.sort_unstable();
+    Ok(nums)
+}
+
+impl DiskStore {
+    /// Open (or create) a store in `dir`, replaying any existing segments.
+    pub fn open(dir: impl AsRef<Path>) -> io::Result<Self> {
+        let dir = dir.as_ref().to_path_buf();
+        fs::create_dir_all(&dir)?;
+        let state = MemStore::new();
+        let segments = list_segments(&dir)?;
+        for &n in &segments {
+            replay_segment(&segment_path(&dir, n), &state)?;
+        }
+        let next = segments.last().map_or(0, |n| n + 1);
+        let file = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(segment_path(&dir, next))?;
+        Ok(Self {
+            dir,
+            state,
+            writer: Mutex::new(Writer { file: BufWriter::new(file), segment: next }),
+        })
+    }
+
+    fn log(&self, op: u8, table: TableId, key: &[u8], value: &[u8]) {
+        let rec = encode_record(op, table, key, value);
+        let mut w = self.writer.lock();
+        // An in-memory store mutation without its log record would be lost on
+        // restart; treat log-write failure as fatal for this process.
+        w.file.write_all(&rec).expect("segment write failed");
+    }
+
+    /// Rewrite the full live state into a fresh snapshot segment and delete
+    /// all older segments. Concurrent writers are blocked for the duration.
+    pub fn compact(&self) -> io::Result<()> {
+        let mut w = self.writer.lock();
+        let snapshot = self.state.scan_all();
+        let next = w.segment + 1;
+        let path = segment_path(&self.dir, next);
+        let mut out = BufWriter::new(File::create(&path)?);
+        for (table, key, value) in &snapshot {
+            out.write_all(&encode_record(OP_PUT, *table, key, value))?;
+        }
+        out.flush()?;
+        out.get_ref().sync_all()?;
+        // Swap the active segment, then remove the old ones.
+        let old_active = w.segment;
+        let active = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(segment_path(&self.dir, next + 1))?;
+        w.file.flush()?;
+        w.file = BufWriter::new(active);
+        w.segment = next + 1;
+        drop(w);
+        for n in list_segments(&self.dir)? {
+            if n <= old_active {
+                fs::remove_file(segment_path(&self.dir, n))?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Number of segment files currently on disk.
+    pub fn num_segments(&self) -> io::Result<usize> {
+        Ok(list_segments(&self.dir)?.len())
+    }
+
+    /// The directory this store lives in.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+}
+
+/// Serialize one log record:
+/// `[crc: u32 over the rest][op][table][key_len][val_len][key][value]`.
+fn encode_record(op: u8, table: TableId, key: &[u8], value: &[u8]) -> Vec<u8> {
+    let mut body = Enc::with_capacity(14 + key.len() + value.len());
+    body.u8(op).u8(table.0).u32(key.len() as u32).u32(value.len() as u32).bytes(key).bytes(value);
+    let mut rec = Enc::with_capacity(4 + body.len());
+    rec.u32(crc32(body.as_slice())).bytes(body.as_slice());
+    rec.into_vec()
+}
+
+fn replay_segment(path: &Path, state: &MemStore) -> io::Result<()> {
+    let mut data = Vec::new();
+    File::open(path)?.read_to_end(&mut data)?;
+    let mut d = Dec::new(&data);
+    // Parse records; bail out silently on a truncated tail, and stop
+    // replay on a checksum mismatch (a torn or corrupted record means
+    // nothing after it can be trusted).
+    while let Some(stored_crc) = d.u32() {
+        let body_start = data.len() - d.remaining();
+        let Some(op) = d.u8() else { break };
+        let Some(table) = d.u8() else { break };
+        let Some(klen) = d.u32() else { break };
+        let Some(vlen) = d.u32() else { break };
+        let Some(key) = d.bytes(klen as usize) else { break };
+        let Some(value) = d.bytes(vlen as usize) else { break };
+        let body_end = data.len() - d.remaining();
+        if crc32(&data[body_start..body_end]) != stored_crc {
+            break;
+        }
+        let table = TableId(table);
+        match op {
+            OP_PUT => state.put(table, key, value),
+            OP_APPEND => state.append(table, key, value),
+            OP_DELETE => {
+                state.delete(table, key);
+            }
+            _ => break, // unknown op: stop replay of this segment
+        }
+    }
+    Ok(())
+}
+
+impl KvStore for DiskStore {
+    fn get(&self, table: TableId, key: &[u8]) -> Option<Bytes> {
+        self.state.get(table, key)
+    }
+
+    fn put(&self, table: TableId, key: &[u8], value: &[u8]) {
+        self.log(OP_PUT, table, key, value);
+        self.state.put(table, key, value);
+    }
+
+    fn append(&self, table: TableId, key: &[u8], value: &[u8]) {
+        self.log(OP_APPEND, table, key, value);
+        self.state.append(table, key, value);
+    }
+
+    fn delete(&self, table: TableId, key: &[u8]) -> bool {
+        self.log(OP_DELETE, table, key, &[]);
+        self.state.delete(table, key)
+    }
+
+    fn scan(&self, table: TableId) -> Vec<(Bytes, Bytes)> {
+        self.state.scan(table)
+    }
+
+    fn table_len(&self, table: TableId) -> usize {
+        self.state.table_len(table)
+    }
+
+    fn flush(&self) -> io::Result<()> {
+        let mut w = self.writer.lock();
+        w.file.flush()?;
+        w.file.get_ref().sync_all()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const T: TableId = TableId(3);
+
+    fn tmp_dir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("seqdet-disk-{name}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn basic_ops_behave_like_memstore() {
+        let dir = tmp_dir("basic");
+        let s = DiskStore::open(&dir).unwrap();
+        s.put(T, b"k", b"v");
+        s.append(T, b"k", b"2");
+        assert_eq!(s.get(T, b"k").unwrap().as_ref(), b"v2");
+        assert!(s.delete(T, b"k"));
+        assert!(s.get(T, b"k").is_none());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn state_survives_reopen() {
+        let dir = tmp_dir("reopen");
+        {
+            let s = DiskStore::open(&dir).unwrap();
+            s.put(T, b"a", b"1");
+            s.append(T, b"b", b"xy");
+            s.append(T, b"b", b"z");
+            s.put(T, b"gone", b"1");
+            s.delete(T, b"gone");
+            s.flush().unwrap();
+        }
+        let s = DiskStore::open(&dir).unwrap();
+        assert_eq!(s.get(T, b"a").unwrap().as_ref(), b"1");
+        assert_eq!(s.get(T, b"b").unwrap().as_ref(), b"xyz");
+        assert!(s.get(T, b"gone").is_none());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn compaction_reduces_segments_and_preserves_state() {
+        let dir = tmp_dir("compact");
+        {
+            let s = DiskStore::open(&dir).unwrap();
+            for i in 0..50u32 {
+                s.append(T, b"k", &i.to_le_bytes());
+            }
+            s.flush().unwrap();
+        }
+        {
+            let s = DiskStore::open(&dir).unwrap();
+            s.put(T, b"x", b"y");
+            s.flush().unwrap();
+            assert!(s.num_segments().unwrap() >= 2);
+            s.compact().unwrap();
+            // snapshot + fresh active segment
+            assert_eq!(s.num_segments().unwrap(), 2);
+            assert_eq!(s.get(T, b"k").unwrap().len(), 200);
+        }
+        let s = DiskStore::open(&dir).unwrap();
+        assert_eq!(s.get(T, b"k").unwrap().len(), 200);
+        assert_eq!(s.get(T, b"x").unwrap().as_ref(), b"y");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn writes_after_compaction_survive_reopen() {
+        let dir = tmp_dir("post-compact");
+        {
+            let s = DiskStore::open(&dir).unwrap();
+            s.put(T, b"a", b"1");
+            s.compact().unwrap();
+            s.put(T, b"b", b"2");
+            s.flush().unwrap();
+        }
+        let s = DiskStore::open(&dir).unwrap();
+        assert_eq!(s.get(T, b"a").unwrap().as_ref(), b"1");
+        assert_eq!(s.get(T, b"b").unwrap().as_ref(), b"2");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_tail_record_is_ignored() {
+        let dir = tmp_dir("torn");
+        {
+            let s = DiskStore::open(&dir).unwrap();
+            s.put(T, b"good", b"1");
+            s.flush().unwrap();
+        }
+        // Corrupt: append half a record to the first segment.
+        let seg = segment_path(&dir, 0);
+        let mut f = OpenOptions::new().append(true).open(&seg).unwrap();
+        f.write_all(&[0xAA, 0xBB, 0xCC, 0xDD, OP_PUT, 3, 10, 0, 0, 0]).unwrap(); // torn record
+        drop(f);
+        let s = DiskStore::open(&dir).unwrap();
+        assert_eq!(s.get(T, b"good").unwrap().as_ref(), b"1");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupted_record_stops_replay_of_its_segment() {
+        let dir = tmp_dir("crc");
+        {
+            let s = DiskStore::open(&dir).unwrap();
+            s.put(T, b"first", b"1");
+            s.put(T, b"second", b"2");
+            s.flush().unwrap();
+        }
+        // Flip one bit inside the SECOND record's value.
+        let seg = segment_path(&dir, 0);
+        let mut data = fs::read(&seg).unwrap();
+        let len = data.len();
+        data[len - 1] ^= 0x01;
+        fs::write(&seg, &data).unwrap();
+        let s = DiskStore::open(&dir).unwrap();
+        assert_eq!(s.get(T, b"first").unwrap().as_ref(), b"1");
+        assert!(s.get(T, b"second").is_none(), "corrupted record must not replay");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn empty_keys_and_values_roundtrip() {
+        let dir = tmp_dir("empty");
+        {
+            let s = DiskStore::open(&dir).unwrap();
+            s.put(T, b"", b"");
+            s.put(T, b"k", b"");
+            s.flush().unwrap();
+        }
+        let s = DiskStore::open(&dir).unwrap();
+        assert_eq!(s.get(T, b"").unwrap().len(), 0);
+        assert_eq!(s.get(T, b"k").unwrap().len(), 0);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

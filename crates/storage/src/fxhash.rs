@@ -1,0 +1,155 @@
+//! Fx hash: the fast multiply-xor hash used throughout rustc.
+//!
+//! The pair index hashes billions of small integer keys (packed activity
+//! pairs, trace ids); SipHash would dominate the profile. We cannot add the
+//! `rustc-hash` crate, so the algorithm — a per-word
+//! `hash = (hash.rotate_left(5) ^ word) * SEED` fold — is implemented here.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// 64-bit Fx seed (`π`-derived, as in rustc).
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// The Fx hasher state.
+#[derive(Debug, Default, Clone)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            self.add_to_hash(u64::from_le_bytes(c.try_into().unwrap()));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rem.len()].copy_from_slice(rem);
+            self.add_to_hash(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, i: u16) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_to_hash(i);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_to_hash(i as u64);
+    }
+}
+
+/// `BuildHasher` for [`FxHasher`].
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// Drop-in `HashMap` with Fx hashing.
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, FxBuildHasher>;
+
+/// Drop-in `HashSet` with Fx hashing.
+pub type FxHashSet<T> = std::collections::HashSet<T, FxBuildHasher>;
+
+/// Hash a single `u64` without constructing a map (used for sharding).
+#[inline]
+pub fn hash_u64(x: u64) -> u64 {
+    let mut h = FxHasher::default();
+    h.write_u64(x);
+    h.finish()
+}
+
+/// Hash a byte slice (used to shard arbitrary keys).
+#[inline]
+pub fn hash_bytes(bytes: &[u8]) -> u64 {
+    let mut h = FxHasher::default();
+    h.write(bytes);
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(hash_u64(42), hash_u64(42));
+        assert_eq!(hash_bytes(b"hello"), hash_bytes(b"hello"));
+    }
+
+    #[test]
+    fn distinguishes_nearby_keys() {
+        // Not a collision-resistance proof — just a sanity check that small
+        // deltas don't collapse.
+        let hashes: Vec<u64> = (0u64..1000).map(hash_u64).collect();
+        let mut dedup = hashes.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), hashes.len());
+    }
+
+    #[test]
+    fn byte_and_word_paths_cover_remainders() {
+        // All lengths 0..=17 hash without panicking and unequal inputs
+        // differ. Bytes start at 1: the tail is zero-padded, so a trailing
+        // 0x00 byte is indistinguishable from absence (as with rustc's
+        // fxhash, callers needing prefix-freeness must hash a length too —
+        // `HashMap` keys of `Box<[u8]>` do via `write_usize`).
+        let mut seen = std::collections::HashSet::new();
+        for len in 0..=17 {
+            let data: Vec<u8> = (1..=len as u8).collect();
+            assert!(seen.insert(hash_bytes(&data)));
+        }
+    }
+
+    #[test]
+    fn works_as_map_hasher() {
+        let mut m: FxHashMap<u64, &str> = FxHashMap::default();
+        m.insert(1, "one");
+        m.insert(2, "two");
+        assert_eq!(m.get(&1), Some(&"one"));
+        let mut s: FxHashSet<&str> = FxHashSet::default();
+        s.insert("x");
+        assert!(s.contains("x"));
+    }
+
+    #[test]
+    fn distribution_spreads_across_shards() {
+        // Sequential u64 keys should spread over 64 shards reasonably evenly.
+        let mut counts = [0usize; 64];
+        for k in 0u64..6400 {
+            counts[(hash_u64(k) % 64) as usize] += 1;
+        }
+        let min = *counts.iter().min().unwrap();
+        let max = *counts.iter().max().unwrap();
+        assert!(min > 0, "some shard never hit");
+        assert!(max < 400, "shard skew too high: {max}");
+    }
+}

@@ -1,0 +1,102 @@
+//! The [`KvStore`] abstraction the index tables are built on.
+//!
+//! Mirrors the slice of the Cassandra API the paper's system actually uses:
+//! key-addressed rows per table, whole-row reads, and append-style writes to
+//! grow a row's value list.
+
+use bytes::Bytes;
+
+/// Identifies one logical table within a store.
+///
+/// The paper's schema needs five tables (`Seq`, `Index`, `Count`,
+/// `ReverseCount`, `LastChecked`); ids are small integers so that backends
+/// can use them as array indices. Up to 256 tables are supported, which also
+/// leaves room for the per-period `Index` partitions of §3.1.3.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TableId(pub u8);
+
+impl TableId {
+    /// Raw id as usize.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A key-value table store.
+///
+/// All operations are atomic per key. `append` is the workhorse: it extends
+/// the value of `key` by `value` bytes in (amortized) time proportional to
+/// `value.len()` — *not* to the current row size — which is what makes
+/// posting-list maintenance cheap.
+pub trait KvStore: Send + Sync {
+    /// Read the full value of `key`, if present. The returned [`Bytes`] is a
+    /// cheap reference-counted view; callers may hold it across writes (the
+    /// store copies-on-append when a row is shared).
+    fn get(&self, table: TableId, key: &[u8]) -> Option<Bytes>;
+
+    /// Replace the value of `key`.
+    fn put(&self, table: TableId, key: &[u8], value: &[u8]);
+
+    /// Append `value` to the row of `key`, creating it if absent.
+    fn append(&self, table: TableId, key: &[u8], value: &[u8]);
+
+    /// Remove `key`; returns whether it existed.
+    fn delete(&self, table: TableId, key: &[u8]) -> bool;
+
+    /// Snapshot of all rows of a table. Order is unspecified.
+    fn scan(&self, table: TableId) -> Vec<(Bytes, Bytes)>;
+
+    /// Number of keys in a table.
+    fn table_len(&self, table: TableId) -> usize;
+
+    /// Make all prior writes durable (no-op for memory backends).
+    fn flush(&self) -> std::io::Result<()>;
+}
+
+/// Blanket impl so `Arc<S>` (and other smart pointers) can be used where a
+/// store is expected.
+impl<S: KvStore + ?Sized> KvStore for std::sync::Arc<S> {
+    fn get(&self, table: TableId, key: &[u8]) -> Option<Bytes> {
+        (**self).get(table, key)
+    }
+    fn put(&self, table: TableId, key: &[u8], value: &[u8]) {
+        (**self).put(table, key, value)
+    }
+    fn append(&self, table: TableId, key: &[u8], value: &[u8]) {
+        (**self).append(table, key, value)
+    }
+    fn delete(&self, table: TableId, key: &[u8]) -> bool {
+        (**self).delete(table, key)
+    }
+    fn scan(&self, table: TableId) -> Vec<(Bytes, Bytes)> {
+        (**self).scan(table)
+    }
+    fn table_len(&self, table: TableId) -> usize {
+        (**self).table_len(table)
+    }
+    fn flush(&self) -> std::io::Result<()> {
+        (**self).flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mem::MemStore;
+    use std::sync::Arc;
+
+    #[test]
+    fn arc_forwarding() {
+        let store = Arc::new(MemStore::new());
+        let t = TableId(0);
+        KvStore::put(&store, t, b"k", b"v");
+        assert_eq!(KvStore::get(&store, t, b"k").unwrap().as_ref(), b"v");
+        KvStore::append(&store, t, b"k", b"2");
+        assert_eq!(KvStore::get(&store, t, b"k").unwrap().as_ref(), b"v2");
+        assert_eq!(KvStore::table_len(&store, t), 1);
+        assert!(KvStore::delete(&store, t, b"k"));
+        assert!(KvStore::scan(&store, t).is_empty());
+        KvStore::flush(&store).unwrap();
+    }
+}

@@ -1,0 +1,108 @@
+//! Operation counters for store instrumentation.
+//!
+//! Benchmarks and the ablation experiments use these to report how many
+//! store round-trips each indexing flavor / query plan performs — the
+//! paper's cost driver once Cassandra is remote.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Monotonic counters over store operations. All methods are lock-free and
+/// safe to call from any thread.
+#[derive(Debug, Default)]
+pub struct StoreMetrics {
+    gets: AtomicU64,
+    puts: AtomicU64,
+    appends: AtomicU64,
+    deletes: AtomicU64,
+    bytes_read: AtomicU64,
+    bytes_written: AtomicU64,
+}
+
+impl StoreMetrics {
+    /// Fresh zeroed metrics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub(crate) fn record_get(&self, bytes: usize) {
+        self.gets.fetch_add(1, Ordering::Relaxed);
+        self.bytes_read.fetch_add(bytes as u64, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_put(&self, bytes: usize) {
+        self.puts.fetch_add(1, Ordering::Relaxed);
+        self.bytes_written.fetch_add(bytes as u64, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_append(&self, bytes: usize) {
+        self.appends.fetch_add(1, Ordering::Relaxed);
+        self.bytes_written.fetch_add(bytes as u64, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_delete(&self) {
+        self.deletes.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Number of `get` calls.
+    pub fn gets(&self) -> u64 {
+        self.gets.load(Ordering::Relaxed)
+    }
+
+    /// Number of `put` calls.
+    pub fn puts(&self) -> u64 {
+        self.puts.load(Ordering::Relaxed)
+    }
+
+    /// Number of `append` calls.
+    pub fn appends(&self) -> u64 {
+        self.appends.load(Ordering::Relaxed)
+    }
+
+    /// Number of `delete` calls.
+    pub fn deletes(&self) -> u64 {
+        self.deletes.load(Ordering::Relaxed)
+    }
+
+    /// Total bytes returned by `get`s.
+    pub fn bytes_read(&self) -> u64 {
+        self.bytes_read.load(Ordering::Relaxed)
+    }
+
+    /// Total bytes accepted by `put`/`append`.
+    pub fn bytes_written(&self) -> u64 {
+        self.bytes_written.load(Ordering::Relaxed)
+    }
+
+    /// Reset all counters to zero.
+    pub fn reset(&self) {
+        self.gets.store(0, Ordering::Relaxed);
+        self.puts.store(0, Ordering::Relaxed);
+        self.appends.store(0, Ordering::Relaxed);
+        self.deletes.store(0, Ordering::Relaxed);
+        self.bytes_read.store(0, Ordering::Relaxed);
+        self.bytes_written.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_reset() {
+        let m = StoreMetrics::new();
+        m.record_get(10);
+        m.record_get(5);
+        m.record_put(100);
+        m.record_append(7);
+        m.record_delete();
+        assert_eq!(m.gets(), 2);
+        assert_eq!(m.puts(), 1);
+        assert_eq!(m.appends(), 1);
+        assert_eq!(m.deletes(), 1);
+        assert_eq!(m.bytes_read(), 15);
+        assert_eq!(m.bytes_written(), 107);
+        m.reset();
+        assert_eq!(m.gets() + m.puts() + m.appends() + m.bytes_read(), 0);
+    }
+}

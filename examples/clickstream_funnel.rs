@@ -1,0 +1,142 @@
+//! Clickstream funnel analysis — the paper's motivating web scenario.
+//!
+//! §2.1 motivates both policies with e-shop examples: SC for "a search …
+//! immediately followed by adding this product to the cart without any
+//! other action in between", STNM for "after three searches for specific
+//! products there is no purchase eventually in the same session".
+//!
+//! This example generates a synthetic clickstream with a process model,
+//! indexes it under both policies, and answers exactly those two product
+//! questions, plus a skip-till-any-match drill-down.
+//!
+//! ```text
+//! cargo run --release --example clickstream_funnel
+//! ```
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use seqdet::prelude::*;
+use seqdet_log::Ts;
+
+const ACTIONS: [&str; 6] = ["search", "view", "add_to_cart", "checkout", "support", "purchase"];
+
+/// Generate `n` shopping sessions with realistic funnel drop-off.
+fn generate_sessions(n: usize, seed: u64) -> EventLog {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = EventLogBuilder::new();
+    for s in 0..n {
+        let session = format!("session-{s}");
+        let mut ts: Ts = 0;
+        let push = |b: &mut EventLogBuilder, action: &str, ts: &mut Ts| {
+            *ts += 1;
+            b.add(&session, action, *ts);
+        };
+        let searches = rng.gen_range(1..=4);
+        let mut carted = false;
+        for _ in 0..searches {
+            push(&mut b, "search", &mut ts);
+            if rng.gen_bool(0.8) {
+                push(&mut b, "view", &mut ts);
+                if rng.gen_bool(0.4) {
+                    push(&mut b, "add_to_cart", &mut ts);
+                    carted = true;
+                }
+            }
+            if rng.gen_bool(0.1) {
+                push(&mut b, "support", &mut ts);
+            }
+        }
+        if carted && rng.gen_bool(0.6) {
+            push(&mut b, "checkout", &mut ts);
+            if rng.gen_bool(0.9) {
+                push(&mut b, "purchase", &mut ts);
+            }
+        }
+    }
+    b.build()
+}
+
+fn main() {
+    let log = generate_sessions(2_000, 99);
+    println!(
+        "clickstream: {} sessions, {} events, actions: {:?}",
+        log.num_traces(),
+        log.num_events(),
+        ACTIONS
+    );
+
+    // Two indices, one per policy, as the policies index different pairs.
+    let mut sc_ix = Indexer::new(IndexConfig::new(Policy::StrictContiguity));
+    sc_ix.index_log(&log).expect("valid log");
+    let sc = QueryEngine::new(sc_ix.store()).expect("indexed store");
+
+    let mut stnm_ix = Indexer::new(IndexConfig::new(Policy::SkipTillNextMatch));
+    stnm_ix.index_log(&log).expect("valid log");
+    let stnm = QueryEngine::new(stnm_ix.store()).expect("indexed store");
+
+    // --------------------------------------------------------------
+    // Q1 (SC): search immediately followed by add_to_cart — no view in
+    // between. A UX signal: users who cart straight from search results.
+    // --------------------------------------------------------------
+    let p = sc.pattern(&["search", "add_to_cart"]).expect("known actions");
+    let direct = sc.detect(&p).expect("detection runs");
+    println!(
+        "\n[SC] search immediately → add_to_cart: {} times in {} sessions",
+        direct.total_completions(),
+        direct.traces().len()
+    );
+
+    // --------------------------------------------------------------
+    // Q2 (STNM): three searches with no purchase afterwards. We count
+    // sessions completing ⟨search,search,search⟩ and subtract those that
+    // complete ⟨search,search,search,purchase⟩.
+    // --------------------------------------------------------------
+    let s3 = stnm.pattern(&["search", "search", "search"]).expect("known actions");
+    let s3p = stnm
+        .pattern(&["search", "search", "search", "purchase"])
+        .expect("known actions");
+    let searched = stnm.detect(&s3).expect("detection runs").traces();
+    let converted = stnm.detect(&s3p).expect("detection runs").traces();
+    println!(
+        "[STNM] ≥3 searches: {} sessions; of those, {} purchased, {} abandoned",
+        searched.len(),
+        converted.len(),
+        searched.len() - converted.len()
+    );
+
+    // --------------------------------------------------------------
+    // Q3: funnel statistics from the Count tables alone (no detection):
+    // upper bound for the whole funnel and expected duration.
+    // --------------------------------------------------------------
+    let funnel = stnm
+        .pattern(&["search", "view", "add_to_cart", "checkout", "purchase"])
+        .expect("known actions");
+    let stats = stnm.stats(&funnel).expect("stats run");
+    println!("\nfull funnel pair statistics:");
+    for ps in &stats.pairs {
+        println!(
+            "  {} → {}: {} completions (avg gap {:.2})",
+            stnm.catalog().activity_name(ps.pair.0).unwrap(),
+            stnm.catalog().activity_name(ps.pair.1).unwrap(),
+            ps.completions,
+            ps.avg_duration
+        );
+    }
+    println!(
+        "full-funnel completions ≤ {} (exact: {})",
+        stats.max_completions,
+        stnm.detect(&funnel).expect("detection runs").total_completions()
+    );
+
+    // --------------------------------------------------------------
+    // Q4 (STAM, §7 extension): all overlapping ways a double-search
+    // precedes a purchase — an embedding count per session.
+    // --------------------------------------------------------------
+    let ssp = stnm.pattern(&["search", "search", "purchase"]).expect("known actions");
+    let any = stnm.detect_any_match(&ssp, 2).expect("detection runs");
+    println!(
+        "\n[STAM] ⟨search, search, purchase⟩ embeddings: {} across {} sessions",
+        any.total(),
+        any.num_traces()
+    );
+}

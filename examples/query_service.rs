@@ -1,0 +1,64 @@
+//! The two-component architecture end-to-end: a pre-processing run feeds a
+//! persistent store, then the query-processor *service* (Figure 1 of the
+//! paper) answers HTTP queries over it.
+//!
+//! ```text
+//! cargo run --release --example query_service
+//! ```
+
+use seqdet::prelude::*;
+use seqdet_datagen::ProcessTree;
+use seqdet_server::http::percent_encode;
+use seqdet_server::QueryServer;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+
+fn http_get(addr: std::net::SocketAddr, target: &str) -> String {
+    let mut stream = TcpStream::connect(addr).expect("server is listening");
+    write!(stream, "GET {target} HTTP/1.1\r\nHost: localhost\r\n\r\n").expect("request sent");
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("response read");
+    // Drop the header section for display.
+    response.split_once("\r\n\r\n").map(|(_, b)| b.to_owned()).unwrap_or(response)
+}
+
+fn main() {
+    // ---- pre-processing component ----
+    let process = ProcessTree::generate(12, 3);
+    let log = process.simulate(1_000, 80, 5);
+    let mut indexer = Indexer::new(IndexConfig::new(Policy::SkipTillNextMatch));
+    let stats = indexer.index_log(&log).expect("valid log");
+    println!(
+        "indexed {} events / {} pair occurrences from {} cases",
+        log.num_events(),
+        stats.new_pairs,
+        log.num_traces()
+    );
+
+    // ---- query-processor service ----
+    let server = QueryServer::bind("127.0.0.1:0", indexer.store()).expect("bind to a free port");
+    let addr = server.local_addr().expect("bound");
+    println!("query service on http://{addr}\n");
+    std::thread::spawn(move || server.serve_forever());
+
+    // ---- a client ----
+    println!("GET /info:\n{}", http_get(addr, "/info"));
+
+    // Ask for a pattern that certainly occurs: first two events of case-0.
+    let t0 = log.traces().next().expect("log non-empty");
+    let a = log.activity_name(t0.events()[0].activity).expect("named");
+    let b = log.activity_name(t0.events()[1].activity).expect("named");
+
+    let q = percent_encode(&format!("DETECT {a} -> {b} LIMIT 3"));
+    println!("DETECT {a} -> {b} LIMIT 3:\n{}", http_get(addr, &format!("/query?q={q}")));
+
+    let q = percent_encode(&format!("STATS {a} -> {b}"));
+    println!("STATS {a} -> {b}:\n{}", http_get(addr, &format!("/query?q={q}")));
+
+    let q = percent_encode(&format!("CONTINUE {a} USING hybrid K 3"));
+    println!("CONTINUE {a} USING hybrid K 3:\n{}", http_get(addr, &format!("/query?q={q}")));
+
+    // Malformed queries come back as 400s, not crashes.
+    let q = percent_encode("DETECT nothing -> nowhere");
+    println!("unknown activities:\n{}", http_get(addr, &format!("/query?q={q}")));
+}

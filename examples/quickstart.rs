@@ -1,0 +1,82 @@
+//! Quickstart: build a log, index it, run all three query families.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use seqdet::prelude::*;
+use seqdet_query::ContinuationMethod;
+
+fn main() {
+    // ------------------------------------------------------------------
+    // 1. Build a small event log. Three web sessions: search → view →
+    //    add-to-cart → checkout, with detours.
+    // ------------------------------------------------------------------
+    let mut builder = EventLogBuilder::new();
+    for (trace, events) in [
+        ("alice", vec!["search", "view", "add_to_cart", "checkout"]),
+        ("bob", vec!["search", "view", "search", "view", "add_to_cart"]),
+        ("carol", vec!["search", "support_chat", "view", "checkout"]),
+    ] {
+        for (i, ev) in events.iter().enumerate() {
+            builder.add(trace, ev, (i + 1) as Ts);
+        }
+    }
+    let log = builder.build();
+    println!(
+        "log: {} traces, {} events, {} activities",
+        log.num_traces(),
+        log.num_events(),
+        log.num_activities()
+    );
+
+    // ------------------------------------------------------------------
+    // 2. Index all event pairs under skip-till-next-match.
+    // ------------------------------------------------------------------
+    let mut indexer = Indexer::new(IndexConfig::new(Policy::SkipTillNextMatch));
+    let stats = indexer.index_log(&log).expect("valid log always indexes");
+    println!("indexed {} pair occurrences", stats.new_pairs);
+
+    // ------------------------------------------------------------------
+    // 3. Query.
+    // ------------------------------------------------------------------
+    let engine = QueryEngine::new(indexer.store()).expect("store was just written");
+
+    // 3a. Pattern detection: who searched, then viewed, then checked out
+    //     (other events may intervene — STNM)?
+    let pattern = engine.pattern(&["search", "view", "checkout"]).expect("known activities");
+    let result = engine.detect(&pattern).expect("detection runs");
+    println!("\n⟨search, view, checkout⟩ completions: {}", result.total_completions());
+    for m in &result.matches {
+        println!("  {} at times {:?}", engine.catalog().trace_name(m.trace).unwrap(), m.timestamps);
+    }
+
+    // 3b. Statistics: cheap pairwise aggregates bound the full pattern.
+    let s = engine.stats(&pattern).expect("stats run");
+    println!("\npairwise stats:");
+    for ps in &s.pairs {
+        println!(
+            "  ({} → {}): {} completions, avg gap {:.1}",
+            engine.catalog().activity_name(ps.pair.0).unwrap(),
+            engine.catalog().activity_name(ps.pair.1).unwrap(),
+            ps.completions,
+            ps.avg_duration,
+        );
+    }
+    println!("whole-pattern completions ≤ {}", s.max_completions);
+
+    // 3c. Pattern continuation: what usually follows ⟨search, view⟩?
+    let prefix = engine.pattern(&["search", "view"]).expect("known activities");
+    let props = engine
+        .continuations(&prefix, ContinuationMethod::Accurate { max_gap: None })
+        .expect("continuation runs");
+    println!("\nmost likely continuations of ⟨search, view⟩:");
+    for p in props.iter().take(3) {
+        println!(
+            "  {} (completions {}, score {:.3})",
+            engine.catalog().activity_name(p.activity).unwrap(),
+            p.completions,
+            p.score()
+        );
+    }
+}

@@ -1,0 +1,88 @@
+//! Dirty delivery streams: resent and late events must not corrupt the
+//! index — the operational property Algorithm 1's `LastChecked` guard and
+//! batch merging exist to provide.
+
+use proptest::prelude::*;
+use seqdet::prelude::*;
+use seqdet_datagen::noise::{from_raw, to_raw, with_duplicates, RawEvents};
+use seqdet_datagen::RandomLogSpec;
+use seqdet_log::ops::split_by_period;
+use seqdet_query::QueryEngine;
+use seqdet_storage::MemStore;
+
+fn detection_fingerprint(ix: &Indexer<MemStore>, log: &seqdet_log::EventLog) -> Vec<usize> {
+    // Completion counts for every activity pair, in name order — a full
+    // behavioural fingerprint of the index.
+    let engine = QueryEngine::new(ix.store()).expect("indexed store");
+    let mut names: Vec<&str> = Vec::new();
+    for trace in log.traces() {
+        for ev in trace.events() {
+            names.push(log.activity_name(ev.activity).expect("named"));
+        }
+    }
+    names.sort_unstable();
+    names.dedup();
+    let mut out = Vec::new();
+    for &a in &names {
+        for &b in &names {
+            let p = engine.pattern(&[a, b]).expect("known names");
+            out.push(engine.detect(&p).expect("detect runs").total_completions());
+        }
+    }
+    out
+}
+
+#[test]
+fn duplicated_batches_leave_the_index_unchanged() {
+    let log = RandomLogSpec::new(20, 15, 5).generate();
+    let clean = {
+        let mut ix = Indexer::new(IndexConfig::new(Policy::SkipTillNextMatch));
+        ix.index_log(&log).expect("valid log");
+        ix
+    };
+    // Deliver the same events three times over.
+    let raw = to_raw(&log);
+    let noisy: RawEvents = with_duplicates(&raw, 2.0, 7);
+    let mut dirty = Indexer::new(IndexConfig::new(Policy::SkipTillNextMatch));
+    dirty.index_log(&from_raw(&noisy)).expect("valid log");
+    // Replay the whole thing once more for good measure.
+    let replay = dirty.index_log(&log).expect("valid log");
+    assert_eq!(replay.new_pairs, 0);
+    assert_eq!(detection_fingerprint(&clean, &log), detection_fingerprint(&dirty, &log));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Periodic batching via `split_by_period` + duplicate resends per
+    /// batch converges to the same index as one clean bulk load.
+    #[test]
+    fn periodic_batches_with_resends_equal_bulk(
+        traces in prop::collection::vec(prop::collection::vec(0u32..4, 2..20), 1..8),
+        period in 2u64..8,
+        dup_fraction in 0.0f64..1.0,
+    ) {
+        let mut b = EventLogBuilder::new();
+        for (t, acts) in traces.iter().enumerate() {
+            for (i, a) in acts.iter().enumerate() {
+                b.add(&format!("t{t}"), &format!("a{a}"), i as u64 + 1);
+            }
+        }
+        let log = b.build();
+
+        let mut bulk = Indexer::new(IndexConfig::new(Policy::SkipTillNextMatch));
+        bulk.index_log(&log).expect("valid log");
+
+        let mut periodic = Indexer::new(IndexConfig::new(Policy::SkipTillNextMatch));
+        for batch in split_by_period(&log, period) {
+            // Each batch arrives with duplicated records.
+            let raw = to_raw(&batch);
+            let noisy = with_duplicates(&raw, dup_fraction, 11);
+            periodic.index_log(&from_raw(&noisy)).expect("valid batch");
+        }
+        prop_assert_eq!(
+            detection_fingerprint(&bulk, &log),
+            detection_fingerprint(&periodic, &log)
+        );
+    }
+}

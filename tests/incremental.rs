@@ -1,0 +1,166 @@
+//! Incremental-update equivalence: splitting a log into arbitrary batches
+//! must produce exactly the same index as bulk loading (Algorithm 1's
+//! correctness claim), for every policy and STNM flavor.
+
+use proptest::prelude::*;
+use seqdet::prelude::*;
+use seqdet_core::indexer::active_index_tables;
+use seqdet_core::tables::{read_postings, Posting};
+use seqdet_log::{EventLog, EventLogBuilder};
+use seqdet_storage::MemStore;
+
+/// Collect the full index contents (every pair's postings, sorted).
+fn all_postings(ix: &Indexer<MemStore>) -> Vec<(u64, Vec<Posting>)> {
+    let store = ix.store();
+    let tables = active_index_tables(store.as_ref());
+    let l = ix.catalog().num_activities() as u32;
+    let mut out = Vec::new();
+    for a in 0..l {
+        for b in 0..l {
+            let key = seqdet_log::Activity::pair_key(
+                seqdet_log::Activity(a),
+                seqdet_log::Activity(b),
+            );
+            let mut ps = Vec::new();
+            for &t in &tables {
+                ps.extend(read_postings(store.as_ref(), t, key).expect("rows decode"));
+            }
+            ps.sort();
+            if !ps.is_empty() {
+                out.push((key, ps));
+            }
+        }
+    }
+    out
+}
+
+/// Build per-batch logs: batch `k` holds events `cuts[k-1]..cuts[k]` of
+/// each trace (by position).
+fn split_batches(traces: &[Vec<u32>], num_batches: usize) -> Vec<EventLog> {
+    (0..num_batches)
+        .map(|k| {
+            let mut b = EventLogBuilder::new();
+            for (t, acts) in traces.iter().enumerate() {
+                let name = format!("t{t}");
+                // Batches must be time-contiguous chunks of each trace.
+                let chunk = acts.len().div_ceil(num_batches);
+                let lo = (k * chunk).min(acts.len());
+                let hi = ((k + 1) * chunk).min(acts.len());
+                for (off, &a) in acts[lo..hi].iter().enumerate() {
+                    b.add(&name, &format!("a{a}"), (lo + off) as u64 + 1);
+                }
+            }
+            b.build()
+        })
+        .collect()
+}
+
+fn bulk_log(traces: &[Vec<u32>]) -> EventLog {
+    let mut b = EventLogBuilder::new();
+    for (t, acts) in traces.iter().enumerate() {
+        let name = format!("t{t}");
+        for (i, &a) in acts.iter().enumerate() {
+            b.add(&name, &format!("a{a}"), i as u64 + 1);
+        }
+    }
+    b.build()
+}
+
+fn check_equivalence(traces: &[Vec<u32>], num_batches: usize, cfg: IndexConfig) {
+    let mut bulk = Indexer::new(cfg);
+    bulk.index_log(&bulk_log(traces)).expect("bulk indexes");
+    let mut inc = Indexer::new(cfg);
+    for batch in split_batches(traces, num_batches) {
+        inc.index_log(&batch).expect("batch indexes");
+    }
+    // Activity ids may be assigned in a different order across the two
+    // runs; compare postings through name-normalized keys.
+    let canon = |ix: &Indexer<MemStore>| -> Vec<(String, Vec<Posting>)> {
+        let mut v: Vec<(String, Vec<Posting>)> = all_postings(ix)
+            .into_iter()
+            .map(|(key, ps)| {
+                let (a, b) = seqdet_log::Activity::unpack_pair(key);
+                let name = format!(
+                    "{}-{}",
+                    ix.catalog().activity_name(a).expect("known activity"),
+                    ix.catalog().activity_name(b).expect("known activity"),
+                );
+                (name, ps)
+            })
+            .collect();
+        v.sort();
+        v
+    };
+    assert_eq!(canon(&bulk), canon(&inc), "batched ≠ bulk for {cfg:?}");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn batched_equals_bulk_stnm_indexing(
+        traces in prop::collection::vec(prop::collection::vec(0u32..4, 1..30), 1..10),
+        num_batches in 2usize..5,
+    ) {
+        check_equivalence(&traces, num_batches, IndexConfig::new(Policy::SkipTillNextMatch));
+    }
+
+    #[test]
+    fn batched_equals_bulk_sc(
+        traces in prop::collection::vec(prop::collection::vec(0u32..4, 1..30), 1..10),
+        num_batches in 2usize..5,
+    ) {
+        check_equivalence(&traces, num_batches, IndexConfig::new(Policy::StrictContiguity));
+    }
+
+    #[test]
+    fn batched_equals_bulk_all_stnm_methods(
+        traces in prop::collection::vec(prop::collection::vec(0u32..3, 1..20), 1..6),
+        num_batches in 2usize..4,
+    ) {
+        for method in StnmMethod::ALL {
+            check_equivalence(
+                &traces,
+                num_batches,
+                IndexConfig::new(Policy::SkipTillNextMatch).with_method(method),
+            );
+        }
+    }
+
+    #[test]
+    fn batched_equals_bulk_partitioned(
+        traces in prop::collection::vec(prop::collection::vec(0u32..4, 1..25), 1..8),
+        num_batches in 2usize..4,
+    ) {
+        check_equivalence(
+            &traces,
+            num_batches,
+            IndexConfig::new(Policy::SkipTillNextMatch).with_partition_period(7),
+        );
+    }
+}
+
+#[test]
+fn three_daily_batches_extend_open_traces() {
+    // Deterministic version of the scenario in the incremental example.
+    let mk = |day: u64| {
+        let mut b = EventLogBuilder::new();
+        for s in 0..4 {
+            let base = day * 100;
+            let name = format!("s{s}");
+            b.add(&name, "go", base + 1).add(&name, "work", base + 2).add(&name, "stop", base + 3);
+        }
+        b.build()
+    };
+    let mut ix = Indexer::new(IndexConfig::new(Policy::SkipTillNextMatch));
+    for day in 1..=3 {
+        ix.index_log(&mk(day)).expect("batch indexes");
+    }
+    let engine = seqdet_query::QueryEngine::new(ix.store()).expect("indexed store");
+    let p = engine.pattern(&["go", "stop"]).expect("known activities");
+    // Each of 4 traces completes go→stop three times (once per day).
+    assert_eq!(engine.detect(&p).expect("detect runs").total_completions(), 12);
+    // And the cross-day pair stop→go completes twice per trace.
+    let p = engine.pattern(&["stop", "go"]).expect("known activities");
+    assert_eq!(engine.detect(&p).expect("detect runs").total_completions(), 8);
+}

@@ -1,0 +1,154 @@
+//! Failure injection and extension-feature integration tests.
+
+use proptest::prelude::*;
+use seqdet::prelude::*;
+use seqdet_baselines::SaseEngine;
+use seqdet_core::tables::{pair_key_bytes, INDEX};
+use seqdet_log::{EventLog, Pattern};
+use seqdet_query::{QueryEngine, QueryError};
+use seqdet_storage::{KvStore, MemStore};
+
+fn build_log(traces: &[Vec<u32>]) -> EventLog {
+    let mut b = EventLogBuilder::new();
+    for (t, acts) in traces.iter().enumerate() {
+        let name = format!("t{t}");
+        for (i, &a) in acts.iter().enumerate() {
+            b.add(&name, &format!("a{a}"), i as u64 + 1);
+        }
+    }
+    b.build()
+}
+
+fn engine_for(log: &EventLog) -> (Indexer<MemStore>, QueryEngine<MemStore>) {
+    let mut ix = Indexer::new(IndexConfig::new(Policy::SkipTillNextMatch));
+    ix.index_log(log).expect("valid log");
+    let engine = QueryEngine::new(ix.store()).expect("indexed store");
+    (ix, engine)
+}
+
+#[test]
+fn corrupted_index_row_surfaces_as_error_not_panic() {
+    let log = build_log(&[vec![0, 1, 0, 1]]);
+    let (ix, engine) = engine_for(&log);
+    let p = Pattern::from_log(&log, &["a0", "a1"]).expect("known");
+    assert_eq!(engine.detect(&p).expect("detect runs").total_completions(), 2);
+    // Truncate the posting row behind the engine's back (21 bytes: one
+    // posting plus one stray byte).
+    let key = seqdet_log::Activity::pair_key(
+        ix.catalog().activity("a0").expect("known"),
+        ix.catalog().activity("a1").expect("known"),
+    );
+    let store = ix.store();
+    store.put(INDEX, &pair_key_bytes(key), &[0xFF; 21]);
+    match engine.detect(&p) {
+        Err(QueryError::Core(seqdet_core::CoreError::Corrupt { table, .. })) => {
+            assert_eq!(table, "Index");
+        }
+        other => panic!("expected corruption error, got {other:?}"),
+    }
+}
+
+#[test]
+fn query_language_end_to_end_over_the_facade() {
+    let log = build_log(&[vec![0, 1, 2], vec![0, 2]]);
+    let (_ix, engine) = engine_for(&log);
+    let out = seqdet_query::lang::run(&engine, "DETECT a0 -> a2 WITHIN 1").expect("query runs");
+    match out {
+        seqdet_query::QueryOutput::Detection(r) => {
+            assert_eq!(r.total_completions(), 1); // only the tight t1 pair
+        }
+        other => panic!("unexpected output {other:?}"),
+    }
+}
+
+#[test]
+fn windowed_index_vs_windowed_automaton_divergence_is_pinned() {
+    // Trace a0@1 … a1@9 with a second a0@8, window 3: the greedy pair in
+    // the index is (1,9) — too wide — while a windowed automaton restarts
+    // its stale run and finds (8,9). `detect_within` filters the *indexed
+    // greedy pairs* (the paper's Algorithm-2 results) by span; it does not
+    // re-derive tighter pairings. This pins that documented semantics.
+    let log = build_log(&[vec![0, 2, 2, 2, 2, 2, 2, 0, 1]]);
+    let p = Pattern::from_log(&log, &["a0", "a1"]).expect("known");
+    let (_ix, engine) = engine_for(&log);
+    assert_eq!(engine.detect(&p).expect("runs").total_completions(), 1); // the (1,9) pair
+    assert_eq!(engine.detect_within(&p, 3).expect("runs").total_completions(), 0);
+    let sase = SaseEngine::new(&log);
+    let m = sase.detect_stnm_within(&p, 3);
+    assert_eq!(m.len(), 1);
+    assert_eq!(m[0].timestamps, vec![8, 9]);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every windowed completion we report is also found by the windowed
+    /// SASE automaton *or* corresponds to a greedy pair chain the automaton
+    /// visited — concretely: each of our matches is a real embedding whose
+    /// span fits the window (soundness of `detect_within`).
+    #[test]
+    fn windowed_detection_is_sound(
+        traces in prop::collection::vec(prop::collection::vec(0u32..4, 1..30), 1..10),
+        pat in prop::collection::vec(0u32..4, 2..=3),
+        window in 1u64..20,
+    ) {
+        let log = build_log(&traces);
+        let names: Vec<String> = pat.iter().map(|a| format!("a{a}")).collect();
+        let refs: Vec<&str> = names.iter().map(String::as_str).collect();
+        let Some(p) = Pattern::from_log(&log, &refs) else { return Ok(()) };
+        let (_ix, engine) = engine_for(&log);
+        let ours = engine.detect_within(&p, window).expect("detect runs");
+        for m in &ours.matches {
+            prop_assert!(m.duration() <= window);
+            let trace = log.trace(m.trace).expect("trace exists");
+            for (i, &ts) in m.timestamps.iter().enumerate() {
+                let ev = trace.events().iter().find(|e| e.ts == ts).expect("event exists");
+                prop_assert_eq!(ev.activity, p.activities()[i]);
+            }
+        }
+    }
+
+    /// Windowed results are exactly the unwindowed results whose span fits.
+    #[test]
+    fn window_filters_exactly_by_span(
+        traces in prop::collection::vec(prop::collection::vec(0u32..4, 1..25), 1..8),
+        pat in prop::collection::vec(0u32..4, 2..5),
+        window in 1u64..15,
+    ) {
+        let log = build_log(&traces);
+        let names: Vec<String> = pat.iter().map(|a| format!("a{a}")).collect();
+        let refs: Vec<&str> = names.iter().map(String::as_str).collect();
+        let Some(p) = Pattern::from_log(&log, &refs) else { return Ok(()) };
+        let (_ix, engine) = engine_for(&log);
+        let all = engine.detect(&p).expect("detect runs");
+        let windowed = engine.detect_within(&p, window).expect("detect runs");
+        let expected: Vec<_> =
+            all.matches.iter().filter(|m| m.duration() <= window).cloned().collect();
+        prop_assert_eq!(windowed.matches, expected);
+    }
+
+    /// Retiring partitions never invents postings: queries over the
+    /// remaining partitions return a subset of the full result.
+    #[test]
+    fn partition_retirement_is_monotone(
+        traces in prop::collection::vec(prop::collection::vec(0u32..3, 2..20), 1..6),
+        cutoff in 1u64..25,
+    ) {
+        let log = build_log(&traces);
+        let cfg = IndexConfig::new(Policy::SkipTillNextMatch).with_partition_period(5);
+        let mut ix = Indexer::new(cfg);
+        ix.index_log(&log).expect("valid log");
+        let engine = QueryEngine::new(ix.store()).expect("indexed store");
+        let Some(p) = Pattern::from_log(&log, &["a0", "a1"]) else { return Ok(()) };
+        let before = engine.detect(&p).expect("detect runs");
+        ix.drop_partitions_before(cutoff).expect("retirement runs");
+        // Re-open the engine to pick up the new partition floor.
+        let engine = QueryEngine::new(ix.store()).expect("indexed store");
+        let after = engine.detect(&p).expect("detect runs");
+        prop_assert!(after.total_completions() <= before.total_completions());
+        for m in &after.matches {
+            prop_assert!(before.matches.contains(m));
+            prop_assert!(m.end() >= (cutoff / 5) * 5, "retired posting leaked: {m:?}");
+        }
+    }
+}
