@@ -202,7 +202,7 @@ mod tests {
         assert_eq!(ab.occurrences, 3);
         let bc = ix.detect_sc(&pat(&l, &["B", "C"]));
         assert_eq!(bc.traces.len(), 3); // t1, t2, t4
-        // Non-contiguous A…C is NOT found (SC only).
+                                        // Non-contiguous A…C is NOT found (SC only).
         let ac = ix.detect_sc(&pat(&l, &["A", "C"]));
         assert!(ac.traces.is_empty());
         // Full variant works.

@@ -156,31 +156,30 @@ impl TextSearchIndex {
         let mut buffer: HashMap<Activity, Vec<DocPosting>> = HashMap::new();
         let mut buffered_docs = 0usize;
 
-        let flush =
-            |buffer: &mut HashMap<Activity, Vec<DocPosting>>,
-             buffered_docs: &mut usize,
-             tiers: &mut Vec<Vec<Segment>>| {
-                if *buffered_docs == 0 {
-                    return;
-                }
-                let seg = Segment { postings: std::mem::take(buffer), docs: *buffered_docs };
-                *buffered_docs = 0;
-                if tiers.is_empty() {
+        let flush = |buffer: &mut HashMap<Activity, Vec<DocPosting>>,
+                     buffered_docs: &mut usize,
+                     tiers: &mut Vec<Vec<Segment>>| {
+            if *buffered_docs == 0 {
+                return;
+            }
+            let seg = Segment { postings: std::mem::take(buffer), docs: *buffered_docs };
+            *buffered_docs = 0;
+            if tiers.is_empty() {
+                tiers.push(Vec::new());
+            }
+            tiers[0].push(seg);
+            // Cascade merges up the tiers.
+            let mut level = 0;
+            while tiers[level].len() >= MERGE_FACTOR {
+                let run = std::mem::take(&mut tiers[level]);
+                let merged = merge_segments(run);
+                if tiers.len() == level + 1 {
                     tiers.push(Vec::new());
                 }
-                tiers[0].push(seg);
-                // Cascade merges up the tiers.
-                let mut level = 0;
-                while tiers[level].len() >= MERGE_FACTOR {
-                    let run = std::mem::take(&mut tiers[level]);
-                    let merged = merge_segments(run);
-                    if tiers.len() == level + 1 {
-                        tiers.push(Vec::new());
-                    }
-                    tiers[level + 1].push(merged);
-                    level += 1;
-                }
-            };
+                tiers[level + 1].push(merged);
+                level += 1;
+            }
+        };
 
         for trace in log.traces() {
             // Client side: serialize the document.
@@ -243,9 +242,7 @@ impl TextSearchIndex {
         smallest
             .iter()
             .map(|p| p.doc)
-            .filter(|doc| {
-                rest.iter().all(|l| l.binary_search_by_key(doc, |p| p.doc).is_ok())
-            })
+            .filter(|doc| rest.iter().all(|l| l.binary_search_by_key(doc, |p| p.doc).is_ok()))
             .collect()
     }
 
@@ -275,8 +272,7 @@ impl TextSearchIndex {
         self.candidates(pattern)
             .into_iter()
             .filter_map(|doc| {
-                self.verify_stnm(doc, pattern)
-                    .map(|timestamps| DocMatch { trace: doc, timestamps })
+                self.verify_stnm(doc, pattern).map(|timestamps| DocMatch { trace: doc, timestamps })
             })
             .collect()
     }

@@ -15,7 +15,10 @@ use std::time::Duration;
 
 fn bench_join_strategy(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation_join_strategy");
-    group.sample_size(15).warm_up_time(Duration::from_millis(200)).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(15)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_secs(2));
     let log = DatasetProfile::by_name("bpi_2017").expect("profile exists").scaled(100).generate();
     let mut ix = Indexer::new(IndexConfig::new(Policy::SkipTillNextMatch));
     ix.index_log(&log).expect("valid log");
@@ -36,7 +39,10 @@ fn bench_join_strategy(c: &mut Criterion) {
 
 fn bench_store_backend(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation_store_backend");
-    group.sample_size(10).warm_up_time(Duration::from_millis(200)).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_secs(3));
     let log = DatasetProfile::by_name("bpi_2020").expect("profile exists").scaled(50).generate();
     group.bench_function("mem", |b| {
         b.iter(|| {
@@ -49,9 +55,8 @@ fn bench_store_backend(c: &mut Criterion) {
         b.iter(|| {
             let _ = std::fs::remove_dir_all(&dir);
             let store = Arc::new(DiskStore::open(&dir).expect("dir writable"));
-            let mut ix =
-                Indexer::with_store(store, IndexConfig::new(Policy::SkipTillNextMatch))
-                    .expect("fresh store");
+            let mut ix = Indexer::with_store(store, IndexConfig::new(Policy::SkipTillNextMatch))
+                .expect("fresh store");
             ix.index_log(&log).expect("valid log").new_pairs
         });
         let _ = std::fs::remove_dir_all(&dir);
@@ -61,15 +66,17 @@ fn bench_store_backend(c: &mut Criterion) {
 
 fn bench_partitioning(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation_partitioning");
-    group.sample_size(15).warm_up_time(Duration::from_millis(200)).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(15)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_secs(2));
     let log = DatasetProfile::by_name("med_5000").expect("profile exists").scaled(20).generate();
     let horizon = log.max_trace_len() as u64 + 1;
     for (name, cfg) in [
         ("single", IndexConfig::new(Policy::SkipTillNextMatch)),
         (
             "partitioned_8",
-            IndexConfig::new(Policy::SkipTillNextMatch)
-                .with_partition_period((horizon / 8).max(1)),
+            IndexConfig::new(Policy::SkipTillNextMatch).with_partition_period((horizon / 8).max(1)),
         ),
     ] {
         let mut ix = Indexer::new(cfg);

@@ -20,7 +20,10 @@ fn engine() -> (seqdet_log::EventLog, QueryEngine<MemStore>) {
 fn bench_fig5_by_length(c: &mut Criterion) {
     let (log, engine) = engine();
     let mut group = c.benchmark_group("fig5_continuation_length");
-    group.sample_size(10).warm_up_time(Duration::from_millis(200)).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_secs(2));
     for len in [1usize, 2, 4, 6] {
         let batch = pattern_batch(&log, len, 5, PatternMode::Embedded, 17);
         group.bench_with_input(BenchmarkId::new("accurate", len), &batch, |b, batch| {
@@ -56,7 +59,10 @@ fn bench_fig5_by_length(c: &mut Criterion) {
 fn bench_fig6_by_topk(c: &mut Criterion) {
     let (log, engine) = engine();
     let mut group = c.benchmark_group("fig6_continuation_topk");
-    group.sample_size(10).warm_up_time(Duration::from_millis(200)).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_secs(2));
     let batch = pattern_batch(&log, 4, 5, PatternMode::Embedded, 19);
     for k in [0usize, 2, 8, 32, log.num_activities()] {
         group.bench_with_input(BenchmarkId::from_parameter(k), &batch, |b, batch| {

@@ -8,22 +8,20 @@ use std::time::Duration;
 
 fn bench_indexing_methods(c: &mut Criterion) {
     let mut group = c.benchmark_group("table5_indexing_methods");
-    group.sample_size(10).warm_up_time(Duration::from_millis(300)).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
     for name in ["bpi_2013", "bpi_2020", "med_5000", "min_10000"] {
         let log = DatasetProfile::by_name(name).expect("profile exists").scaled(50).generate();
         for method in StnmMethod::ALL {
-            group.bench_with_input(
-                BenchmarkId::new(method.name(), name),
-                &log,
-                |b, log| {
-                    b.iter(|| {
-                        let cfg =
-                            IndexConfig::new(Policy::SkipTillNextMatch).with_method(method);
-                        let mut ix = Indexer::new(cfg);
-                        ix.index_log(log).expect("valid log").new_pairs
-                    })
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(method.name(), name), &log, |b, log| {
+                b.iter(|| {
+                    let cfg = IndexConfig::new(Policy::SkipTillNextMatch).with_method(method);
+                    let mut ix = Indexer::new(cfg);
+                    ix.index_log(log).expect("valid log").new_pairs
+                })
+            });
         }
     }
     group.finish();

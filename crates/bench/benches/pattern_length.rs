@@ -10,7 +10,10 @@ use std::time::Duration;
 
 fn bench_pattern_length(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig4_pattern_length");
-    group.sample_size(15).warm_up_time(Duration::from_millis(200)).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(15)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_secs(2));
     let log = DatasetProfile::by_name("max_10000").expect("profile exists").scaled(50).generate();
     let mut ix = Indexer::new(IndexConfig::new(Policy::SkipTillNextMatch));
     ix.index_log(&log).expect("valid log");

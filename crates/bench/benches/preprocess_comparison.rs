@@ -9,7 +9,10 @@ use std::time::Duration;
 
 fn bench_preprocess(c: &mut Criterion) {
     let mut group = c.benchmark_group("table6_preprocess");
-    group.sample_size(10).warm_up_time(Duration::from_millis(300)).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
     for name in ["bpi_2013", "bpi_2017", "max_1000"] {
         let log = DatasetProfile::by_name(name).expect("profile exists").scaled(50).generate();
         group.bench_with_input(BenchmarkId::new("subtree_19", name), &log, |b, log| {
@@ -23,8 +26,8 @@ fn bench_preprocess(c: &mut Criterion) {
         });
         group.bench_with_input(BenchmarkId::new("stnm_indexing", name), &log, |b, log| {
             b.iter(|| {
-                let cfg = IndexConfig::new(Policy::SkipTillNextMatch)
-                    .with_method(StnmMethod::Indexing);
+                let cfg =
+                    IndexConfig::new(Policy::SkipTillNextMatch).with_method(StnmMethod::Indexing);
                 let mut ix = Indexer::new(cfg);
                 ix.index_log(log).expect("valid log").new_pairs
             })

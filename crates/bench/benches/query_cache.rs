@@ -1,0 +1,113 @@
+//! Posting-cache ablation: cold (cache disabled) vs warm (cache enabled,
+//! pre-warmed) query latency for SC and STNM detection.
+//!
+//! Cold measures the full read path — row fetch, zero-copy cursor decode,
+//! per-trace grouping, join. Warm serves the grouped postings straight from
+//! the cache, leaving only the join. Alongside the criterion output the
+//! bench writes a machine-readable baseline to `results_query_cache.json`
+//! at the workspace root (next to the other `results_*` files), recording
+//! median cold/warm nanoseconds per query batch and the speedup.
+
+use criterion::{criterion_group, BenchmarkId, Criterion};
+use seqdet_core::{IndexConfig, Indexer, Policy};
+use seqdet_datagen::patterns::{pattern_batch, PatternMode};
+use seqdet_datagen::DatasetProfile;
+use seqdet_log::{EventLog, Pattern};
+use seqdet_query::QueryEngine;
+use seqdet_storage::MemStore;
+use std::time::{Duration, Instant};
+
+fn indexed(log: &EventLog, policy: Policy) -> QueryEngine<MemStore> {
+    let mut ix = Indexer::new(IndexConfig::new(policy));
+    ix.index_log(log).expect("valid log");
+    QueryEngine::new(ix.store()).expect("indexed store")
+}
+
+fn cold_engine(log: &EventLog, policy: Policy) -> QueryEngine<MemStore> {
+    let mut ix = Indexer::new(IndexConfig::new(policy));
+    ix.index_log(log).expect("valid log");
+    QueryEngine::new(ix.store()).expect("indexed store").with_cache_capacity(0)
+}
+
+fn run_batch(engine: &QueryEngine<MemStore>, batch: &[Pattern]) -> usize {
+    batch.iter().map(|p| engine.detect(p).expect("detect runs").total_completions()).sum()
+}
+
+fn bench_query_cache(c: &mut Criterion) {
+    let mut group = c.benchmark_group("query_cache");
+    group
+        .sample_size(15)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_secs(2));
+    let log = DatasetProfile::by_name("bpi_2017").expect("profile exists").scaled(50).generate();
+    for (name, policy, mode) in [
+        ("sc", Policy::StrictContiguity, PatternMode::Contiguous),
+        ("stnm", Policy::SkipTillNextMatch, PatternMode::Random),
+    ] {
+        let batch = pattern_batch(&log, 8, 25, mode, 13);
+        let cold = cold_engine(&log, policy);
+        let warm = indexed(&log, policy);
+        run_batch(&warm, &batch); // pre-warm
+        group.bench_with_input(BenchmarkId::new("cold", name), &batch, |b, batch| {
+            b.iter(|| run_batch(&cold, batch))
+        });
+        group.bench_with_input(BenchmarkId::new("warm", name), &batch, |b, batch| {
+            b.iter(|| run_batch(&warm, batch))
+        });
+    }
+    group.finish();
+}
+
+/// Median wall-clock nanoseconds of `samples` runs of `f`.
+fn median_ns(samples: usize, mut f: impl FnMut() -> usize) -> u64 {
+    let mut times: Vec<u64> = (0..samples)
+        .map(|_| {
+            let t = Instant::now();
+            std::hint::black_box(f());
+            t.elapsed().as_nanos() as u64
+        })
+        .collect();
+    times.sort_unstable();
+    times[times.len() / 2]
+}
+
+/// Direct cold/warm measurement written as the JSON baseline.
+fn write_baseline() {
+    let log = DatasetProfile::by_name("bpi_2017").expect("profile exists").scaled(50).generate();
+    let mut entries = Vec::new();
+    for (name, policy, mode) in [
+        ("sc", Policy::StrictContiguity, PatternMode::Contiguous),
+        ("stnm", Policy::SkipTillNextMatch, PatternMode::Random),
+    ] {
+        let batch = pattern_batch(&log, 8, 25, mode, 13);
+        let cold = cold_engine(&log, policy);
+        let warm = indexed(&log, policy);
+        run_batch(&warm, &batch); // pre-warm
+        run_batch(&cold, &batch); // fault in lazily touched rows
+        let cold_ns = median_ns(15, || run_batch(&cold, &batch));
+        let warm_ns = median_ns(15, || run_batch(&warm, &batch));
+        let speedup = cold_ns as f64 / warm_ns.max(1) as f64;
+        println!("query_cache/{name}: cold {cold_ns} ns, warm {warm_ns} ns, {speedup:.2}x");
+        entries.push(format!(
+            "  \"{name}\": {{\"cold_ns\": {cold_ns}, \"warm_ns\": {warm_ns}, \
+             \"speedup\": {speedup:.3}}}"
+        ));
+    }
+    let json = format!(
+        "{{\n  \"bench\": \"query_cache\",\n  \"profile\": \"bpi_2017/50\",\n\
+         \"pattern_len\": 8, \"batch\": 25,\n{}\n}}\n",
+        entries.join(",\n")
+    );
+    // Workspace root, next to the other results_* baselines.
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../results_query_cache.json");
+    if let Err(e) = std::fs::write(path, json) {
+        eprintln!("could not write {path}: {e}");
+    }
+}
+
+criterion_group!(benches, bench_query_cache);
+
+fn main() {
+    benches();
+    write_baseline();
+}

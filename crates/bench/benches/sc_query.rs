@@ -11,7 +11,10 @@ use std::time::Duration;
 
 fn bench_sc_query(c: &mut Criterion) {
     let mut group = c.benchmark_group("table7_sc_query");
-    group.sample_size(20).warm_up_time(Duration::from_millis(200)).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_secs(2));
     let log = DatasetProfile::by_name("med_5000").expect("profile exists").scaled(20).generate();
     let subtree = SubtreeIndex::build(&log);
     let mut ix = Indexer::new(IndexConfig::new(Policy::StrictContiguity));
@@ -20,9 +23,7 @@ fn bench_sc_query(c: &mut Criterion) {
     for len in [2usize, 10] {
         let batch = pattern_batch(&log, len, 25, PatternMode::Contiguous, 7);
         group.bench_with_input(BenchmarkId::new("subtree_19", len), &batch, |b, batch| {
-            b.iter(|| {
-                batch.iter().map(|p| subtree.detect_sc(p).occurrences).sum::<usize>()
-            })
+            b.iter(|| batch.iter().map(|p| subtree.detect_sc(p).occurrences).sum::<usize>())
         });
         group.bench_with_input(BenchmarkId::new("ours", len), &batch, |b, batch| {
             b.iter(|| {

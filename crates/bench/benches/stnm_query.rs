@@ -11,7 +11,10 @@ use std::time::Duration;
 
 fn bench_stnm_query(c: &mut Criterion) {
     let mut group = c.benchmark_group("table8_stnm_query");
-    group.sample_size(10).warm_up_time(Duration::from_millis(200)).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_secs(2));
     let log = DatasetProfile::by_name("bpi_2017").expect("profile exists").scaled(100).generate();
     let es = TextSearchIndex::build(&log);
     let sase = SaseEngine::new(&log);

@@ -14,7 +14,10 @@ fn run(log: &seqdet_log::EventLog, method: StnmMethod) -> usize {
 
 fn bench_events_axis(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig3_events_per_trace");
-    group.sample_size(10).warm_up_time(Duration::from_millis(200)).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_secs(2));
     for events in [10usize, 50, 100, 200] {
         let log = RandomLogSpec::new(100, events, 50).generate();
         group.throughput(Throughput::Elements(log.num_events() as u64));
@@ -29,7 +32,10 @@ fn bench_events_axis(c: &mut Criterion) {
 
 fn bench_traces_axis(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig3_traces");
-    group.sample_size(10).warm_up_time(Duration::from_millis(200)).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_secs(2));
     for traces in [10usize, 50, 100, 250] {
         let log = RandomLogSpec::new(traces, 100, 10).generate();
         group.throughput(Throughput::Elements(log.num_events() as u64));
@@ -44,7 +50,10 @@ fn bench_traces_axis(c: &mut Criterion) {
 
 fn bench_activities_axis(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig3_activities");
-    group.sample_size(10).warm_up_time(Duration::from_millis(200)).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_secs(2));
     for acts in [4usize, 20, 100, 500] {
         let log = RandomLogSpec::new(50, 50, acts).generate();
         for method in StnmMethod::ALL {

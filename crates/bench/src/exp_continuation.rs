@@ -86,16 +86,11 @@ fn ks(l: usize) -> Vec<usize> {
 /// propositions Accurate returns, the fraction of Hybrid's top `k_acc`
 /// propositions that Accurate also reports (by activity).
 pub fn hybrid_accuracy(accurate: &[Proposition], hybrid: &[Proposition]) -> f64 {
-    let truth: Vec<_> =
-        accurate.iter().filter(|p| p.completions > 0).map(|p| p.activity).collect();
+    let truth: Vec<_> = accurate.iter().filter(|p| p.completions > 0).map(|p| p.activity).collect();
     if truth.is_empty() {
         return 1.0;
     }
-    let hits = hybrid
-        .iter()
-        .take(truth.len())
-        .filter(|p| truth.contains(&p.activity))
-        .count();
+    let hits = hybrid.iter().take(truth.len()).filter(|p| truth.contains(&p.activity)).count();
     hits as f64 / truth.len() as f64
 }
 

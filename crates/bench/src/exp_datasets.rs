@@ -10,7 +10,11 @@ use std::fmt::Write as _;
 pub fn fig2(data: &mut Datasets) -> String {
     let mut out = String::new();
     let mut table = TextTable::new(&[
-        "log file", "traces", "activities", "events", "events/trace (min/mean/max)",
+        "log file",
+        "traces",
+        "activities",
+        "events",
+        "events/trace (min/mean/max)",
         "acts/trace (min/mean/max)",
     ]);
     for name in Datasets::names().collect::<Vec<_>>() {

@@ -91,7 +91,13 @@ pub fn fig3(scale: usize) -> String {
         .iter()
         .map(|&e| (div(e), RandomLogSpec::new(div(1000), div(e), div(500))))
         .collect();
-    sweep(&mut out, "plot 1: events per trace (1000 traces, 500 activities)", "events/trace", &specs, reps);
+    sweep(
+        &mut out,
+        "plot 1: events per trace (1000 traces, 500 activities)",
+        "events/trace",
+        &specs,
+        reps,
+    );
 
     // Plot 2: vary number of traces; 1000 events/trace, 100 activities.
     let traces_axis = [100, 500, 1000, 2500, 5000];
@@ -99,7 +105,13 @@ pub fn fig3(scale: usize) -> String {
         .iter()
         .map(|&t| (div(t), RandomLogSpec::new(div(t), div(1000), div(100))))
         .collect();
-    sweep(&mut out, "plot 2: number of traces (1000 events/trace, 100 activities)", "traces", &specs, reps);
+    sweep(
+        &mut out,
+        "plot 2: number of traces (1000 events/trace, 100 activities)",
+        "traces",
+        &specs,
+        reps,
+    );
 
     // Plot 3: vary distinct activities; 500 traces, 500 events/trace.
     // The per-trace length is divided by at most 2 here (only the trace
@@ -108,11 +120,15 @@ pub fn fig3(scale: usize) -> String {
     // exists to show — disappears if traces get shorter than the alphabet.
     let acts_axis = [4, 20, 100, 500, 2000];
     let events3 = (500 / s.min(2)).max(1);
-    let specs: Vec<(usize, RandomLogSpec)> = acts_axis
-        .iter()
-        .map(|&a| (a, RandomLogSpec::new(div(500), events3, a)))
-        .collect();
-    sweep(&mut out, "plot 3: distinct activities (500 traces, 500 events/trace)", "activities", &specs, reps);
+    let specs: Vec<(usize, RandomLogSpec)> =
+        acts_axis.iter().map(|&a| (a, RandomLogSpec::new(div(500), events3, a))).collect();
+    sweep(
+        &mut out,
+        "plot 3: distinct activities (500 traces, 500 events/trace)",
+        "activities",
+        &specs,
+        reps,
+    );
 
     out
 }

@@ -38,8 +38,7 @@ fn mean_query_time(patterns: &[Pattern], mut f: impl FnMut(&Pattern)) -> Duratio
 
 /// Table 7: SC detection — \[19\] vs our pair index, pattern lengths 2 and 10.
 pub fn table7(data: &mut Datasets) -> String {
-    let mut table =
-        TextTable::new(&["log file", "[19]", "Our method (2)", "Our method (10)"]);
+    let mut table = TextTable::new(&["log file", "[19]", "Our method (2)", "Our method (10)"]);
     // The paper omits bpi_2017 from Table 7 ([19] failed to index it); we
     // include every dataset for completeness.
     for name in Datasets::names().collect::<Vec<_>>() {

@@ -114,10 +114,7 @@ struct Cursor<'a> {
 impl<'a> Cursor<'a> {
     fn value(&mut self, flag: &str) -> Result<String, ParseError> {
         self.i += 1;
-        self.args
-            .get(self.i)
-            .cloned()
-            .ok_or_else(|| format!("flag {flag} expects a value"))
+        self.args.get(self.i).cloned().ok_or_else(|| format!("flag {flag} expects a value"))
     }
 }
 

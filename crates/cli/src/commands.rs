@@ -16,7 +16,9 @@ pub type CliError = Box<dyn std::error::Error>;
 /// Execute one parsed command.
 pub fn run(cmd: Command) -> Result<(), CliError> {
     match cmd {
-        Command::Gen { profile, random, scale, seed, out } => gen(profile, random, scale, seed, &out),
+        Command::Gen { profile, random, scale, seed, out } => {
+            gen(profile, random, scale, seed, &out)
+        }
         Command::Index { input, store, policy, method, threads, partition_period } => {
             let log = load_log(&input)?;
             let mut cfg = IndexConfig::new(policy).with_method(method).with_threads(threads);

@@ -42,6 +42,7 @@ const META_METHOD: &str = "config:method";
 const META_PERIOD: &str = "config:partition_period";
 const META_NUM_PARTITIONS: &str = "config:num_partitions";
 const META_MIN_PARTITION: &str = "config:min_partition";
+const META_GENERATION: &str = "config:index_generation";
 
 /// Indexer configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -176,33 +177,63 @@ impl<S: KvStore> Indexer<S> {
     /// batch; traces whose names are already known are *extended*.
     pub fn index_log(&mut self, log: &EventLog) -> Result<UpdateStats> {
         // ------------------------------------------------------------------
-        // 1+2. Resolve names, merge each trace with its stored sequence.
+        // 1. Resolve names against the catalog. Interning mutates shared
+        //    catalog state, so this pass stays sequential — but it touches no
+        //    storage, so it is cheap.
         // ------------------------------------------------------------------
+        struct Pending {
+            trace: TraceId,
+            events: Vec<Event>, // batch events, activities remapped
+        }
         struct TraceWork {
             trace: TraceId,
             full: Vec<Event>,
             new_from: usize, // index into `full` where the new events start
         }
-        let mut work = Vec::with_capacity(log.num_traces());
-        let mut skipped_events = 0usize;
+        let mut pending = Vec::with_capacity(log.num_traces());
         for trace in log.traces() {
             let name = log.trace_name(trace.id()).expect("trace has a name");
             let id = self.catalog.intern_trace(name);
-            let mut full = read_seq(self.store.as_ref(), id)?;
+            let events = trace
+                .events()
+                .iter()
+                .map(|ev| {
+                    // Remap the batch-local activity id into the catalog.
+                    let aname = log.activity_name(ev.activity).expect("activity has a name");
+                    Event::new(self.catalog.intern_activity(aname), ev.ts)
+                })
+                .collect();
+            pending.push(Pending { trace: id, events });
+        }
+
+        // ------------------------------------------------------------------
+        // 2. Merge each trace with its stored sequence, in parallel: the
+        //    `read_seq` round-trip plus the merge is independent per trace.
+        //    Duplicate guard: events not newer than the stored tail are
+        //    dropped (batch-internal order is trusted as-is).
+        // ------------------------------------------------------------------
+        let store = self.store.as_ref();
+        let merged = self.executor.map(&pending, |p| -> Result<(TraceWork, usize)> {
+            let mut full = read_seq(store, p.trace)?;
             let stored_last = full.last().map(|e| e.ts);
             let new_from = full.len();
-            for ev in trace.events() {
-                // Remap the batch-local activity id into the catalog.
-                let aname = log.activity_name(ev.activity).expect("activity has a name");
-                let a = self.catalog.intern_activity(aname);
+            let mut skipped = 0usize;
+            for &ev in &p.events {
                 if stored_last.is_some_and(|last| ev.ts <= last) {
-                    skipped_events += 1;
+                    skipped += 1;
                     continue;
                 }
-                full.push(Event::new(a, ev.ts));
+                full.push(ev);
             }
-            if full.len() > new_from {
-                work.push(TraceWork { trace: id, full, new_from });
+            Ok((TraceWork { trace: p.trace, full, new_from }, skipped))
+        });
+        let mut work = Vec::with_capacity(pending.len());
+        let mut skipped_events = 0usize;
+        for m in merged {
+            let (w, skipped) = m?;
+            skipped_events += skipped;
+            if w.full.len() > w.new_from {
+                work.push(w);
             }
         }
 
@@ -223,9 +254,8 @@ impl<S: KvStore> Indexer<S> {
         }
         let touched: Vec<PairKey> = touched.into_iter().collect();
         let store = self.store.as_ref();
-        let lc_rows = self.executor.map(&touched, |&key| {
-            read_last_checked(store, key).map(|row| (key, row))
-        });
+        let lc_rows =
+            self.executor.map(&touched, |&key| read_last_checked(store, key).map(|row| (key, row)));
         let mut last: FxHashMap<(PairKey, TraceId), Ts> = FxHashMap::default();
         for row in lc_rows {
             let (key, entries) = row?;
@@ -309,9 +339,8 @@ impl<S: KvStore> Indexer<S> {
                 (*key, per_trace.into_iter().collect())
             })
             .collect();
-        let results = self
-            .executor
-            .map(&lc_updates, |(key, ups)| merge_last_checked(store, *key, ups));
+        let results =
+            self.executor.map(&lc_updates, |(key, ups)| merge_last_checked(store, *key, ups));
         for r in results {
             r?;
         }
@@ -335,18 +364,23 @@ impl<S: KvStore> Indexer<S> {
             r?;
         }
 
-        // 5e. Persist catalog + partition bookkeeping.
+        // 5e. Persist catalog + partition bookkeeping, and announce the
+        //     mutation to query-side caches via the generation counter.
         self.catalog.save(store);
         if period.is_some() {
             put_meta(store, META_NUM_PARTITIONS, &self.num_partitions.to_string());
         }
-
-        Ok(UpdateStats {
+        let stats = UpdateStats {
             traces: work.len(),
             new_events: work.iter().map(|w| w.full.len() - w.new_from).sum(),
             skipped_events,
             new_pairs,
-        })
+        };
+        if stats.new_events > 0 || stats.new_pairs > 0 {
+            bump_generation(store);
+        }
+
+        Ok(stats)
     }
 
     /// Retire old index partitions (§3.1.3: "a separate index table can be
@@ -372,6 +406,7 @@ impl<S: KvStore> Indexer<S> {
             }
         }
         put_meta(self.store.as_ref(), META_MIN_PARTITION, &new_min.to_string());
+        bump_generation(self.store.as_ref());
         Ok((new_min - min_kept) as usize)
     }
 
@@ -380,15 +415,16 @@ impl<S: KvStore> Indexer<S> {
     /// traces remain queryable; they just cannot be *extended* any more.
     /// Returns the number of traces actually pruned.
     pub fn prune_traces(&mut self, names: &[&str]) -> Result<usize> {
-        let ids: FxHashSet<TraceId> =
-            names.iter().filter_map(|n| self.catalog.trace(n)).collect();
+        let ids: FxHashSet<TraceId> = names.iter().filter_map(|n| self.catalog.trace(n)).collect();
         if ids.is_empty() {
             return Ok(0);
         }
         let mut pruned = 0;
+        let mut changed = false;
         for &id in &ids {
             if self.store.delete(SEQ, &tables::seq_key(id)) {
                 pruned += 1;
+                changed = true;
             }
         }
         // Rewrite LastChecked rows without the pruned traces.
@@ -399,8 +435,10 @@ impl<S: KvStore> Indexer<S> {
             })?;
             let pk = PairKey::from_le_bytes(key);
             let entries = read_last_checked(self.store.as_ref(), pk)?;
-            let kept: Vec<_> = entries.iter().copied().filter(|e| !ids.contains(&e.trace)).collect();
+            let kept: Vec<_> =
+                entries.iter().copied().filter(|e| !ids.contains(&e.trace)).collect();
             if kept.len() != entries.len() {
+                changed = true;
                 if kept.is_empty() {
                     self.store.delete(LAST_CHECKED, &tables::pair_key_bytes(pk));
                 } else {
@@ -411,6 +449,9 @@ impl<S: KvStore> Indexer<S> {
                     );
                 }
             }
+        }
+        if changed {
+            bump_generation(self.store.as_ref());
         }
         Ok(pruned)
     }
@@ -432,6 +473,18 @@ fn write_config<S: KvStore>(store: &S, config: &IndexConfig) {
     if let Some(p) = config.partition_period {
         put_meta(store, META_PERIOD, &p.to_string());
     }
+}
+
+/// Monotonic counter bumped by every mutation of the indexed contents —
+/// batch updates that accepted events or pairs, partition drops, and trace
+/// pruning. Query-side caches key entry validity on it: an entry written at
+/// generation `g` is served only while `index_generation` still reads `g`.
+pub fn index_generation<S: KvStore>(store: &S) -> u64 {
+    get_meta(store, META_GENERATION).and_then(|s| s.parse().ok()).unwrap_or(0)
+}
+
+fn bump_generation<S: KvStore>(store: &S) {
+    put_meta(store, META_GENERATION, &(index_generation(store) + 1).to_string());
 }
 
 /// The `Index` tables a query should consult, in partition order. Reads the
@@ -596,8 +649,9 @@ mod tests {
         let err = Indexer::with_store(store.clone(), IndexConfig::new(Policy::StrictContiguity));
         assert!(matches!(err, Err(CoreError::ConfigMismatch { .. })));
         // Same config reopens fine; open() recovers it without being told.
-        assert!(Indexer::with_store(store.clone(), IndexConfig::new(Policy::SkipTillNextMatch))
-            .is_ok());
+        assert!(
+            Indexer::with_store(store.clone(), IndexConfig::new(Policy::SkipTillNextMatch)).is_ok()
+        );
         let reopened = Indexer::open(store).unwrap();
         assert_eq!(reopened.config().policy, Policy::SkipTillNextMatch);
     }
@@ -679,11 +733,34 @@ mod tests {
     }
 
     #[test]
+    fn generation_tracks_every_mutation_kind() {
+        let cfg = IndexConfig::new(Policy::SkipTillNextMatch).with_partition_period(3);
+        let mut ix = Indexer::new(cfg);
+        let store = ix.store();
+        assert_eq!(index_generation(store.as_ref()), 0);
+        ix.index_log(&small_log()).unwrap();
+        let g1 = index_generation(store.as_ref());
+        assert_eq!(g1, 1);
+        // Replaying the same batch accepts nothing — generation must hold, so
+        // warm caches survive no-op updates.
+        ix.index_log(&small_log()).unwrap();
+        assert_eq!(index_generation(store.as_ref()), g1);
+        // Partition drop and prune each advance it.
+        assert!(ix.drop_partitions_before(3).unwrap() > 0);
+        let g2 = index_generation(store.as_ref());
+        assert!(g2 > g1);
+        assert_eq!(ix.prune_traces(&["t2"]).unwrap(), 1);
+        assert!(index_generation(store.as_ref()) > g2);
+        // Pruning nothing is generation-neutral.
+        let g3 = index_generation(store.as_ref());
+        ix.prune_traces(&["unknown"]).unwrap();
+        assert_eq!(index_generation(store.as_ref()), g3);
+    }
+
+    #[test]
     fn single_threaded_config_matches_parallel() {
-        let mut seq =
-            Indexer::new(IndexConfig::new(Policy::SkipTillNextMatch).with_threads(1));
-        let mut par =
-            Indexer::new(IndexConfig::new(Policy::SkipTillNextMatch).with_threads(4));
+        let mut seq = Indexer::new(IndexConfig::new(Policy::SkipTillNextMatch).with_threads(1));
+        let mut par = Indexer::new(IndexConfig::new(Policy::SkipTillNextMatch).with_threads(4));
         seq.index_log(&small_log()).unwrap();
         par.index_log(&small_log()).unwrap();
         for (x, y) in [("A", "A"), ("A", "B"), ("B", "A"), ("B", "B")] {

@@ -33,10 +33,10 @@ pub mod tables;
 
 pub use catalog::Catalog;
 pub use error::CoreError;
-pub use indexer::{IndexConfig, Indexer, UpdateStats};
+pub use indexer::{index_generation, IndexConfig, Indexer, UpdateStats};
 pub use pairs::{create_pairs, PairKey, TracePairs};
-pub use stats::IndexStats;
 pub use policy::{Policy, StnmMethod};
+pub use stats::IndexStats;
 
 /// Crate-wide result alias.
 pub type Result<T> = std::result::Result<T, CoreError>;

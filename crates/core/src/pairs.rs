@@ -258,10 +258,7 @@ mod tests {
     }
 
     fn occ(pairs: &TracePairs, a: u32, b: u32) -> Vec<(Ts, Ts)> {
-        pairs
-            .get(&Activity::pair_key(Activity(a), Activity(b)))
-            .cloned()
-            .unwrap_or_default()
+        pairs.get(&Activity::pair_key(Activity(a), Activity(b))).cloned().unwrap_or_default()
     }
 
     #[test]
@@ -337,8 +334,7 @@ mod tests {
 
     #[test]
     fn occurrences_are_non_overlapping_and_ordered() {
-        let trace: Vec<Event> =
-            (1..=60).map(|i| ev([0, 1, 0, 2, 1][i as usize % 5], i)).collect();
+        let trace: Vec<Event> = (1..=60).map(|i| ev([0, 1, 0, 2, 1][i as usize % 5], i)).collect();
         let p = stnm_indexing(&trace);
         for occs in p.values() {
             for w in occs.windows(2) {

@@ -1,9 +1,7 @@
 //! Pattern-matching policies and pair-creation method selection.
 
-use serde::{Deserialize, Serialize};
-
 /// The two event-sequence detection policies of the paper (§2.1).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Policy {
     /// **SC** — all matching events appear strictly one after the other,
     /// with no other event in between (subsequence matching, Flink CEP's
@@ -44,7 +42,7 @@ impl std::fmt::Display for Policy {
 /// All three produce identical pair sets; they differ in how they traverse
 /// the trace and therefore in constant factors and scaling with the number
 /// of distinct activities `l` — the subject of Table 5 and Figure 3.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum StnmMethod {
     /// Compute pairs while scanning the sequence once per distinct activity
     /// (Algorithm 6). `O(n·l²)` time, `O(n + l²)` space.

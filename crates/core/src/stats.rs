@@ -5,8 +5,8 @@
 //! benches report them). Collection scans the store, so it is a diagnostic
 //! operation, not a query-path one.
 
-use crate::tables::{decode_postings, COUNT, INDEX, LAST_CHECKED, RCOUNT, SEQ};
 use crate::indexer::active_index_tables;
+use crate::tables::{decode_postings, COUNT, INDEX, LAST_CHECKED, RCOUNT, SEQ};
 use crate::Result;
 use seqdet_storage::KvStore;
 

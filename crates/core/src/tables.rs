@@ -18,6 +18,7 @@
 use crate::error::CoreError;
 use crate::pairs::PairKey;
 use crate::Result;
+use bytes::Bytes;
 use seqdet_log::{Activity, Event, TraceId, Ts};
 use seqdet_storage::codec::{Dec, Enc};
 use seqdet_storage::{KvStore, TableId};
@@ -176,10 +177,93 @@ pub fn decode_postings(row: &[u8]) -> Result<Vec<Posting>> {
 }
 
 /// Read all postings of a pair from one `Index` table.
+///
+/// Slow/compat path: materializes a `Vec<Posting>`. The query read path uses
+/// [`posting_cursor`] instead, which walks the stored row in place.
 pub fn read_postings<S: KvStore>(store: &S, table: TableId, key: PairKey) -> Result<Vec<Posting>> {
     match store.get(table, &pair_key_bytes(key)) {
         Some(row) => decode_postings(&row),
         None => Ok(Vec::new()),
+    }
+}
+
+/// Size in bytes of one encoded `Index` posting record
+/// (`trace: u32, ts_a: u64, ts_b: u64`, all little-endian).
+pub const POSTING_RECORD_BYTES: usize = 20;
+
+/// Zero-copy iterator over the postings of one `Index` row.
+///
+/// Decodes `(trace, ts_a, ts_b)` records straight out of the [`Bytes`] row
+/// returned by [`KvStore::get`] — no intermediate `Vec<Posting>` is
+/// allocated, and the row buffer is shared, not copied. Yields exactly the
+/// postings [`decode_postings`] would return; a truncated/torn tail yields
+/// one `Err` and then terminates. An empty row yields nothing.
+#[derive(Debug, Clone)]
+pub struct PostingCursor {
+    row: Bytes,
+    pos: usize,
+    failed: bool,
+}
+
+impl PostingCursor {
+    /// Cursor over a raw `Index` row.
+    pub fn new(row: Bytes) -> Self {
+        PostingCursor { row, pos: 0, failed: false }
+    }
+
+    /// Cursor over no postings.
+    pub fn empty() -> Self {
+        Self::new(Bytes::new())
+    }
+
+    /// Number of whole records left to yield (0 once a decode error fired).
+    pub fn remaining(&self) -> usize {
+        if self.failed {
+            0
+        } else {
+            (self.row.len() - self.pos) / POSTING_RECORD_BYTES
+        }
+    }
+}
+
+impl Iterator for PostingCursor {
+    type Item = Result<Posting>;
+
+    fn next(&mut self) -> Option<Result<Posting>> {
+        if self.failed || self.pos >= self.row.len() {
+            return None;
+        }
+        let rest = &self.row[self.pos..];
+        if rest.len() < POSTING_RECORD_BYTES {
+            self.failed = true;
+            return Some(Err(corrupt("Index", self.row.len())));
+        }
+        let trace = u32::from_le_bytes(rest[0..4].try_into().unwrap());
+        let ts_a = u64::from_le_bytes(rest[4..12].try_into().unwrap());
+        let ts_b = u64::from_le_bytes(rest[12..20].try_into().unwrap());
+        self.pos += POSTING_RECORD_BYTES;
+        Some(Ok(Posting { trace: TraceId(trace), ts_a, ts_b }))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        if self.failed {
+            return (0, Some(0));
+        }
+        let rest = self.row.len() - self.pos;
+        let whole = rest / POSTING_RECORD_BYTES;
+        // A misaligned tail yields one extra `Err` item.
+        (whole, Some(whole + usize::from(!rest.is_multiple_of(POSTING_RECORD_BYTES))))
+    }
+}
+
+/// Open a zero-copy cursor over the postings of `key` in one `Index` table.
+///
+/// A missing row behaves as an empty posting list, mirroring
+/// [`read_postings`].
+pub fn posting_cursor<S: KvStore>(store: &S, table: TableId, key: PairKey) -> PostingCursor {
+    match store.get(table, &pair_key_bytes(key)) {
+        Some(row) => PostingCursor::new(row),
+        None => PostingCursor::empty(),
     }
 }
 
@@ -231,11 +315,9 @@ pub fn merge_counts<S: KvStore>(
                 e.sum_duration += dsum;
                 e.total_completions += dcount;
             }
-            None => entries.push(CountEntry {
-                partner,
-                sum_duration: dsum,
-                total_completions: dcount,
-            }),
+            None => {
+                entries.push(CountEntry { partner, sum_duration: dsum, total_completions: dcount })
+            }
         }
     }
     store.put(table, &count_key(a), &encode_counts(&entries));
@@ -393,5 +475,74 @@ mod tests {
         assert!(decode_postings(&[]).unwrap().is_empty());
         assert!(decode_counts(&[]).unwrap().is_empty());
         assert!(decode_last_checked(&[]).unwrap().is_empty());
+    }
+
+    #[test]
+    fn cursor_matches_read_postings() {
+        let store = MemStore::new();
+        let key = Activity::pair_key(Activity(0), Activity(1));
+        store.append(INDEX, &pair_key_bytes(key), &encode_postings(TraceId(3), &[(1, 5), (9, 12)]));
+        store.append(INDEX, &pair_key_bytes(key), &encode_postings(TraceId(4), &[(2, 3)]));
+        let cursor = posting_cursor(&store, INDEX, key);
+        assert_eq!(cursor.remaining(), 3);
+        let via_cursor: Vec<Posting> = cursor.map(|p| p.unwrap()).collect();
+        assert_eq!(via_cursor, read_postings(&store, INDEX, key).unwrap());
+        // Missing rows behave as empty posting lists.
+        assert_eq!(posting_cursor(&store, INDEX, 999).count(), 0);
+        assert_eq!(PostingCursor::empty().count(), 0);
+    }
+
+    #[test]
+    fn cursor_truncated_row_errors_once_then_stops() {
+        let store = MemStore::new();
+        store.put(INDEX, &pair_key_bytes(1), &[1, 2, 3]); // torn record
+        let mut cursor = posting_cursor(&store, INDEX, 1);
+        assert!(cursor.next().unwrap().is_err());
+        assert!(cursor.next().is_none());
+        assert_eq!(cursor.remaining(), 0);
+    }
+
+    mod cursor_props {
+        use super::*;
+        use proptest::prelude::*;
+
+        fn row_strategy() -> impl Strategy<Value = Vec<u8>> {
+            // Arbitrary byte rows: multiples of 20 decode cleanly, everything
+            // else must produce a trailing error from both paths.
+            prop::collection::vec(0u8..=255, 0..128)
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(64))]
+            #[test]
+            fn cursor_equals_decode_postings(row in row_strategy()) {
+                let cursor = PostingCursor::new(bytes::Bytes::copy_from_slice(&row));
+                let via_cursor: std::result::Result<Vec<Posting>, _> = cursor.collect();
+                match decode_postings(&row) {
+                    Ok(expected) => {
+                        prop_assert_eq!(via_cursor.unwrap(), expected);
+                    }
+                    Err(_) => {
+                        prop_assert!(via_cursor.is_err());
+                    }
+                }
+            }
+
+            #[test]
+            fn cursor_roundtrips_encoded_postings(
+                occurrences in prop::collection::vec((0u64..1_000, 0u64..1_000), 0..40),
+                trace in 0u32..50,
+            ) {
+                let row = encode_postings(TraceId(trace), &occurrences);
+                let cursor = PostingCursor::new(bytes::Bytes::copy_from_slice(&row));
+                prop_assert_eq!(cursor.remaining(), occurrences.len());
+                let got: Vec<Posting> = cursor.map(|p| p.unwrap()).collect();
+                prop_assert_eq!(got.len(), occurrences.len());
+                for (p, &(a, b)) in got.iter().zip(&occurrences) {
+                    prop_assert_eq!(p.trace, TraceId(trace));
+                    prop_assert_eq!((p.ts_a, p.ts_b), (a, b));
+                }
+            }
+        }
     }
 }

@@ -38,9 +38,7 @@ pub fn contiguous_pattern(log: &EventLog, len: usize, rng: &mut StdRng) -> Optio
     let candidates: Vec<_> = log.traces().filter(|t| t.len() >= len).collect();
     let trace = candidates.choose(rng)?;
     let start = rng.gen_range(0..=trace.len() - len);
-    Some(Pattern::new(
-        trace.events()[start..start + len].iter().map(|e| e.activity).collect(),
-    ))
+    Some(Pattern::new(trace.events()[start..start + len].iter().map(|e| e.activity).collect()))
 }
 
 /// The evaluation's standard batch: `count` patterns of length `len`,

@@ -68,9 +68,9 @@ impl ProcessTree {
             start += size;
         }
         match rng.gen_range(0..10) {
-            0..=4 => ProcessTree::Seq(children),          // sequences dominate
-            5..=7 => ProcessTree::Xor(children),          // choices common
-            8 => ProcessTree::And(children),              // parallelism rarer
+            0..=4 => ProcessTree::Seq(children), // sequences dominate
+            5..=7 => ProcessTree::Xor(children), // choices common
+            8 => ProcessTree::And(children),     // parallelism rarer
             _ => ProcessTree::Loop(Box::new(ProcessTree::Seq(children)), 25),
         }
     }
@@ -124,7 +124,7 @@ impl ProcessTree {
             }
             ProcessTree::Loop(body, repeat) => {
                 body.run(rng, out, fuel);
-                while *fuel > 0 && rng.gen_range(0..100) < *repeat {
+                while *fuel > 0 && rng.gen_range(0u8..100) < *repeat {
                     body.run(rng, out, fuel);
                 }
             }

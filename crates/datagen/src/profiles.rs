@@ -177,13 +177,15 @@ mod tests {
         assert_eq!(a.num_events(), b.num_events());
         let c = p.generate_seeded(1);
         // Different seed ⇒ (almost surely) different log.
-        assert!(a.num_events() != c.num_events() || {
-            let fa: Vec<u32> =
-                a.traces().flat_map(|t| t.events().iter().map(|e| e.activity.0)).collect();
-            let fc: Vec<u32> =
-                c.traces().flat_map(|t| t.events().iter().map(|e| e.activity.0)).collect();
-            fa != fc
-        });
+        assert!(
+            a.num_events() != c.num_events() || {
+                let fa: Vec<u32> =
+                    a.traces().flat_map(|t| t.events().iter().map(|e| e.activity.0)).collect();
+                let fc: Vec<u32> =
+                    c.traces().flat_map(|t| t.events().iter().map(|e| e.activity.0)).collect();
+                fa != fc
+            }
+        );
     }
 
     #[test]

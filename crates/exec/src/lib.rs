@@ -8,8 +8,6 @@
 //! dynamic chunk scheduling, configurable from 1 thread (the paper's
 //! "1 Spark executor" runs in Table 6) to all cores.
 
-use crossbeam::thread;
-use parking_lot::Mutex;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// A parallel executor with a fixed degree of parallelism.
@@ -49,7 +47,10 @@ impl Executor {
     ///
     /// Work is claimed in chunks through a shared atomic cursor, so uneven
     /// per-item cost (traces differ wildly in length) balances across
-    /// workers.
+    /// workers. Each worker accumulates `(chunk_start, results)` runs in a
+    /// private buffer handed back through its join handle, so result
+    /// collection is contention-free — the only shared write is the cursor
+    /// `fetch_add`.
     pub fn map<T, R, F>(&self, items: &[T], f: F) -> Vec<R>
     where
         T: Sync,
@@ -65,22 +66,28 @@ impl Executor {
         // Chunk size: enough chunks per worker for balance, at least 1 item.
         let chunk = (items.len() / (self.threads * 8)).max(1);
         let cursor = AtomicUsize::new(0);
-        let results: Mutex<Vec<(usize, Vec<R>)>> = Mutex::new(Vec::new());
-        thread::scope(|scope| {
-            for _ in 0..self.threads {
-                scope.spawn(|_| loop {
-                    let start = cursor.fetch_add(chunk, Ordering::Relaxed);
-                    if start >= items.len() {
-                        break;
-                    }
-                    let end = (start + chunk).min(items.len());
-                    let out: Vec<R> = items[start..end].iter().map(&f).collect();
-                    results.lock().push((start, out));
-                });
-            }
-        })
-        .expect("worker thread panicked");
-        let mut parts = results.into_inner();
+        let f = &f;
+        let cursor = &cursor;
+        let mut parts: Vec<(usize, Vec<R>)> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..self.threads)
+                .map(|_| {
+                    scope.spawn(move || {
+                        let mut local: Vec<(usize, Vec<R>)> = Vec::new();
+                        loop {
+                            let start = cursor.fetch_add(chunk, Ordering::Relaxed);
+                            if start >= items.len() {
+                                break;
+                            }
+                            let end = (start + chunk).min(items.len());
+                            let out: Vec<R> = items[start..end].iter().map(f).collect();
+                            local.push((start, out));
+                        }
+                        local
+                    })
+                })
+                .collect();
+            handles.into_iter().flat_map(|h| h.join().expect("worker thread panicked")).collect()
+        });
         parts.sort_by_key(|(start, _)| *start);
         let mut out = Vec::with_capacity(items.len());
         for (_, part) in parts {

@@ -31,10 +31,9 @@ pub enum LogError {
 impl fmt::Display for LogError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            LogError::OutOfOrder { trace, previous, current } => write!(
-                f,
-                "event out of order in trace {trace}: ts {current} after ts {previous}"
-            ),
+            LogError::OutOfOrder { trace, previous, current } => {
+                write!(f, "event out of order in trace {trace}: ts {current} after ts {previous}")
+            }
             LogError::Parse { line, message } => {
                 if *line == 0 {
                     write!(f, "parse error: {message}")

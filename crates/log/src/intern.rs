@@ -5,13 +5,12 @@
 //! activity names into dense [`Activity`] ids keeps events at 12 bytes and
 //! lets the pair index pack an activity pair into a single `u64` key.
 
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// A dense identifier for an activity (event type). `Activity(0)` is the
 /// first activity ever interned. The identifier is only meaningful relative
 /// to the [`ActivityInterner`] that issued it.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Activity(pub u32);
 
 impl Activity {
@@ -46,7 +45,7 @@ impl std::fmt::Display for Activity {
 ///
 /// Ids are issued densely in first-seen order, so `len()` ids exist in
 /// `0..len()` and per-activity tables can be plain vectors.
-#[derive(Debug, Default, Clone, Serialize, Deserialize)]
+#[derive(Debug, Default, Clone)]
 pub struct ActivityInterner {
     names: Vec<String>,
     by_name: HashMap<String, Activity>,
@@ -92,10 +91,7 @@ impl ActivityInterner {
 
     /// Iterate over `(Activity, name)` pairs in id order.
     pub fn iter(&self) -> impl Iterator<Item = (Activity, &str)> {
-        self.names
-            .iter()
-            .enumerate()
-            .map(|(i, n)| (Activity(i as u32), n.as_str()))
+        self.names.iter().enumerate().map(|(i, n)| (Activity(i as u32), n.as_str()))
     }
 
     /// All issued ids, in order.

@@ -169,17 +169,15 @@ mod tests {
         use proptest::prelude::*;
 
         fn arb_log() -> impl Strategy<Value = EventLog> {
-            prop::collection::vec(prop::collection::vec(0u32..4, 1..20), 1..8).prop_map(
-                |traces| {
-                    let mut b = EventLogBuilder::new();
-                    for (t, acts) in traces.iter().enumerate() {
-                        for (i, a) in acts.iter().enumerate() {
-                            b.add(&format!("t{t}"), &format!("a{a}"), (i * 3 + 1) as Ts);
-                        }
+            prop::collection::vec(prop::collection::vec(0u32..4, 1..20), 1..8).prop_map(|traces| {
+                let mut b = EventLogBuilder::new();
+                for (t, acts) in traces.iter().enumerate() {
+                    for (i, a) in acts.iter().enumerate() {
+                        b.add(&format!("t{t}"), &format!("a{a}"), (i * 3 + 1) as Ts);
                     }
-                    b.build()
-                },
-            )
+                }
+                b.build()
+            })
         }
 
         proptest! {

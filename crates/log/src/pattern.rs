@@ -2,11 +2,10 @@
 
 use crate::intern::{Activity, ActivityInterner};
 use crate::trace::EventLog;
-use serde::{Deserialize, Serialize};
 
 /// A sequential pattern: the input of every query type in the paper
 /// (statistics, pattern detection, pattern continuation).
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Pattern {
     activities: Vec<Activity>,
 }

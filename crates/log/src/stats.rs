@@ -37,7 +37,13 @@ impl LogStats {
         let acts: Vec<usize> = log.traces().map(|t| t.distinct_activities()).collect();
         let num_events: usize = lens.iter().sum();
         let m = lens.len();
-        let mean = |v: &[usize]| if v.is_empty() { 0.0 } else { v.iter().sum::<usize>() as f64 / v.len() as f64 };
+        let mean = |v: &[usize]| {
+            if v.is_empty() {
+                0.0
+            } else {
+                v.iter().sum::<usize>() as f64 / v.len() as f64
+            }
+        };
         Self {
             num_traces: m,
             num_activities: log.num_activities(),

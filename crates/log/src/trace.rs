@@ -14,7 +14,6 @@
 use crate::error::LogError;
 use crate::intern::{Activity, ActivityInterner};
 use crate::Result;
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// Timestamp type. Either a real epoch-based stamp or, per the paper, the
@@ -23,7 +22,7 @@ pub type Ts = u64;
 
 /// Dense identifier of a trace within one [`EventLog`] (and within the
 /// indexer catalog built on top of it).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct TraceId(pub u32);
 
 impl TraceId {
@@ -42,7 +41,7 @@ impl std::fmt::Display for TraceId {
 
 /// A single timestamped event instance: an activity occurrence inside a
 /// trace. 8 + 4 bytes; traces store events contiguously.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Event {
     /// The event type (the paper's `δ(ev)`).
     pub activity: Activity,
@@ -60,7 +59,7 @@ impl Event {
 
 /// A case/trace/session: the strictly-ordered event sequence of one logical
 /// execution unit.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Trace {
     id: TraceId,
     events: Vec<Event>,
@@ -200,12 +199,11 @@ impl TraceBuilder {
 
 /// An event log: the activity catalog, the trace-name catalog and the traces
 /// themselves. `traces[i].id() == TraceId(i)` always holds.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct EventLog {
     activities: ActivityInterner,
     trace_names: Vec<String>,
     traces: Vec<Trace>,
-    #[serde(skip)]
     by_name: HashMap<String, TraceId>,
 }
 
@@ -457,11 +455,8 @@ mod tests {
         b.add("t", "A", 5).add("t", "B", 5).add("t", "A", 5).add("t", "A", 5);
         let log = b.build();
         let t = log.trace_by_name("t").unwrap();
-        let rendered: Vec<(&str, Ts)> = t
-            .events()
-            .iter()
-            .map(|e| (log.activity_name(e.activity).unwrap(), e.ts))
-            .collect();
+        let rendered: Vec<(&str, Ts)> =
+            t.events().iter().map(|e| (log.activity_name(e.activity).unwrap(), e.ts)).collect();
         // Resends dropped; the genuine B tie is bumped past A.
         assert_eq!(rendered, [("A", 5), ("B", 6)]);
     }

@@ -284,33 +284,30 @@ pub fn read_xes_str(text: &str) -> Result<EventLog> {
                     cur_activity = None;
                     cur_ts = None;
                 }
-                "string"
-                    if attr(&attrs, "key") == Some("concept:name") => {
-                        let value = attr(&attrs, "value").unwrap_or("").to_owned();
-                        if in_event {
-                            cur_activity = Some(value);
-                        } else if in_trace {
-                            trace_name = Some(value);
-                        }
+                "string" if attr(&attrs, "key") == Some("concept:name") => {
+                    let value = attr(&attrs, "value").unwrap_or("").to_owned();
+                    if in_event {
+                        cur_activity = Some(value);
+                    } else if in_trace {
+                        trace_name = Some(value);
                     }
-                "date" if in_event
-                    && attr(&attrs, "key") == Some("time:timestamp") => {
-                        let v = attr(&attrs, "value").unwrap_or("");
-                        let ms = parse_iso8601_millis(v).ok_or_else(|| LogError::Parse {
-                            line: 0,
-                            message: format!("invalid time:timestamp {v:?}"),
-                        })?;
-                        cur_ts = Some(ms.max(0) as Ts);
-                    }
-                "int" if in_event
-                    && attr(&attrs, "key") == Some("time:timestamp") => {
-                        let v = attr(&attrs, "value").unwrap_or("");
-                        let ts: Ts = v.parse().map_err(|_| LogError::Parse {
-                            line: 0,
-                            message: format!("invalid int timestamp {v:?}"),
-                        })?;
-                        cur_ts = Some(ts);
-                    }
+                }
+                "date" if in_event && attr(&attrs, "key") == Some("time:timestamp") => {
+                    let v = attr(&attrs, "value").unwrap_or("");
+                    let ms = parse_iso8601_millis(v).ok_or_else(|| LogError::Parse {
+                        line: 0,
+                        message: format!("invalid time:timestamp {v:?}"),
+                    })?;
+                    cur_ts = Some(ms.max(0) as Ts);
+                }
+                "int" if in_event && attr(&attrs, "key") == Some("time:timestamp") => {
+                    let v = attr(&attrs, "value").unwrap_or("");
+                    let ts: Ts = v.parse().map_err(|_| LogError::Parse {
+                        line: 0,
+                        message: format!("invalid int timestamp {v:?}"),
+                    })?;
+                    cur_ts = Some(ts);
+                }
                 _ => {}
             },
             Tag::Close(name) => match name.as_str() {
@@ -351,11 +348,7 @@ pub fn write_xes<W: Write>(log: &EventLog, mut out: W) -> Result<()> {
     for trace in log.traces() {
         let tname = log.trace_name(trace.id()).unwrap_or("?");
         writeln!(out, "  <trace>")?;
-        writeln!(
-            out,
-            "    <string key=\"concept:name\" value=\"{}\"/>",
-            encode_entities(tname)
-        )?;
+        writeln!(out, "    <string key=\"concept:name\" value=\"{}\"/>", encode_entities(tname))?;
         for ev in trace.events() {
             let aname = log.activity_name(ev.activity).unwrap_or("?");
             writeln!(out, "    <event>")?;
@@ -450,10 +443,7 @@ mod tests {
         assert_eq!(parse_iso8601_millis("1970-01-01T00:00:00.5Z"), Some(500));
         assert_eq!(parse_iso8601_millis("1970-01-01T01:00:00+01:00"), Some(0));
         assert_eq!(parse_iso8601_millis("1969-12-31T23:00:00-01:00"), Some(0));
-        assert_eq!(
-            parse_iso8601_millis("2020-01-01T00:00:00.123+00:00"),
-            Some(1_577_836_800_123)
-        );
+        assert_eq!(parse_iso8601_millis("2020-01-01T00:00:00.123+00:00"), Some(1_577_836_800_123));
         assert_eq!(parse_iso8601_millis("not a date"), None);
         assert_eq!(parse_iso8601_millis("2020-13-01T00:00:00Z"), None);
     }

@@ -11,13 +11,16 @@
 //! pattern, then for every consecutive pair the trace contains that pair as
 //! a subsequence, and greedy STNM pairing finds at least one occurrence of
 //! any pair that exists — so intersecting the postings' trace sets yields a
-//! sound (and usually tight) candidate set without scanning the log.
+//! sound (and usually tight) candidate set without scanning the log. The
+//! trace sets are read through the query's [`ReadCtx`] (cache, then cursor),
+//! and the per-candidate DP + enumeration fans out across the executor —
+//! each trace's `Seq` row is independent.
 
-use crate::detect::read_all_postings;
+use crate::detect::ReadCtx;
 use crate::Result;
 use seqdet_core::tables::read_seq;
 use seqdet_log::{Activity, Pattern, TraceId, Ts};
-use seqdet_storage::{FxHashSet, KvStore, TableId};
+use seqdet_storage::{FxHashSet, KvStore};
 
 /// STAM result for one trace.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -108,8 +111,7 @@ fn enumerate_embeddings(
 
 /// Detect all STAM embeddings of `pattern` (length ≥ 2).
 pub(crate) fn detect_any_match<S: KvStore>(
-    store: &S,
-    tables: &[TableId],
+    ctx: &ReadCtx<'_, S>,
     pattern: &Pattern,
     enumerate_limit: usize,
 ) -> Result<AnyMatchResult> {
@@ -117,8 +119,8 @@ pub(crate) fn detect_any_match<S: KvStore>(
     // Candidate traces: intersection over consecutive pairs.
     let mut candidates: Option<FxHashSet<TraceId>> = None;
     for (a, b) in pattern.consecutive_pairs() {
-        let postings = read_all_postings(store, tables, Activity::pair_key(a, b))?;
-        let set: FxHashSet<TraceId> = postings.into_iter().map(|p| p.trace).collect();
+        let grouped = ctx.grouped(Activity::pair_key(a, b))?;
+        let set: FxHashSet<TraceId> = grouped.keys().copied().collect();
         candidates = Some(match candidates {
             None => set,
             Some(prev) => prev.intersection(&set).copied().collect(),
@@ -127,16 +129,22 @@ pub(crate) fn detect_any_match<S: KvStore>(
     let mut candidates: Vec<TraceId> = candidates.unwrap_or_default().into_iter().collect();
     candidates.sort_unstable();
 
-    let mut traces = Vec::new();
-    for trace in candidates {
+    // Per-candidate DP over the stored Seq row — independent per trace.
+    let per_trace = ctx.executor.map(&candidates, |&trace| -> Result<Option<TraceAnyMatches>> {
         let events: Vec<(Activity, Ts)> =
-            read_seq(store, trace)?.into_iter().map(|e| (e.activity, e.ts)).collect();
+            read_seq(ctx.store, trace)?.into_iter().map(|e| (e.activity, e.ts)).collect();
         let count = count_embeddings(&events, acts);
         if count == 0 {
-            continue;
+            return Ok(None);
         }
         let examples = enumerate_embeddings(&events, acts, enumerate_limit);
-        traces.push(TraceAnyMatches { trace, count, examples });
+        Ok(Some(TraceAnyMatches { trace, count, examples }))
+    });
+    let mut traces = Vec::new();
+    for r in per_trace {
+        if let Some(t) = r? {
+            traces.push(t);
+        }
     }
     Ok(AnyMatchResult { traces })
 }
@@ -146,6 +154,7 @@ mod tests {
     use super::*;
     use seqdet_core::indexer::active_index_tables;
     use seqdet_core::{IndexConfig, Indexer, Policy};
+    use seqdet_exec::Executor;
     use seqdet_log::EventLogBuilder;
 
     fn act(ix: &Indexer, n: &str) -> Activity {
@@ -169,8 +178,9 @@ mod tests {
         let ix = paper_example();
         let store = ix.store();
         let tables = active_index_tables(store.as_ref());
+        let ctx = ReadCtx::plain(store.as_ref(), &tables);
         let p = Pattern::new(vec![act(&ix, "A"), act(&ix, "A"), act(&ix, "B")]);
-        let r = detect_any_match(store.as_ref(), &tables, &p, 100).unwrap();
+        let r = detect_any_match(&ctx, &p, 100).unwrap();
         // A positions {1,2,3,5,6}; B positions {4,8}.
         // Pairs (Ai<Aj) before B@4: C(3,2)=3; before B@8: C(5,2)=10. Total 13.
         assert_eq!(r.total(), 13);
@@ -185,8 +195,9 @@ mod tests {
         let ix = paper_example();
         let store = ix.store();
         let tables = active_index_tables(store.as_ref());
+        let ctx = ReadCtx::plain(store.as_ref(), &tables);
         let p = Pattern::new(vec![act(&ix, "A"), act(&ix, "A"), act(&ix, "B")]);
-        let r = detect_any_match(store.as_ref(), &tables, &p, 5).unwrap();
+        let r = detect_any_match(&ctx, &p, 5).unwrap();
         assert_eq!(r.traces[0].examples.len(), 5);
         assert_eq!(r.traces[0].count, 13); // count stays exact
     }
@@ -196,8 +207,9 @@ mod tests {
         let ix = paper_example();
         let store = ix.store();
         let tables = active_index_tables(store.as_ref());
+        let ctx = ReadCtx::plain(store.as_ref(), &tables);
         let p = Pattern::new(vec![act(&ix, "A"), act(&ix, "B")]);
-        let stam = detect_any_match(store.as_ref(), &tables, &p, 1000).unwrap();
+        let stam = detect_any_match(&ctx, &p, 1000).unwrap();
         // STNM gives 2 pairs; STAM: A's before 4: 3, before 8: 5 → 8.
         assert_eq!(stam.total(), 8);
     }
@@ -211,8 +223,9 @@ mod tests {
         ix.index_log(&b.build()).unwrap();
         let store = ix.store();
         let tables = active_index_tables(store.as_ref());
+        let ctx = ReadCtx::plain(store.as_ref(), &tables);
         let p = Pattern::new(vec![act(&ix, "A"), act(&ix, "B"), act(&ix, "C")]);
-        let r = detect_any_match(store.as_ref(), &tables, &p, 10).unwrap();
+        let r = detect_any_match(&ctx, &p, 10).unwrap();
         assert_eq!(r.num_traces(), 1);
         assert_eq!(r.traces[0].trace, ix.catalog().trace("has").unwrap());
     }
@@ -222,9 +235,33 @@ mod tests {
         let ix = paper_example();
         let store = ix.store();
         let tables = active_index_tables(store.as_ref());
+        let ctx = ReadCtx::plain(store.as_ref(), &tables);
         let p = Pattern::new(vec![act(&ix, "C"), act(&ix, "A")]);
-        let r = detect_any_match(store.as_ref(), &tables, &p, 10).unwrap();
+        let r = detect_any_match(&ctx, &p, 10).unwrap();
         assert_eq!(r.total(), 0);
         assert_eq!(r.num_traces(), 0);
+    }
+
+    #[test]
+    fn parallel_dp_matches_sequential() {
+        let mut b = EventLogBuilder::new();
+        for t in 0..48 {
+            let name = format!("t{t}");
+            for (i, a) in "AABAB".chars().enumerate() {
+                b.add(&name, &a.to_string(), (t + 1) * 10 + i as u64);
+            }
+        }
+        let mut ix = Indexer::new(IndexConfig::new(Policy::SkipTillNextMatch));
+        ix.index_log(&b.build()).unwrap();
+        let store = ix.store();
+        let tables = active_index_tables(store.as_ref());
+        let p = Pattern::new(vec![act(&ix, "A"), act(&ix, "B")]);
+        let seq_ctx = ReadCtx::plain(store.as_ref(), &tables);
+        let mut par_ctx = ReadCtx::plain(store.as_ref(), &tables);
+        par_ctx.executor = Executor::new(4);
+        let s = detect_any_match(&seq_ctx, &p, 100).unwrap();
+        let r = detect_any_match(&par_ctx, &p, 100).unwrap();
+        assert_eq!(s, r);
+        assert_eq!(r.num_traces(), 48);
     }
 }

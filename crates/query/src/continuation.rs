@@ -18,11 +18,11 @@
 //!   topK to l … degenerates to the accurate, while setting topK to 0 is
 //!   equal to the fast only alternative").
 
-use crate::detect::{get_completions, DetectResult, JoinStrategy};
+use crate::detect::{get_completions, DetectResult, JoinStrategy, ReadCtx};
 use crate::Result;
 use seqdet_core::tables::{read_counts, COUNT, RCOUNT};
 use seqdet_log::{Activity, Pattern, Ts};
-use seqdet_storage::{KvStore, TableId};
+use seqdet_storage::KvStore;
 
 /// Which continuation algorithm to run.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -89,15 +89,14 @@ fn candidates<S: KvStore>(store: &S, last: Activity) -> Result<Vec<Activity>> {
 
 /// Exact statistics of appending `candidate` to `pattern`.
 fn evaluate_exact<S: KvStore>(
-    store: &S,
-    tables: &[TableId],
+    ctx: &ReadCtx<'_, S>,
     pattern: &Pattern,
     candidate: Activity,
     join: JoinStrategy,
     max_gap: Option<Ts>,
 ) -> Result<Proposition> {
     let extended = pattern.extended(candidate);
-    let result: DetectResult = get_completions(store, tables, &extended, join, None)?;
+    let result: DetectResult = get_completions(ctx, &extended, join, None)?;
     let mut kept = 0u64;
     let mut gap_sum = 0u64;
     for m in &result.matches {
@@ -113,18 +112,19 @@ fn evaluate_exact<S: KvStore>(
     Ok(Proposition { activity: candidate, completions: kept, avg_duration: avg })
 }
 
-/// Algorithm 3 — Accurate exploration.
+/// Algorithm 3 — Accurate exploration. Each candidate re-detects the same
+/// extended-pattern prefix, so the posting cache pays off immediately: the
+/// prefix pairs are fetched once and hit for every further candidate.
 pub(crate) fn accurate<S: KvStore>(
-    store: &S,
-    tables: &[TableId],
+    ctx: &ReadCtx<'_, S>,
     pattern: &Pattern,
     join: JoinStrategy,
     max_gap: Option<Ts>,
 ) -> Result<Vec<Proposition>> {
     let last = pattern.last().expect("pattern is non-empty");
     let mut props = Vec::new();
-    for cand in candidates(store, last)? {
-        props.push(evaluate_exact(store, tables, pattern, cand, join, max_gap)?);
+    for cand in candidates(ctx.store, last)? {
+        props.push(evaluate_exact(ctx, pattern, cand, join, max_gap)?);
     }
     Ok(sort_by_score(props))
 }
@@ -163,20 +163,19 @@ pub(crate) fn fast<S: KvStore>(store: &S, pattern: &Pattern) -> Result<Vec<Propo
 /// the paper's monotone accuracy curve (Figure 7). `k = 0` degenerates to
 /// Fast, `k ≥ l` to Accurate, exactly as §3.2.2 states.
 pub(crate) fn hybrid<S: KvStore>(
-    store: &S,
-    tables: &[TableId],
+    ctx: &ReadCtx<'_, S>,
     pattern: &Pattern,
     join: JoinStrategy,
     k: usize,
     max_gap: Option<Ts>,
 ) -> Result<Vec<Proposition>> {
-    let pre = fast(store, pattern)?;
+    let pre = fast(ctx.store, pattern)?;
     if k == 0 {
         return Ok(pre);
     }
     let mut props = Vec::with_capacity(k.min(pre.len()));
     for p in pre.into_iter().take(k) {
-        props.push(evaluate_exact(store, tables, pattern, p.activity, join, max_gap)?);
+        props.push(evaluate_exact(ctx, pattern, p.activity, join, max_gap)?);
     }
     Ok(sort_by_score(props))
 }
@@ -187,21 +186,17 @@ pub(crate) fn hybrid<S: KvStore>(
 /// preceded the successor (from `ReverseCount`) somewhere in the log; each
 /// surviving candidate is evaluated exactly on the inserted pattern.
 pub(crate) fn accurate_at<S: KvStore>(
-    store: &S,
-    tables: &[TableId],
+    ctx: &ReadCtx<'_, S>,
     pattern: &Pattern,
     pos: usize,
     join: JoinStrategy,
 ) -> Result<Vec<Proposition>> {
     let pos = pos.min(pattern.len());
     let acts = pattern.activities();
-    let after: Option<Vec<Activity>> = if pos > 0 {
-        Some(candidates(store, acts[pos - 1])?)
-    } else {
-        None
-    };
+    let after: Option<Vec<Activity>> =
+        if pos > 0 { Some(candidates(ctx.store, acts[pos - 1])?) } else { None };
     let before: Option<Vec<Activity>> = if pos < acts.len() {
-        Some(read_counts(store, RCOUNT, acts[pos])?.into_iter().map(|e| e.partner).collect())
+        Some(read_counts(ctx.store, RCOUNT, acts[pos])?.into_iter().map(|e| e.partner).collect())
     } else {
         None
     };
@@ -214,7 +209,7 @@ pub(crate) fn accurate_at<S: KvStore>(
     let mut props = Vec::new();
     for cand in cands {
         let inserted = pattern.inserted(pos, cand);
-        let result = get_completions(store, tables, &inserted, join, None)?;
+        let result = get_completions(ctx, &inserted, join, None)?;
         // Duration relative to the inserted event's predecessor (or to the
         // successor when inserting at the front).
         let anchor = if pos > 0 { pos } else { 1 };
@@ -272,7 +267,8 @@ mod tests {
         let store = ix.store();
         let tables = active_index_tables(store.as_ref());
         let p = Pattern::new(vec![act(&ix, "A")]);
-        let acc = accurate(store.as_ref(), &tables, &p, JoinStrategy::Hash, None).unwrap();
+        let ctx = ReadCtx::plain(store.as_ref(), &tables);
+        let acc = accurate(&ctx, &p, JoinStrategy::Hash, None).unwrap();
         let fst = fast(store.as_ref(), &p).unwrap();
         assert_eq!(acc.len(), fst.len());
         for (a, f) in acc.iter().zip(&fst) {
@@ -287,7 +283,8 @@ mod tests {
         let store = ix.store();
         let tables = active_index_tables(store.as_ref());
         let p = Pattern::new(vec![act(&ix, "A")]);
-        let props = accurate(store.as_ref(), &tables, &p, JoinStrategy::Hash, Some(10)).unwrap();
+        let ctx = ReadCtx::plain(store.as_ref(), &tables);
+        let props = accurate(&ctx, &p, JoinStrategy::Hash, Some(10)).unwrap();
         let c = props.iter().find(|pr| pr.activity == act(&ix, "C")).unwrap();
         assert_eq!(c.completions, 0); // the 99-gap completion is filtered out
         let b = props.iter().find(|pr| pr.activity == act(&ix, "B")).unwrap();
@@ -300,13 +297,14 @@ mod tests {
         let store = ix.store();
         let tables = active_index_tables(store.as_ref());
         let p = Pattern::new(vec![act(&ix, "A")]);
+        let ctx = ReadCtx::plain(store.as_ref(), &tables);
         // k = 0 equals Fast.
-        let h0 = hybrid(store.as_ref(), &tables, &p, JoinStrategy::Hash, 0, None).unwrap();
+        let h0 = hybrid(&ctx, &p, JoinStrategy::Hash, 0, None).unwrap();
         let f = fast(store.as_ref(), &p).unwrap();
         assert_eq!(h0, f);
         // k = l equals Accurate.
-        let hl = hybrid(store.as_ref(), &tables, &p, JoinStrategy::Hash, 100, None).unwrap();
-        let a = accurate(store.as_ref(), &tables, &p, JoinStrategy::Hash, None).unwrap();
+        let hl = hybrid(&ctx, &p, JoinStrategy::Hash, 100, None).unwrap();
+        let a = accurate(&ctx, &p, JoinStrategy::Hash, None).unwrap();
         assert_eq!(hl, a);
     }
 
@@ -336,8 +334,8 @@ mod tests {
         let store = ix.store();
         let tables = active_index_tables(store.as_ref());
         let p = Pattern::new(vec![act(&ix, "A"), act(&ix, "B")]);
-        let props =
-            accurate_at(store.as_ref(), &tables, &p, 1, JoinStrategy::Hash).unwrap();
+        let ctx = ReadCtx::plain(store.as_ref(), &tables);
+        let props = accurate_at(&ctx, &p, 1, JoinStrategy::Hash).unwrap();
         let nonzero: Vec<_> = props.iter().filter(|pr| pr.completions > 0).collect();
         assert_eq!(nonzero.len(), 1);
         assert_eq!(nonzero[0].activity, act(&ix, "X"));
@@ -350,7 +348,8 @@ mod tests {
         let store = ix.store();
         let tables = active_index_tables(store.as_ref());
         let p = Pattern::new(vec![act(&ix, "B")]);
-        let props = accurate_at(store.as_ref(), &tables, &p, 0, JoinStrategy::Hash).unwrap();
+        let ctx = ReadCtx::plain(store.as_ref(), &tables);
+        let props = accurate_at(&ctx, &p, 0, JoinStrategy::Hash).unwrap();
         assert_eq!(props.len(), 1);
         assert_eq!(props[0].activity, act(&ix, "A"));
         assert_eq!(props[0].completions, 10);

@@ -19,6 +19,16 @@
 //! `cross_engine_agreement` integration tests, and the skip-till-any-match
 //! extension for the exhaustive variant.
 //!
+//! ## Read path
+//!
+//! Posting lists are fetched through a [`ReadCtx`]: per `(table, pair)` row
+//! the context first consults the generation-stamped [`PostingCache`], and
+//! only on a miss walks the stored row with the zero-copy
+//! [`seqdet_core::tables::PostingCursor`], grouping records per trace as
+//! they decode. The per-trace join itself fans out across the context's
+//! [`seqdet_exec::Executor`] — each trace's partial matches extend
+//! independently, so the join parallelizes embarrassingly.
+//!
 //! The per-trace join comes in two flavors, benchmarked as an ablation:
 //!
 //! * [`JoinStrategy::Hash`] (default) — build a `ts_a → ts_b` map of the
@@ -28,11 +38,14 @@
 //! * [`JoinStrategy::NestedLoop`] — the paper's literal pseudocode: for
 //!   every partial, scan the trace's posting list.
 
+use crate::cache::{GroupedPostings, PostingCache};
 use crate::Result;
-use seqdet_core::tables::{read_postings, Posting};
+use seqdet_core::tables::posting_cursor;
 use seqdet_core::PairKey;
+use seqdet_exec::Executor;
 use seqdet_log::{Activity, Pattern, TraceId, Ts};
-use seqdet_storage::{FxHashMap, KvStore, TableId};
+use seqdet_storage::{FxHashMap, KvStore, StoreMetrics, TableId};
+use std::sync::Arc;
 
 /// Per-trace join implementation used when extending partial matches.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -99,39 +112,101 @@ impl DetectResult {
     }
 }
 
-/// Read the postings of `key` from every active index partition.
-pub(crate) fn read_all_postings<S: KvStore>(
-    store: &S,
-    tables: &[TableId],
-    key: PairKey,
-) -> Result<Vec<Posting>> {
-    let mut out = Vec::new();
-    for &t in tables {
-        out.extend(read_postings(store, t, key)?);
-    }
-    Ok(out)
+/// Everything a query needs to read posting lists: the store and partition
+/// layout, plus the (optional) cache, the generation the layout was read
+/// under, the (optional) metrics sink and the join executor.
+///
+/// Built per query by [`crate::QueryEngine`] after its generation check, so
+/// cache lookups are stamped with a generation that is current for this
+/// query — a concurrently indexing writer bumps the generation and the
+/// stamped entries simply stop hitting.
+pub(crate) struct ReadCtx<'a, S: KvStore> {
+    pub store: &'a S,
+    pub tables: &'a [TableId],
+    pub cache: Option<&'a PostingCache>,
+    pub generation: u64,
+    pub metrics: Option<&'a StoreMetrics>,
+    pub executor: Executor,
 }
 
-/// Group postings per trace.
-fn group_by_trace(postings: Vec<Posting>) -> FxHashMap<TraceId, Vec<(Ts, Ts)>> {
-    let mut map: FxHashMap<TraceId, Vec<(Ts, Ts)>> = FxHashMap::default();
-    for p in postings {
-        map.entry(p.trace).or_default().push((p.ts_a, p.ts_b));
+impl<'a, S: KvStore> ReadCtx<'a, S> {
+    /// Context with no cache, no metrics and sequential execution — the
+    /// configuration-free path used by unit tests.
+    #[cfg(test)]
+    pub fn plain(store: &'a S, tables: &'a [TableId]) -> Self {
+        ReadCtx {
+            store,
+            tables,
+            cache: None,
+            generation: 0,
+            metrics: None,
+            executor: Executor::sequential(),
+        }
     }
-    map
+
+    /// Per-trace grouped postings of `key` across every active partition.
+    ///
+    /// The common single-partition case returns the cached [`Arc`] without
+    /// copying; with multiple partitions the per-partition groups (each
+    /// individually cached) are merged in partition order.
+    pub fn grouped(&self, key: PairKey) -> Result<Arc<GroupedPostings>> {
+        if let [table] = self.tables {
+            return self.grouped_one(*table, key);
+        }
+        let mut merged = GroupedPostings::default();
+        for &table in self.tables {
+            let g = self.grouped_one(table, key)?;
+            for (&trace, occs) in g.iter() {
+                merged.entry(trace).or_default().extend_from_slice(occs);
+            }
+        }
+        Ok(Arc::new(merged))
+    }
+
+    fn grouped_one(&self, table: TableId, key: PairKey) -> Result<Arc<GroupedPostings>> {
+        if let Some(cache) = self.cache {
+            if let Some(g) = cache.get(table, key, self.generation) {
+                return Ok(g);
+            }
+        }
+        let g = Arc::new(self.load(table, key)?);
+        if let Some(cache) = self.cache {
+            cache.insert(table, key, self.generation, Arc::clone(&g));
+        }
+        Ok(g)
+    }
+
+    /// Miss path: walk the stored row with the zero-copy cursor, grouping
+    /// records per trace as they decode.
+    fn load(&self, table: TableId, key: PairKey) -> Result<GroupedPostings> {
+        let mut map = GroupedPostings::default();
+        let mut decoded = 0usize;
+        for posting in posting_cursor(self.store, table, key) {
+            let p = posting?;
+            decoded += 1;
+            map.entry(p.trace).or_default().push((p.ts_a, p.ts_b));
+        }
+        if let Some(m) = self.metrics {
+            m.record_cursor_decode(decoded);
+        }
+        Ok(map)
+    }
 }
+
+/// Partial matches, per trace. A `Vec` (not a map) so the join steps can
+/// fan out over it with [`Executor::map`].
+type Partials = Vec<(TraceId, Vec<Vec<Ts>>)>;
 
 /// Detect all completions of `pattern` (length ≥ 2), optionally collecting
 /// the intermediate result after each join step (the "sub-pattern
 /// by-products" the paper highlights in §5.4.1).
 pub(crate) fn get_completions<S: KvStore>(
-    store: &S,
-    tables: &[TableId],
+    ctx: &ReadCtx<'_, S>,
     pattern: &Pattern,
     join: JoinStrategy,
     on_prefix: Option<&mut Vec<DetectResult>>,
 ) -> Result<DetectResult> {
-    get_completions_within(store, tables, pattern, join, None, on_prefix)
+    get_completions_within(ctx, pattern, join, None, on_prefix)
 }
 
 /// [`get_completions`] with an optional CEP-style time window: a completion
@@ -139,8 +214,7 @@ pub(crate) fn get_completions<S: KvStore>(
 /// *during* the join (a partial already wider than the window can never
 /// shrink), so tight windows also prune work, not just results.
 pub(crate) fn get_completions_within<S: KvStore>(
-    store: &S,
-    tables: &[TableId],
+    ctx: &ReadCtx<'_, S>,
     pattern: &Pattern,
     join: JoinStrategy,
     window: Option<Ts>,
@@ -151,61 +225,65 @@ pub(crate) fn get_completions_within<S: KvStore>(
     let acts = pattern.activities();
 
     // previous ← Index.get(ev_1, ev_2), as per-trace partial matches.
-    let first_key = Activity::pair_key(acts[0], acts[1]);
-    let mut partials: FxHashMap<TraceId, Vec<Vec<Ts>>> = FxHashMap::default();
-    for (trace, occs) in group_by_trace(read_all_postings(store, tables, first_key)?) {
-        let parts: Vec<Vec<Ts>> = occs
-            .into_iter()
-            .filter(|&(a, b)| window.is_none_or(|w| b - a <= w))
-            .map(|(a, b)| vec![a, b])
-            .collect();
-        if !parts.is_empty() {
-            partials.insert(trace, parts);
-        }
-    }
+    let first = ctx.grouped(Activity::pair_key(acts[0], acts[1]))?;
+    let mut partials: Partials = first
+        .iter()
+        .filter_map(|(&trace, occs)| {
+            let parts: Vec<Vec<Ts>> = occs
+                .iter()
+                .filter(|&&(a, b)| window.is_none_or(|w| b - a <= w))
+                .map(|&(a, b)| vec![a, b])
+                .collect();
+            (!parts.is_empty()).then_some((trace, parts))
+        })
+        .collect();
     if let Some(prefixes) = on_prefix.as_deref_mut() {
         prefixes.push(collect(&partials));
     }
 
     for i in 1..p - 1 {
         let key = Activity::pair_key(acts[i], acts[i + 1]);
-        let next = group_by_trace(read_all_postings(store, tables, key)?);
-        let mut new_partials: FxHashMap<TraceId, Vec<Vec<Ts>>> = FxHashMap::default();
-        for (trace, parts) in partials {
-            let Some(occs) = next.get(&trace) else { continue };
-            let mut extended = Vec::new();
-            match join {
-                JoinStrategy::Hash => {
-                    let by_start: FxHashMap<Ts, Ts> = occs.iter().copied().collect();
-                    for mut part in parts {
-                        let last = *part.last().expect("partials are non-empty");
-                        if let Some(&ts_b) = by_start.get(&last) {
-                            if window.is_some_and(|w| ts_b - part[0] > w) {
-                                continue;
-                            }
-                            part.push(ts_b);
-                            extended.push(part);
-                        }
-                    }
-                }
-                JoinStrategy::NestedLoop => {
-                    for part in parts {
-                        let last = *part.last().expect("partials are non-empty");
-                        for &(a, b) in occs {
-                            if a == last && window.is_none_or(|w| b - part[0] <= w) {
+        let next = ctx.grouped(key)?;
+        // Each trace's partials extend independently of every other trace's
+        // — fan the join step out across the executor.
+        partials = ctx
+            .executor
+            .map(&partials, |(trace, parts)| {
+                let Some(occs) = next.get(trace) else { return (*trace, Vec::new()) };
+                let mut extended = Vec::new();
+                match join {
+                    JoinStrategy::Hash => {
+                        let by_start: FxHashMap<Ts, Ts> = occs.iter().copied().collect();
+                        for part in parts {
+                            let last = *part.last().expect("partials are non-empty");
+                            if let Some(&ts_b) = by_start.get(&last) {
+                                if window.is_some_and(|w| ts_b - part[0] > w) {
+                                    continue;
+                                }
                                 let mut next_part = part.clone();
-                                next_part.push(b);
+                                next_part.push(ts_b);
                                 extended.push(next_part);
                             }
                         }
                     }
+                    JoinStrategy::NestedLoop => {
+                        for part in parts {
+                            let last = *part.last().expect("partials are non-empty");
+                            for &(a, b) in occs {
+                                if a == last && window.is_none_or(|w| b - part[0] <= w) {
+                                    let mut next_part = part.clone();
+                                    next_part.push(b);
+                                    extended.push(next_part);
+                                }
+                            }
+                        }
+                    }
                 }
-            }
-            if !extended.is_empty() {
-                new_partials.insert(trace, extended);
-            }
-        }
-        partials = new_partials;
+                (*trace, extended)
+            })
+            .into_iter()
+            .filter(|(_, parts)| !parts.is_empty())
+            .collect();
         if let Some(prefixes) = on_prefix.as_deref_mut() {
             prefixes.push(collect(&partials));
         }
@@ -233,11 +311,11 @@ pub(crate) fn detect_single<S: KvStore>(store: &S, activity: Activity) -> Result
     Ok(DetectResult { matches })
 }
 
-fn collect(partials: &FxHashMap<TraceId, Vec<Vec<Ts>>>) -> DetectResult {
+fn collect(partials: &Partials) -> DetectResult {
     let mut matches: Vec<PatternMatch> = partials
         .iter()
-        .flat_map(|(&trace, parts)| {
-            parts.iter().map(move |p| PatternMatch { trace, timestamps: p.clone() })
+        .flat_map(|(trace, parts)| {
+            parts.iter().map(move |p| PatternMatch { trace: *trace, timestamps: p.clone() })
         })
         .collect();
     matches.sort_by_key(|m| (m.trace, m.end()));
@@ -276,8 +354,8 @@ mod tests {
         let (ix, ab, _) = indexed();
         let store = ix.store();
         let tables = seqdet_core::indexer::active_index_tables(store.as_ref());
-        let r =
-            get_completions(store.as_ref(), &tables, &ab, JoinStrategy::Hash, None).unwrap();
+        let ctx = ReadCtx::plain(store.as_ref(), &tables);
+        let r = get_completions(&ctx, &ab, JoinStrategy::Hash, None).unwrap();
         assert_eq!(r.total_completions(), 3); // t1: (1,3),(4,5); t2: (1,2)
         assert_eq!(r.traces().len(), 2);
     }
@@ -287,8 +365,9 @@ mod tests {
         let (ix, _, abc) = indexed();
         let store = ix.store();
         let tables = seqdet_core::indexer::active_index_tables(store.as_ref());
+        let ctx = ReadCtx::plain(store.as_ref(), &tables);
         for join in [JoinStrategy::Hash, JoinStrategy::NestedLoop] {
-            let r = get_completions(store.as_ref(), &tables, &abc, join, None).unwrap();
+            let r = get_completions(&ctx, &abc, join, None).unwrap();
             assert_eq!(r.total_completions(), 1, "{join:?}");
             let m = &r.matches[0];
             assert_eq!(m.timestamps, vec![1, 2, 3]);
@@ -302,15 +381,9 @@ mod tests {
         let (ix, _, abc) = indexed();
         let store = ix.store();
         let tables = seqdet_core::indexer::active_index_tables(store.as_ref());
+        let ctx = ReadCtx::plain(store.as_ref(), &tables);
         let mut prefixes = Vec::new();
-        let r = get_completions(
-            store.as_ref(),
-            &tables,
-            &abc,
-            JoinStrategy::Hash,
-            Some(&mut prefixes),
-        )
-        .unwrap();
+        let r = get_completions(&ctx, &abc, JoinStrategy::Hash, Some(&mut prefixes)).unwrap();
         assert_eq!(prefixes.len(), 2); // ⟨A,B⟩ and ⟨A,B,C⟩
         assert_eq!(prefixes[0].total_completions(), 3);
         assert_eq!(prefixes[1], r);
@@ -321,11 +394,11 @@ mod tests {
         let (ix, _, _) = indexed();
         let store = ix.store();
         let tables = seqdet_core::indexer::active_index_tables(store.as_ref());
+        let ctx = ReadCtx::plain(store.as_ref(), &tables);
         let c = ix.catalog().activity("C").unwrap();
         let a = ix.catalog().activity("A").unwrap();
         let ca = Pattern::new(vec![c, a]);
-        let r =
-            get_completions(store.as_ref(), &tables, &ca, JoinStrategy::Hash, None).unwrap();
+        let r = get_completions(&ctx, &ca, JoinStrategy::Hash, None).unwrap();
         assert!(r.is_empty());
         assert_eq!(r.traces(), vec![]);
     }
@@ -337,5 +410,54 @@ mod tests {
         let b = ix.catalog().activity("B").unwrap();
         let r = detect_single(store.as_ref(), b).unwrap();
         assert_eq!(r.total_completions(), 3); // t1 has B@3, B@5; t2 has B@2
+    }
+
+    #[test]
+    fn parallel_join_matches_sequential() {
+        // Many traces so the executor actually fans out; results must be
+        // identical to the 1-thread join.
+        let mut b = EventLogBuilder::new();
+        for t in 0..64 {
+            let name = format!("t{t}");
+            for (i, a) in ["A", "B", "C", "A", "B"].iter().enumerate() {
+                b.add(&name, a, (t + 1) * 100 + i as u64);
+            }
+        }
+        let mut ix = Indexer::new(IndexConfig::new(Policy::SkipTillNextMatch));
+        ix.index_log(&b.build()).unwrap();
+        let store = ix.store();
+        let tables = seqdet_core::indexer::active_index_tables(store.as_ref());
+        let abc = Pattern::new(vec![
+            ix.catalog().activity("A").unwrap(),
+            ix.catalog().activity("B").unwrap(),
+            ix.catalog().activity("C").unwrap(),
+        ]);
+        let seq_ctx = ReadCtx::plain(store.as_ref(), &tables);
+        let mut par_ctx = ReadCtx::plain(store.as_ref(), &tables);
+        par_ctx.executor = Executor::new(4);
+        for join in [JoinStrategy::Hash, JoinStrategy::NestedLoop] {
+            let s = get_completions(&seq_ctx, &abc, join, None).unwrap();
+            let p = get_completions(&par_ctx, &abc, join, None).unwrap();
+            assert_eq!(s, p, "{join:?}");
+            assert_eq!(s.total_completions(), 64);
+        }
+    }
+
+    #[test]
+    fn cached_reads_return_identical_results() {
+        let (ix, ab, abc) = indexed();
+        let store = ix.store();
+        let tables = seqdet_core::indexer::active_index_tables(store.as_ref());
+        let cache = PostingCache::new(64);
+        let mut ctx = ReadCtx::plain(store.as_ref(), &tables);
+        ctx.cache = Some(&cache);
+        let cold_ab = get_completions(&ctx, &ab, JoinStrategy::Hash, None).unwrap();
+        let cold_abc = get_completions(&ctx, &abc, JoinStrategy::Hash, None).unwrap();
+        let warm_ab = get_completions(&ctx, &ab, JoinStrategy::Hash, None).unwrap();
+        let warm_abc = get_completions(&ctx, &abc, JoinStrategy::Hash, None).unwrap();
+        assert_eq!(cold_ab, warm_ab);
+        assert_eq!(cold_abc, warm_abc);
+        let s = cache.stats();
+        assert!(s.hits >= 3, "⟨A,B⟩ ×2 and ⟨B,C⟩ re-reads hit: {s:?}");
     }
 }

@@ -1,35 +1,67 @@
 //! The query-processor facade.
 
 use crate::anymatch::{self, AnyMatchResult};
+use crate::cache::{CacheStats, PostingCache};
 use crate::continuation::{self, ContinuationMethod, Proposition};
-use crate::detect::{self, DetectResult, JoinStrategy};
+use crate::detect::{self, DetectResult, JoinStrategy, ReadCtx};
 use crate::stats::{self, PatternStats};
 use crate::{QueryError, Result};
+use parking_lot::RwLock;
 use seqdet_core::indexer::active_index_tables;
-use seqdet_core::Catalog;
+use seqdet_core::{index_generation, Catalog};
+use seqdet_exec::Executor;
 use seqdet_log::Pattern;
-use seqdet_storage::{KvStore, TableId};
+use seqdet_storage::{KvStore, StoreMetrics, TableId};
 use std::sync::Arc;
+
+/// Default bound on resident posting-cache entries.
+pub const DEFAULT_CACHE_CAPACITY: usize = 4096;
+
+/// Partition layout as of one index generation.
+struct Layout {
+    generation: u64,
+    tables: Vec<TableId>,
+}
 
 /// The query processor: loads the catalog and partition layout from an
 /// indexed store and answers pattern queries against it.
 ///
-/// The engine is read-only and cheap to clone conceptually; open one per
-/// store. Re-open after further index updates to pick up catalog additions
-/// (new activities/traces).
+/// The engine is read-only over the index. Posting lists are served through
+/// a sharded, generation-stamped [`PostingCache`] and decoded on miss with
+/// the zero-copy posting cursor; per-trace join work fans out across an
+/// [`Executor`]. Before every query the engine compares the store's
+/// [`index_generation`] against its snapshot and, on a change, reloads the
+/// partition layout and invalidates the cache — so queries keep answering
+/// correctly across index updates. Only the *catalog* stays as loaded at
+/// construction: re-open the engine to pick up newly interned activity or
+/// trace names.
 pub struct QueryEngine<S: KvStore> {
     store: Arc<S>,
     catalog: Catalog,
-    tables: Vec<TableId>,
+    layout: RwLock<Layout>,
+    cache: PostingCache,
+    executor: Executor,
+    metrics: Option<Arc<StoreMetrics>>,
     join: JoinStrategy,
 }
 
 impl<S: KvStore> QueryEngine<S> {
-    /// Open a query engine over an indexed store.
+    /// Open a query engine over an indexed store, with the default cache
+    /// capacity ([`DEFAULT_CACHE_CAPACITY`]) and join parallelism (all
+    /// cores).
     pub fn new(store: Arc<S>) -> Result<Self> {
         let catalog = Catalog::load(store.as_ref())?;
+        let generation = index_generation(store.as_ref());
         let tables = active_index_tables(store.as_ref());
-        Ok(Self { store, catalog, tables, join: JoinStrategy::default() })
+        Ok(Self {
+            store,
+            catalog,
+            layout: RwLock::new(Layout { generation, tables }),
+            cache: PostingCache::new(DEFAULT_CACHE_CAPACITY),
+            executor: Executor::default(),
+            metrics: None,
+            join: JoinStrategy::default(),
+        })
     }
 
     /// Select the per-trace join strategy (ablation knob; default Hash).
@@ -38,9 +70,43 @@ impl<S: KvStore> QueryEngine<S> {
         self
     }
 
+    /// Set the join parallelism: number of worker threads for the per-trace
+    /// join and STAM fan-out. `0` means all available cores; `1` runs
+    /// queries sequentially.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.executor = Executor::new(threads);
+        self
+    }
+
+    /// Bound the posting cache to roughly `capacity` `(table, pair)` rows.
+    /// `0` disables query-side caching entirely (every read decodes from
+    /// the store — the cold-path configuration of the benchmarks).
+    pub fn with_cache_capacity(mut self, capacity: usize) -> Self {
+        let mut cache = PostingCache::new(capacity);
+        if let Some(m) = &self.metrics {
+            cache.set_metrics(Arc::clone(m));
+        }
+        self.cache = cache;
+        self
+    }
+
+    /// Record cursor decodes and cache hits/misses/evictions/invalidations
+    /// into `metrics` (typically shared with the store that carries the
+    /// get/put counters).
+    pub fn with_metrics(mut self, metrics: Arc<StoreMetrics>) -> Self {
+        self.cache.set_metrics(Arc::clone(&metrics));
+        self.metrics = Some(metrics);
+        self
+    }
+
     /// The catalog loaded from the store.
     pub fn catalog(&self) -> &Catalog {
         &self.catalog
+    }
+
+    /// Point-in-time posting-cache counters.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
     }
 
     /// Resolve a pattern from activity names; errors on unknown names
@@ -58,6 +124,38 @@ impl<S: KvStore> QueryEngine<S> {
         Ok(Pattern::new(acts))
     }
 
+    /// Current generation + partition layout, refreshed from the store when
+    /// the indexer has mutated the index since the last query. On a change
+    /// the cache is flushed; entries are generation-stamped anyway, so even
+    /// a racing writer can never cause a stale posting list to be served.
+    fn snapshot(&self) -> (u64, Vec<TableId>) {
+        let generation = index_generation(self.store.as_ref());
+        {
+            let layout = self.layout.read();
+            if layout.generation == generation {
+                return (generation, layout.tables.clone());
+            }
+        }
+        let mut layout = self.layout.write();
+        if layout.generation != generation {
+            self.cache.invalidate_all();
+            layout.generation = generation;
+            layout.tables = active_index_tables(self.store.as_ref());
+        }
+        (layout.generation, layout.tables.clone())
+    }
+
+    fn ctx<'a>(&'a self, generation: u64, tables: &'a [TableId]) -> ReadCtx<'a, S> {
+        ReadCtx {
+            store: self.store.as_ref(),
+            tables,
+            cache: Some(&self.cache),
+            generation,
+            metrics: self.metrics.as_deref(),
+            executor: self.executor,
+        }
+    }
+
     /// **Pattern detection** (Algorithm 2): all completions of `pattern`.
     /// Length-1 patterns fall back to a `Seq` scan (see
     /// [`crate::detect`]); the empty pattern is rejected.
@@ -65,13 +163,10 @@ impl<S: KvStore> QueryEngine<S> {
         match pattern.len() {
             0 => Err(QueryError::PatternTooShort { required: 1, actual: 0 }),
             1 => detect::detect_single(self.store.as_ref(), pattern.get(0).expect("len 1")),
-            _ => detect::get_completions(
-                self.store.as_ref(),
-                &self.tables,
-                pattern,
-                self.join,
-                None,
-            ),
+            _ => {
+                let (generation, tables) = self.snapshot();
+                detect::get_completions(&self.ctx(generation, &tables), pattern, self.join, None)
+            }
         }
     }
 
@@ -83,9 +178,9 @@ impl<S: KvStore> QueryEngine<S> {
         if pattern.len() < 2 {
             return Err(QueryError::PatternTooShort { required: 2, actual: pattern.len() });
         }
+        let (generation, tables) = self.snapshot();
         detect::get_completions_within(
-            self.store.as_ref(),
-            &self.tables,
+            &self.ctx(generation, &tables),
             pattern,
             self.join,
             Some(window),
@@ -102,10 +197,10 @@ impl<S: KvStore> QueryEngine<S> {
         if pattern.len() < 2 {
             return Err(QueryError::PatternTooShort { required: 2, actual: pattern.len() });
         }
+        let (generation, tables) = self.snapshot();
         let mut prefixes = Vec::with_capacity(pattern.len() - 1);
         detect::get_completions(
-            self.store.as_ref(),
-            &self.tables,
+            &self.ctx(generation, &tables),
             pattern,
             self.join,
             Some(&mut prefixes),
@@ -134,22 +229,15 @@ impl<S: KvStore> QueryEngine<S> {
             return Err(QueryError::PatternTooShort { required: 1, actual: 0 });
         }
         match method {
-            ContinuationMethod::Accurate { max_gap } => continuation::accurate(
-                self.store.as_ref(),
-                &self.tables,
-                pattern,
-                self.join,
-                max_gap,
-            ),
+            ContinuationMethod::Accurate { max_gap } => {
+                let (generation, tables) = self.snapshot();
+                continuation::accurate(&self.ctx(generation, &tables), pattern, self.join, max_gap)
+            }
             ContinuationMethod::Fast => continuation::fast(self.store.as_ref(), pattern),
-            ContinuationMethod::Hybrid { k, max_gap } => continuation::hybrid(
-                self.store.as_ref(),
-                &self.tables,
-                pattern,
-                self.join,
-                k,
-                max_gap,
-            ),
+            ContinuationMethod::Hybrid { k, max_gap } => {
+                let (generation, tables) = self.snapshot();
+                continuation::hybrid(&self.ctx(generation, &tables), pattern, self.join, k, max_gap)
+            }
         }
     }
 
@@ -159,7 +247,8 @@ impl<S: KvStore> QueryEngine<S> {
         if pattern.is_empty() {
             return Err(QueryError::PatternTooShort { required: 1, actual: 0 });
         }
-        continuation::accurate_at(self.store.as_ref(), &self.tables, pattern, pos, self.join)
+        let (generation, tables) = self.snapshot();
+        continuation::accurate_at(&self.ctx(generation, &tables), pattern, pos, self.join)
     }
 
     /// §7 extension: skip-till-any-match detection with exact embedding
@@ -172,7 +261,8 @@ impl<S: KvStore> QueryEngine<S> {
         if pattern.len() < 2 {
             return Err(QueryError::PatternTooShort { required: 2, actual: pattern.len() });
         }
-        anymatch::detect_any_match(self.store.as_ref(), &self.tables, pattern, enumerate_limit)
+        let (generation, tables) = self.snapshot();
+        anymatch::detect_any_match(&self.ctx(generation, &tables), pattern, enumerate_limit)
     }
 }
 
@@ -250,9 +340,8 @@ mod tests {
         assert_eq!(s.max_completions, 3);
         let props = e.continuations(&p, ContinuationMethod::Fast).unwrap();
         assert!(!props.is_empty());
-        let props = e
-            .continuations(&p, ContinuationMethod::Hybrid { k: 1, max_gap: None })
-            .unwrap();
+        let props =
+            e.continuations(&p, ContinuationMethod::Hybrid { k: 1, max_gap: None }).unwrap();
         assert!(!props.is_empty());
         // Inserting between A and B: ⟨A,B,B⟩ completes once in t1 via
         // (A,B)=(1,3) ⋈ (B,B)=(3,5); ⟨A,A,B⟩ never joins.
@@ -296,10 +385,7 @@ mod tests {
         // Window large enough admits everything; length-1 is rejected.
         assert_eq!(e.detect_within(&p, 1000).unwrap().total_completions(), 2);
         let single = e.pattern(&["A"]).unwrap();
-        assert!(matches!(
-            e.detect_within(&single, 10),
-            Err(QueryError::PatternTooShort { .. })
-        ));
+        assert!(matches!(e.detect_within(&single, 10), Err(QueryError::PatternTooShort { .. })));
     }
 
     #[test]
@@ -329,5 +415,78 @@ mod tests {
         let r = e.detect(&p).unwrap();
         assert_eq!(r.total_completions(), 1);
         assert_eq!(r.matches[0].timestamps, vec![1, 50, 120]);
+    }
+
+    #[test]
+    fn warm_queries_hit_cache_without_redecoding() {
+        let metrics = Arc::new(StoreMetrics::new());
+        let mut b = EventLogBuilder::new();
+        for t in 0..10 {
+            let name = format!("t{t}");
+            b.add(&name, "A", t * 10 + 1).add(&name, "B", t * 10 + 2).add(&name, "C", t * 10 + 3);
+        }
+        let mut ix = Indexer::new(IndexConfig::new(Policy::SkipTillNextMatch));
+        ix.index_log(&b.build()).unwrap();
+        let e = QueryEngine::new(ix.store()).unwrap().with_metrics(Arc::clone(&metrics));
+        let p = e.pattern(&["A", "B", "C"]).unwrap();
+
+        let cold = e.detect(&p).unwrap();
+        // Cold: both pairs miss and decode through the cursor.
+        assert_eq!(metrics.cache_misses(), 2);
+        assert_eq!(metrics.cache_hits(), 0);
+        assert_eq!(metrics.cursor_decodes(), 20); // 10 postings per pair
+
+        let warm = e.detect(&p).unwrap();
+        assert_eq!(warm, cold);
+        // Warm: both pairs hit; nothing decodes again.
+        assert_eq!(metrics.cache_hits(), 2);
+        assert_eq!(metrics.cache_misses(), 2);
+        assert_eq!(metrics.cursor_decodes(), 20);
+        assert_eq!(e.cache_stats().entries, 2);
+    }
+
+    #[test]
+    fn disabled_cache_always_decodes() {
+        let metrics = Arc::new(StoreMetrics::new());
+        let mut b = EventLogBuilder::new();
+        b.add("t", "A", 1).add("t", "B", 2);
+        let mut ix = Indexer::new(IndexConfig::new(Policy::SkipTillNextMatch));
+        ix.index_log(&b.build()).unwrap();
+        let e = QueryEngine::new(ix.store())
+            .unwrap()
+            .with_cache_capacity(0)
+            .with_metrics(Arc::clone(&metrics));
+        let p = e.pattern(&["A", "B"]).unwrap();
+        e.detect(&p).unwrap();
+        e.detect(&p).unwrap();
+        assert_eq!(metrics.cache_hits(), 0);
+        assert_eq!(metrics.cursor_decodes(), 2);
+    }
+
+    #[test]
+    fn index_update_invalidates_and_refreshes() {
+        let mut b = EventLogBuilder::new();
+        b.add("t1", "A", 1).add("t1", "B", 2);
+        let mut ix = Indexer::new(IndexConfig::new(Policy::SkipTillNextMatch));
+        ix.index_log(&b.build()).unwrap();
+        let e = QueryEngine::new(ix.store()).unwrap();
+        let p = e.pattern(&["A", "B"]).unwrap();
+        assert_eq!(e.detect(&p).unwrap().total_completions(), 1);
+
+        // Second batch (same activities, new trace) behind the engine's back.
+        let mut b2 = EventLogBuilder::new();
+        b2.add("t2", "A", 10).add("t2", "B", 11);
+        ix.index_log(&b2.build()).unwrap();
+
+        // The engine notices the generation bump: no stale posting list.
+        assert_eq!(e.detect(&p).unwrap().total_completions(), 2);
+        assert!(e.cache_stats().invalidations >= 1);
+
+        // Pruning bumps the generation too (postings are kept — pruned
+        // traces stay queryable — but the cache must notice the mutation).
+        let inv_before = e.cache_stats().invalidations;
+        ix.prune_traces(&["t1"]).unwrap();
+        assert_eq!(e.detect(&p).unwrap().total_completions(), 2);
+        assert!(e.cache_stats().invalidations > inv_before);
     }
 }

@@ -56,11 +56,8 @@ mod tests {
         assert!(QueryError::UnknownActivity("X".into()).to_string().contains("\"X\""));
         let e = QueryError::PatternTooShort { required: 2, actual: 1 };
         assert!(e.to_string().contains("length 1"));
-        let e: QueryError = seqdet_core::CoreError::Corrupt {
-            table: "Index",
-            message: "bad".into(),
-        }
-        .into();
+        let e: QueryError =
+            seqdet_core::CoreError::Corrupt { table: "Index", message: "bad".into() }.into();
         assert!(e.to_string().contains("Index"));
     }
 }

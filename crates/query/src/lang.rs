@@ -166,9 +166,9 @@ fn parse_pattern(tokens: &[String]) -> std::result::Result<(Vec<String>, usize),
 
 fn parse_number(tokens: &[String], i: usize, what: &str) -> std::result::Result<u64, ParseError> {
     match tokens.get(i) {
-        Some(t) => t.parse().map_err(|_| ParseError {
-            message: format!("{what} expects a number, got {t:?}"),
-        }),
+        Some(t) => t
+            .parse()
+            .map_err(|_| ParseError { message: format!("{what} expects a number, got {t:?}") }),
         None => err(format!("{what} expects a number")),
     }
 }

@@ -24,21 +24,31 @@
 //! ([`QueryEngine::detect_any_match`]) and continuation with the candidate
 //! event inserted at an arbitrary pattern position
 //! ([`QueryEngine::continuations_at`]).
+//!
+//! All index-reading queries share one read path: posting rows are decoded
+//! through a zero-copy cursor, grouped per trace, and cached in a sharded
+//! generation-stamped LRU ([`PostingCache`]); per-trace join work runs on a
+//! worker pool. See [`cache`] and the "Query read path" section of
+//! `DESIGN.md` for the consistency model and tuning knobs
+//! ([`QueryEngine::with_cache_capacity`], [`QueryEngine::with_threads`],
+//! [`QueryEngine::with_metrics`]).
 
 pub mod anymatch;
+pub mod cache;
 pub mod continuation;
 pub mod detect;
 pub mod engine;
-pub mod lang;
 pub mod error;
+pub mod lang;
 pub mod stats;
 
 pub use anymatch::AnyMatchResult;
+pub use cache::{CacheStats, GroupedPostings, PostingCache};
 pub use continuation::{ContinuationMethod, Proposition};
 pub use detect::{DetectResult, JoinStrategy, PatternMatch};
-pub use engine::QueryEngine;
-pub use lang::{parse_query, Query, QueryOutput};
+pub use engine::{QueryEngine, DEFAULT_CACHE_CAPACITY};
 pub use error::QueryError;
+pub use lang::{parse_query, Query, QueryOutput};
 pub use stats::{PairStats, PatternStats};
 
 /// Crate-wide result alias.

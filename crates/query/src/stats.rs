@@ -45,10 +45,8 @@ fn one_pair<S: KvStore>(store: &S, a: Activity, b: Activity) -> Result<PairStats
     let entry = pair_count(store, a, b)?;
     let (completions, avg_duration) =
         entry.map_or((0, 0.0), |e| (e.total_completions, e.avg_duration()));
-    let last_completion = read_last_checked(store, Activity::pair_key(a, b))?
-        .iter()
-        .map(|e| e.last_completion)
-        .max();
+    let last_completion =
+        read_last_checked(store, Activity::pair_key(a, b))?.iter().map(|e| e.last_completion).max();
     Ok(PairStats { pair: (a, b), completions, avg_duration, last_completion })
 }
 
@@ -149,7 +147,7 @@ mod tests {
         let all = pattern_stats_all_pairs(ix.store().as_ref(), &p).unwrap();
         assert!(all.max_completions <= cons.max_completions);
         assert_eq!(all.pairs.len(), 3); // (A,B), (A,C), (B,C)
-        // Duration estimate unchanged: still the consecutive-pairs sum.
+                                        // Duration estimate unchanged: still the consecutive-pairs sum.
         assert!((all.est_duration - cons.est_duration).abs() < 1e-9);
     }
 

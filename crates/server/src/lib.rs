@@ -13,6 +13,7 @@
 //! |---|---|---|
 //! | `GET /health` | — | `200 ok` |
 //! | `GET /info` | — | catalog summary (traces, activities) |
+//! | `GET /stats/cache` | — | posting-cache counters (hits, misses, hit rate, evictions, invalidations, residency) |
 //! | `POST /query` | a query statement (`DETECT a -> b WITHIN 10` …) | rendered result |
 //! | `GET /query?q=…` | percent-encoded statement | rendered result |
 //!

@@ -99,12 +99,26 @@ fn route<S: KvStore>(
         ("GET", "/info") => (
             200,
             "OK",
-            format!(
-                "traces: {}\nactivities: {}\n",
-                catalog.num_traces(),
-                catalog.num_activities()
-            ),
+            format!("traces: {}\nactivities: {}\n", catalog.num_traces(), catalog.num_activities()),
         ),
+        ("GET", "/stats/cache") => {
+            let s = engine.cache_stats();
+            (
+                200,
+                "OK",
+                format!(
+                    "hits: {}\nmisses: {}\nhit_rate: {:.3}\nevictions: {}\n\
+                     invalidations: {}\nentries: {}\ncapacity: {}\n",
+                    s.hits,
+                    s.misses,
+                    s.hit_rate(),
+                    s.evictions,
+                    s.invalidations,
+                    s.entries,
+                    s.capacity
+                ),
+            )
+        }
         ("POST", "/query") | ("GET", "/query") => {
             let statement = if request.method == "POST" {
                 request.body.trim().to_owned()
@@ -139,8 +153,7 @@ mod tests {
         b.add("t2", "go", 1).add("t2", "stop", 5);
         let mut ix = Indexer::new(IndexConfig::new(Policy::SkipTillNextMatch));
         ix.index_log(&b.build()).unwrap();
-        let server: QueryServer<MemStore> =
-            QueryServer::bind("127.0.0.1:0", ix.store()).unwrap();
+        let server: QueryServer<MemStore> = QueryServer::bind("127.0.0.1:0", ix.store()).unwrap();
         let addr = server.local_addr().unwrap();
         std::thread::spawn(move || server.serve_n(n).unwrap());
         addr
@@ -176,6 +189,24 @@ mod tests {
         let q = percent_encode("CONTINUE go USING fast");
         let r = roundtrip(addr, &format!("GET /query?q={q} HTTP/1.1\r\nHost: x\r\n\r\n"));
         assert!(r.contains("propositions"));
+    }
+
+    #[test]
+    fn cache_stats_endpoint_reports_warm_queries() {
+        let addr = spawn_server(3);
+        let body = "DETECT go -> stop";
+        for _ in 0..2 {
+            roundtrip(
+                addr,
+                &format!("POST /query HTTP/1.1\r\nContent-Length: {}\r\n\r\n{body}", body.len()),
+            );
+        }
+        let r = roundtrip(addr, "GET /stats/cache HTTP/1.1\r\nHost: x\r\n\r\n");
+        assert!(r.starts_with("HTTP/1.1 200"), "{r}");
+        // First DETECT misses the (go, stop) row; the second hits it.
+        assert!(r.contains("hits: 1"), "{r}");
+        assert!(r.contains("misses: 1"), "{r}");
+        assert!(r.contains("entries: 1"), "{r}");
     }
 
     #[test]

@@ -85,10 +85,7 @@ impl DiskStore {
             replay_segment(&segment_path(&dir, n), &state)?;
         }
         let next = segments.last().map_or(0, |n| n + 1);
-        let file = OpenOptions::new()
-            .create(true)
-            .append(true)
-            .open(segment_path(&dir, next))?;
+        let file = OpenOptions::new().create(true).append(true).open(segment_path(&dir, next))?;
         Ok(Self {
             dir,
             state,
@@ -119,10 +116,8 @@ impl DiskStore {
         out.get_ref().sync_all()?;
         // Swap the active segment, then remove the old ones.
         let old_active = w.segment;
-        let active = OpenOptions::new()
-            .create(true)
-            .append(true)
-            .open(segment_path(&self.dir, next + 1))?;
+        let active =
+            OpenOptions::new().create(true).append(true).open(segment_path(&self.dir, next + 1))?;
         w.file.flush()?;
         w.file = BufWriter::new(active);
         w.segment = next + 1;

@@ -39,7 +39,10 @@ impl std::fmt::Debug for MemStore {
 impl MemStore {
     /// Fresh empty store.
     pub fn new() -> Self {
-        Self { shards: (0..SHARDS).map(|_| RwLock::new(FxHashMap::default())).collect(), metrics: None }
+        Self {
+            shards: (0..SHARDS).map(|_| RwLock::new(FxHashMap::default())).collect(),
+            metrics: None,
+        }
     }
 
     /// Store that records operation counts into `metrics`.
@@ -116,7 +119,10 @@ impl KvStore for MemStore {
         if let Some(m) = &self.metrics {
             m.record_delete();
         }
-        self.shard(table, key).write().remove(&(table, key.into()) as &(TableId, Box<[u8]>)).is_some()
+        self.shard(table, key)
+            .write()
+            .remove(&(table, key.into()) as &(TableId, Box<[u8]>))
+            .is_some()
     }
 
     fn scan(&self, table: TableId) -> Vec<(Bytes, Bytes)> {
@@ -133,10 +139,7 @@ impl KvStore for MemStore {
     }
 
     fn table_len(&self, table: TableId) -> usize {
-        self.shards
-            .iter()
-            .map(|s| s.read().keys().filter(|(t, _)| *t == table).count())
-            .sum()
+        self.shards.iter().map(|s| s.read().keys().filter(|(t, _)| *t == table).count()).sum()
     }
 
     fn flush(&self) -> std::io::Result<()> {

@@ -8,6 +8,11 @@ use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Monotonic counters over store operations. All methods are lock-free and
 /// safe to call from any thread.
+///
+/// Beyond the raw store round-trips, the query read path reports its
+/// decode/cache behaviour here as well: how many postings were walked
+/// zero-copy through a cursor, how many rows went through the slow
+/// `Vec`-materializing decoder, and how the query-side posting cache fared.
 #[derive(Debug, Default)]
 pub struct StoreMetrics {
     gets: AtomicU64,
@@ -16,6 +21,12 @@ pub struct StoreMetrics {
     deletes: AtomicU64,
     bytes_read: AtomicU64,
     bytes_written: AtomicU64,
+    cursor_decodes: AtomicU64,
+    slow_decodes: AtomicU64,
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
+    cache_evictions: AtomicU64,
+    cache_invalidations: AtomicU64,
 }
 
 impl StoreMetrics {
@@ -41,6 +52,36 @@ impl StoreMetrics {
 
     pub(crate) fn record_delete(&self) {
         self.deletes.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record `postings` records decoded zero-copy through a cursor.
+    pub fn record_cursor_decode(&self, postings: usize) {
+        self.cursor_decodes.fetch_add(postings as u64, Ordering::Relaxed);
+    }
+
+    /// Record one row decoded through the slow `Vec`-materializing path.
+    pub fn record_slow_decode(&self) {
+        self.slow_decodes.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record a posting-cache hit.
+    pub fn record_cache_hit(&self) {
+        self.cache_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record a posting-cache miss.
+    pub fn record_cache_miss(&self) {
+        self.cache_misses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record a posting-cache capacity eviction.
+    pub fn record_cache_eviction(&self) {
+        self.cache_evictions.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record a posting-cache entry dropped as stale (generation change).
+    pub fn record_cache_invalidation(&self) {
+        self.cache_invalidations.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Number of `get` calls.
@@ -73,6 +114,36 @@ impl StoreMetrics {
         self.bytes_written.load(Ordering::Relaxed)
     }
 
+    /// Postings decoded zero-copy through a [`PostingCursor`]-style cursor.
+    pub fn cursor_decodes(&self) -> u64 {
+        self.cursor_decodes.load(Ordering::Relaxed)
+    }
+
+    /// Rows decoded through the slow `Vec`-materializing path.
+    pub fn slow_decodes(&self) -> u64 {
+        self.slow_decodes.load(Ordering::Relaxed)
+    }
+
+    /// Posting-cache hits.
+    pub fn cache_hits(&self) -> u64 {
+        self.cache_hits.load(Ordering::Relaxed)
+    }
+
+    /// Posting-cache misses.
+    pub fn cache_misses(&self) -> u64 {
+        self.cache_misses.load(Ordering::Relaxed)
+    }
+
+    /// Posting-cache capacity evictions.
+    pub fn cache_evictions(&self) -> u64 {
+        self.cache_evictions.load(Ordering::Relaxed)
+    }
+
+    /// Posting-cache entries dropped as stale after an index update.
+    pub fn cache_invalidations(&self) -> u64 {
+        self.cache_invalidations.load(Ordering::Relaxed)
+    }
+
     /// Reset all counters to zero.
     pub fn reset(&self) {
         self.gets.store(0, Ordering::Relaxed);
@@ -81,6 +152,12 @@ impl StoreMetrics {
         self.deletes.store(0, Ordering::Relaxed);
         self.bytes_read.store(0, Ordering::Relaxed);
         self.bytes_written.store(0, Ordering::Relaxed);
+        self.cursor_decodes.store(0, Ordering::Relaxed);
+        self.slow_decodes.store(0, Ordering::Relaxed);
+        self.cache_hits.store(0, Ordering::Relaxed);
+        self.cache_misses.store(0, Ordering::Relaxed);
+        self.cache_evictions.store(0, Ordering::Relaxed);
+        self.cache_invalidations.store(0, Ordering::Relaxed);
     }
 }
 

@@ -92,9 +92,7 @@ fn main() {
     // complete ⟨search,search,search,purchase⟩.
     // --------------------------------------------------------------
     let s3 = stnm.pattern(&["search", "search", "search"]).expect("known actions");
-    let s3p = stnm
-        .pattern(&["search", "search", "search", "purchase"])
-        .expect("known actions");
+    let s3p = stnm.pattern(&["search", "search", "search", "purchase"]).expect("known actions");
     let searched = stnm.detect(&s3).expect("detection runs").traces();
     let converted = stnm.detect(&s3p).expect("detection runs").traces();
     println!(

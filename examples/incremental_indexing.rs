@@ -22,11 +22,8 @@ fn daily_batch(day: u64, sessions: usize) -> EventLog {
     let mut b = EventLogBuilder::new();
     for s in 0..sessions {
         // Even sessions are long-running: they appear on every day.
-        let trace = if s % 2 == 0 {
-            format!("persistent-{s}")
-        } else {
-            format!("day{day}-session-{s}")
-        };
+        let trace =
+            if s % 2 == 0 { format!("persistent-{s}") } else { format!("day{day}-session-{s}") };
         let base: Ts = day * 1_000;
         for (i, act) in ["login", "browse", "edit", "save", "logout"].iter().enumerate() {
             b.add(&trace, act, base + i as Ts + 1);

@@ -33,13 +33,10 @@ fn main() {
 
     // Take a running case's prefix as the query pattern.
     let prefix_len = 3;
-    let template = log
-        .traces()
-        .find(|t| t.len() >= prefix_len + 2)
-        .expect("some case is long enough");
-    let pattern = Pattern::new(
-        template.events()[..prefix_len].iter().map(|e| e.activity).collect(),
-    );
+    let template =
+        log.traces().find(|t| t.len() >= prefix_len + 2).expect("some case is long enough");
+    let pattern =
+        Pattern::new(template.events()[..prefix_len].iter().map(|e| e.activity).collect());
     let names: Vec<&str> =
         pattern.activities().iter().map(|&a| log.activity_name(a).unwrap()).collect();
     println!("\nrunning case so far: {names:?}");

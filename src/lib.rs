@@ -44,8 +44,8 @@ pub use seqdet_storage as storage;
 pub mod prelude {
     pub use seqdet_core::{IndexConfig, Indexer, Policy, StnmMethod};
     pub use seqdet_log::{
-        Activity, ActivityInterner, Event, EventLog, EventLogBuilder, Pattern, Trace,
-        TraceBuilder, TraceId, Ts,
+        Activity, ActivityInterner, Event, EventLog, EventLogBuilder, Pattern, Trace, TraceBuilder,
+        TraceId, Ts,
     };
     pub use seqdet_query::{ContinuationMethod, QueryEngine};
 }

@@ -76,8 +76,13 @@ fn detection_results_are_real_embeddings() {
     let log = RandomLogSpec::new(40, 30, 6).generate();
     let engine = engine_for(&log, Policy::SkipTillNextMatch);
     for len in [2usize, 3, 4] {
-        let pats =
-            seqdet_datagen::patterns::pattern_batch(&log, len, 20, seqdet_datagen::patterns::PatternMode::Random, 3);
+        let pats = seqdet_datagen::patterns::pattern_batch(
+            &log,
+            len,
+            20,
+            seqdet_datagen::patterns::PatternMode::Random,
+            3,
+        );
         for p in pats {
             let r = engine.detect(&p).expect("detection runs");
             for m in &r.matches {

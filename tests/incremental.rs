@@ -17,10 +17,8 @@ fn all_postings(ix: &Indexer<MemStore>) -> Vec<(u64, Vec<Posting>)> {
     let mut out = Vec::new();
     for a in 0..l {
         for b in 0..l {
-            let key = seqdet_log::Activity::pair_key(
-                seqdet_log::Activity(a),
-                seqdet_log::Activity(b),
-            );
+            let key =
+                seqdet_log::Activity::pair_key(seqdet_log::Activity(a), seqdet_log::Activity(b));
             let mut ps = Vec::new();
             for &t in &tables {
                 ps.extend(read_postings(store.as_ref(), t, key).expect("rows decode"));

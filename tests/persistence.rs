@@ -114,8 +114,9 @@ fn partitioned_disk_index_roundtrips() {
     }
     let store = Arc::new(DiskStore::open(&dir).expect("segments exist"));
     // Reopening with a mismatching partitioning must fail…
-    assert!(Indexer::with_store(store.clone(), IndexConfig::new(Policy::SkipTillNextMatch))
-        .is_err());
+    assert!(
+        Indexer::with_store(store.clone(), IndexConfig::new(Policy::SkipTillNextMatch)).is_err()
+    );
     // …but the query engine just follows the persisted partition layout.
     let engine = QueryEngine::new(store).expect("catalog persisted");
     let p = engine.pattern(&["B", "A"]).expect("known");

@@ -40,7 +40,13 @@ fn corrupted_index_row_surfaces_as_error_not_panic() {
     );
     let store = ix.store();
     store.put(INDEX, &pair_key_bytes(key), &[0xFF; 21]);
-    match engine.detect(&p) {
+    // A raw store.put bypasses the indexer and so does not bump the index
+    // generation — the warmed engine is entitled to answer from its posting
+    // cache. Any engine that actually reads the row must surface the
+    // corruption as an error, not a panic.
+    assert_eq!(engine.detect(&p).expect("served from cache").total_completions(), 2);
+    let fresh = QueryEngine::new(ix.store()).expect("indexed store");
+    match fresh.detect(&p) {
         Err(QueryError::Core(seqdet_core::CoreError::Corrupt { table, .. })) => {
             assert_eq!(table, "Index");
         }
