@@ -16,6 +16,7 @@ usage:
   seqdet continue --store DIR --pattern A,B --method accurate|fast|hybrid
                   [--k N] [--max-gap G]
   seqdet query    --store DIR \"DETECT a -> b [WITHIN n] [ANY MATCH]\"
+  seqdet audit    --store DIR [--json]
   seqdet serve    --store DIR [--addr 127.0.0.1:7878]
 profiles: max_100 max_500 med_5000 max_5000 max_1000 max_10000 min_10000
           bpi_2013 bpi_2020 bpi_2017";
@@ -73,6 +74,13 @@ pub enum Command {
         pattern: Vec<String>,
         /// Use the all-pairs (tighter) bound.
         all_pairs: bool,
+    },
+    /// Verify segment checksums and the five-table invariants of a store.
+    Audit {
+        /// Store directory.
+        store: String,
+        /// Emit the report as JSON instead of text.
+        json: bool,
     },
     /// Run a query-language statement.
     Query {
@@ -224,6 +232,21 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
             Ok(Command::Query {
                 store: store.ok_or_else(|| "query requires --store".to_string())?,
                 statement: statement.ok_or_else(|| "query requires a statement".to_string())?,
+            })
+        }
+        "audit" => {
+            let (mut store, mut json) = (None, false);
+            while cur.i + 1 < args.len() {
+                cur.i += 1;
+                match args[cur.i].as_str() {
+                    "--store" => store = Some(cur.value("--store")?),
+                    "--json" => json = true,
+                    other => return Err(format!("unknown flag {other} for audit")),
+                }
+            }
+            Ok(Command::Audit {
+                store: store.ok_or_else(|| "audit requires --store".to_string())?,
+                json,
             })
         }
         "serve" => {
@@ -403,6 +426,16 @@ mod tests {
         }
         assert!(parse(&argv("query --store d")).is_err());
         assert!(parse(&argv("query DETECT")).is_err());
+    }
+
+    #[test]
+    fn parse_audit() {
+        let c = parse(&argv("audit --store d")).unwrap();
+        assert_eq!(c, Command::Audit { store: "d".into(), json: false });
+        let c = parse(&argv("audit --store d --json")).unwrap();
+        assert!(matches!(c, Command::Audit { json: true, .. }));
+        assert!(parse(&argv("audit")).is_err());
+        assert!(parse(&argv("audit --store d --bogus")).is_err());
     }
 
     #[test]

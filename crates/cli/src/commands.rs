@@ -113,6 +113,19 @@ pub fn run(cmd: Command) -> Result<(), CliError> {
             println!("estimated whole-pattern duration ≈ {:.2}", s.est_duration);
             Ok(())
         }
+        Command::Audit { store, json } => {
+            let outcome = seqdet_core::audit_disk(std::path::Path::new(&store))?;
+            if json {
+                println!("{}", outcome.to_json());
+            } else {
+                print!("{}", outcome.to_text());
+            }
+            if outcome.ok() {
+                Ok(())
+            } else {
+                Err("audit found violations".into())
+            }
+        }
         Command::Query { store, statement } => {
             let disk = Arc::new(DiskStore::open(&store)?);
             let engine = QueryEngine::new(disk.clone())?;

@@ -11,6 +11,7 @@
 //! seqdet stats    --store DIR --pattern A,B,C [--all-pairs]
 //! seqdet continue --store DIR --pattern A,B --method accurate|fast|hybrid
 //!                 [--k N] [--max-gap G]
+//! seqdet audit    --store DIR [--json]
 //! ```
 //!
 //! The store directory is a persistent [`seqdet_storage::DiskStore`]; the

@@ -40,9 +40,9 @@ use std::sync::Arc;
 const META_POLICY: &str = "config:policy";
 const META_METHOD: &str = "config:method";
 const META_PERIOD: &str = "config:partition_period";
-const META_NUM_PARTITIONS: &str = "config:num_partitions";
-const META_MIN_PARTITION: &str = "config:min_partition";
-const META_GENERATION: &str = "config:index_generation";
+pub(crate) const META_NUM_PARTITIONS: &str = "config:num_partitions";
+pub(crate) const META_MIN_PARTITION: &str = "config:min_partition";
+pub(crate) const META_GENERATION: &str = "config:index_generation";
 
 /// Indexer configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

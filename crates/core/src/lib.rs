@@ -23,6 +23,7 @@
 //!   parallelized per trace; plus the §3.1.3 extensions (period partitioning
 //!   of the `Index` table, pruning of completed traces).
 
+pub mod audit;
 pub mod catalog;
 pub mod error;
 pub mod indexer;
@@ -31,6 +32,7 @@ pub mod policy;
 pub mod stats;
 pub mod tables;
 
+pub use audit::{audit_disk, audit_store, AuditReport, AuditSummary, DiskAuditOutcome, Violation};
 pub use catalog::Catalog;
 pub use error::CoreError;
 pub use indexer::{index_generation, IndexConfig, Indexer, UpdateStats};

@@ -1,0 +1,131 @@
+//! Codec roundtrip property suite — the registry the
+//! `codec-roundtrip-registered` lint checks against.
+//!
+//! Every row codec in `crates/core/src/tables.rs` must appear here with
+//! both its `encode_*` and `decode_*` halves: a codec without a registered
+//! roundtrip test can silently drift from its encoder (e.g. a field added
+//! to the struct but not to the wire format). The fuzz half of the suite
+//! feeds truncated and bit-flipped buffers to every decoder — decoding
+//! hostile bytes must return `Err`, never panic: these decoders run on
+//! data read back from disk.
+
+use proptest::prelude::*;
+use seqdet_core::tables::{
+    decode_counts, decode_events, decode_last_checked, decode_postings, encode_counts,
+    encode_events, encode_last_checked, encode_postings, CountEntry, LastCheckedEntry,
+};
+use seqdet_log::{Activity, Event, TraceId};
+
+fn events_strategy() -> impl Strategy<Value = Vec<Event>> {
+    prop::collection::vec((0u32..1000, 0u64..1 << 48), 0..64)
+        .prop_map(|v| v.into_iter().map(|(a, ts)| Event::new(Activity(a), ts)).collect())
+}
+
+fn counts_strategy() -> impl Strategy<Value = Vec<CountEntry>> {
+    prop::collection::vec((0u32..1000, 0u64..1 << 40, 0u64..1 << 40), 0..64).prop_map(|v| {
+        v.into_iter()
+            .map(|(p, s, t)| CountEntry {
+                partner: Activity(p),
+                sum_duration: s,
+                total_completions: t,
+            })
+            .collect()
+    })
+}
+
+fn last_checked_strategy() -> impl Strategy<Value = Vec<LastCheckedEntry>> {
+    prop::collection::vec((0u32..1000, 0u64..1 << 48), 0..64).prop_map(|v| {
+        v.into_iter()
+            .map(|(t, lc)| LastCheckedEntry { trace: TraceId(t), last_completion: lc })
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn events_roundtrip(events in events_strategy()) {
+        let row = encode_events(&events);
+        prop_assert_eq!(decode_events(&row).unwrap(), events);
+    }
+
+    #[test]
+    fn postings_roundtrip(
+        trace in 0u32..1000,
+        occs in prop::collection::vec((0u64..1 << 48, 0u64..1 << 48), 0..64),
+    ) {
+        let row = encode_postings(TraceId(trace), &occs);
+        let decoded = decode_postings(&row).unwrap();
+        prop_assert_eq!(decoded.len(), occs.len());
+        for (p, &(a, b)) in decoded.iter().zip(&occs) {
+            prop_assert_eq!(p.trace, TraceId(trace));
+            prop_assert_eq!((p.ts_a, p.ts_b), (a, b));
+        }
+    }
+
+    #[test]
+    fn counts_roundtrip(entries in counts_strategy()) {
+        let row = encode_counts(&entries);
+        prop_assert_eq!(decode_counts(&row).unwrap(), entries);
+    }
+
+    #[test]
+    fn last_checked_roundtrip(entries in last_checked_strategy()) {
+        let row = encode_last_checked(&entries);
+        prop_assert_eq!(decode_last_checked(&row).unwrap(), entries);
+    }
+
+    // ---------------------------------------------------------------
+    // Hostile-input half: decoders must never panic.
+    // ---------------------------------------------------------------
+
+    #[test]
+    fn decoders_never_panic_on_arbitrary_bytes(row in prop::collection::vec(0u8..=255, 0..256)) {
+        let _ = decode_events(&row);
+        let _ = decode_postings(&row);
+        let _ = decode_counts(&row);
+        let _ = decode_last_checked(&row);
+    }
+
+    #[test]
+    fn truncated_rows_error_or_decode_prefix(
+        events in events_strategy(),
+        cut_ppm in 0u32..1_000_000,
+    ) {
+        let row = encode_events(&events);
+        let cut = (row.len() as u64 * cut_ppm as u64 / 1_000_000) as usize;
+        match decode_events(&row[..cut]) {
+            // A cut on a record boundary decodes the prefix…
+            Ok(prefix) => prop_assert_eq!(&prefix[..], &events[..prefix.len()]),
+            // …anywhere else must be a typed error, not a panic.
+            Err(_) => prop_assert!(!cut.is_multiple_of(12)),
+        }
+    }
+
+    #[test]
+    fn bit_flipped_rows_never_panic(
+        entries in counts_strategy(),
+        byte_ppm in 0u32..1_000_000,
+        bit in 0u8..8,
+    ) {
+        let mut row = encode_counts(&entries);
+        if !row.is_empty() {
+            let idx = (row.len() as u64 * byte_ppm as u64 / 1_000_000) as usize % row.len();
+            row[idx] ^= 1 << bit;
+            // Fixed-width records: a bit flip changes values, never framing,
+            // so the row still decodes to the same number of entries.
+            prop_assert_eq!(decode_counts(&row).unwrap().len(), entries.len());
+        }
+    }
+}
+
+/// Every decoder handles the empty row (a key that was written then fully
+/// compacted away can legitimately read back empty).
+#[test]
+fn empty_rows_are_valid_everywhere() {
+    assert!(decode_events(&[]).unwrap().is_empty());
+    assert!(decode_postings(&[]).unwrap().is_empty());
+    assert!(decode_counts(&[]).unwrap().is_empty());
+    assert!(decode_last_checked(&[]).unwrap().is_empty());
+}

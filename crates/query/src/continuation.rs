@@ -19,7 +19,7 @@
 //!   equal to the fast only alternative").
 
 use crate::detect::{get_completions, DetectResult, JoinStrategy, ReadCtx};
-use crate::Result;
+use crate::{QueryError, Result};
 use seqdet_core::tables::{read_counts, COUNT, RCOUNT};
 use seqdet_log::{Activity, Pattern, Ts};
 use seqdet_storage::KvStore;
@@ -72,12 +72,9 @@ impl Proposition {
 }
 
 fn sort_by_score(mut props: Vec<Proposition>) -> Vec<Proposition> {
-    props.sort_by(|a, b| {
-        b.score()
-            .partial_cmp(&a.score())
-            .expect("scores are never NaN")
-            .then(a.activity.0.cmp(&b.activity.0))
-    });
+    // total_cmp instead of partial_cmp: scores are never NaN today, but a
+    // ranking function must not be one refactor away from a panic.
+    props.sort_by(|a, b| b.score().total_cmp(&a.score()).then(a.activity.0.cmp(&b.activity.0)));
     props
 }
 
@@ -121,7 +118,9 @@ pub(crate) fn accurate<S: KvStore>(
     join: JoinStrategy,
     max_gap: Option<Ts>,
 ) -> Result<Vec<Proposition>> {
-    let last = pattern.last().expect("pattern is non-empty");
+    let Some(last) = pattern.last() else {
+        return Err(QueryError::PatternTooShort { required: 1, actual: 0 });
+    };
     let mut props = Vec::new();
     for cand in candidates(ctx.store, last)? {
         props.push(evaluate_exact(ctx, pattern, cand, join, max_gap)?);
@@ -131,7 +130,9 @@ pub(crate) fn accurate<S: KvStore>(
 
 /// Algorithm 4 — Fast (heuristic) exploration.
 pub(crate) fn fast<S: KvStore>(store: &S, pattern: &Pattern) -> Result<Vec<Proposition>> {
-    let last = pattern.last().expect("pattern is non-empty");
+    let Some(last) = pattern.last() else {
+        return Err(QueryError::PatternTooShort { required: 1, actual: 0 });
+    };
     // Upper bound of completions of the query pattern itself (lines 3-8).
     let mut max_completions = u64::MAX;
     for (a, b) in pattern.consecutive_pairs() {

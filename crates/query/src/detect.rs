@@ -70,11 +70,13 @@ pub struct PatternMatch {
 impl PatternMatch {
     /// Timestamp of the first matched event.
     pub fn start(&self) -> Ts {
+        // xtask-lint: allow(no-panic): every constructor stores ≥ 1 timestamp; an empty match is unrepresentable, not an input condition.
         *self.timestamps.first().expect("matches are non-empty")
     }
 
     /// Timestamp of the last matched event.
     pub fn end(&self) -> Ts {
+        // xtask-lint: allow(no-panic): every constructor stores ≥ 1 timestamp; an empty match is unrepresentable, not an input condition.
         *self.timestamps.last().expect("matches are non-empty")
     }
 
@@ -255,7 +257,7 @@ pub(crate) fn get_completions_within<S: KvStore>(
                     JoinStrategy::Hash => {
                         let by_start: FxHashMap<Ts, Ts> = occs.iter().copied().collect();
                         for part in parts {
-                            let last = *part.last().expect("partials are non-empty");
+                            let Some(&last) = part.last() else { continue };
                             if let Some(&ts_b) = by_start.get(&last) {
                                 if window.is_some_and(|w| ts_b - part[0] > w) {
                                     continue;
@@ -268,7 +270,7 @@ pub(crate) fn get_completions_within<S: KvStore>(
                     }
                     JoinStrategy::NestedLoop => {
                         for part in parts {
-                            let last = *part.last().expect("partials are non-empty");
+                            let Some(&last) = part.last() else { continue };
                             for &(a, b) in occs {
                                 if a == last && window.is_none_or(|w| b - part[0] <= w) {
                                     let mut next_part = part.clone();

@@ -160,9 +160,9 @@ impl<S: KvStore> QueryEngine<S> {
     /// Length-1 patterns fall back to a `Seq` scan (see
     /// [`crate::detect`]); the empty pattern is rejected.
     pub fn detect(&self, pattern: &Pattern) -> Result<DetectResult> {
-        match pattern.len() {
-            0 => Err(QueryError::PatternTooShort { required: 1, actual: 0 }),
-            1 => detect::detect_single(self.store.as_ref(), pattern.get(0).expect("len 1")),
+        match pattern.activities() {
+            [] => Err(QueryError::PatternTooShort { required: 1, actual: 0 }),
+            &[single] => detect::detect_single(self.store.as_ref(), single),
             _ => {
                 let (generation, tables) = self.snapshot();
                 detect::get_completions(&self.ctx(generation, &tables), pattern, self.join, None)

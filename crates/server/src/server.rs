@@ -14,6 +14,7 @@ use std::sync::Arc;
 pub struct QueryServer<S: KvStore> {
     listener: TcpListener,
     engine: Arc<QueryEngine<S>>,
+    store: Arc<S>,
     catalog: Catalog,
     shutdown: Arc<AtomicBool>,
 }
@@ -30,6 +31,7 @@ impl<S: KvStore + 'static> QueryServer<S> {
         Ok(Self {
             listener,
             engine: Arc::new(engine),
+            store,
             catalog,
             shutdown: Arc::new(AtomicBool::new(false)),
         })
@@ -56,9 +58,10 @@ impl<S: KvStore + 'static> QueryServer<S> {
             }
             let stream = conn?;
             let engine = Arc::clone(&self.engine);
+            let store = Arc::clone(&self.store);
             let catalog = self.catalog.clone();
             std::thread::spawn(move || {
-                let _ = handle_connection(stream, &engine, &catalog);
+                let _ = handle_connection(stream, &engine, store.as_ref(), &catalog);
             });
         }
         Ok(())
@@ -68,7 +71,7 @@ impl<S: KvStore + 'static> QueryServer<S> {
     pub fn serve_n(&self, n: usize) -> io::Result<()> {
         for _ in 0..n {
             let (stream, _) = self.listener.accept()?;
-            handle_connection(stream, &self.engine, &self.catalog)?;
+            handle_connection(stream, &self.engine, self.store.as_ref(), &self.catalog)?;
         }
         Ok(())
     }
@@ -77,6 +80,7 @@ impl<S: KvStore + 'static> QueryServer<S> {
 fn handle_connection<S: KvStore>(
     stream: TcpStream,
     engine: &QueryEngine<S>,
+    store: &S,
     catalog: &Catalog,
 ) -> io::Result<()> {
     let request = match read_request(&stream) {
@@ -85,13 +89,14 @@ fn handle_connection<S: KvStore>(
             return write_response(&stream, 400, "Bad Request", &format!("bad request: {e}\n"));
         }
     };
-    let (status, reason, body) = route(&request, engine, catalog);
+    let (status, reason, body) = route(&request, engine, store, catalog);
     write_response(&stream, status, reason, &body)
 }
 
 fn route<S: KvStore>(
     request: &Request,
     engine: &QueryEngine<S>,
+    store: &S,
     catalog: &Catalog,
 ) -> (u16, &'static str, String) {
     match (request.method.as_str(), request.path.as_str()) {
@@ -119,6 +124,13 @@ fn route<S: KvStore>(
                 ),
             )
         }
+        ("GET", "/stats/audit") => match seqdet_core::audit_store(store) {
+            // A failing audit is a successful *report*; the status code
+            // still signals the result so health checks can gate on it.
+            Ok(report) if report.ok() => (200, "OK", format!("{}\n", report.to_json())),
+            Ok(report) => (409, "Conflict", format!("{}\n", report.to_json())),
+            Err(e) => (500, "Internal Server Error", format!("audit failed: {e}\n")),
+        },
         ("POST", "/query") | ("GET", "/query") => {
             let statement = if request.method == "POST" {
                 request.body.trim().to_owned()
@@ -207,6 +219,35 @@ mod tests {
         assert!(r.contains("hits: 1"), "{r}");
         assert!(r.contains("misses: 1"), "{r}");
         assert!(r.contains("entries: 1"), "{r}");
+    }
+
+    #[test]
+    fn audit_endpoint_reports_clean_and_corrupt_stores() {
+        let addr = spawn_server(1);
+        let r = roundtrip(addr, "GET /stats/audit HTTP/1.1\r\nHost: x\r\n\r\n");
+        assert!(r.starts_with("HTTP/1.1 200"), "{r}");
+        assert!(r.contains("\"ok\":true"), "{r}");
+
+        // Same data, but with one Count row inflated behind the engine's
+        // back: the endpoint must flag it and flip the status code.
+        use seqdet_core::tables::{decode_counts, encode_counts, COUNT};
+        let mut b = EventLogBuilder::new();
+        b.add("t1", "go", 1).add("t1", "stop", 3);
+        let mut ix = Indexer::new(IndexConfig::new(Policy::SkipTillNextMatch));
+        ix.index_log(&b.build()).unwrap();
+        let store = ix.store();
+        let (key, row) = store.scan(COUNT).into_iter().next().expect("Count rows exist");
+        let mut entries = decode_counts(&row).unwrap();
+        entries[0].total_completions += 1;
+        store.put(COUNT, key.as_ref(), &encode_counts(&entries));
+
+        let server: QueryServer<MemStore> = QueryServer::bind("127.0.0.1:0", store).unwrap();
+        let addr = server.local_addr().unwrap();
+        std::thread::spawn(move || server.serve_n(1).unwrap());
+        let r = roundtrip(addr, "GET /stats/audit HTTP/1.1\r\nHost: x\r\n\r\n");
+        assert!(r.starts_with("HTTP/1.1 409"), "{r}");
+        assert!(r.contains("\"ok\":false"), "{r}");
+        assert!(r.contains("count-index"), "{r}");
     }
 
     #[test]

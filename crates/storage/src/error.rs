@@ -1,0 +1,83 @@
+//! Typed errors of the storage layer.
+
+use std::fmt;
+use std::io;
+use std::path::PathBuf;
+
+/// Errors surfaced by the persistent store.
+#[derive(Debug)]
+pub enum StorageError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// A segment file holds a record whose checksum (or structure) does not
+    /// verify. Unlike a torn *tail* record — which a crash legitimately
+    /// produces and replay silently drops — a mid-segment mismatch means
+    /// persisted data was altered after it was acknowledged, and nothing
+    /// after the damaged record can be trusted.
+    CorruptSegment {
+        /// Segment file the damaged record lives in.
+        segment: PathBuf,
+        /// Byte offset of the damaged record within the segment.
+        offset: usize,
+        /// What failed to verify.
+        reason: String,
+    },
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::Io(e) => write!(f, "io error: {e}"),
+            StorageError::CorruptSegment { segment, offset, reason } => {
+                write!(f, "corrupt segment {}: {reason} at byte {offset}", segment.display())
+            }
+        }
+    }
+}
+
+impl std::error::Error for StorageError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StorageError::Io(e) => Some(e),
+            StorageError::CorruptSegment { .. } => None,
+        }
+    }
+}
+
+impl From<io::Error> for StorageError {
+    fn from(e: io::Error) -> Self {
+        StorageError::Io(e)
+    }
+}
+
+impl From<StorageError> for io::Error {
+    fn from(e: StorageError) -> Self {
+        match e {
+            StorageError::Io(e) => e,
+            corrupt => io::Error::new(io::ErrorKind::InvalidData, corrupt.to_string()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_conversions() {
+        let e = StorageError::CorruptSegment {
+            segment: PathBuf::from("seg-000001.log"),
+            offset: 42,
+            reason: "checksum mismatch".into(),
+        };
+        let text = e.to_string();
+        assert!(text.contains("seg-000001.log") && text.contains("byte 42"), "{text}");
+        let io_err: io::Error = e.into();
+        assert_eq!(io_err.kind(), io::ErrorKind::InvalidData);
+
+        let e: StorageError = io::Error::other("disk on fire").into();
+        assert!(e.to_string().contains("disk on fire"));
+        use std::error::Error;
+        assert!(e.source().is_some());
+    }
+}

@@ -28,12 +28,16 @@
 pub mod codec;
 pub mod crc;
 pub mod disk;
+pub mod error;
 pub mod fxhash;
 pub mod kv;
 pub mod mem;
 pub mod metrics;
 
-pub use disk::DiskStore;
+pub use disk::{
+    parse_segment_bytes, verify_segments, DiskStore, SegmentEnd, SegmentReport, SegmentViolation,
+};
+pub use error::StorageError;
 pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use kv::{KvStore, TableId};
 pub use mem::MemStore;

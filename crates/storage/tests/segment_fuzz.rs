@@ -1,0 +1,132 @@
+//! Fuzz the segment record parser: [`parse_segment_bytes`] is the first
+//! code to touch bytes read back from disk, so it must classify *any* input
+//! — garbage, torn, bit-flipped — without panicking, and must never feed an
+//! unverified record to the apply callback.
+
+use proptest::prelude::*;
+use seqdet_storage::crc::crc32;
+use seqdet_storage::{parse_segment_bytes, SegmentEnd, TableId};
+
+/// Build one wire-format record: `[crc][op][table][klen][vlen][key][value]`.
+fn record(op: u8, table: u8, key: &[u8], value: &[u8]) -> Vec<u8> {
+    let mut body = Vec::with_capacity(10 + key.len() + value.len());
+    body.push(op);
+    body.push(table);
+    body.extend_from_slice(&(key.len() as u32).to_le_bytes());
+    body.extend_from_slice(&(value.len() as u32).to_le_bytes());
+    body.extend_from_slice(key);
+    body.extend_from_slice(value);
+    let mut rec = Vec::with_capacity(4 + body.len());
+    rec.extend_from_slice(&crc32(&body).to_le_bytes());
+    rec.extend_from_slice(&body);
+    rec
+}
+
+/// A segment of `n` small valid records (ops cycle through put/append/delete).
+fn valid_segment(n: usize) -> Vec<u8> {
+    const OPS: [u8; 3] = [1, 2, 3]; // OP_PUT, OP_APPEND, OP_DELETE
+    let mut seg = Vec::new();
+    for i in 0..n {
+        let key = (i as u32).to_le_bytes();
+        let value = vec![i as u8; i % 7];
+        seg.extend_from_slice(&record(OPS[i % 3], (i % 5) as u8, &key, &value));
+    }
+    seg
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Arbitrary bytes: never panic, and the callback runs exactly once per
+    /// *verified* record — whatever the classification.
+    #[test]
+    fn arbitrary_bytes_never_panic(data in prop::collection::vec(0u8..=255, 0..512)) {
+        let mut applied = 0u64;
+        let records = match parse_segment_bytes(&data, |_, _, _, _| applied += 1) {
+            SegmentEnd::Clean { records } => records,
+            SegmentEnd::TornTail { records, .. } => records,
+            SegmentEnd::Corrupt { records, .. } => records,
+        };
+        // `Corrupt { unknown op }` verifies the checksum but rejects the
+        // record before apply, so applied may trail by at most one.
+        prop_assert!(records == applied || records == applied + 1);
+    }
+
+    /// A valid segment parses clean, with every record applied.
+    #[test]
+    fn valid_segments_parse_clean(n in 0usize..20) {
+        let seg = valid_segment(n);
+        let mut applied = Vec::new();
+        let end = parse_segment_bytes(&seg, |op, table, key, _| {
+            applied.push((op, table, key.to_vec()));
+        });
+        prop_assert_eq!(end, SegmentEnd::Clean { records: n as u64 });
+        prop_assert_eq!(applied.len(), n);
+        for (i, (_, table, key)) in applied.iter().enumerate() {
+            prop_assert_eq!(*table, TableId((i % 5) as u8));
+            prop_assert_eq!(&key[..], &(i as u32).to_le_bytes());
+        }
+    }
+
+    /// Truncating a valid segment anywhere never panics: a cut on a record
+    /// boundary is clean, anywhere else is a torn tail — never corruption,
+    /// and never applies the torn record.
+    #[test]
+    fn truncation_is_a_torn_tail_not_corruption(n in 1usize..12, cut_ppm in 0u32..1_000_000) {
+        let seg = valid_segment(n);
+        let cut = (seg.len() as u64 * cut_ppm as u64 / 1_000_000) as usize;
+        match parse_segment_bytes(&seg[..cut], |_, _, _, _| {}) {
+            SegmentEnd::Clean { .. } | SegmentEnd::TornTail { .. } => {}
+            SegmentEnd::Corrupt { offset, reason, .. } => {
+                return Err(TestCaseError(format!(
+                    "truncation at {cut} misread as corruption @ {offset}: {reason}"
+                )));
+            }
+        }
+    }
+
+    /// Flipping any single bit of any record makes the parse stop at or
+    /// before that record with `Corrupt` (checksum or framing damage may
+    /// also surface as a torn tail when the flipped bit is in a length
+    /// field) — and the damaged record's payload is never applied.
+    #[test]
+    fn bit_flips_never_reach_the_apply_callback(
+        n in 1usize..10,
+        byte_ppm in 0u32..1_000_000,
+        bit in 0u8..8,
+    ) {
+        let mut seg = valid_segment(n);
+        let idx = (seg.len() as u64 * byte_ppm as u64 / 1_000_000) as usize % seg.len();
+        seg[idx] ^= 1 << bit;
+
+        // Which record was damaged?
+        let mut bounds = Vec::new();
+        let mut at = 0usize;
+        for i in 0..n {
+            let len = record(
+                [1u8, 2, 3][i % 3],
+                (i % 5) as u8,
+                &(i as u32).to_le_bytes(),
+                &vec![i as u8; i % 7],
+            )
+            .len();
+            bounds.push((at, at + len));
+            at += len;
+        }
+        let damaged = bounds.iter().position(|&(s, e)| idx >= s && idx < e).unwrap_or(n);
+
+        let mut applied = 0usize;
+        let end = parse_segment_bytes(&seg, |_, _, _, _| applied += 1);
+        // Every record before the damaged one is intact and must apply; the
+        // damaged one must not (its checksum no longer matches its body).
+        prop_assert!(applied <= damaged, "applied {applied} records, damage in #{damaged}");
+        match end {
+            SegmentEnd::Clean { .. } => {
+                return Err(TestCaseError(
+                    "bit-flipped segment parsed clean".to_string(),
+                ));
+            }
+            SegmentEnd::TornTail { .. } | SegmentEnd::Corrupt { .. } => {}
+        }
+    }
+}

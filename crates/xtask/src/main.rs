@@ -1,0 +1,141 @@
+//! `cargo xtask` — workspace correctness tooling.
+//!
+//! Not shipped to users: this binary is the repo's own enforcement arm.
+//! `cargo xtask lint` runs the invariant lints ([`lint`]) over the source
+//! tree; `cargo xtask audit --store DIR` verifies a persisted index
+//! ([`seqdet_core::audit_disk`]). Both exit nonzero on findings so CI can
+//! gate on them.
+
+mod lint;
+mod mask;
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+usage: cargo xtask <command>
+
+commands:
+  lint  [--json] [--root DIR]   run the workspace invariant lints
+  audit --store DIR [--json]    audit a persisted index store
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("lint") => cmd_lint(&args[1..]),
+        Some("audit") => cmd_audit(&args[1..]),
+        _ => {
+            eprint!("{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+/// Workspace root: `--root`, else the directory above `CARGO_MANIFEST_DIR`
+/// (xtask lives at `<root>/crates/xtask`), else the current directory.
+fn workspace_root(explicit: Option<PathBuf>) -> PathBuf {
+    if let Some(root) = explicit {
+        return root;
+    }
+    if let Ok(manifest) = std::env::var("CARGO_MANIFEST_DIR") {
+        let p = PathBuf::from(manifest);
+        if let Some(root) = p.ancestors().nth(2) {
+            return root.to_path_buf();
+        }
+    }
+    PathBuf::from(".")
+}
+
+fn cmd_lint(args: &[String]) -> ExitCode {
+    let mut json = false;
+    let mut root = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--json" => json = true,
+            "--root" => root = it.next().map(PathBuf::from),
+            other => {
+                eprintln!("unknown lint option {other:?}\n{USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let root = workspace_root(root);
+    let report = match lint::lint_workspace(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("lint failed to read sources under {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+    if json {
+        let mut out = String::from("{\"violations\":[");
+        for (i, v) in report.violations.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"file\":\"{}\",\"line\":{},\"rule\":\"{}\",\"message\":\"{}\"}}",
+                v.file,
+                v.line,
+                v.rule,
+                v.message.replace('\\', "\\\\").replace('"', "\\\"")
+            ));
+        }
+        out.push_str(&format!("],\"files\":{},\"ok\":{}}}", report.files, report.ok()));
+        println!("{out}");
+    } else {
+        for v in &report.violations {
+            println!("{v}");
+        }
+        println!(
+            "lint: {} file(s) scanned, {} violation(s)",
+            report.files,
+            report.violations.len()
+        );
+    }
+    if report.ok() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn cmd_audit(args: &[String]) -> ExitCode {
+    let mut json = false;
+    let mut store = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--json" => json = true,
+            "--store" => store = it.next().map(PathBuf::from),
+            other => {
+                eprintln!("unknown audit option {other:?}\n{USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let Some(store) = store else {
+        eprintln!("audit requires --store DIR\n{USAGE}");
+        return ExitCode::from(2);
+    };
+    match seqdet_core::audit_disk(&store) {
+        Ok(outcome) => {
+            if json {
+                println!("{}", outcome.to_json());
+            } else {
+                print!("{}", outcome.to_text());
+            }
+            if outcome.ok() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("audit failed: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,314 @@
+//! Source masking: blank out comments and string/char literals so the
+//! token-level lint rules never fire inside them.
+//!
+//! The workspace has no crates.io access, so a full parser (`syn`) is not
+//! an option; the lint instead runs over a *masked* copy of each file where
+//! every byte inside a comment, string literal, raw string, byte string or
+//! char literal is replaced by a space (newlines are preserved so line
+//! numbers survive). Attributes, identifiers and punctuation pass through
+//! untouched — which is exactly the subset the rules match on.
+//!
+//! Handled syntax: `//` line comments, nested `/* */` block comments,
+//! `"…"` strings with escapes, `r"…"`/`r#"…"#` raw strings (any number of
+//! hashes, plus `b`/`br` byte variants), and char literals (including
+//! escaped ones). Lifetimes (`'a`) are correctly left unmasked.
+
+/// Byte-wise masking state machine. Returns a string of identical length
+/// and line structure where comment/literal interiors are spaces.
+pub fn mask_source(source: &str) -> String {
+    let b = source.as_bytes();
+    let mut out = vec![0u8; b.len()];
+    out.copy_from_slice(b);
+    let mut i = 0;
+    while i < b.len() {
+        match b[i] {
+            b'/' if i + 1 < b.len() && b[i + 1] == b'/' => {
+                while i < b.len() && b[i] != b'\n' {
+                    out[i] = b' ';
+                    i += 1;
+                }
+            }
+            b'/' if i + 1 < b.len() && b[i + 1] == b'*' => {
+                let mut depth = 1usize;
+                out[i] = b' ';
+                out[i + 1] = b' ';
+                i += 2;
+                while i < b.len() && depth > 0 {
+                    if i + 1 < b.len() && b[i] == b'/' && b[i + 1] == b'*' {
+                        depth += 1;
+                        out[i] = b' ';
+                        out[i + 1] = b' ';
+                        i += 2;
+                    } else if i + 1 < b.len() && b[i] == b'*' && b[i + 1] == b'/' {
+                        depth -= 1;
+                        out[i] = b' ';
+                        out[i + 1] = b' ';
+                        i += 2;
+                    } else {
+                        if b[i] != b'\n' {
+                            out[i] = b' ';
+                        }
+                        i += 1;
+                    }
+                }
+            }
+            b'"' => i = mask_string(b, &mut out, i),
+            b'r' | b'b' if starts_raw_string(b, i) => i = mask_raw_string(b, &mut out, i),
+            b'b' if i + 1 < b.len() && b[i + 1] == b'"' => {
+                i = mask_string(b, &mut out, i + 1);
+            }
+            b'\'' => i = mask_char_or_lifetime(b, &mut out, i),
+            _ => i += 1,
+        }
+    }
+    // Masking never touches multi-byte UTF-8 boundaries partially: masked
+    // regions are replaced byte-for-byte with ASCII spaces, and unmasked
+    // bytes are copied verbatim, so the result is valid UTF-8 whenever the
+    // masked region covers whole characters — which it does, because region
+    // boundaries are ASCII delimiters.
+    String::from_utf8(out).unwrap_or_else(|e| String::from_utf8_lossy(e.as_bytes()).into_owned())
+}
+
+/// True when `b[i..]` starts a raw (byte) string: `r"`, `r#`, `br"`, `br#`.
+fn starts_raw_string(b: &[u8], i: usize) -> bool {
+    let mut j = i;
+    if b[j] == b'b' {
+        j += 1;
+    }
+    if j >= b.len() || b[j] != b'r' {
+        return false;
+    }
+    j += 1;
+    while j < b.len() && b[j] == b'#' {
+        j += 1;
+    }
+    j < b.len() && b[j] == b'"'
+}
+
+/// Mask a `"…"` string starting at the opening quote; returns the index
+/// just past the closing quote.
+fn mask_string(b: &[u8], out: &mut [u8], open: usize) -> usize {
+    let mut i = open + 1;
+    while i < b.len() {
+        match b[i] {
+            b'\\' if i + 1 < b.len() => {
+                out[i] = b' ';
+                if b[i + 1] != b'\n' {
+                    out[i + 1] = b' ';
+                }
+                i += 2;
+            }
+            b'"' => return i + 1,
+            b'\n' => i += 1,
+            _ => {
+                out[i] = b' ';
+                i += 1;
+            }
+        }
+    }
+    i
+}
+
+/// Mask a raw string starting at `r`/`b`; returns the index past the close.
+fn mask_raw_string(b: &[u8], out: &mut [u8], start: usize) -> usize {
+    let mut i = start;
+    if b[i] == b'b' {
+        i += 1;
+    }
+    i += 1; // the 'r'
+    let mut hashes = 0usize;
+    while i < b.len() && b[i] == b'#' {
+        hashes += 1;
+        i += 1;
+    }
+    i += 1; // opening quote
+    while i < b.len() {
+        if b[i] == b'"'
+            && b.len() - i > hashes
+            && b[i + 1..i + 1 + hashes].iter().all(|&c| c == b'#')
+        {
+            return i + 1 + hashes;
+        }
+        if b[i] != b'\n' {
+            out[i] = b' ';
+        }
+        i += 1;
+    }
+    i
+}
+
+/// Distinguish a char literal from a lifetime at a `'`; mask only the
+/// former. Returns the index to resume scanning at.
+fn mask_char_or_lifetime(b: &[u8], out: &mut [u8], i: usize) -> usize {
+    if i + 1 >= b.len() {
+        return i + 1;
+    }
+    // Escaped char: '\n', '\\', '\u{…}', …
+    if b[i + 1] == b'\\' {
+        let mut j = i + 2;
+        while j < b.len() && b[j] != b'\'' && b[j] != b'\n' {
+            out[j] = b' ';
+            j += 1;
+        }
+        out[i + 1] = b' ';
+        return (j + 1).min(b.len());
+    }
+    // Plain char literal: exactly one scalar value, so the closing quote
+    // sits at a position fixed by the UTF-8 length of the char after the
+    // opening quote. Anything else (`'a` in `<'a>`, `&'a str`) is a
+    // lifetime and stays unmasked.
+    let len = utf8_len(b[i + 1]);
+    let close = i + 1 + len;
+    if b[i + 1] != b'\'' && close < b.len() && b[close] == b'\'' {
+        for m in &mut out[i + 1..close] {
+            *m = b' ';
+        }
+        return close + 1;
+    }
+    i + 1
+}
+
+/// Length in bytes of the UTF-8 character starting with `lead`.
+fn utf8_len(lead: u8) -> usize {
+    match lead {
+        0xC0..=0xDF => 2,
+        0xE0..=0xEF => 3,
+        0xF0..=0xF7 => 4,
+        _ => 1,
+    }
+}
+
+/// Byte ranges of `source` (masked) that belong to test code: the block
+/// following a `#[cfg(test)]` or `#[test]` attribute. Brace matching runs
+/// on the masked text, so braces in strings/comments cannot desynchronize
+/// it.
+pub fn test_regions(masked: &str) -> Vec<(usize, usize)> {
+    let mut regions = Vec::new();
+    for marker in ["#[cfg(test)]", "#[test]"] {
+        let mut from = 0;
+        while let Some(rel) = masked[from..].find(marker) {
+            let at = from + rel;
+            from = at + marker.len();
+            if let Some(open_rel) = masked[from..].find('{') {
+                let open = from + open_rel;
+                let close = matching_brace(masked.as_bytes(), open);
+                regions.push((at, close));
+            }
+        }
+    }
+    regions.sort_unstable();
+    regions
+}
+
+/// Index just past the brace matching the `{` at `open` (or end of input).
+fn matching_brace(b: &[u8], open: usize) -> usize {
+    let mut depth = 0usize;
+    for (i, &c) in b.iter().enumerate().skip(open) {
+        match c {
+            b'{' => depth += 1,
+            b'}' => {
+                depth -= 1;
+                if depth == 0 {
+                    return i + 1;
+                }
+            }
+            _ => {}
+        }
+    }
+    b.len()
+}
+
+/// True when byte offset `at` falls inside any of `regions`.
+pub fn in_regions(regions: &[(usize, usize)], at: usize) -> bool {
+    regions.iter().any(|&(s, e)| at >= s && at < e)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_comments_are_blanked() {
+        let m = mask_source("let x = 1; // calls .unwrap() here\nlet y = 2;");
+        assert!(!m.contains("unwrap"));
+        assert!(m.contains("let y = 2;"));
+        assert_eq!(m.lines().count(), 2);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let m = mask_source("a /* outer /* inner */ still comment */ b");
+        assert!(m.starts_with("a "));
+        assert!(m.ends_with(" b"));
+        assert!(!m.contains("inner"));
+        assert!(!m.contains("still"));
+    }
+
+    #[test]
+    fn strings_and_escapes_are_blanked() {
+        let m = mask_source(r#"call("has .unwrap() and \" quote", x)"#);
+        assert!(!m.contains("unwrap"));
+        assert!(m.contains("call("));
+        assert!(m.contains(", x)"));
+    }
+
+    #[test]
+    fn raw_strings_with_hashes() {
+        let m = mask_source(r##"let s = r#"panic!("inside")"# ; done"##);
+        assert!(!m.contains("panic"));
+        assert!(m.contains("done"));
+        let m = mask_source("let s = br\"panic!()\"; done");
+        assert!(!m.contains("panic"));
+    }
+
+    #[test]
+    fn char_literals_masked_but_lifetimes_survive() {
+        let m = mask_source("fn f<'a>(x: &'a str) { let c = '{'; let e = '\\n'; }");
+        assert!(m.contains("<'a>"), "lifetime mangled: {m}");
+        assert!(m.contains("&'a str"));
+        assert!(!m.contains("'{'"), "char literal survived: {m}");
+        // The masked brace no longer unbalances brace matching.
+        assert_eq!(m.matches('{').count(), 1);
+    }
+
+    #[test]
+    fn multiline_strings_preserve_line_numbers() {
+        let src = "let s = \"line one\nline two\";\nafter();";
+        let m = mask_source(src);
+        assert_eq!(m.lines().count(), src.lines().count());
+        assert!(m.contains("after();"));
+        assert!(!m.contains("line one"));
+    }
+
+    #[test]
+    fn test_region_covers_cfg_test_mod() {
+        let src = "fn prod() { a.unwrap(); }\n#[cfg(test)]\nmod tests {\n fn t() { b.unwrap(); }\n}\nfn tail() {}";
+        let masked = mask_source(src);
+        let regions = test_regions(&masked);
+        assert_eq!(regions.len(), 1);
+        let prod_at = src.find("a.unwrap").unwrap();
+        let test_at = src.find("b.unwrap").unwrap();
+        let tail_at = src.find("tail").unwrap();
+        assert!(!in_regions(&regions, prod_at));
+        assert!(in_regions(&regions, test_at));
+        assert!(!in_regions(&regions, tail_at));
+    }
+
+    #[test]
+    fn test_attribute_covers_single_fn() {
+        let src = "#[test]\nfn one() { x.unwrap(); }\nfn two() { y.unwrap(); }";
+        let masked = mask_source(src);
+        let regions = test_regions(&masked);
+        assert!(in_regions(&regions, src.find("x.unwrap").unwrap()));
+        assert!(!in_regions(&regions, src.find("y.unwrap").unwrap()));
+    }
+
+    #[test]
+    fn braces_inside_strings_do_not_desync_regions() {
+        let src = "#[cfg(test)]\nmod tests {\n let s = \"}\";\n fn t() { z.unwrap(); }\n}\nfn prod() { w.unwrap(); }";
+        let masked = mask_source(src);
+        let regions = test_regions(&masked);
+        assert!(in_regions(&regions, src.find("z.unwrap").unwrap()));
+        assert!(!in_regions(&regions, src.find("w.unwrap").unwrap()));
+    }
+}
