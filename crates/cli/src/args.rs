@@ -17,7 +17,8 @@ usage:
                   [--k N] [--max-gap G]
   seqdet query    --store DIR \"DETECT a -> b [WITHIN n] [ANY MATCH]\"
   seqdet audit    --store DIR [--json]
-  seqdet serve    --store DIR [--addr 127.0.0.1:7878]
+  seqdet serve    --store DIR [--addr 127.0.0.1:7878] [--workers N]
+                  [--queue N] [--timeout-ms T] [--max-requests-per-conn N]
 profiles: max_100 max_500 med_5000 max_5000 max_1000 max_10000 min_10000
           bpi_2013 bpi_2020 bpi_2017";
 
@@ -95,6 +96,14 @@ pub enum Command {
         store: String,
         /// Listen address.
         addr: String,
+        /// Worker-pool size (0 = all cores).
+        workers: usize,
+        /// Bounded connection-queue depth (overflow sheds with 503).
+        queue: usize,
+        /// Read/write deadline per connection, in milliseconds.
+        timeout_ms: u64,
+        /// Keep-alive request cap per connection.
+        max_requests_per_conn: usize,
     },
     /// Pattern continuation.
     Continue {
@@ -251,17 +260,44 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
         }
         "serve" => {
             let (mut store, mut addr) = (None, "127.0.0.1:7878".to_owned());
+            let (mut workers, mut queue) = (0usize, 256usize);
+            let mut timeout_ms = 10_000u64;
+            let mut max_requests_per_conn = 1000usize;
             while cur.i + 1 < args.len() {
                 cur.i += 1;
                 match args[cur.i].as_str() {
                     "--store" => store = Some(cur.value("--store")?),
                     "--addr" => addr = cur.value("--addr")?,
+                    "--workers" => workers = parse_usize(&cur.value("--workers")?, "workers")?,
+                    "--queue" => {
+                        queue = parse_usize(&cur.value("--queue")?, "queue depth")?;
+                        if queue == 0 {
+                            return Err("--queue must be at least 1".into());
+                        }
+                    }
+                    "--timeout-ms" => {
+                        timeout_ms = parse_u64(&cur.value("--timeout-ms")?, "timeout")?;
+                        if timeout_ms == 0 {
+                            return Err("--timeout-ms must be at least 1".into());
+                        }
+                    }
+                    "--max-requests-per-conn" => {
+                        max_requests_per_conn =
+                            parse_usize(&cur.value("--max-requests-per-conn")?, "request cap")?;
+                        if max_requests_per_conn == 0 {
+                            return Err("--max-requests-per-conn must be at least 1".into());
+                        }
+                    }
                     other => return Err(format!("unknown flag {other} for serve")),
                 }
             }
             Ok(Command::Serve {
                 store: store.ok_or_else(|| "serve requires --store".to_string())?,
                 addr,
+                workers,
+                queue,
+                timeout_ms,
+                max_requests_per_conn,
             })
         }
         "info" | "detect" | "stats" | "continue" => {
@@ -442,14 +478,40 @@ mod tests {
     fn parse_serve_defaults() {
         let c = parse(&argv("serve --store d")).unwrap();
         match c {
-            Command::Serve { store, addr } => {
+            Command::Serve { store, addr, workers, queue, timeout_ms, max_requests_per_conn } => {
                 assert_eq!(store, "d");
                 assert_eq!(addr, "127.0.0.1:7878");
+                assert_eq!(workers, 0, "0 = all cores");
+                assert_eq!(queue, 256);
+                assert_eq!(timeout_ms, 10_000);
+                assert_eq!(max_requests_per_conn, 1000);
             }
             other => panic!("unexpected {other:?}"),
         }
         let c = parse(&argv("serve --store d --addr 0.0.0.0:9000")).unwrap();
         assert!(matches!(c, Command::Serve { addr, .. } if addr == "0.0.0.0:9000"));
+    }
+
+    #[test]
+    fn parse_serve_pool_flags() {
+        let c = parse(&argv(
+            "serve --store d --workers 4 --queue 64 --timeout-ms 2500 --max-requests-per-conn 10",
+        ))
+        .unwrap();
+        match c {
+            Command::Serve { workers, queue, timeout_ms, max_requests_per_conn, .. } => {
+                assert_eq!(workers, 4);
+                assert_eq!(queue, 64);
+                assert_eq!(timeout_ms, 2500);
+                assert_eq!(max_requests_per_conn, 10);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // Degenerate values that would wedge the server are rejected up front.
+        assert!(parse(&argv("serve --store d --queue 0")).is_err());
+        assert!(parse(&argv("serve --store d --timeout-ms 0")).is_err());
+        assert!(parse(&argv("serve --store d --max-requests-per-conn 0")).is_err());
+        assert!(parse(&argv("serve --store d --workers nope")).is_err());
     }
 
     #[test]

@@ -134,10 +134,21 @@ pub fn run(cmd: Command) -> Result<(), CliError> {
             print!("{}", seqdet_server::render::render(&catalog, &output));
             Ok(())
         }
-        Command::Serve { store, addr } => {
+        Command::Serve { store, addr, workers, queue, timeout_ms, max_requests_per_conn } => {
             let disk = Arc::new(DiskStore::open(&store)?);
-            let server = seqdet_server::QueryServer::bind(addr.as_str(), disk)?;
+            let timeout = std::time::Duration::from_millis(timeout_ms);
+            let config = seqdet_server::ServeConfig {
+                workers,
+                queue_depth: queue,
+                read_timeout: timeout,
+                write_timeout: timeout,
+                max_requests_per_conn,
+                ..seqdet_server::ServeConfig::default()
+            };
+            let n_workers = config.effective_workers();
+            let server = seqdet_server::QueryServer::bind_with(addr.as_str(), disk, config)?;
             println!("seqdet query service listening on {}", server.local_addr()?);
+            println!("workers={n_workers} queue={queue} timeout={timeout_ms}ms");
             println!("try: curl 'http://{addr}/query?q=DETECT%20a%20-%3E%20b'");
             server.serve_forever()?;
             Ok(())

@@ -17,10 +17,11 @@ use std::sync::Arc;
 /// Default bound on resident posting-cache entries.
 pub const DEFAULT_CACHE_CAPACITY: usize = 4096;
 
-/// Partition layout as of one index generation.
+/// Partition layout and catalog as of one index generation.
 struct Layout {
     generation: u64,
     tables: Vec<TableId>,
+    catalog: Arc<Catalog>,
 }
 
 /// The query processor: loads the catalog and partition layout from an
@@ -29,15 +30,14 @@ struct Layout {
 /// The engine is read-only over the index. Posting lists are served through
 /// a sharded, generation-stamped [`PostingCache`] and decoded on miss with
 /// the zero-copy posting cursor; per-trace join work fans out across an
-/// [`Executor`]. Before every query the engine compares the store's
-/// [`index_generation`] against its snapshot and, on a change, reloads the
-/// partition layout and invalidates the cache — so queries keep answering
-/// correctly across index updates. Only the *catalog* stays as loaded at
-/// construction: re-open the engine to pick up newly interned activity or
-/// trace names.
+/// [`Executor`]. Before every query (and every [`QueryEngine::catalog`]
+/// read) the engine compares the store's [`index_generation`] against its
+/// snapshot and, on a change, reloads the partition layout *and the
+/// catalog* and invalidates the cache — so queries keep answering
+/// correctly across index updates, and activity or trace names interned by
+/// a concurrently running indexer resolve without re-opening the engine.
 pub struct QueryEngine<S: KvStore> {
     store: Arc<S>,
-    catalog: Catalog,
     layout: RwLock<Layout>,
     cache: PostingCache,
     executor: Executor,
@@ -50,13 +50,12 @@ impl<S: KvStore> QueryEngine<S> {
     /// capacity ([`DEFAULT_CACHE_CAPACITY`]) and join parallelism (all
     /// cores).
     pub fn new(store: Arc<S>) -> Result<Self> {
-        let catalog = Catalog::load(store.as_ref())?;
+        let catalog = Arc::new(Catalog::load(store.as_ref())?);
         let generation = index_generation(store.as_ref());
         let tables = active_index_tables(store.as_ref());
         Ok(Self {
             store,
-            catalog,
-            layout: RwLock::new(Layout { generation, tables }),
+            layout: RwLock::new(Layout { generation, tables, catalog }),
             cache: PostingCache::new(DEFAULT_CACHE_CAPACITY),
             executor: Executor::default(),
             metrics: None,
@@ -99,9 +98,13 @@ impl<S: KvStore> QueryEngine<S> {
         self
     }
 
-    /// The catalog loaded from the store.
-    pub fn catalog(&self) -> &Catalog {
-        &self.catalog
+    /// The current catalog. Re-checks the store's index generation first,
+    /// so names interned by a concurrent indexer resolve as soon as their
+    /// batch commits (the generation-checked "live catalog" the serving
+    /// layer depends on).
+    pub fn catalog(&self) -> Arc<Catalog> {
+        self.refresh();
+        self.layout.read().catalog.clone()
     }
 
     /// Point-in-time posting-cache counters.
@@ -113,27 +116,26 @@ impl<S: KvStore> QueryEngine<S> {
     /// (an unknown activity trivially has zero completions, but callers
     /// almost always want to hear about the typo instead).
     pub fn pattern(&self, names: &[&str]) -> Result<Pattern> {
+        let catalog = self.catalog();
         let mut acts = Vec::with_capacity(names.len());
         for n in names {
             acts.push(
-                self.catalog
-                    .activity(n)
-                    .ok_or_else(|| QueryError::UnknownActivity((*n).to_owned()))?,
+                catalog.activity(n).ok_or_else(|| QueryError::UnknownActivity((*n).to_owned()))?,
             );
         }
         Ok(Pattern::new(acts))
     }
 
-    /// Current generation + partition layout, refreshed from the store when
-    /// the indexer has mutated the index since the last query. On a change
-    /// the cache is flushed; entries are generation-stamped anyway, so even
-    /// a racing writer can never cause a stale posting list to be served.
-    fn snapshot(&self) -> (u64, Vec<TableId>) {
+    /// Bring the cached layout + catalog up to the store's current index
+    /// generation. On a change the posting cache is flushed; entries are
+    /// generation-stamped anyway, so even a racing writer can never cause
+    /// a stale posting list to be served.
+    fn refresh(&self) {
         let generation = index_generation(self.store.as_ref());
         {
             let layout = self.layout.read();
             if layout.generation == generation {
-                return (generation, layout.tables.clone());
+                return;
             }
         }
         let mut layout = self.layout.write();
@@ -141,7 +143,24 @@ impl<S: KvStore> QueryEngine<S> {
             self.cache.invalidate_all();
             layout.generation = generation;
             layout.tables = active_index_tables(self.store.as_ref());
+            // Live catalog: names interned since the last load become
+            // resolvable. On a decode failure the previous catalog stays in
+            // place — queries degrade to unknown-activity errors instead of
+            // panicking the request path.
+            if let Ok(catalog) = Catalog::load(self.store.as_ref()) {
+                layout.catalog = Arc::new(catalog);
+            }
+            if let Some(m) = &self.metrics {
+                m.server().record_catalog_reload();
+            }
         }
+    }
+
+    /// Current generation + partition layout, refreshed from the store when
+    /// the indexer has mutated the index since the last query.
+    fn snapshot(&self) -> (u64, Vec<TableId>) {
+        self.refresh();
+        let layout = self.layout.read();
         (layout.generation, layout.tables.clone())
     }
 
@@ -461,6 +480,29 @@ mod tests {
         e.detect(&p).unwrap();
         assert_eq!(metrics.cache_hits(), 0);
         assert_eq!(metrics.cursor_decodes(), 2);
+    }
+
+    #[test]
+    fn catalog_reloads_on_generation_change() {
+        let mut b = EventLogBuilder::new();
+        b.add("t1", "A", 1).add("t1", "B", 2);
+        let mut ix = Indexer::new(IndexConfig::new(Policy::SkipTillNextMatch));
+        ix.index_log(&b.build()).unwrap();
+        let e = QueryEngine::new(ix.store()).unwrap();
+        assert!(matches!(e.pattern(&["NEW"]), Err(QueryError::UnknownActivity(_))));
+
+        // A second batch interns a brand-new activity and trace behind the
+        // engine's back.
+        let mut b2 = EventLogBuilder::new();
+        b2.add("t9", "NEW", 1).add("t9", "B", 2);
+        ix.index_log(&b2.build()).unwrap();
+
+        // The generation bump makes the fresh names resolvable without
+        // re-opening the engine — the live-catalog contract of the server.
+        let p = e.pattern(&["NEW", "B"]).unwrap();
+        assert_eq!(e.detect(&p).unwrap().total_completions(), 1);
+        assert_eq!(e.catalog().num_traces(), 2);
+        assert!(e.catalog().trace("t9").is_some());
     }
 
     #[test]

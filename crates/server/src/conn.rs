@@ -1,0 +1,100 @@
+//! Per-connection serving: the keep-alive request loop with deadlines.
+//!
+//! Each accepted `TcpStream` gets read/write deadlines before the first
+//! byte is parsed, so a silent or byte-at-a-time client (slowloris) can pin
+//! a worker for at most one timeout period — never indefinitely. Within the
+//! deadlines a connection is served HTTP/1.1 keep-alive style up to the
+//! configured per-connection request cap; during a graceful drain the
+//! current request is finished and the connection is closed with
+//! `Connection: close`.
+
+use crate::http::{read_request, write_response_conn};
+use crate::server::{route, ServeConfig};
+use seqdet_query::QueryEngine;
+use seqdet_storage::{KvStore, StoreMetrics};
+use std::io::{self, BufReader};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Everything a worker needs to serve connections.
+pub(crate) struct ConnCtx<S: KvStore> {
+    pub engine: Arc<QueryEngine<S>>,
+    pub store: Arc<S>,
+    pub metrics: Arc<StoreMetrics>,
+    pub config: ServeConfig,
+    /// Set during graceful shutdown: finish the in-flight request, then
+    /// close instead of waiting for the next one.
+    pub drain: Arc<AtomicBool>,
+}
+
+/// True when an I/O error is a read/write deadline expiring (`WouldBlock`
+/// on Unix, `TimedOut` elsewhere).
+fn is_timeout(e: &io::Error) -> bool {
+    matches!(e.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut)
+}
+
+/// Serve one connection until it closes, errors, times out, drains, or hits
+/// the per-connection request cap.
+pub(crate) fn handle_connection<S: KvStore>(stream: TcpStream, ctx: &ConnCtx<S>) -> io::Result<()> {
+    stream.set_read_timeout(Some(ctx.config.read_timeout))?;
+    stream.set_write_timeout(Some(ctx.config.write_timeout))?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let server_metrics = ctx.metrics.server();
+    let mut served = 0usize;
+    loop {
+        match read_request(&mut reader) {
+            // Client hung up cleanly between requests.
+            Ok(None) => break,
+            Ok(Some(request)) => {
+                server_metrics.record_request_start();
+                let start = Instant::now();
+                let (status, reason, body) =
+                    route(&request, &ctx.engine, ctx.store.as_ref(), &ctx.metrics);
+                served += 1;
+                let keep_alive = request.keep_alive
+                    && served < ctx.config.max_requests_per_conn
+                    && !ctx.drain.load(Ordering::SeqCst);
+                let wrote = write_response_conn(&stream, status, reason, &body, keep_alive);
+                server_metrics.record_response(status, start.elapsed().as_micros() as u64);
+                wrote?;
+                if !keep_alive {
+                    break;
+                }
+            }
+            // Deadline expired: a silent/slow client gets a best-effort 408
+            // and its worker back. Counted as a (timed-out) request.
+            Err(e) if is_timeout(&e) => {
+                server_metrics.record_request_start();
+                let _ = write_response_conn(
+                    &stream,
+                    408,
+                    "Request Timeout",
+                    "request timed out\n",
+                    false,
+                );
+                server_metrics.record_response(408, ctx.config.read_timeout.as_micros() as u64);
+                break;
+            }
+            // Syntactically hostile input (oversized head, duplicate
+            // Content-Length, malformed request line): 400, close.
+            Err(e) if e.kind() == io::ErrorKind::InvalidData => {
+                server_metrics.record_request_start();
+                let start = Instant::now();
+                let _ = write_response_conn(
+                    &stream,
+                    400,
+                    "Bad Request",
+                    &format!("bad request: {e}\n"),
+                    false,
+                );
+                server_metrics.record_response(400, start.elapsed().as_micros() as u64);
+                break;
+            }
+            // Reset / broken pipe mid-request: nobody is listening.
+            Err(_) => break,
+        }
+    }
+    Ok(())
+}

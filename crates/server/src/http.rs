@@ -1,16 +1,24 @@
 //! Minimal HTTP/1.1 request parsing and response writing.
 //!
 //! Deliberately small: request line + headers + optional
-//! `Content-Length`-delimited body, hard caps on sizes, no keep-alive, no
-//! chunked encoding. Enough for a local query service and for tests to
-//! speak to it with a plain `TcpStream`.
+//! `Content-Length`-delimited body, hard caps on sizes, keep-alive, no
+//! chunked encoding. Enough for the query service and for tests to speak to
+//! it with a plain `TcpStream`.
+//!
+//! Hostile-input posture: every read is bounded. The request line and the
+//! header section together may not exceed [`MAX_HEAD`] — enforced *while
+//! reading*, so a client streaming an endless line without `\n` is cut off
+//! at the cap instead of growing a `String` without limit. Duplicate
+//! `Content-Length` headers are rejected outright (RFC 7230 §3.3.2); a
+//! request-smuggling-shaped ambiguity must never be resolved by
+//! last-one-wins.
 
-use std::io::{self, BufRead, BufReader, Read, Write};
+use std::io::{self, BufRead, Read, Write};
 
-/// Upper bound on header section size.
-const MAX_HEAD: usize = 16 * 1024;
+/// Upper bound on the header section size (request line included).
+pub const MAX_HEAD: usize = 16 * 1024;
 /// Upper bound on body size.
-const MAX_BODY: usize = 1024 * 1024;
+pub const MAX_BODY: usize = 1024 * 1024;
 
 /// A parsed request.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -23,6 +31,10 @@ pub struct Request {
     pub params: Vec<(String, String)>,
     /// Request body (possibly empty).
     pub body: String,
+    /// Whether the connection may serve another request after this one
+    /// (HTTP/1.1 default unless `Connection: close`; HTTP/1.0 only with an
+    /// explicit `Connection: keep-alive`).
+    pub keep_alive: bool,
 }
 
 impl Request {
@@ -89,41 +101,82 @@ fn parse_query_string(qs: &str) -> Vec<(String, String)> {
         .collect()
 }
 
-/// Read and parse one request from a stream.
-pub fn read_request<R: Read>(stream: R) -> io::Result<Request> {
-    let mut reader = BufReader::new(stream);
+fn bad(message: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, message)
+}
+
+/// Read one `\n`-terminated line, never consuming more than `cap + 1` bytes.
+/// Errors with `InvalidData` when the line (terminator included) exceeds
+/// `cap` — the caller's remaining head budget.
+fn read_line_capped<R: BufRead>(
+    reader: &mut R,
+    line: &mut String,
+    cap: usize,
+) -> io::Result<usize> {
+    let n = reader.by_ref().take(cap as u64 + 1).read_line(line)?;
+    if n > cap {
+        return Err(bad("header section too large"));
+    }
+    Ok(n)
+}
+
+/// Read and parse one request from a buffered stream.
+///
+/// Returns `Ok(None)` on a clean end-of-stream before any byte of a request
+/// (the keep-alive "client hung up between requests" case). Timeouts and
+/// resets surface as the underlying `io::Error`; syntactically bad requests
+/// surface as `InvalidData`.
+///
+/// The reader is taken by reference so a keep-alive connection can park its
+/// buffer across requests — bytes the kernel delivered beyond the current
+/// request (pipelining) stay buffered for the next call.
+pub fn read_request<R: BufRead>(reader: &mut R) -> io::Result<Option<Request>> {
     let mut line = String::new();
-    reader.read_line(&mut line)?;
+    let n = read_line_capped(reader, &mut line, MAX_HEAD)?;
+    if n == 0 {
+        return Ok(None);
+    }
+    let mut head_bytes = n;
     let mut parts = line.split_whitespace();
     let method = parts.next().unwrap_or_default().to_owned();
     let target = parts.next().unwrap_or_default().to_owned();
+    let version = parts.next().unwrap_or("HTTP/1.1").to_owned();
     if method.is_empty() || target.is_empty() {
-        return Err(io::Error::new(io::ErrorKind::InvalidData, "malformed request line"));
+        return Err(bad("malformed request line"));
     }
-    // Headers: we only care about Content-Length.
-    let mut content_length = 0usize;
-    let mut head_bytes = line.len();
+    // Headers: we only care about Content-Length and Connection.
+    let mut content_length: Option<usize> = None;
+    let mut connection = String::new();
     loop {
         let mut header = String::new();
-        let n = reader.read_line(&mut header)?;
+        let n = read_line_capped(reader, &mut header, MAX_HEAD - head_bytes)?;
         head_bytes += n;
-        if head_bytes > MAX_HEAD {
-            return Err(io::Error::new(io::ErrorKind::InvalidData, "header section too large"));
-        }
         let header = header.trim_end();
         if n == 0 || header.is_empty() {
             break;
         }
         if let Some((name, value)) = header.split_once(':') {
-            if name.trim().eq_ignore_ascii_case("content-length") {
-                content_length = value.trim().parse().map_err(|_| {
-                    io::Error::new(io::ErrorKind::InvalidData, "bad content-length")
-                })?;
+            let name = name.trim();
+            if name.eq_ignore_ascii_case("content-length") {
+                // RFC 7230 §3.3.2: multiple (or list-valued) Content-Length
+                // headers make message framing ambiguous — reject, never
+                // pick one.
+                if content_length.is_some() {
+                    return Err(bad("duplicate content-length"));
+                }
+                let value = value.trim();
+                if value.contains(',') {
+                    return Err(bad("duplicate content-length"));
+                }
+                content_length = Some(value.parse().map_err(|_| bad("bad content-length"))?);
+            } else if name.eq_ignore_ascii_case("connection") {
+                connection = value.trim().to_ascii_lowercase();
             }
         }
     }
+    let content_length = content_length.unwrap_or(0);
     if content_length > MAX_BODY {
-        return Err(io::Error::new(io::ErrorKind::InvalidData, "body too large"));
+        return Err(bad("body too large"));
     }
     let mut body = vec![0u8; content_length];
     reader.read_exact(&mut body)?;
@@ -132,22 +185,40 @@ pub fn read_request<R: Read>(stream: R) -> io::Result<Request> {
         Some((p, qs)) => (p.to_owned(), parse_query_string(qs)),
         None => (target, Vec::new()),
     };
-    Ok(Request { method, path, params, body })
+    let keep_alive = if version.eq_ignore_ascii_case("HTTP/1.0") {
+        connection.split(',').any(|t| t.trim() == "keep-alive")
+    } else {
+        !connection.split(',').any(|t| t.trim() == "close")
+    };
+    Ok(Some(Request { method, path, params, body, keep_alive }))
 }
 
-/// Write a plain-text response.
-pub fn write_response<W: Write>(
+/// Write a plain-text response, announcing whether the connection stays
+/// open for another request.
+pub fn write_response_conn<W: Write>(
     mut stream: W,
     status: u16,
     reason: &str,
     body: &str,
+    keep_alive: bool,
 ) -> io::Result<()> {
+    let connection = if keep_alive { "keep-alive" } else { "close" };
     write!(
         stream,
-        "HTTP/1.1 {status} {reason}\r\nContent-Type: text/plain; charset=utf-8\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: text/plain; charset=utf-8\r\nContent-Length: {}\r\nConnection: {connection}\r\n\r\n{body}",
         body.len(),
     )?;
     stream.flush()
+}
+
+/// Write a plain-text response that closes the connection.
+pub fn write_response<W: Write>(
+    stream: W,
+    status: u16,
+    reason: &str,
+    body: &str,
+) -> io::Result<()> {
+    write_response_conn(stream, status, reason, body, false)
 }
 
 #[cfg(test)]
@@ -155,33 +226,105 @@ mod tests {
     use super::*;
     use std::io::Cursor;
 
+    fn parse(raw: &str) -> io::Result<Option<Request>> {
+        read_request(&mut Cursor::new(raw.as_bytes().to_vec()))
+    }
+
+    fn parse_one(raw: &str) -> Request {
+        parse(raw).unwrap().expect("one request")
+    }
+
     #[test]
     fn parses_get_with_query_string() {
-        let raw = "GET /query?q=DETECT%20a&x=1+2 HTTP/1.1\r\nHost: h\r\n\r\n";
-        let r = read_request(Cursor::new(raw)).unwrap();
+        let r = parse_one("GET /query?q=DETECT%20a&x=1+2 HTTP/1.1\r\nHost: h\r\n\r\n");
         assert_eq!(r.method, "GET");
         assert_eq!(r.path, "/query");
         assert_eq!(r.param("q"), Some("DETECT a"));
         assert_eq!(r.param("x"), Some("1 2"));
         assert_eq!(r.param("nope"), None);
         assert!(r.body.is_empty());
+        assert!(r.keep_alive, "HTTP/1.1 defaults to keep-alive");
     }
 
     #[test]
     fn parses_post_with_body() {
-        let raw = "POST /query HTTP/1.1\r\nContent-Length: 11\r\n\r\nDETECT a->b";
-        let r = read_request(Cursor::new(raw)).unwrap();
+        let r = parse_one("POST /query HTTP/1.1\r\nContent-Length: 11\r\n\r\nDETECT a->b");
         assert_eq!(r.method, "POST");
         assert_eq!(r.body, "DETECT a->b");
     }
 
     #[test]
+    fn clean_eof_is_none_not_error() {
+        assert_eq!(parse("").unwrap(), None);
+    }
+
+    #[test]
     fn rejects_malformed_request_line_and_bad_lengths() {
-        assert!(read_request(Cursor::new("\r\n\r\n")).is_err());
-        let raw = "POST / HTTP/1.1\r\nContent-Length: zebra\r\n\r\n";
-        assert!(read_request(Cursor::new(raw)).is_err());
+        assert!(parse("\r\n\r\n").is_err());
+        assert!(parse("POST / HTTP/1.1\r\nContent-Length: zebra\r\n\r\n").is_err());
         let raw = format!("POST / HTTP/1.1\r\nContent-Length: {}\r\n\r\n", MAX_BODY + 1);
-        assert!(read_request(Cursor::new(raw)).is_err());
+        assert!(parse(&raw).is_err());
+    }
+
+    #[test]
+    fn unbounded_request_line_is_cut_off_at_the_cap() {
+        // A hostile client streams bytes with no '\n': the parser must stop
+        // reading at MAX_HEAD, not buffer the whole stream.
+        let raw = "A".repeat(MAX_HEAD * 4);
+        let mut cursor = Cursor::new(raw.into_bytes());
+        let err = read_request(&mut cursor).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        // At most the cap (+1 probe byte) was consumed from the stream.
+        assert!(cursor.position() as usize <= MAX_HEAD + 1, "{}", cursor.position());
+    }
+
+    #[test]
+    fn oversized_header_section_is_rejected() {
+        let raw = format!("GET / HTTP/1.1\r\nX-Pad: {}\r\n\r\n", "b".repeat(MAX_HEAD));
+        assert!(parse(&raw).is_err());
+        // A single endless header line is also cut off mid-read.
+        let raw = format!("GET / HTTP/1.1\r\nX-Pad: {}", "b".repeat(MAX_HEAD * 4));
+        let mut cursor = Cursor::new(raw.into_bytes());
+        assert!(read_request(&mut cursor).is_err());
+        assert!((cursor.position() as usize) <= MAX_HEAD + 2);
+    }
+
+    #[test]
+    fn duplicate_content_length_is_rejected() {
+        let raw = "POST / HTTP/1.1\r\nContent-Length: 2\r\nContent-Length: 2\r\n\r\nhi";
+        let err = parse(raw).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("duplicate"), "{err}");
+        // Same framing ambiguity via a list value.
+        let raw = "POST / HTTP/1.1\r\nContent-Length: 2, 2\r\n\r\nhi";
+        assert!(parse(raw).is_err());
+        // Differing duplicates (the classic smuggling shape) too.
+        let raw = "POST / HTTP/1.1\r\nContent-Length: 0\r\nContent-Length: 5\r\n\r\nhello";
+        assert!(parse(raw).is_err());
+    }
+
+    #[test]
+    fn connection_header_controls_keep_alive() {
+        let r = parse_one("GET / HTTP/1.1\r\nConnection: close\r\n\r\n");
+        assert!(!r.keep_alive);
+        let r = parse_one("GET / HTTP/1.1\r\nConnection: Keep-Alive\r\n\r\n");
+        assert!(r.keep_alive);
+        let r = parse_one("GET / HTTP/1.0\r\n\r\n");
+        assert!(!r.keep_alive, "HTTP/1.0 defaults to close");
+        let r = parse_one("GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n");
+        assert!(r.keep_alive);
+    }
+
+    #[test]
+    fn pipelined_requests_parse_back_to_back() {
+        let raw = "GET /a HTTP/1.1\r\n\r\nPOST /b HTTP/1.1\r\nContent-Length: 2\r\n\r\nhi";
+        let mut cursor = Cursor::new(raw.as_bytes().to_vec());
+        let a = read_request(&mut cursor).unwrap().expect("first");
+        assert_eq!(a.path, "/a");
+        let b = read_request(&mut cursor).unwrap().expect("second");
+        assert_eq!(b.path, "/b");
+        assert_eq!(b.body, "hi");
+        assert_eq!(read_request(&mut cursor).unwrap(), None);
     }
 
     #[test]
@@ -200,6 +343,12 @@ mod tests {
         let text = String::from_utf8(out).unwrap();
         assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
         assert!(text.contains("Content-Length: 5\r\n"));
+        assert!(text.contains("Connection: close\r\n"));
         assert!(text.ends_with("hello"));
+
+        let mut out = Vec::new();
+        write_response_conn(&mut out, 200, "OK", "hi", true).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("Connection: keep-alive\r\n"));
     }
 }

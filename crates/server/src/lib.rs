@@ -14,25 +14,45 @@
 //! | `GET /health` | — | `200 ok` |
 //! | `GET /info` | — | catalog summary (traces, activities) |
 //! | `GET /stats/cache` | — | posting-cache counters (hits, misses, hit rate, evictions, invalidations, residency) |
+//! | `GET /stats/server` | — | serving-layer counters (requests, status classes, latency percentiles, in-flight, shed) |
+//! | `GET /stats/audit` | — | five-table invariant audit report |
 //! | `POST /query` | a query statement (`DETECT a -> b WITHIN 10` …) | rendered result |
 //! | `GET /query?q=…` | percent-encoded statement | rendered result |
 //!
-//! Errors map to `400` (bad query / unknown activity) or `404` (unknown
-//! path); the body carries the human-readable message.
+//! Errors map to `400` (bad query / unknown activity / hostile request),
+//! `404` (unknown path), `408` (deadline expired), or `503` (load shed);
+//! the body carries the human-readable message.
+//!
+//! ## Serving model
+//!
+//! Connections are accepted by one loop and fed through a *bounded* queue
+//! to a fixed-size worker pool ([`ServeConfig::workers`] /
+//! [`ServeConfig::queue_depth`]): overload sheds with an immediate 503
+//! rather than an unbounded thread-per-connection spawn. Each connection is
+//! served HTTP/1.1 keep-alive with read/write deadlines, so slow or silent
+//! clients cannot pin a worker. The engine re-checks the store's index
+//! generation on every query, so a concurrently running indexer's updates —
+//! including brand-new activity names — are served without a restart.
+//! Shutdown ([`ShutdownHandle::shutdown`]) stops accepting, finishes
+//! in-flight requests, and returns within a bounded drain deadline.
 //!
 //! ```no_run
-//! use seqdet_server::QueryServer;
+//! use seqdet_server::{QueryServer, ServeConfig};
 //! use seqdet_storage::DiskStore;
 //! use std::sync::Arc;
 //!
 //! let store = Arc::new(DiskStore::open("./ixdir")?);
-//! let server = QueryServer::bind("127.0.0.1:7878", store)?;
-//! server.serve_forever()?; // one thread per connection
+//! let config = ServeConfig { workers: 8, ..ServeConfig::default() };
+//! let server = QueryServer::bind_with("127.0.0.1:7878", store, config)?;
+//! server.serve_forever()?; // bounded worker pool + keep-alive
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
+pub mod conn;
 pub mod http;
+pub mod pool;
 pub mod render;
 pub mod server;
 
-pub use server::QueryServer;
+pub use pool::is_transient_accept_error;
+pub use server::{QueryServer, ServeConfig, ShutdownHandle};

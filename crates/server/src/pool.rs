@@ -1,0 +1,222 @@
+//! The bounded connection pool: fixed workers, explicit load shedding.
+//!
+//! Mirrors the `seqdet-exec` worker discipline (fixed threads, shared
+//! claim point) but for long-lived connections instead of trace chunks: a
+//! `sync_channel` of accepted streams bounds the backlog, `try_send` makes
+//! overload explicit (the accept loop turns a full queue into a 503 instead
+//! of an invisible unbounded thread spawn), and closing the channel is the
+//! drain signal — idle workers exit immediately, busy workers finish their
+//! in-flight connection first.
+
+use parking_lot::Mutex;
+use std::io;
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Outcome of offering a connection to the pool.
+pub(crate) enum Dispatch {
+    /// Accepted into the queue; a worker will pick it up.
+    Queued,
+    /// Queue full — shed this connection (the caller answers 503).
+    Shed(TcpStream),
+    /// The pool has shut down; the connection was dropped.
+    Closed,
+}
+
+/// A fixed-size worker pool fed by a bounded queue of connections.
+pub(crate) struct ConnPool {
+    tx: SyncSender<TcpStream>,
+    workers: Vec<JoinHandle<()>>,
+    active: Arc<AtomicUsize>,
+}
+
+impl ConnPool {
+    /// Spawn `workers` threads sharing a queue of at most `queue_depth`
+    /// pending connections; each popped connection is handed to `handler`.
+    pub fn spawn<F>(workers: usize, queue_depth: usize, handler: F) -> Self
+    where
+        F: Fn(TcpStream) + Send + Sync + 'static,
+    {
+        let workers = workers.max(1);
+        let (tx, rx) = sync_channel::<TcpStream>(queue_depth.max(1));
+        let rx: Arc<Mutex<Receiver<TcpStream>>> = Arc::new(Mutex::new(rx));
+        let handler = Arc::new(handler);
+        let active = Arc::new(AtomicUsize::new(workers));
+        let handles = (0..workers)
+            .map(|_| {
+                let rx = Arc::clone(&rx);
+                let handler = Arc::clone(&handler);
+                let active = Arc::clone(&active);
+                std::thread::spawn(move || {
+                    loop {
+                        // One worker at a time parks in `recv`; the stripe
+                        // lock is released the moment a stream is popped, so
+                        // handling never serializes across workers.
+                        let conn = { rx.lock().recv() };
+                        match conn {
+                            Ok(stream) => handler(stream),
+                            Err(_) => break, // channel closed: drain
+                        }
+                    }
+                    active.fetch_sub(1, Ordering::SeqCst);
+                })
+            })
+            .collect();
+        Self { tx, workers: handles, active }
+    }
+
+    /// Offer a connection without blocking the accept loop.
+    pub fn dispatch(&self, stream: TcpStream) -> Dispatch {
+        match self.tx.try_send(stream) {
+            Ok(()) => Dispatch::Queued,
+            Err(TrySendError::Full(s)) => Dispatch::Shed(s),
+            Err(TrySendError::Disconnected(_)) => Dispatch::Closed,
+        }
+    }
+
+    /// Close the queue and wait up to `deadline` for workers to finish
+    /// their in-flight connections. Returns `true` when the pool drained
+    /// fully; on `false`, stragglers are left detached — their streams
+    /// carry read/write deadlines, so they terminate on their own.
+    pub fn drain(self, deadline: Duration) -> bool {
+        drop(self.tx); // closes the queue; idle workers exit immediately
+        let end = Instant::now() + deadline;
+        while self.active.load(Ordering::SeqCst) > 0 && Instant::now() < end {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        let drained = self.active.load(Ordering::SeqCst) == 0;
+        if drained {
+            for h in self.workers {
+                let _ = h.join();
+            }
+        }
+        drained
+    }
+}
+
+/// True for `accept()` errors a serving loop should survive with a short
+/// backoff instead of dying: client-side aborts and transient resource
+/// exhaustion. Address/permission/usage errors stay fatal.
+pub fn is_transient_accept_error(e: &io::Error) -> bool {
+    if matches!(
+        e.kind(),
+        io::ErrorKind::ConnectionAborted
+            | io::ErrorKind::ConnectionReset
+            | io::ErrorKind::Interrupted
+            | io::ErrorKind::WouldBlock
+            | io::ErrorKind::TimedOut
+    ) {
+        return true;
+    }
+    // Linux errno values for fd/buffer exhaustion — the EMFILE/ENFILE blip
+    // that must back off, not kill the server: ENOMEM(12), ENFILE(23),
+    // EMFILE(24), ENOBUFS(105).
+    matches!(e.raw_os_error(), Some(12 | 23 | 24 | 105))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::{TcpListener, TcpStream};
+
+    fn pair() -> (TcpStream, TcpStream) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = TcpStream::connect(addr).unwrap();
+        let (server, _) = listener.accept().unwrap();
+        (client, server)
+    }
+
+    #[test]
+    fn pool_runs_jobs_and_drains() {
+        let hits = Arc::new(AtomicUsize::new(0));
+        let hits2 = Arc::clone(&hits);
+        let pool = ConnPool::spawn(2, 8, move |_s| {
+            hits2.fetch_add(1, Ordering::SeqCst);
+        });
+        let mut keep = Vec::new();
+        for _ in 0..5 {
+            let (c, s) = pair();
+            keep.push(c);
+            assert!(matches!(pool.dispatch(s), Dispatch::Queued));
+        }
+        assert!(pool.drain(Duration::from_secs(5)));
+        assert_eq!(hits.load(Ordering::SeqCst), 5);
+    }
+
+    #[test]
+    fn full_queue_sheds_instead_of_blocking() {
+        // One worker parked on a barrier; queue depth 1. The first stream
+        // occupies the worker, the second fills the queue, the third sheds.
+        let entered = Arc::new(AtomicUsize::new(0));
+        let release = Arc::new(AtomicUsize::new(0));
+        let (entered2, release2) = (Arc::clone(&entered), Arc::clone(&release));
+        let pool = ConnPool::spawn(1, 1, move |_s| {
+            entered2.fetch_add(1, Ordering::SeqCst);
+            while release2.load(Ordering::SeqCst) == 0 {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+        });
+        let (_c1, s1) = pair();
+        assert!(matches!(pool.dispatch(s1), Dispatch::Queued));
+        // Wait until the worker actually picked it up.
+        while entered.load(Ordering::SeqCst) == 0 {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        let (_c2, s2) = pair();
+        assert!(matches!(pool.dispatch(s2), Dispatch::Queued));
+        let (_c3, s3) = pair();
+        assert!(matches!(pool.dispatch(s3), Dispatch::Shed(_)));
+        release.store(1, Ordering::SeqCst);
+        assert!(pool.drain(Duration::from_secs(5)));
+        assert_eq!(entered.load(Ordering::SeqCst), 2, "queued stream was served on drain");
+    }
+
+    #[test]
+    fn drain_deadline_bounds_a_stuck_worker() {
+        let pool = ConnPool::spawn(1, 1, |_s| {
+            std::thread::sleep(Duration::from_secs(30));
+        });
+        let (_c, s) = pair();
+        assert!(matches!(pool.dispatch(s), Dispatch::Queued));
+        std::thread::sleep(Duration::from_millis(50)); // let the worker start
+        let start = Instant::now();
+        assert!(!pool.drain(Duration::from_millis(100)));
+        assert!(start.elapsed() < Duration::from_secs(5));
+    }
+
+    #[test]
+    fn accept_error_classification() {
+        // Transient: client-side aborts and resource blips.
+        for kind in [
+            io::ErrorKind::ConnectionAborted,
+            io::ErrorKind::ConnectionReset,
+            io::ErrorKind::Interrupted,
+            io::ErrorKind::WouldBlock,
+            io::ErrorKind::TimedOut,
+        ] {
+            assert!(is_transient_accept_error(&io::Error::new(kind, "x")), "{kind:?}");
+        }
+        for errno in [12, 23, 24, 105] {
+            assert!(
+                is_transient_accept_error(&io::Error::from_raw_os_error(errno)),
+                "errno {errno}"
+            );
+        }
+        // Fatal: misconfiguration and hard faults must kill the loop.
+        for kind in [
+            io::ErrorKind::PermissionDenied,
+            io::ErrorKind::AddrInUse,
+            io::ErrorKind::AddrNotAvailable,
+            io::ErrorKind::InvalidInput,
+            io::ErrorKind::NotFound,
+        ] {
+            assert!(!is_transient_accept_error(&io::Error::new(kind, "x")), "{kind:?}");
+        }
+        assert!(!is_transient_accept_error(&io::Error::from_raw_os_error(9))); // EBADF
+    }
+}

@@ -1,39 +1,126 @@
-//! The accept loop and request routing.
+//! The accept loop, worker-pool dispatch, and request routing.
 
-use crate::http::{read_request, write_response, Request};
+use crate::conn::{handle_connection, ConnCtx};
+use crate::http::{write_response, Request};
+use crate::pool::{is_transient_accept_error, ConnPool, Dispatch};
 use crate::render::render;
-use seqdet_core::Catalog;
 use seqdet_query::{lang, QueryEngine, QueryError};
-use seqdet_storage::KvStore;
+use seqdet_storage::{KvStore, StoreMetrics};
 use std::io;
-use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::net::{IpAddr, Ipv4Addr, Ipv6Addr, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
+
+/// Serving-layer knobs: pool size, backlog bound, deadlines, drain budget.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Worker threads serving connections. `0` means all available cores.
+    pub workers: usize,
+    /// Bound on accepted-but-unserved connections; beyond it the accept
+    /// loop sheds with a 503 instead of queueing invisibly.
+    pub queue_depth: usize,
+    /// Per-connection read deadline: a client that stays silent (or drips
+    /// bytes slower than whole requests) this long is cut off with a 408.
+    pub read_timeout: Duration,
+    /// Per-connection write deadline.
+    pub write_timeout: Duration,
+    /// Keep-alive request cap per connection; the final response carries
+    /// `Connection: close`.
+    pub max_requests_per_conn: usize,
+    /// Graceful-shutdown budget: how long to wait for in-flight requests
+    /// after the accept loop stops.
+    pub drain_deadline: Duration,
+    /// Sleep after a transient `accept()` error (EMFILE/ECONNABORTED…).
+    pub accept_backoff: Duration,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            workers: 0,
+            queue_depth: 256,
+            read_timeout: Duration::from_secs(10),
+            write_timeout: Duration::from_secs(10),
+            max_requests_per_conn: 1000,
+            drain_deadline: Duration::from_secs(5),
+            accept_backoff: Duration::from_millis(20),
+        }
+    }
+}
+
+impl ServeConfig {
+    /// The effective worker count (`0` resolved to the core count).
+    pub fn effective_workers(&self) -> usize {
+        if self.workers == 0 {
+            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4)
+        } else {
+            self.workers
+        }
+    }
+}
+
+/// A handle that stops a running [`QueryServer::serve_forever`]: sets the
+/// shutdown flag, then pokes the listener so the accept loop observes it
+/// immediately instead of after the next organic connection.
+#[derive(Clone)]
+pub struct ShutdownHandle {
+    flag: Arc<AtomicBool>,
+    addr: SocketAddr,
+}
+
+impl ShutdownHandle {
+    /// Initiate graceful shutdown: stop accepting, finish in-flight
+    /// requests (bounded by the configured drain deadline).
+    pub fn shutdown(&self) {
+        self.flag.store(true, Ordering::SeqCst);
+        // Wake the blocking accept. Failure is fine — any organic
+        // connection unblocks the loop too, and the flag is already set.
+        let _ = TcpStream::connect_timeout(&self.addr, Duration::from_millis(250));
+    }
+}
 
 /// The query-processor service.
 pub struct QueryServer<S: KvStore> {
     listener: TcpListener,
     engine: Arc<QueryEngine<S>>,
     store: Arc<S>,
-    catalog: Catalog,
+    metrics: Arc<StoreMetrics>,
+    config: ServeConfig,
     shutdown: Arc<AtomicBool>,
+    drain: Arc<AtomicBool>,
 }
 
 impl<S: KvStore + 'static> QueryServer<S> {
-    /// Bind to `addr` and load the catalog from the indexed `store`.
+    /// Bind to `addr` with the default [`ServeConfig`].
     /// Use port 0 to let the OS pick (see [`QueryServer::local_addr`]).
     pub fn bind(addr: impl ToSocketAddrs, store: Arc<S>) -> io::Result<Self> {
+        Self::bind_with(addr, store, ServeConfig::default())
+    }
+
+    /// Bind to `addr` and open a query engine over the indexed `store`.
+    /// The engine re-checks the store's index generation before every
+    /// query and on catalog reads, so a concurrently running indexer's
+    /// updates (including brand-new activity names) become visible without
+    /// restarting the server.
+    pub fn bind_with(
+        addr: impl ToSocketAddrs,
+        store: Arc<S>,
+        config: ServeConfig,
+    ) -> io::Result<Self> {
         let listener = TcpListener::bind(addr)?;
+        let metrics = Arc::new(StoreMetrics::new());
         let engine = QueryEngine::new(Arc::clone(&store))
-            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
-        let catalog = Catalog::load(store.as_ref())
-            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?
+            .with_metrics(Arc::clone(&metrics));
         Ok(Self {
             listener,
             engine: Arc::new(engine),
             store,
-            catalog,
+            metrics,
+            config,
             shutdown: Arc::new(AtomicBool::new(false)),
+            drain: Arc::new(AtomicBool::new(false)),
         })
     }
 
@@ -42,70 +129,120 @@ impl<S: KvStore + 'static> QueryServer<S> {
         self.listener.local_addr()
     }
 
-    /// A handle that makes [`QueryServer::serve_forever`] return after the
-    /// next connection is handled.
-    pub fn shutdown_handle(&self) -> Arc<AtomicBool> {
-        Arc::clone(&self.shutdown)
+    /// The shared metrics handle (`/stats/server` reads the same counters).
+    pub fn metrics(&self) -> Arc<StoreMetrics> {
+        Arc::clone(&self.metrics)
     }
 
-    /// Accept and serve connections until the shutdown flag is set. Each
-    /// connection is handled on its own thread; connections are closed
-    /// after one response (no keep-alive).
-    pub fn serve_forever(&self) -> io::Result<()> {
-        for conn in self.listener.incoming() {
-            if self.shutdown.load(Ordering::SeqCst) {
-                break;
+    /// A handle that gracefully stops [`QueryServer::serve_forever`].
+    pub fn shutdown_handle(&self) -> io::Result<ShutdownHandle> {
+        let mut addr = self.local_addr()?;
+        // The poke must reach the listener even when bound to a wildcard
+        // address.
+        if addr.ip().is_unspecified() {
+            match addr.ip() {
+                IpAddr::V4(_) => addr.set_ip(IpAddr::V4(Ipv4Addr::LOCALHOST)),
+                IpAddr::V6(_) => addr.set_ip(IpAddr::V6(Ipv6Addr::LOCALHOST)),
             }
-            let stream = conn?;
-            let engine = Arc::clone(&self.engine);
-            let store = Arc::clone(&self.store);
-            let catalog = self.catalog.clone();
-            std::thread::spawn(move || {
-                let _ = handle_connection(stream, &engine, store.as_ref(), &catalog);
-            });
         }
-        Ok(())
+        Ok(ShutdownHandle { flag: Arc::clone(&self.shutdown), addr })
     }
 
-    /// Handle exactly `n` connections (useful in tests).
+    fn conn_ctx(&self) -> ConnCtx<S> {
+        ConnCtx {
+            engine: Arc::clone(&self.engine),
+            store: Arc::clone(&self.store),
+            metrics: Arc::clone(&self.metrics),
+            config: self.config.clone(),
+            drain: Arc::clone(&self.drain),
+        }
+    }
+
+    /// Accept and serve connections until the shutdown handle fires.
+    ///
+    /// Connections are fed through a bounded queue to a fixed worker pool;
+    /// a full queue sheds with an immediate 503. Transient accept errors
+    /// (client aborts, fd exhaustion) are survived with a short backoff;
+    /// fatal ones (misconfiguration) still return `Err`. On shutdown the
+    /// queue closes, in-flight requests finish, and the call returns after
+    /// at most the drain deadline.
+    pub fn serve_forever(&self) -> io::Result<()> {
+        let ctx = Arc::new(self.conn_ctx());
+        let pool = ConnPool::spawn(
+            self.config.effective_workers(),
+            self.config.queue_depth,
+            move |stream| {
+                let _ = handle_connection(stream, ctx.as_ref());
+            },
+        );
+        let result = loop {
+            match self.listener.accept() {
+                Ok((stream, _)) => {
+                    if self.shutdown.load(Ordering::SeqCst) {
+                        break Ok(()); // likely the shutdown poke; stop accepting
+                    }
+                    match pool.dispatch(stream) {
+                        Dispatch::Queued => {}
+                        Dispatch::Shed(stream) => {
+                            self.metrics.server().record_shed();
+                            let _ = stream.set_write_timeout(Some(self.config.write_timeout));
+                            let _ = write_response(
+                                &stream,
+                                503,
+                                "Service Unavailable",
+                                "server overloaded, retry later\n",
+                            );
+                        }
+                        Dispatch::Closed => break Ok(()),
+                    }
+                }
+                Err(e) if is_transient_accept_error(&e) => {
+                    self.metrics.server().record_accept_retry();
+                    std::thread::sleep(self.config.accept_backoff);
+                }
+                Err(e) => break Err(e),
+            }
+        };
+        // Graceful drain: no new connections are accepted past this point;
+        // workers finish their in-flight requests (the drain flag turns
+        // keep-alive responses into `Connection: close`) within the budget.
+        self.drain.store(true, Ordering::SeqCst);
+        pool.drain(self.config.drain_deadline);
+        result
+    }
+
+    /// Handle exactly `n` connections sequentially (useful in tests). Each
+    /// connection still gets the full keep-alive treatment.
     pub fn serve_n(&self, n: usize) -> io::Result<()> {
+        let ctx = self.conn_ctx();
         for _ in 0..n {
             let (stream, _) = self.listener.accept()?;
-            handle_connection(stream, &self.engine, self.store.as_ref(), &self.catalog)?;
+            handle_connection(stream, &ctx)?;
         }
         Ok(())
     }
 }
 
-fn handle_connection<S: KvStore>(
-    stream: TcpStream,
-    engine: &QueryEngine<S>,
-    store: &S,
-    catalog: &Catalog,
-) -> io::Result<()> {
-    let request = match read_request(&stream) {
-        Ok(r) => r,
-        Err(e) => {
-            return write_response(&stream, 400, "Bad Request", &format!("bad request: {e}\n"));
-        }
-    };
-    let (status, reason, body) = route(&request, engine, store, catalog);
-    write_response(&stream, status, reason, &body)
-}
-
-fn route<S: KvStore>(
+pub(crate) fn route<S: KvStore>(
     request: &Request,
     engine: &QueryEngine<S>,
     store: &S,
-    catalog: &Catalog,
+    metrics: &StoreMetrics,
 ) -> (u16, &'static str, String) {
     match (request.method.as_str(), request.path.as_str()) {
         ("GET", "/health") => (200, "OK", "ok\n".to_owned()),
-        ("GET", "/info") => (
-            200,
-            "OK",
-            format!("traces: {}\nactivities: {}\n", catalog.num_traces(), catalog.num_activities()),
-        ),
+        ("GET", "/info") => {
+            let catalog = engine.catalog();
+            (
+                200,
+                "OK",
+                format!(
+                    "traces: {}\nactivities: {}\n",
+                    catalog.num_traces(),
+                    catalog.num_activities()
+                ),
+            )
+        }
         ("GET", "/stats/cache") => {
             let s = engine.cache_stats();
             (
@@ -121,6 +258,32 @@ fn route<S: KvStore>(
                     s.invalidations,
                     s.entries,
                     s.capacity
+                ),
+            )
+        }
+        ("GET", "/stats/server") => {
+            let s = metrics.server();
+            let (c2, c3, c4, c5) = s.status_classes();
+            let lat = s.latency();
+            (
+                200,
+                "OK",
+                format!(
+                    "requests: {}\nin_flight: {}\nshed: {}\naccept_retries: {}\n\
+                     catalog_reloads: {}\nstatus_2xx: {c2}\nstatus_3xx: {c3}\n\
+                     status_4xx: {c4}\nstatus_5xx: {c5}\nlatency_samples: {}\n\
+                     latency_mean_us: {}\nlatency_p50_us: {}\nlatency_p95_us: {}\n\
+                     latency_p99_us: {}\n",
+                    s.requests(),
+                    s.in_flight(),
+                    s.shed(),
+                    s.accept_retries(),
+                    s.catalog_reloads(),
+                    lat.count(),
+                    lat.mean_micros(),
+                    lat.percentile_micros(0.50),
+                    lat.percentile_micros(0.95),
+                    lat.percentile_micros(0.99),
                 ),
             )
         }
@@ -141,7 +304,7 @@ fn route<S: KvStore>(
                 return (400, "Bad Request", "empty query\n".to_owned());
             }
             match lang::run(engine, &statement) {
-                Ok(output) => (200, "OK", render(catalog, &output)),
+                Ok(output) => (200, "OK", render(&engine.catalog(), &output)),
                 Err(QueryError::Core(e)) => (500, "Internal Server Error", format!("{e}\n")),
                 Err(e) => (400, "Bad Request", format!("{e}\n")),
             }
@@ -158,6 +321,7 @@ mod tests {
     use seqdet_log::EventLogBuilder;
     use seqdet_storage::MemStore;
     use std::io::{Read, Write};
+    use std::net::Shutdown;
 
     fn spawn_server(n: usize) -> SocketAddr {
         let mut b = EventLogBuilder::new();
@@ -174,6 +338,9 @@ mod tests {
     fn roundtrip(addr: SocketAddr, raw: &str) -> String {
         let mut stream = TcpStream::connect(addr).unwrap();
         stream.write_all(raw.as_bytes()).unwrap();
+        // Half-close: the server sees EOF after the request and ends the
+        // keep-alive loop, so read_to_string terminates.
+        stream.shutdown(Shutdown::Write).unwrap();
         let mut response = String::new();
         stream.read_to_string(&mut response).unwrap();
         response
@@ -222,6 +389,40 @@ mod tests {
     }
 
     #[test]
+    fn server_stats_endpoint_reports_requests() {
+        let addr = spawn_server(3);
+        roundtrip(addr, "GET /health HTTP/1.1\r\nHost: x\r\n\r\n");
+        roundtrip(addr, "GET /nope HTTP/1.1\r\nHost: x\r\n\r\n");
+        let r = roundtrip(addr, "GET /stats/server HTTP/1.1\r\nHost: x\r\n\r\n");
+        assert!(r.starts_with("HTTP/1.1 200"), "{r}");
+        // Two finished requests before this one; the /stats/server request
+        // itself is in flight while the body renders.
+        assert!(r.contains("requests: 3"), "{r}");
+        assert!(r.contains("in_flight: 1"), "{r}");
+        assert!(r.contains("status_2xx: 1"), "{r}");
+        assert!(r.contains("status_4xx: 1"), "{r}");
+        assert!(r.contains("shed: 0"), "{r}");
+        assert!(r.contains("latency_p50_us:"), "{r}");
+        assert!(r.contains("latency_p99_us:"), "{r}");
+    }
+
+    #[test]
+    fn keep_alive_serves_multiple_requests_on_one_connection() {
+        let addr = spawn_server(1);
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream.write_all(b"GET /health HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+        stream.write_all(b"GET /info HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n").unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        let first = response.find("HTTP/1.1 200").unwrap();
+        let second = response[first + 1..].find("HTTP/1.1 200");
+        assert!(second.is_some(), "expected two responses on one connection: {response}");
+        assert!(response.contains("Connection: keep-alive"), "{response}");
+        assert!(response.contains("Connection: close"), "{response}");
+        assert!(response.contains("traces: 2"), "{response}");
+    }
+
+    #[test]
     fn audit_endpoint_reports_clean_and_corrupt_stores() {
         let addr = spawn_server(1);
         let r = roundtrip(addr, "GET /stats/audit HTTP/1.1\r\nHost: x\r\n\r\n");
@@ -252,7 +453,7 @@ mod tests {
 
     #[test]
     fn error_statuses() {
-        let addr = spawn_server(3);
+        let addr = spawn_server(4);
         let r = roundtrip(addr, "GET /nope HTTP/1.1\r\nHost: x\r\n\r\n");
         assert!(r.starts_with("HTTP/1.1 404"));
 
@@ -266,5 +467,11 @@ mod tests {
         let r = roundtrip(addr, "GET /query HTTP/1.1\r\nHost: x\r\n\r\n");
         assert!(r.starts_with("HTTP/1.1 400"));
         assert!(r.contains("empty query"));
+
+        let r = roundtrip(
+            addr,
+            "POST /query HTTP/1.1\r\nContent-Length: 2\r\nContent-Length: 2\r\n\r\nhi",
+        );
+        assert!(r.starts_with("HTTP/1.1 400"), "duplicate content-length: {r}");
     }
 }

@@ -41,4 +41,4 @@ pub use error::StorageError;
 pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use kv::{KvStore, TableId};
 pub use mem::MemStore;
-pub use metrics::StoreMetrics;
+pub use metrics::{LatencyHistogram, ServerMetrics, StoreMetrics};

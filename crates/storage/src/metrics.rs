@@ -4,7 +4,207 @@
 //! store round-trips each indexing flavor / query plan performs — the
 //! paper's cost driver once Cassandra is remote.
 
+use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of power-of-two latency buckets (covers 1µs … ~2^47µs ≈ 4.5 years).
+const LATENCY_BUCKETS: usize = 48;
+
+/// A lock-free fixed-bucket latency histogram.
+///
+/// Samples are recorded in microseconds into power-of-two buckets: bucket
+/// `i` counts samples in `[2^i, 2^(i+1))`. Percentile estimates return the
+/// *upper edge* of the bucket holding the requested quantile, so they are
+/// conservative (never under-report) and at most 2x the true value — plenty
+/// for the p50/p95/p99 the serving layer exports.
+pub struct LatencyHistogram {
+    buckets: [AtomicU64; LATENCY_BUCKETS],
+    count: AtomicU64,
+    sum_micros: AtomicU64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum_micros: AtomicU64::new(0),
+        }
+    }
+}
+
+impl LatencyHistogram {
+    /// Fresh zeroed histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one sample, in microseconds.
+    pub fn record_micros(&self, micros: u64) {
+        let idx = (63 - micros.max(1).leading_zeros() as usize).min(LATENCY_BUCKETS - 1);
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_micros.fetch_add(micros, Ordering::Relaxed);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Mean sample, in microseconds (0 when empty).
+    pub fn mean_micros(&self) -> u64 {
+        self.sum_micros.load(Ordering::Relaxed).checked_div(self.count()).unwrap_or(0)
+    }
+
+    /// Upper-edge estimate of quantile `q` (`0.0 ..= 1.0`), in microseconds.
+    /// Returns 0 when no samples have been recorded.
+    pub fn percentile_micros(&self, q: f64) -> u64 {
+        let total = self.count();
+        if total == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen += b.load(Ordering::Relaxed);
+            if seen >= rank {
+                return 1u64 << (i + 1).min(63);
+            }
+        }
+        1u64 << 63
+    }
+
+    /// Reset all buckets to zero.
+    pub fn reset(&self) {
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.count.store(0, Ordering::Relaxed);
+        self.sum_micros.store(0, Ordering::Relaxed);
+    }
+}
+
+impl fmt::Debug for LatencyHistogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("LatencyHistogram")
+            .field("count", &self.count())
+            .field("p50_us", &self.percentile_micros(0.50))
+            .field("p99_us", &self.percentile_micros(0.99))
+            .finish()
+    }
+}
+
+/// Per-request serving-layer counters: request volume, status classes, load
+/// shedding, accept-loop retries, in-flight gauge and a latency histogram.
+/// Lives inside [`StoreMetrics`] so the server shares one metrics handle
+/// with the store/cache plumbing and `GET /stats/server` sits next to
+/// `/stats/cache`.
+#[derive(Debug, Default)]
+pub struct ServerMetrics {
+    requests: AtomicU64,
+    resp_2xx: AtomicU64,
+    resp_3xx: AtomicU64,
+    resp_4xx: AtomicU64,
+    resp_5xx: AtomicU64,
+    shed: AtomicU64,
+    accept_retries: AtomicU64,
+    catalog_reloads: AtomicU64,
+    in_flight: AtomicU64,
+    latency: LatencyHistogram,
+}
+
+impl ServerMetrics {
+    /// Mark a request as started (bumps request count and in-flight gauge).
+    pub fn record_request_start(&self) {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        self.in_flight.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Mark a request as finished with `status`, taking `micros` end to end.
+    pub fn record_response(&self, status: u16, micros: u64) {
+        let class = match status / 100 {
+            2 => &self.resp_2xx,
+            3 => &self.resp_3xx,
+            4 => &self.resp_4xx,
+            _ => &self.resp_5xx,
+        };
+        class.fetch_add(1, Ordering::Relaxed);
+        self.latency.record_micros(micros);
+        // Saturating decrement: a response recorded without a matching start
+        // (e.g. an early 503 shed path) must not wrap the gauge.
+        let _ =
+            self.in_flight.fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| v.checked_sub(1));
+    }
+
+    /// Record one connection shed with a 503 because the queue was full.
+    pub fn record_shed(&self) {
+        self.shed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record one transient `accept()` error survived with a backoff.
+    pub fn record_accept_retry(&self) {
+        self.accept_retries.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record one generation-triggered catalog/layout reload.
+    pub fn record_catalog_reload(&self) {
+        self.catalog_reloads.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total requests started.
+    pub fn requests(&self) -> u64 {
+        self.requests.load(Ordering::Relaxed)
+    }
+
+    /// Responses by status class: `(2xx, 3xx, 4xx, 5xx)`.
+    pub fn status_classes(&self) -> (u64, u64, u64, u64) {
+        (
+            self.resp_2xx.load(Ordering::Relaxed),
+            self.resp_3xx.load(Ordering::Relaxed),
+            self.resp_4xx.load(Ordering::Relaxed),
+            self.resp_5xx.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Connections shed with a 503.
+    pub fn shed(&self) -> u64 {
+        self.shed.load(Ordering::Relaxed)
+    }
+
+    /// Transient accept errors survived.
+    pub fn accept_retries(&self) -> u64 {
+        self.accept_retries.load(Ordering::Relaxed)
+    }
+
+    /// Generation-triggered catalog reloads observed.
+    pub fn catalog_reloads(&self) -> u64 {
+        self.catalog_reloads.load(Ordering::Relaxed)
+    }
+
+    /// Requests currently being processed.
+    pub fn in_flight(&self) -> u64 {
+        self.in_flight.load(Ordering::Relaxed)
+    }
+
+    /// The request latency histogram.
+    pub fn latency(&self) -> &LatencyHistogram {
+        &self.latency
+    }
+
+    fn reset(&self) {
+        self.requests.store(0, Ordering::Relaxed);
+        self.resp_2xx.store(0, Ordering::Relaxed);
+        self.resp_3xx.store(0, Ordering::Relaxed);
+        self.resp_4xx.store(0, Ordering::Relaxed);
+        self.resp_5xx.store(0, Ordering::Relaxed);
+        self.shed.store(0, Ordering::Relaxed);
+        self.accept_retries.store(0, Ordering::Relaxed);
+        self.catalog_reloads.store(0, Ordering::Relaxed);
+        self.in_flight.store(0, Ordering::Relaxed);
+        self.latency.reset();
+    }
+}
 
 /// Monotonic counters over store operations. All methods are lock-free and
 /// safe to call from any thread.
@@ -13,6 +213,8 @@ use std::sync::atomic::{AtomicU64, Ordering};
 /// decode/cache behaviour here as well: how many postings were walked
 /// zero-copy through a cursor, how many rows went through the slow
 /// `Vec`-materializing decoder, and how the query-side posting cache fared.
+/// The serving layer adds its per-request counters under [`ServerMetrics`]
+/// (see [`StoreMetrics::server`]).
 #[derive(Debug, Default)]
 pub struct StoreMetrics {
     gets: AtomicU64,
@@ -27,6 +229,7 @@ pub struct StoreMetrics {
     cache_misses: AtomicU64,
     cache_evictions: AtomicU64,
     cache_invalidations: AtomicU64,
+    server: ServerMetrics,
 }
 
 impl StoreMetrics {
@@ -144,6 +347,12 @@ impl StoreMetrics {
         self.cache_invalidations.load(Ordering::Relaxed)
     }
 
+    /// The serving-layer counters (request count, status classes, latency,
+    /// in-flight, shed).
+    pub fn server(&self) -> &ServerMetrics {
+        &self.server
+    }
+
     /// Reset all counters to zero.
     pub fn reset(&self) {
         self.gets.store(0, Ordering::Relaxed);
@@ -158,6 +367,7 @@ impl StoreMetrics {
         self.cache_misses.store(0, Ordering::Relaxed);
         self.cache_evictions.store(0, Ordering::Relaxed);
         self.cache_invalidations.store(0, Ordering::Relaxed);
+        self.server.reset();
     }
 }
 
@@ -181,5 +391,63 @@ mod tests {
         assert_eq!(m.bytes_written(), 107);
         m.reset();
         assert_eq!(m.gets() + m.puts() + m.appends() + m.bytes_read(), 0);
+    }
+
+    #[test]
+    fn latency_histogram_percentiles_are_conservative() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.percentile_micros(0.5), 0);
+        for _ in 0..90 {
+            h.record_micros(100); // bucket [64, 128)
+        }
+        for _ in 0..10 {
+            h.record_micros(10_000); // bucket [8192, 16384)
+        }
+        assert_eq!(h.count(), 100);
+        // Upper edges: p50 lands in the 100µs bucket, p99 in the 10ms one.
+        assert_eq!(h.percentile_micros(0.50), 128);
+        assert_eq!(h.percentile_micros(0.90), 128);
+        assert_eq!(h.percentile_micros(0.99), 16_384);
+        assert!(h.mean_micros() >= 100 && h.mean_micros() <= 10_000);
+        h.reset();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.percentile_micros(0.99), 0);
+    }
+
+    #[test]
+    fn latency_histogram_handles_extremes() {
+        let h = LatencyHistogram::new();
+        h.record_micros(0);
+        h.record_micros(1);
+        h.record_micros(u64::MAX);
+        assert_eq!(h.count(), 3);
+        assert!(h.percentile_micros(1.0) >= 1 << 47);
+    }
+
+    #[test]
+    fn server_metrics_track_requests_and_classes() {
+        let m = StoreMetrics::new();
+        let s = m.server();
+        s.record_request_start();
+        assert_eq!(s.in_flight(), 1);
+        s.record_response(200, 50);
+        s.record_request_start();
+        s.record_response(404, 10);
+        s.record_shed();
+        s.record_accept_retry();
+        s.record_catalog_reload();
+        assert_eq!(s.requests(), 2);
+        assert_eq!(s.status_classes(), (1, 0, 1, 0));
+        assert_eq!(s.shed(), 1);
+        assert_eq!(s.accept_retries(), 1);
+        assert_eq!(s.catalog_reloads(), 1);
+        assert_eq!(s.in_flight(), 0);
+        assert_eq!(s.latency().count(), 2);
+        // An unmatched response (503 shed path) must not wrap the gauge.
+        s.record_response(503, 5);
+        assert_eq!(s.in_flight(), 0);
+        assert_eq!(s.status_classes().3, 1);
+        m.reset();
+        assert_eq!(s.requests() + s.shed() + s.latency().count(), 0);
     }
 }

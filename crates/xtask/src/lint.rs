@@ -12,8 +12,9 @@
 //!   through `PostingCursor`/`ReadCtx`, which are the cached, metered,
 //!   zero-copy read path.
 //! * **no-std-sync-lock** — `std::sync::Mutex`/`RwLock` are banned in the
-//!   query cache stripes and the exec worker code: a poisoned or blocking
-//!   std lock on those paths stalls every query sharing the stripe; the
+//!   query cache stripes, the exec worker code, and the server's
+//!   connection pool/handler: a poisoned or blocking std lock on those
+//!   paths stalls every query (or connection) sharing the stripe; the
 //!   vendored `parking_lot` types are the sanctioned replacement.
 //! * **codec-roundtrip-registered** — every `decode_*` codec in
 //!   `crates/core/src/tables.rs` must be exercised by the codec roundtrip
@@ -93,7 +94,10 @@ fn decoder_scope(rel: &str) -> bool {
 }
 
 fn lock_scope(rel: &str) -> bool {
-    rel == "crates/query/src/cache.rs" || rel.starts_with("crates/exec/src/")
+    rel == "crates/query/src/cache.rs"
+        || rel.starts_with("crates/exec/src/")
+        || rel == "crates/server/src/pool.rs"
+        || rel == "crates/server/src/conn.rs"
 }
 
 const TOKEN_RULES: &[TokenRule] = &[
@@ -406,6 +410,8 @@ mod tests {
         assert_eq!(v.len(), 1);
         assert_eq!(v[0].rule, "no-std-sync-lock");
         assert!(!lint_source("crates/exec/src/lib.rs", src).is_empty());
+        assert!(!lint_source("crates/server/src/pool.rs", src).is_empty());
+        assert!(!lint_source("crates/server/src/conn.rs", src).is_empty());
         assert!(lint_source("crates/query/src/engine.rs", src).is_empty());
         assert!(lint_source("crates/server/src/server.rs", src).is_empty());
     }

@@ -15,7 +15,9 @@ use std::net::TcpStream;
 
 fn http_get(addr: std::net::SocketAddr, target: &str) -> String {
     let mut stream = TcpStream::connect(addr).expect("server is listening");
-    write!(stream, "GET {target} HTTP/1.1\r\nHost: localhost\r\n\r\n").expect("request sent");
+    // `Connection: close` opts out of keep-alive so `read_to_string` sees EOF.
+    write!(stream, "GET {target} HTTP/1.1\r\nHost: localhost\r\nConnection: close\r\n\r\n")
+        .expect("request sent");
     let mut response = String::new();
     stream.read_to_string(&mut response).expect("response read");
     // Drop the header section for display.

@@ -1,0 +1,79 @@
+//! The live-catalog regression: a server bound to a store that an indexer
+//! keeps feeding must see new data — including brand-new activity names —
+//! without a restart. Before the generation-checked catalog reload, the
+//! server answered a false `unknown activity` for names indexed after bind.
+
+use seqdet_core::{IndexConfig, Indexer, Policy};
+use seqdet_log::EventLogBuilder;
+use seqdet_server::http::percent_encode;
+use seqdet_server::{QueryServer, ServeConfig};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+fn get(addr: SocketAddr, target: &str) -> String {
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
+    write!(stream, "GET {target} HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n").unwrap();
+    let mut response = String::new();
+    stream.read_to_string(&mut response).unwrap();
+    response
+}
+
+#[test]
+fn concurrent_indexing_becomes_visible_without_restart() {
+    let mut ix = Indexer::new(IndexConfig::new(Policy::SkipTillNextMatch));
+    let mut b = EventLogBuilder::new();
+    b.add("t1", "alpha", 1).add("t1", "omega", 2);
+    ix.index_log(&b.build()).unwrap();
+
+    let server = QueryServer::bind_with(
+        "127.0.0.1:0",
+        ix.store(),
+        ServeConfig { workers: 2, ..ServeConfig::default() },
+    )
+    .unwrap();
+    let addr = server.local_addr().unwrap();
+    let shutdown = server.shutdown_handle().unwrap();
+    let join = std::thread::spawn(move || server.serve_forever());
+
+    // The server's engine snapshot predates "fresh": a correct catalog says
+    // unknown *now*…
+    let q = percent_encode("DETECT fresh -> newer");
+    let before = get(addr, &format!("/query?q={q}"));
+    assert!(before.starts_with("HTTP/1.1 400"), "{before}");
+    assert!(before.contains("unknown activity"), "{before}");
+
+    // …while queries over the original names keep succeeding from other
+    // threads as the indexer mutates the same store.
+    let hammer = {
+        let q = percent_encode("DETECT alpha -> omega");
+        std::thread::spawn(move || {
+            for _ in 0..50 {
+                let r = get(addr, &format!("/query?q={q}"));
+                assert!(r.starts_with("HTTP/1.1 200"), "{r}");
+            }
+        })
+    };
+
+    for i in 0..5 {
+        let mut b = EventLogBuilder::new();
+        let t = format!("t{}", 10 + i);
+        b.add(&t, "fresh", 1).add(&t, "newer", 2).add(&t, "alpha", 3).add(&t, "omega", 4);
+        ix.index_log(&b.build()).unwrap();
+    }
+    hammer.join().unwrap();
+
+    // Same server, same connection-less protocol: the new names now resolve
+    // and the pattern is found.
+    let after = get(addr, &format!("/query?q={q}"));
+    assert!(after.starts_with("HTTP/1.1 200"), "stale catalog served: {after}");
+    assert!(after.contains("5 completions"), "{after}");
+
+    // /info reads the live catalog too.
+    let info = get(addr, "/info");
+    assert!(info.contains("traces: 6"), "{info}");
+
+    shutdown.shutdown();
+    join.join().unwrap().unwrap();
+}

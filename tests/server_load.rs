@@ -1,0 +1,234 @@
+//! Load and abuse tests for the serving layer: the bounded worker pool
+//! must serve every accepted connection under load, shed (not hang) beyond
+//! the queue bound, survive hostile clients, and drain gracefully.
+
+use seqdet_core::{IndexConfig, Indexer, Policy};
+use seqdet_log::EventLogBuilder;
+use seqdet_server::http::MAX_HEAD;
+use seqdet_server::{QueryServer, ServeConfig};
+use seqdet_storage::MemStore;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn indexed_store() -> Arc<MemStore> {
+    let mut b = EventLogBuilder::new();
+    b.add("t1", "go", 1).add("t1", "work", 2).add("t1", "stop", 3);
+    b.add("t2", "go", 1).add("t2", "stop", 5);
+    let mut ix = Indexer::new(IndexConfig::new(Policy::SkipTillNextMatch));
+    ix.index_log(&b.build()).unwrap();
+    ix.store()
+}
+
+struct Running {
+    addr: SocketAddr,
+    shutdown: seqdet_server::ShutdownHandle,
+    join: std::thread::JoinHandle<std::io::Result<()>>,
+}
+
+fn start(config: ServeConfig) -> Running {
+    let server = QueryServer::bind_with("127.0.0.1:0", indexed_store(), config).unwrap();
+    let addr = server.local_addr().unwrap();
+    let shutdown = server.shutdown_handle().unwrap();
+    let join = std::thread::spawn(move || server.serve_forever());
+    Running { addr, shutdown, join }
+}
+
+fn connect(addr: SocketAddr) -> TcpStream {
+    let stream = TcpStream::connect(addr).unwrap();
+    // A failing server must fail the test, not hang it.
+    stream.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
+    stream.set_write_timeout(Some(Duration::from_secs(30))).unwrap();
+    stream
+}
+
+fn stop(r: Running) {
+    r.shutdown.shutdown();
+    r.join.join().unwrap().unwrap();
+}
+
+/// Hundreds of concurrent keep-alive clients, each pipelining several
+/// requests: with the queue sized above the client count, every single
+/// response must arrive — zero drops, zero sheds.
+#[test]
+fn load_soak_zero_drops_below_queue_bound() {
+    const CLIENTS: usize = 150;
+    const REQUESTS_PER_CLIENT: usize = 3;
+    let r = start(ServeConfig { workers: 4, queue_depth: 512, ..ServeConfig::default() });
+
+    let addr = r.addr;
+    let handles: Vec<_> = (0..CLIENTS)
+        .map(|_| {
+            std::thread::spawn(move || {
+                let mut stream = connect(addr);
+                // Pipeline: two keep-alive requests, then one that closes.
+                let mut raw = String::new();
+                for _ in 0..REQUESTS_PER_CLIENT - 1 {
+                    raw.push_str("GET /health HTTP/1.1\r\nHost: x\r\n\r\n");
+                }
+                raw.push_str("GET /health HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n");
+                stream.write_all(raw.as_bytes()).unwrap();
+                let mut response = String::new();
+                stream.read_to_string(&mut response).unwrap();
+                response.matches("HTTP/1.1 200").count()
+            })
+        })
+        .collect();
+
+    let mut total = 0usize;
+    for h in handles {
+        total += h.join().unwrap();
+    }
+    assert_eq!(total, CLIENTS * REQUESTS_PER_CLIENT, "every pipelined request answered");
+
+    let mut stream = connect(addr);
+    stream
+        .write_all(b"GET /stats/server HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n")
+        .unwrap();
+    let mut stats = String::new();
+    stream.read_to_string(&mut stats).unwrap();
+    assert!(stats.contains("shed: 0"), "below the bound nothing sheds: {stats}");
+    let expected = CLIENTS * REQUESTS_PER_CLIENT + 1;
+    assert!(stats.contains(&format!("requests: {expected}")), "{stats}");
+
+    stop(r);
+}
+
+/// Beyond the queue bound the server answers 503 immediately — overload is
+/// an explicit, fast signal, never a silent hang.
+#[test]
+fn overload_sheds_with_immediate_503() {
+    let r = start(ServeConfig {
+        workers: 1,
+        queue_depth: 1,
+        // Long enough that the pinned connection stays pinned for the whole
+        // test, short enough that the drain in `stop` isn't held up.
+        read_timeout: Duration::from_secs(2),
+        drain_deadline: Duration::from_secs(10),
+        ..ServeConfig::default()
+    });
+
+    // Pin the only worker: connect and send nothing.
+    let _pin = connect(r.addr);
+    std::thread::sleep(Duration::from_millis(200));
+    // Fill the queue of one.
+    let _queued = connect(r.addr);
+    std::thread::sleep(Duration::from_millis(100));
+
+    // Everything further must shed, promptly.
+    for _ in 0..3 {
+        let mut stream = connect(r.addr);
+        let started = Instant::now();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        assert!(response.starts_with("HTTP/1.1 503"), "{response}");
+        assert!(response.contains("overloaded"), "{response}");
+        assert!(
+            started.elapsed() < Duration::from_secs(1),
+            "shed must be immediate, took {:?}",
+            started.elapsed()
+        );
+    }
+
+    stop(r);
+}
+
+/// Graceful shutdown finishes the request that is already in flight — the
+/// client gets its response (marked `Connection: close`), then the server
+/// exits within the drain deadline.
+#[test]
+fn graceful_shutdown_drains_in_flight_request() {
+    let r = start(ServeConfig {
+        workers: 2,
+        read_timeout: Duration::from_secs(10),
+        drain_deadline: Duration::from_secs(10),
+        ..ServeConfig::default()
+    });
+
+    let mut stream = connect(r.addr);
+    // Half a request: the worker is now mid-read on this connection.
+    stream.write_all(b"GET /health HTTP/1.1\r\nHost: x\r\n").unwrap();
+    std::thread::sleep(Duration::from_millis(200));
+
+    r.shutdown.shutdown();
+    std::thread::sleep(Duration::from_millis(100));
+
+    // Complete the request after shutdown began: it must still be served.
+    stream.write_all(b"\r\n").unwrap();
+    let mut response = String::new();
+    stream.read_to_string(&mut response).unwrap();
+    assert!(response.starts_with("HTTP/1.1 200"), "{response}");
+    assert!(response.contains("Connection: close"), "drain closes keep-alive: {response}");
+
+    let started = Instant::now();
+    r.join.join().unwrap().unwrap();
+    assert!(started.elapsed() < Duration::from_secs(10), "drain is bounded");
+}
+
+/// An unbounded request line (no newline, ever) is cut off at the head cap
+/// with a prompt 400 — long before the read deadline, and without buffering
+/// the garbage.
+#[test]
+fn oversized_request_line_gets_prompt_400() {
+    let r = start(ServeConfig { read_timeout: Duration::from_secs(30), ..ServeConfig::default() });
+
+    let mut stream = connect(r.addr);
+    let started = Instant::now();
+    let garbage = vec![b'A'; MAX_HEAD + 4096];
+    // The server may 400-and-close mid-write; a broken pipe here is the
+    // expected push-back, not a failure.
+    let _ = stream.write_all(&garbage);
+    let mut response = String::new();
+    let _ = stream.read_to_string(&mut response);
+    assert!(response.starts_with("HTTP/1.1 400"), "{response}");
+    assert!(
+        started.elapsed() < Duration::from_secs(5),
+        "cap fires on bytes, not on the read deadline"
+    );
+
+    stop(r);
+}
+
+/// A silent client is cut off by the read deadline with a 408 — it cannot
+/// pin a worker indefinitely.
+#[test]
+fn silent_client_is_timed_out() {
+    let r = start(ServeConfig {
+        read_timeout: Duration::from_millis(300),
+        drain_deadline: Duration::from_secs(5),
+        ..ServeConfig::default()
+    });
+
+    let mut stream = connect(r.addr);
+    let started = Instant::now();
+    let mut response = String::new();
+    let _ = stream.read_to_string(&mut response);
+    assert!(started.elapsed() < Duration::from_secs(5), "timely cutoff");
+    assert!(response.starts_with("HTTP/1.1 408"), "{response}");
+
+    stop(r);
+}
+
+/// The per-connection request cap closes a keep-alive connection after N
+/// responses, so one chatty client cannot monopolise a worker forever.
+#[test]
+fn request_cap_closes_the_connection() {
+    let r = start(ServeConfig { max_requests_per_conn: 2, ..ServeConfig::default() });
+
+    let mut stream = connect(r.addr);
+    // Two keep-alive requests, no `Connection: close` from the client: the
+    // *server* must close after the second response (the cap), which is why
+    // read_to_string terminates here at all.
+    stream
+        .write_all(
+            b"GET /health HTTP/1.1\r\nHost: x\r\n\r\nGET /health HTTP/1.1\r\nHost: x\r\n\r\n",
+        )
+        .unwrap();
+    let mut response = String::new();
+    stream.read_to_string(&mut response).unwrap();
+    assert_eq!(response.matches("HTTP/1.1 200").count(), 2, "{response}");
+    assert!(response.contains("Connection: close"), "{response}");
+
+    stop(r);
+}
