@@ -1,6 +1,7 @@
 //! Hand-rolled argument parsing (no external CLI crate is available).
 
 use seqdet_core::{Policy, StnmMethod};
+use seqdet_storage::DurabilityPolicy;
 
 /// Usage text printed on parse errors and `--help`.
 pub const USAGE: &str = "\
@@ -9,7 +10,7 @@ usage:
   seqdet gen      --random TRACES,EVENTS,ACTS [--seed S] --out FILE.{csv,xes}
   seqdet index    --input FILE.{csv,xes} --store DIR [--policy sc|stnm]
                   [--method indexing|parsing|state] [--threads N]
-                  [--partition-period P]
+                  [--partition-period P] [--durability always|batch|os]
   seqdet info     --store DIR
   seqdet detect   --store DIR --pattern A,B,C [--any-match]
   seqdet stats    --store DIR --pattern A,B,C [--all-pairs]
@@ -19,6 +20,7 @@ usage:
   seqdet audit    --store DIR [--json]
   seqdet serve    --store DIR [--addr 127.0.0.1:7878] [--workers N]
                   [--queue N] [--timeout-ms T] [--max-requests-per-conn N]
+                  [--durability always|batch|os]
 profiles: max_100 max_500 med_5000 max_5000 max_1000 max_10000 min_10000
           bpi_2013 bpi_2020 bpi_2017";
 
@@ -52,6 +54,8 @@ pub enum Command {
         threads: usize,
         /// Optional §3.1.3 partition period.
         partition_period: Option<u64>,
+        /// Fsync policy of the store's write path.
+        durability: DurabilityPolicy,
     },
     /// Print store summary.
     Info {
@@ -104,6 +108,8 @@ pub enum Command {
         timeout_ms: u64,
         /// Keep-alive request cap per connection.
         max_requests_per_conn: usize,
+        /// Fsync policy of the store's write path.
+        durability: DurabilityPolicy,
     },
     /// Pattern continuation.
     Continue {
@@ -189,6 +195,7 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
             let mut method = StnmMethod::Indexing;
             let mut threads = 0usize;
             let mut partition_period = None;
+            let mut durability = DurabilityPolicy::default();
             while cur.i + 1 < args.len() {
                 cur.i += 1;
                 match args[cur.i].as_str() {
@@ -214,6 +221,7 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
                         partition_period =
                             Some(parse_u64(&cur.value("--partition-period")?, "period")?)
                     }
+                    "--durability" => durability = parse_durability(&cur.value("--durability")?)?,
                     other => return Err(format!("unknown flag {other} for index")),
                 }
             }
@@ -224,6 +232,7 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
                 method,
                 threads,
                 partition_period,
+                durability,
             })
         }
         "query" => {
@@ -263,6 +272,7 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
             let (mut workers, mut queue) = (0usize, 256usize);
             let mut timeout_ms = 10_000u64;
             let mut max_requests_per_conn = 1000usize;
+            let mut durability = DurabilityPolicy::default();
             while cur.i + 1 < args.len() {
                 cur.i += 1;
                 match args[cur.i].as_str() {
@@ -288,6 +298,7 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
                             return Err("--max-requests-per-conn must be at least 1".into());
                         }
                     }
+                    "--durability" => durability = parse_durability(&cur.value("--durability")?)?,
                     other => return Err(format!("unknown flag {other} for serve")),
                 }
             }
@@ -298,6 +309,7 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
                 queue,
                 timeout_ms,
                 max_requests_per_conn,
+                durability,
             })
         }
         "info" | "detect" | "stats" | "continue" => {
@@ -343,6 +355,11 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
         "--help" | "-h" | "help" => Err("help requested".into()),
         other => Err(format!("unknown subcommand {other:?}")),
     }
+}
+
+fn parse_durability(s: &str) -> Result<DurabilityPolicy, ParseError> {
+    DurabilityPolicy::from_name(s)
+        .ok_or_else(|| format!("unknown durability policy {s:?} (use always|batch|os)"))
 }
 
 fn require_pattern(pattern: &[String], sub: &str) -> Result<(), ParseError> {
@@ -478,13 +495,22 @@ mod tests {
     fn parse_serve_defaults() {
         let c = parse(&argv("serve --store d")).unwrap();
         match c {
-            Command::Serve { store, addr, workers, queue, timeout_ms, max_requests_per_conn } => {
+            Command::Serve {
+                store,
+                addr,
+                workers,
+                queue,
+                timeout_ms,
+                max_requests_per_conn,
+                durability,
+            } => {
                 assert_eq!(store, "d");
                 assert_eq!(addr, "127.0.0.1:7878");
                 assert_eq!(workers, 0, "0 = all cores");
                 assert_eq!(queue, 256);
                 assert_eq!(timeout_ms, 10_000);
                 assert_eq!(max_requests_per_conn, 1000);
+                assert_eq!(durability, DurabilityPolicy::Batch);
             }
             other => panic!("unexpected {other:?}"),
         }
@@ -512,6 +538,17 @@ mod tests {
         assert!(parse(&argv("serve --store d --timeout-ms 0")).is_err());
         assert!(parse(&argv("serve --store d --max-requests-per-conn 0")).is_err());
         assert!(parse(&argv("serve --store d --workers nope")).is_err());
+    }
+
+    #[test]
+    fn parse_durability_flag() {
+        let c = parse(&argv("index --input a.csv --store d --durability always")).unwrap();
+        assert!(matches!(c, Command::Index { durability: DurabilityPolicy::Always, .. }));
+        let c = parse(&argv("index --input a.csv --store d")).unwrap();
+        assert!(matches!(c, Command::Index { durability: DurabilityPolicy::Batch, .. }));
+        let c = parse(&argv("serve --store d --durability os")).unwrap();
+        assert!(matches!(c, Command::Serve { durability: DurabilityPolicy::Os, .. }));
+        assert!(parse(&argv("index --input a.csv --store d --durability paranoid")).is_err());
     }
 
     #[test]

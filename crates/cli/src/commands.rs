@@ -5,7 +5,7 @@ use seqdet_core::{IndexConfig, Indexer};
 use seqdet_datagen::{DatasetProfile, RandomLogSpec};
 use seqdet_log::{csv, xes, EventLog, Pattern};
 use seqdet_query::{ContinuationMethod, QueryEngine};
-use seqdet_storage::{DiskStore, KvStore};
+use seqdet_storage::{DiskOptions, DiskStore, DurabilityPolicy, KvStore, StoreMetrics};
 use std::fs::File;
 use std::io::{BufReader, BufWriter};
 use std::sync::Arc;
@@ -19,13 +19,13 @@ pub fn run(cmd: Command) -> Result<(), CliError> {
         Command::Gen { profile, random, scale, seed, out } => {
             gen(profile, random, scale, seed, &out)
         }
-        Command::Index { input, store, policy, method, threads, partition_period } => {
+        Command::Index { input, store, policy, method, threads, partition_period, durability } => {
             let log = load_log(&input)?;
             let mut cfg = IndexConfig::new(policy).with_method(method).with_threads(threads);
             if let Some(p) = partition_period {
                 cfg = cfg.with_partition_period(p);
             }
-            let disk = Arc::new(DiskStore::open(&store)?);
+            let disk = Arc::new(open_store(&store, durability, None)?);
             let mut indexer = Indexer::with_store(disk.clone(), cfg)?;
             let start = std::time::Instant::now();
             let stats = indexer.index_log(&log)?;
@@ -134,8 +134,19 @@ pub fn run(cmd: Command) -> Result<(), CliError> {
             print!("{}", seqdet_server::render::render(&catalog, &output));
             Ok(())
         }
-        Command::Serve { store, addr, workers, queue, timeout_ms, max_requests_per_conn } => {
-            let disk = Arc::new(DiskStore::open(&store)?);
+        Command::Serve {
+            store,
+            addr,
+            workers,
+            queue,
+            timeout_ms,
+            max_requests_per_conn,
+            durability,
+        } => {
+            // Share one metrics handle between the store and the server so
+            // `/stats/server` reports real batch/fsync/degraded counters.
+            let metrics = Arc::new(StoreMetrics::new());
+            let disk = Arc::new(open_store(&store, durability, Some(Arc::clone(&metrics)))?);
             let timeout = std::time::Duration::from_millis(timeout_ms);
             let config = seqdet_server::ServeConfig {
                 workers,
@@ -146,7 +157,12 @@ pub fn run(cmd: Command) -> Result<(), CliError> {
                 ..seqdet_server::ServeConfig::default()
             };
             let n_workers = config.effective_workers();
-            let server = seqdet_server::QueryServer::bind_with(addr.as_str(), disk, config)?;
+            let server = seqdet_server::QueryServer::bind_with_metrics(
+                addr.as_str(),
+                disk,
+                config,
+                metrics,
+            )?;
             println!("seqdet query service listening on {}", server.local_addr()?);
             println!("workers={n_workers} queue={queue} timeout={timeout_ms}ms");
             println!("try: curl 'http://{addr}/query?q=DETECT%20a%20-%3E%20b'");
@@ -205,6 +221,14 @@ fn gen(
         log.num_activities()
     );
     Ok(())
+}
+
+fn open_store(
+    dir: &str,
+    durability: DurabilityPolicy,
+    metrics: Option<Arc<StoreMetrics>>,
+) -> Result<DiskStore, CliError> {
+    Ok(DiskStore::open_with(dir, DiskOptions { durability, metrics, ..DiskOptions::default() })?)
 }
 
 fn load_log(path: &str) -> Result<EventLog, CliError> {

@@ -598,11 +598,13 @@ impl DiskAuditOutcome {
         let mut out = String::new();
         out.push_str(&format!(
             "{{\"ok\":{},\"segments\":{{\"segments\":{},\"records\":{},\"torn_tails\":{},\
-             \"violations\":[",
+             \"batches_committed\":{},\"batches_discarded\":{},\"violations\":[",
             self.ok(),
             self.segments.segments,
             self.segments.records,
             self.segments.torn_tails,
+            self.segments.batches_committed,
+            self.segments.batches_discarded,
         ));
         for (i, v) in self.segments.violations.iter().enumerate() {
             if i > 0 {
@@ -629,11 +631,14 @@ impl DiskAuditOutcome {
     pub fn to_text(&self) -> String {
         let mut out = String::new();
         out.push_str(&format!(
-            "segments: {} file(s), {} record(s), {} torn tail(s), {} violation(s)\n",
+            "segments: {} file(s), {} record(s), {} torn tail(s), {} violation(s), \
+             {} batch(es) committed, {} uncommitted batch(es) discarded\n",
             self.segments.segments,
             self.segments.records,
             self.segments.torn_tails,
-            self.segments.violations.len()
+            self.segments.violations.len(),
+            self.segments.batches_committed,
+            self.segments.batches_discarded,
         ));
         for v in &self.segments.violations {
             out.push_str(&format!(
@@ -763,7 +768,7 @@ mod tests {
         for e in &mut entries {
             e.total_completions += 1;
         }
-        store.put(COUNT, &count_key(a), &encode_counts(&entries));
+        store.put(COUNT, &count_key(a), &encode_counts(&entries)).unwrap();
         let report = audit_store(store.as_ref()).unwrap();
         assert!(!report.ok());
         assert!(report.violations.iter().any(|v| v.check == "count-index"), "{report:?}");
@@ -776,15 +781,17 @@ mod tests {
         let (ix, store) = indexed_store();
         let b = ix.catalog().activity("B").unwrap();
         // Damage only ReverseCount[B]: Count still matches the postings.
-        store.put(
-            RCOUNT,
-            &count_key(b),
-            &encode_counts(&[CountEntry {
-                partner: ix.catalog().activity("A").unwrap(),
-                sum_duration: 999,
-                total_completions: 999,
-            }]),
-        );
+        store
+            .put(
+                RCOUNT,
+                &count_key(b),
+                &encode_counts(&[CountEntry {
+                    partner: ix.catalog().activity("A").unwrap(),
+                    sum_duration: 999,
+                    total_completions: 999,
+                }]),
+            )
+            .unwrap();
         let report = audit_store(store.as_ref()).unwrap();
         let checks: Vec<&str> = report.violations.iter().map(|v| v.check).collect();
         assert!(checks.contains(&"reverse-transpose"), "{report:?}");
@@ -796,7 +803,9 @@ mod tests {
         let (ix, store) = indexed_store();
         let key = pair(&ix, "A", "B");
         // Append a posting whose events t1 never contained.
-        store.append(INDEX, &pair_key_bytes(key), &encode_postings(TraceId(0), &[(70, 71)]));
+        store
+            .append(INDEX, &pair_key_bytes(key), &encode_postings(TraceId(0), &[(70, 71)]))
+            .unwrap();
         let report = audit_store(store.as_ref()).unwrap();
         let seq_violations: Vec<_> =
             report.violations.iter().filter(|v| v.check == "seq-bounds").collect();
@@ -810,14 +819,16 @@ mod tests {
         let (ix, store) = indexed_store();
         let key = pair(&ix, "A", "B");
         // Two entries for the same trace, both trailing the real maximum.
-        store.put(
-            LAST_CHECKED,
-            &pair_key_bytes(key),
-            &encode_last_checked(&[
-                crate::tables::LastCheckedEntry { trace: TraceId(0), last_completion: 1 },
-                crate::tables::LastCheckedEntry { trace: TraceId(0), last_completion: 1 },
-            ]),
-        );
+        store
+            .put(
+                LAST_CHECKED,
+                &pair_key_bytes(key),
+                &encode_last_checked(&[
+                    crate::tables::LastCheckedEntry { trace: TraceId(0), last_completion: 1 },
+                    crate::tables::LastCheckedEntry { trace: TraceId(0), last_completion: 1 },
+                ]),
+            )
+            .unwrap();
         let report = audit_store(store.as_ref()).unwrap();
         let details: Vec<&str> = report
             .violations
@@ -833,7 +844,7 @@ mod tests {
     fn undecodable_rows_are_violations_not_errors() {
         let (ix, store) = indexed_store();
         let key = pair(&ix, "A", "B");
-        store.put(INDEX, &pair_key_bytes(key), &[1, 2, 3]); // torn record
+        store.put(INDEX, &pair_key_bytes(key), &[1, 2, 3]).unwrap(); // torn record
         let report = audit_store(store.as_ref()).unwrap();
         assert!(report.violations.iter().any(|v| v.detail.contains("failed to decode")));
     }

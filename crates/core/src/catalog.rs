@@ -85,9 +85,10 @@ impl Catalog {
     }
 
     /// Persist both catalogs into the `Meta` table.
-    pub fn save<S: KvStore>(&self, store: &S) {
-        store.put(META, KEY_ACTIVITIES, &encode_names(self.activities.iter().map(|(_, n)| n)));
-        store.put(META, KEY_TRACES, &encode_names(self.trace_names.iter().map(String::as_str)));
+    pub fn save<S: KvStore>(&self, store: &S) -> Result<()> {
+        store.put(META, KEY_ACTIVITIES, &encode_names(self.activities.iter().map(|(_, n)| n)))?;
+        store.put(META, KEY_TRACES, &encode_names(self.trace_names.iter().map(String::as_str)))?;
+        Ok(())
     }
 
     /// Load the catalogs from the `Meta` table (empty catalog if absent).
@@ -129,8 +130,9 @@ fn decode_names(row: &[u8]) -> Result<Vec<String>> {
 }
 
 /// Generic string-keyed meta accessors (used for config persistence).
-pub fn put_meta<S: KvStore>(store: &S, key: &str, value: &str) {
-    store.put(META, key.as_bytes(), value.as_bytes());
+pub fn put_meta<S: KvStore>(store: &S, key: &str, value: &str) -> Result<()> {
+    store.put(META, key.as_bytes(), value.as_bytes())?;
+    Ok(())
 }
 
 /// Read a meta string.
@@ -167,7 +169,7 @@ mod tests {
         for t in ["t-1", "t-2"] {
             c.intern_trace(t);
         }
-        c.save(&store);
+        c.save(&store).unwrap();
         let loaded = Catalog::load(&store).unwrap();
         assert_eq!(loaded.num_activities(), 3);
         assert_eq!(loaded.num_traces(), 2);
@@ -187,7 +189,7 @@ mod tests {
     #[test]
     fn meta_string_roundtrip() {
         let store = MemStore::new();
-        put_meta(&store, "policy", "STNM");
+        put_meta(&store, "policy", "STNM").unwrap();
         assert_eq!(get_meta(&store, "policy").as_deref(), Some("STNM"));
         assert_eq!(get_meta(&store, "absent"), None);
     }
@@ -198,7 +200,7 @@ mod tests {
         let mut c = Catalog::new();
         c.intern_activity("απόφαση");
         c.intern_trace("περίπτωση-1");
-        c.save(&store);
+        c.save(&store).unwrap();
         let loaded = Catalog::load(&store).unwrap();
         assert!(loaded.activity("απόφαση").is_some());
         assert!(loaded.trace("περίπτωση-1").is_some());

@@ -24,6 +24,9 @@ pub enum CoreError {
     },
     /// Underlying I/O failure.
     Io(std::io::Error),
+    /// The persistent store refused or failed a write (I/O failure,
+    /// corruption, or the sticky read-only degraded state).
+    Storage(seqdet_storage::StorageError),
 }
 
 impl fmt::Display for CoreError {
@@ -38,6 +41,7 @@ impl fmt::Display for CoreError {
                 "index config mismatch: store holds {stored}, caller requested {requested}"
             ),
             CoreError::Io(e) => write!(f, "io error: {e}"),
+            CoreError::Storage(e) => write!(f, "storage error: {e}"),
         }
     }
 }
@@ -47,6 +51,7 @@ impl std::error::Error for CoreError {
         match self {
             CoreError::Log(e) => Some(e),
             CoreError::Io(e) => Some(e),
+            CoreError::Storage(e) => Some(e),
             _ => None,
         }
     }
@@ -64,6 +69,20 @@ impl From<std::io::Error> for CoreError {
     }
 }
 
+impl From<seqdet_storage::StorageError> for CoreError {
+    fn from(e: seqdet_storage::StorageError) -> Self {
+        CoreError::Storage(e)
+    }
+}
+
+impl CoreError {
+    /// True when the error is the store's sticky read-only degraded state
+    /// (serving layers map this to 503).
+    pub fn is_degraded(&self) -> bool {
+        matches!(self, CoreError::Storage(e) if e.is_degraded())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -76,6 +95,11 @@ mod tests {
         assert!(e.to_string().contains("SC") && e.to_string().contains("STNM"));
         let e = CoreError::from(std::io::Error::other("x"));
         assert!(e.to_string().contains("io error"));
+        let e = CoreError::from(seqdet_storage::StorageError::Degraded { reason: "w".into() });
+        assert!(e.is_degraded());
+        assert!(e.to_string().contains("storage error"));
+        use std::error::Error;
+        assert!(e.source().is_some());
     }
 
     #[test]

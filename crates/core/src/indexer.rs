@@ -88,6 +88,14 @@ impl IndexConfig {
 /// Fresh postings of one pair: `(trace, ts_a, ts_b)` occurrences.
 type PairOccurrences = Vec<(TraceId, Ts, Ts)>;
 
+/// One trace's merged sequence: the stored prefix plus the accepted batch
+/// tail (`new_from` marks where the new events start).
+struct TraceWork {
+    trace: TraceId,
+    full: Vec<Event>,
+    new_from: usize,
+}
+
 /// Outcome of one batch update.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct UpdateStats {
@@ -136,7 +144,7 @@ impl<S: KvStore> Indexer<S> {
                 });
             }
         } else {
-            write_config(&store, &config);
+            write_config(&store, &config)?;
         }
         let catalog = Catalog::load(&store)?;
         let num_partitions =
@@ -184,11 +192,6 @@ impl<S: KvStore> Indexer<S> {
         struct Pending {
             trace: TraceId,
             events: Vec<Event>, // batch events, activities remapped
-        }
-        struct TraceWork {
-            trace: TraceId,
-            full: Vec<Event>,
-            new_from: usize, // index into `full` where the new events start
         }
         let mut pending = Vec::with_capacity(log.num_traces());
         for trace in log.traces() {
@@ -281,19 +284,49 @@ impl<S: KvStore> Indexer<S> {
         }
 
         // ------------------------------------------------------------------
-        // 5. Write phase.
+        // 5. Write phase. Every table mutation of this update runs inside
+        //    one store batch: disk-backed stores frame the records with
+        //    BATCH_BEGIN/BATCH_COMMIT, so a crash mid-update replays back to
+        //    the previous committed boundary instead of leaving a
+        //    half-written five-table state. An error aborts the batch, which
+        //    marks the store degraded (memory may be ahead of disk).
         // ------------------------------------------------------------------
+        let groups: Vec<(PairKey, PairOccurrences)> = by_pair.into_iter().collect();
+        self.store.begin_batch()?;
+        match self.write_batch(&work, &groups, skipped_events, new_pairs) {
+            Ok(stats) => {
+                self.store.commit_batch()?;
+                Ok(stats)
+            }
+            Err(e) => {
+                self.store.abort_batch();
+                Err(e)
+            }
+        }
+    }
+
+    /// Phase 5 of [`Indexer::index_log`]: all table writes of one batch
+    /// update. Runs inside an open store batch; the caller commits on `Ok`
+    /// and aborts on `Err`.
+    fn write_batch(
+        &mut self,
+        work: &[TraceWork],
+        groups: &[(PairKey, PairOccurrences)],
+        skipped_events: usize,
+        new_pairs: usize,
+    ) -> Result<UpdateStats> {
+        let store = self.store.as_ref();
+
         // 5a. Seq: append only the new tail of each trace.
-        self.executor.for_each(&work, |w| {
-            append_seq(store, w.trace, &w.full[w.new_from..]);
-        });
+        for r in self.executor.map(work, |w| append_seq(store, w.trace, &w.full[w.new_from..])) {
+            r?;
+        }
 
         // 5b. Index postings, grouped by pair key → one append per
         //     (pair, partition). Parallel across pair keys: each key is
         //     written by exactly one worker.
         let period = self.config.partition_period;
-        let groups: Vec<(PairKey, PairOccurrences)> = by_pair.into_iter().collect();
-        let max_parts = self.executor.map(&groups, |(key, occs)| {
+        let max_parts = self.executor.map(groups, |(key, occs)| -> Result<u32> {
             let mut max_part = 0u32;
             match period {
                 None => {
@@ -301,7 +334,7 @@ impl<S: KvStore> Indexer<S> {
                     for &(t, a, b) in occs {
                         enc.extend_from_slice(&tables::encode_postings(t, &[(a, b)]));
                     }
-                    store.append(INDEX, &tables::pair_key_bytes(*key), &enc);
+                    store.append(INDEX, &tables::pair_key_bytes(*key), &enc)?;
                 }
                 Some(p) => {
                     // Partition by completion timestamp.
@@ -315,15 +348,18 @@ impl<S: KvStore> Indexer<S> {
                             .extend_from_slice(&tables::encode_postings(t, &[(a, b)]));
                     }
                     for (part, enc) in parts {
-                        store.append(index_partition(part), &tables::pair_key_bytes(*key), &enc);
+                        store.append(index_partition(part), &tables::pair_key_bytes(*key), &enc)?;
                     }
                 }
             }
-            max_part
+            Ok(max_part)
         });
+        let mut used_max = 0u32;
+        for r in max_parts {
+            used_max = used_max.max(r?);
+        }
         if period.is_some() {
-            let used = max_parts.into_iter().max().unwrap_or(0) + 1;
-            self.num_partitions = self.num_partitions.max(used);
+            self.num_partitions = self.num_partitions.max(used_max + 1);
         }
 
         // 5c. LastChecked: one merge per pair with the max completion per
@@ -348,7 +384,7 @@ impl<S: KvStore> Indexer<S> {
         // 5d. Count / ReverseCount aggregates.
         let mut fwd: FxHashMap<Activity, Vec<(Activity, u64, u64)>> = FxHashMap::default();
         let mut rev: FxHashMap<Activity, Vec<(Activity, u64, u64)>> = FxHashMap::default();
-        for (key, occs) in &groups {
+        for (key, occs) in groups {
             let (a, b) = Activity::unpack_pair(*key);
             let dcount = occs.len() as u64;
             let dsum: u64 = occs.iter().map(|&(_, x, y)| y - x).sum();
@@ -366,9 +402,9 @@ impl<S: KvStore> Indexer<S> {
 
         // 5e. Persist catalog + partition bookkeeping, and announce the
         //     mutation to query-side caches via the generation counter.
-        self.catalog.save(store);
+        self.catalog.save(store)?;
         if period.is_some() {
-            put_meta(store, META_NUM_PARTITIONS, &self.num_partitions.to_string());
+            put_meta(store, META_NUM_PARTITIONS, &self.num_partitions.to_string())?;
         }
         let stats = UpdateStats {
             traces: work.len(),
@@ -377,7 +413,7 @@ impl<S: KvStore> Indexer<S> {
             new_pairs,
         };
         if stats.new_events > 0 || stats.new_pairs > 0 {
-            bump_generation(store);
+            bump_generation(store)?;
         }
 
         Ok(stats)
@@ -402,11 +438,11 @@ impl<S: KvStore> Indexer<S> {
         for p in min_kept..new_min {
             let table = index_partition(p);
             for (key, _) in self.store.scan(table) {
-                self.store.delete(table, &key);
+                self.store.delete(table, &key)?;
             }
         }
-        put_meta(self.store.as_ref(), META_MIN_PARTITION, &new_min.to_string());
-        bump_generation(self.store.as_ref());
+        put_meta(self.store.as_ref(), META_MIN_PARTITION, &new_min.to_string())?;
+        bump_generation(self.store.as_ref())?;
         Ok((new_min - min_kept) as usize)
     }
 
@@ -422,7 +458,7 @@ impl<S: KvStore> Indexer<S> {
         let mut pruned = 0;
         let mut changed = false;
         for &id in &ids {
-            if self.store.delete(SEQ, &tables::seq_key(id)) {
+            if self.store.delete(SEQ, &tables::seq_key(id))? {
                 pruned += 1;
                 changed = true;
             }
@@ -440,18 +476,18 @@ impl<S: KvStore> Indexer<S> {
             if kept.len() != entries.len() {
                 changed = true;
                 if kept.is_empty() {
-                    self.store.delete(LAST_CHECKED, &tables::pair_key_bytes(pk));
+                    self.store.delete(LAST_CHECKED, &tables::pair_key_bytes(pk))?;
                 } else {
                     self.store.put(
                         LAST_CHECKED,
                         &tables::pair_key_bytes(pk),
                         &tables::encode_last_checked(&kept),
-                    );
+                    )?;
                 }
             }
         }
         if changed {
-            bump_generation(self.store.as_ref());
+            bump_generation(self.store.as_ref())?;
         }
         Ok(pruned)
     }
@@ -467,12 +503,13 @@ fn read_config<S: KvStore>(store: &S) -> Option<IndexConfig> {
     Some(IndexConfig { policy, method, threads: 0, partition_period })
 }
 
-fn write_config<S: KvStore>(store: &S, config: &IndexConfig) {
-    put_meta(store, META_POLICY, config.policy.name());
-    put_meta(store, META_METHOD, config.method.name());
+fn write_config<S: KvStore>(store: &S, config: &IndexConfig) -> Result<()> {
+    put_meta(store, META_POLICY, config.policy.name())?;
+    put_meta(store, META_METHOD, config.method.name())?;
     if let Some(p) = config.partition_period {
-        put_meta(store, META_PERIOD, &p.to_string());
+        put_meta(store, META_PERIOD, &p.to_string())?;
     }
+    Ok(())
 }
 
 /// Monotonic counter bumped by every mutation of the indexed contents —
@@ -483,8 +520,8 @@ pub fn index_generation<S: KvStore>(store: &S) -> u64 {
     get_meta(store, META_GENERATION).and_then(|s| s.parse().ok()).unwrap_or(0)
 }
 
-fn bump_generation<S: KvStore>(store: &S) {
-    put_meta(store, META_GENERATION, &(index_generation(store) + 1).to_string());
+fn bump_generation<S: KvStore>(store: &S) -> Result<()> {
+    put_meta(store, META_GENERATION, &(index_generation(store) + 1).to_string())
 }
 
 /// The `Index` tables a query should consult, in partition order. Reads the

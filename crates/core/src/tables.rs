@@ -138,8 +138,9 @@ pub fn decode_events(row: &[u8]) -> Result<Vec<Event>> {
 }
 
 /// Append `events` to the stored sequence of `trace`.
-pub fn append_seq<S: KvStore>(store: &S, trace: TraceId, events: &[Event]) {
-    store.append(SEQ, &seq_key(trace), &encode_events(events));
+pub fn append_seq<S: KvStore>(store: &S, trace: TraceId, events: &[Event]) -> Result<()> {
+    store.append(SEQ, &seq_key(trace), &encode_events(events))?;
+    Ok(())
 }
 
 /// Read the stored sequence of `trace` (empty if unknown).
@@ -320,7 +321,7 @@ pub fn merge_counts<S: KvStore>(
             }
         }
     }
-    store.put(table, &count_key(a), &encode_counts(&entries));
+    store.put(table, &count_key(a), &encode_counts(&entries))?;
     Ok(())
 }
 
@@ -377,7 +378,7 @@ pub fn merge_last_checked<S: KvStore>(
             None => entries.push(LastCheckedEntry { trace, last_completion: lc }),
         }
     }
-    store.put(LAST_CHECKED, &pair_key_bytes(key), &encode_last_checked(&entries));
+    store.put(LAST_CHECKED, &pair_key_bytes(key), &encode_last_checked(&entries))?;
     Ok(())
 }
 
@@ -394,8 +395,8 @@ mod tests {
     fn seq_roundtrip_and_append() {
         let store = MemStore::new();
         let t = TraceId(7);
-        append_seq(&store, t, &[Event::new(Activity(1), 10)]);
-        append_seq(&store, t, &[Event::new(Activity(2), 20), Event::new(Activity(1), 30)]);
+        append_seq(&store, t, &[Event::new(Activity(1), 10)]).unwrap();
+        append_seq(&store, t, &[Event::new(Activity(2), 20), Event::new(Activity(1), 30)]).unwrap();
         let evs = read_seq(&store, t).unwrap();
         assert_eq!(evs.len(), 3);
         assert_eq!(evs[2], Event::new(Activity(1), 30));
@@ -406,8 +407,10 @@ mod tests {
     fn postings_roundtrip() {
         let store = MemStore::new();
         let key = Activity::pair_key(Activity(0), Activity(1));
-        store.append(INDEX, &pair_key_bytes(key), &encode_postings(TraceId(3), &[(1, 5), (9, 12)]));
-        store.append(INDEX, &pair_key_bytes(key), &encode_postings(TraceId(4), &[(2, 3)]));
+        store
+            .append(INDEX, &pair_key_bytes(key), &encode_postings(TraceId(3), &[(1, 5), (9, 12)]))
+            .unwrap();
+        store.append(INDEX, &pair_key_bytes(key), &encode_postings(TraceId(4), &[(2, 3)])).unwrap();
         let ps = read_postings(&store, INDEX, key).unwrap();
         assert_eq!(ps.len(), 3);
         assert_eq!(ps[0], Posting { trace: TraceId(3), ts_a: 1, ts_b: 5 });
@@ -418,9 +421,9 @@ mod tests {
     #[test]
     fn corrupt_rows_are_detected() {
         let store = MemStore::new();
-        store.put(INDEX, &pair_key_bytes(1), &[1, 2, 3]); // 3 bytes: torn record
+        store.put(INDEX, &pair_key_bytes(1), &[1, 2, 3]).unwrap(); // 3 bytes: torn record
         assert!(read_postings(&store, INDEX, 1).is_err());
-        store.put(SEQ, &seq_key(TraceId(0)), &[9; 13]);
+        store.put(SEQ, &seq_key(TraceId(0)), &[9; 13]).unwrap();
         assert!(read_seq(&store, TraceId(0)).is_err());
     }
 
@@ -481,8 +484,10 @@ mod tests {
     fn cursor_matches_read_postings() {
         let store = MemStore::new();
         let key = Activity::pair_key(Activity(0), Activity(1));
-        store.append(INDEX, &pair_key_bytes(key), &encode_postings(TraceId(3), &[(1, 5), (9, 12)]));
-        store.append(INDEX, &pair_key_bytes(key), &encode_postings(TraceId(4), &[(2, 3)]));
+        store
+            .append(INDEX, &pair_key_bytes(key), &encode_postings(TraceId(3), &[(1, 5), (9, 12)]))
+            .unwrap();
+        store.append(INDEX, &pair_key_bytes(key), &encode_postings(TraceId(4), &[(2, 3)])).unwrap();
         let cursor = posting_cursor(&store, INDEX, key);
         assert_eq!(cursor.remaining(), 3);
         let via_cursor: Vec<Posting> = cursor.map(|p| p.unwrap()).collect();
@@ -495,7 +500,7 @@ mod tests {
     #[test]
     fn cursor_truncated_row_errors_once_then_stops() {
         let store = MemStore::new();
-        store.put(INDEX, &pair_key_bytes(1), &[1, 2, 3]); // torn record
+        store.put(INDEX, &pair_key_bytes(1), &[1, 2, 3]).unwrap(); // torn record
         let mut cursor = posting_cursor(&store, INDEX, 1);
         assert!(cursor.next().unwrap().is_err());
         assert!(cursor.next().is_none());

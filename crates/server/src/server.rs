@@ -108,8 +108,20 @@ impl<S: KvStore + 'static> QueryServer<S> {
         store: Arc<S>,
         config: ServeConfig,
     ) -> io::Result<Self> {
+        Self::bind_with_metrics(addr, store, config, Arc::new(StoreMetrics::new()))
+    }
+
+    /// Like [`QueryServer::bind_with`], but sharing an externally owned
+    /// metrics handle — pass the handle given to
+    /// [`seqdet_storage::DiskOptions`] so `/stats/server` reports the
+    /// store's batch/fsync/degraded counters, not a blank set.
+    pub fn bind_with_metrics(
+        addr: impl ToSocketAddrs,
+        store: Arc<S>,
+        config: ServeConfig,
+        metrics: Arc<StoreMetrics>,
+    ) -> io::Result<Self> {
         let listener = TcpListener::bind(addr)?;
-        let metrics = Arc::new(StoreMetrics::new());
         let engine = QueryEngine::new(Arc::clone(&store))
             .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?
             .with_metrics(Arc::clone(&metrics));
@@ -230,7 +242,13 @@ pub(crate) fn route<S: KvStore>(
     metrics: &StoreMetrics,
 ) -> (u16, &'static str, String) {
     match (request.method.as_str(), request.path.as_str()) {
-        ("GET", "/health") => (200, "OK", "ok\n".to_owned()),
+        // Health gates on the store's sticky degraded state: once a write
+        // failed, the process keeps answering queries but orchestrators
+        // should stop routing ingest at it (and alert).
+        ("GET", "/health") => match store.degraded() {
+            None => (200, "OK", "ok\n".to_owned()),
+            Some(reason) => (503, "Service Unavailable", format!("degraded: {reason}\n")),
+        },
         ("GET", "/info") => {
             let catalog = engine.catalog();
             (
@@ -273,7 +291,8 @@ pub(crate) fn route<S: KvStore>(
                      catalog_reloads: {}\nstatus_2xx: {c2}\nstatus_3xx: {c3}\n\
                      status_4xx: {c4}\nstatus_5xx: {c5}\nlatency_samples: {}\n\
                      latency_mean_us: {}\nlatency_p50_us: {}\nlatency_p95_us: {}\n\
-                     latency_p99_us: {}\n",
+                     latency_p99_us: {}\ndegraded: {}\nbatch_commits: {}\n\
+                     batch_aborts: {}\nfsyncs: {}\n",
                     s.requests(),
                     s.in_flight(),
                     s.shed(),
@@ -284,6 +303,10 @@ pub(crate) fn route<S: KvStore>(
                     lat.percentile_micros(0.50),
                     lat.percentile_micros(0.95),
                     lat.percentile_micros(0.99),
+                    u8::from(store.degraded().is_some()),
+                    metrics.batch_commits(),
+                    metrics.batch_aborts(),
+                    metrics.fsyncs(),
                 ),
             )
         }
@@ -305,6 +328,9 @@ pub(crate) fn route<S: KvStore>(
             }
             match lang::run(engine, &statement) {
                 Ok(output) => (200, "OK", render(&engine.catalog(), &output)),
+                Err(QueryError::Core(e)) if e.is_degraded() => {
+                    (503, "Service Unavailable", format!("{e}\n"))
+                }
                 Err(QueryError::Core(e)) => (500, "Internal Server Error", format!("{e}\n")),
                 Err(e) => (400, "Bad Request", format!("{e}\n")),
             }
@@ -440,7 +466,7 @@ mod tests {
         let (key, row) = store.scan(COUNT).into_iter().next().expect("Count rows exist");
         let mut entries = decode_counts(&row).unwrap();
         entries[0].total_completions += 1;
-        store.put(COUNT, key.as_ref(), &encode_counts(&entries));
+        store.put(COUNT, key.as_ref(), &encode_counts(&entries)).unwrap();
 
         let server: QueryServer<MemStore> = QueryServer::bind("127.0.0.1:0", store).unwrap();
         let addr = server.local_addr().unwrap();
@@ -449,6 +475,52 @@ mod tests {
         assert!(r.starts_with("HTTP/1.1 409"), "{r}");
         assert!(r.contains("\"ok\":false"), "{r}");
         assert!(r.contains("count-index"), "{r}");
+    }
+
+    #[test]
+    fn degraded_store_fails_health_but_keeps_serving_queries() {
+        use seqdet_storage::{DiskOptions, DiskStore, FaultFs};
+        let dir = std::env::temp_dir().join(format!("seqdet-srv-degraded-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let fs = FaultFs::new();
+        let store = Arc::new(
+            DiskStore::open_with(
+                &dir,
+                DiskOptions { vfs: Arc::new(fs.clone()), ..DiskOptions::default() },
+            )
+            .unwrap(),
+        );
+        let mut ix =
+            Indexer::with_store(Arc::clone(&store), IndexConfig::new(Policy::SkipTillNextMatch))
+                .unwrap();
+        let mut b = EventLogBuilder::new();
+        b.add("t1", "go", 1).add("t1", "stop", 3);
+        ix.index_log(&b.build()).unwrap();
+
+        // All further writes fail: the next batch degrades the store.
+        fs.arm_fail_after_writes(0);
+        let mut b = EventLogBuilder::new();
+        b.add("t1", "go", 5).add("t1", "stop", 7);
+        let err = ix.index_log(&b.build()).unwrap_err();
+        assert!(err.to_string().contains("storage error"), "{err}");
+        assert!(store.degraded().is_some());
+
+        let server = QueryServer::bind("127.0.0.1:0", Arc::clone(&store)).unwrap();
+        let addr = server.local_addr().unwrap();
+        std::thread::spawn(move || server.serve_n(3).unwrap());
+        let r = roundtrip(addr, "GET /health HTTP/1.1\r\nHost: x\r\n\r\n");
+        assert!(r.starts_with("HTTP/1.1 503"), "{r}");
+        assert!(r.contains("degraded:"), "{r}");
+        // Reads are memtable-served and stay up.
+        let body = "DETECT go -> stop";
+        let r = roundtrip(
+            addr,
+            &format!("POST /query HTTP/1.1\r\nContent-Length: {}\r\n\r\n{body}", body.len()),
+        );
+        assert!(r.starts_with("HTTP/1.1 200"), "{r}");
+        let r = roundtrip(addr, "GET /stats/server HTTP/1.1\r\nHost: x\r\n\r\n");
+        assert!(r.contains("degraded: 1"), "{r}");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -22,6 +22,23 @@ pub enum StorageError {
         /// What failed to verify.
         reason: String,
     },
+    /// The store has entered its sticky read-only degraded state after an
+    /// earlier write failure: in-memory state may be ahead of the durable
+    /// committed prefix, so further writes are refused while reads keep
+    /// serving. Recovery is a process restart (replay lands on the last
+    /// committed-batch boundary).
+    Degraded {
+        /// The write failure that degraded the store.
+        reason: String,
+    },
+}
+
+impl StorageError {
+    /// True for [`StorageError::Degraded`] — the caller hit the read-only
+    /// fuse, not a fresh I/O failure.
+    pub fn is_degraded(&self) -> bool {
+        matches!(self, StorageError::Degraded { .. })
+    }
 }
 
 impl fmt::Display for StorageError {
@@ -31,6 +48,9 @@ impl fmt::Display for StorageError {
             StorageError::CorruptSegment { segment, offset, reason } => {
                 write!(f, "corrupt segment {}: {reason} at byte {offset}", segment.display())
             }
+            StorageError::Degraded { reason } => {
+                write!(f, "store is read-only (degraded): {reason}")
+            }
         }
     }
 }
@@ -39,7 +59,7 @@ impl std::error::Error for StorageError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             StorageError::Io(e) => Some(e),
-            StorageError::CorruptSegment { .. } => None,
+            StorageError::CorruptSegment { .. } | StorageError::Degraded { .. } => None,
         }
     }
 }
@@ -54,6 +74,7 @@ impl From<StorageError> for io::Error {
     fn from(e: StorageError) -> Self {
         match e {
             StorageError::Io(e) => e,
+            degraded @ StorageError::Degraded { .. } => io::Error::other(degraded.to_string()),
             corrupt => io::Error::new(io::ErrorKind::InvalidData, corrupt.to_string()),
         }
     }
@@ -79,5 +100,11 @@ mod tests {
         assert!(e.to_string().contains("disk on fire"));
         use std::error::Error;
         assert!(e.source().is_some());
+
+        let e = StorageError::Degraded { reason: "segment write failed".into() };
+        assert!(e.is_degraded());
+        assert!(e.to_string().contains("read-only"), "{e}");
+        let io_err: io::Error = e.into();
+        assert!(io_err.to_string().contains("degraded"));
     }
 }

@@ -4,6 +4,7 @@
 //! key-addressed rows per table, whole-row reads, and append-style writes to
 //! grow a row's value list.
 
+use crate::error::StorageError;
 use bytes::Bytes;
 
 /// Identifies one logical table within a store.
@@ -29,6 +30,16 @@ impl TableId {
 /// the value of `key` by `value` bytes in (amortized) time proportional to
 /// `value.len()` — *not* to the current row size — which is what makes
 /// posting-list maintenance cheap.
+///
+/// Reads are infallible (they are served from memory in every backend);
+/// writes return [`StorageError`] so a persistent backend can report I/O
+/// failures instead of panicking, and refuse writes once degraded.
+///
+/// The batch methods frame a group of cross-table mutations as one crash
+/// atom: after [`begin_batch`](KvStore::begin_batch), none of the batch's
+/// writes survive a crash unless the matching
+/// [`commit_batch`](KvStore::commit_batch) was reached. Memory backends
+/// (and any backend without durability) treat them as no-ops.
 pub trait KvStore: Send + Sync {
     /// Read the full value of `key`, if present. The returned [`Bytes`] is a
     /// cheap reference-counted view; callers may hold it across writes (the
@@ -36,13 +47,13 @@ pub trait KvStore: Send + Sync {
     fn get(&self, table: TableId, key: &[u8]) -> Option<Bytes>;
 
     /// Replace the value of `key`.
-    fn put(&self, table: TableId, key: &[u8], value: &[u8]);
+    fn put(&self, table: TableId, key: &[u8], value: &[u8]) -> Result<(), StorageError>;
 
     /// Append `value` to the row of `key`, creating it if absent.
-    fn append(&self, table: TableId, key: &[u8], value: &[u8]);
+    fn append(&self, table: TableId, key: &[u8], value: &[u8]) -> Result<(), StorageError>;
 
     /// Remove `key`; returns whether it existed.
-    fn delete(&self, table: TableId, key: &[u8]) -> bool;
+    fn delete(&self, table: TableId, key: &[u8]) -> Result<bool, StorageError>;
 
     /// Snapshot of all rows of a table. Order is unspecified.
     fn scan(&self, table: TableId) -> Vec<(Bytes, Bytes)>;
@@ -52,6 +63,30 @@ pub trait KvStore: Send + Sync {
 
     /// Make all prior writes durable (no-op for memory backends).
     fn flush(&self) -> std::io::Result<()>;
+
+    /// Open a batch scope: subsequent writes form one crash atom that only
+    /// becomes durable at [`commit_batch`](KvStore::commit_batch). No-op for
+    /// backends without durability.
+    fn begin_batch(&self) -> Result<(), StorageError> {
+        Ok(())
+    }
+
+    /// Commit the open batch scope, making its writes durable per the
+    /// backend's durability policy.
+    fn commit_batch(&self) -> Result<(), StorageError> {
+        Ok(())
+    }
+
+    /// Abandon the open batch scope after a mid-batch failure. The batch's
+    /// writes will not survive a restart; a durable backend whose in-memory
+    /// state already applied part of the batch degrades to read-only.
+    fn abort_batch(&self) {}
+
+    /// `Some(reason)` once the store has entered its sticky read-only
+    /// degraded state (writes refused, reads still served).
+    fn degraded(&self) -> Option<String> {
+        None
+    }
 }
 
 /// Blanket impl so `Arc<S>` (and other smart pointers) can be used where a
@@ -60,13 +95,13 @@ impl<S: KvStore + ?Sized> KvStore for std::sync::Arc<S> {
     fn get(&self, table: TableId, key: &[u8]) -> Option<Bytes> {
         (**self).get(table, key)
     }
-    fn put(&self, table: TableId, key: &[u8], value: &[u8]) {
+    fn put(&self, table: TableId, key: &[u8], value: &[u8]) -> Result<(), StorageError> {
         (**self).put(table, key, value)
     }
-    fn append(&self, table: TableId, key: &[u8], value: &[u8]) {
+    fn append(&self, table: TableId, key: &[u8], value: &[u8]) -> Result<(), StorageError> {
         (**self).append(table, key, value)
     }
-    fn delete(&self, table: TableId, key: &[u8]) -> bool {
+    fn delete(&self, table: TableId, key: &[u8]) -> Result<bool, StorageError> {
         (**self).delete(table, key)
     }
     fn scan(&self, table: TableId) -> Vec<(Bytes, Bytes)> {
@@ -77,6 +112,18 @@ impl<S: KvStore + ?Sized> KvStore for std::sync::Arc<S> {
     }
     fn flush(&self) -> std::io::Result<()> {
         (**self).flush()
+    }
+    fn begin_batch(&self) -> Result<(), StorageError> {
+        (**self).begin_batch()
+    }
+    fn commit_batch(&self) -> Result<(), StorageError> {
+        (**self).commit_batch()
+    }
+    fn abort_batch(&self) {
+        (**self).abort_batch()
+    }
+    fn degraded(&self) -> Option<String> {
+        (**self).degraded()
     }
 }
 
@@ -90,13 +137,17 @@ mod tests {
     fn arc_forwarding() {
         let store = Arc::new(MemStore::new());
         let t = TableId(0);
-        KvStore::put(&store, t, b"k", b"v");
+        KvStore::put(&store, t, b"k", b"v").unwrap();
         assert_eq!(KvStore::get(&store, t, b"k").unwrap().as_ref(), b"v");
-        KvStore::append(&store, t, b"k", b"2");
+        KvStore::append(&store, t, b"k", b"2").unwrap();
         assert_eq!(KvStore::get(&store, t, b"k").unwrap().as_ref(), b"v2");
         assert_eq!(KvStore::table_len(&store, t), 1);
-        assert!(KvStore::delete(&store, t, b"k"));
+        assert!(KvStore::delete(&store, t, b"k").unwrap());
         assert!(KvStore::scan(&store, t).is_empty());
         KvStore::flush(&store).unwrap();
+        KvStore::begin_batch(&store).unwrap();
+        KvStore::commit_batch(&store).unwrap();
+        KvStore::abort_batch(&store);
+        assert!(KvStore::degraded(&store).is_none());
     }
 }

@@ -33,12 +33,15 @@ pub mod fxhash;
 pub mod kv;
 pub mod mem;
 pub mod metrics;
+pub mod vfs;
 
 pub use disk::{
-    parse_segment_bytes, verify_segments, DiskStore, SegmentEnd, SegmentReport, SegmentViolation,
+    parse_segment_bytes, replay_segment_bytes, verify_segments, DiskOptions, DiskStore,
+    DurabilityPolicy, SegmentEnd, SegmentReport, SegmentScan, SegmentViolation,
 };
 pub use error::StorageError;
 pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use kv::{KvStore, TableId};
 pub use mem::MemStore;
 pub use metrics::{LatencyHistogram, ServerMetrics, StoreMetrics};
+pub use vfs::{FaultFs, RealFs, Vfs, VfsFile};

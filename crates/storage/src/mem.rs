@@ -6,6 +6,7 @@
 //! a single global lock would serialize exactly the part the paper
 //! parallelizes.
 
+use crate::error::StorageError;
 use crate::fxhash::{hash_bytes, FxHashMap};
 use crate::kv::{KvStore, TableId};
 use crate::metrics::StoreMetrics;
@@ -88,6 +89,14 @@ impl MemStore {
             shard.write().retain(|(t, _), _| *t != table);
         }
     }
+
+    /// Remove every row of every table (segment replay hits this at a
+    /// snapshot marker: the snapshot supersedes all earlier segments).
+    pub fn clear_all(&self) {
+        for shard in &self.shards {
+            shard.write().clear();
+        }
+    }
 }
 
 impl KvStore for MemStore {
@@ -100,29 +109,32 @@ impl KvStore for MemStore {
         v.map(|v| Bytes::copy_from_slice(v))
     }
 
-    fn put(&self, table: TableId, key: &[u8], value: &[u8]) {
+    fn put(&self, table: TableId, key: &[u8], value: &[u8]) -> Result<(), StorageError> {
         if let Some(m) = &self.metrics {
             m.record_put(value.len());
         }
         self.shard(table, key).write().insert((table, key.into()), value.to_vec());
+        Ok(())
     }
 
-    fn append(&self, table: TableId, key: &[u8], value: &[u8]) {
+    fn append(&self, table: TableId, key: &[u8], value: &[u8]) -> Result<(), StorageError> {
         if let Some(m) = &self.metrics {
             m.record_append(value.len());
         }
         let mut shard = self.shard(table, key).write();
         shard.entry((table, key.into())).or_default().extend_from_slice(value);
+        Ok(())
     }
 
-    fn delete(&self, table: TableId, key: &[u8]) -> bool {
+    fn delete(&self, table: TableId, key: &[u8]) -> Result<bool, StorageError> {
         if let Some(m) = &self.metrics {
             m.record_delete();
         }
-        self.shard(table, key)
+        Ok(self
+            .shard(table, key)
             .write()
             .remove(&(table, key.into()) as &(TableId, Box<[u8]>))
-            .is_some()
+            .is_some())
     }
 
     fn scan(&self, table: TableId) -> Vec<(Bytes, Bytes)> {
@@ -158,28 +170,28 @@ mod tests {
     fn put_get_delete() {
         let s = MemStore::new();
         assert!(s.get(T0, b"k").is_none());
-        s.put(T0, b"k", b"v1");
+        s.put(T0, b"k", b"v1").unwrap();
         assert_eq!(s.get(T0, b"k").unwrap().as_ref(), b"v1");
-        s.put(T0, b"k", b"v2");
+        s.put(T0, b"k", b"v2").unwrap();
         assert_eq!(s.get(T0, b"k").unwrap().as_ref(), b"v2");
-        assert!(s.delete(T0, b"k"));
-        assert!(!s.delete(T0, b"k"));
+        assert!(s.delete(T0, b"k").unwrap());
+        assert!(!s.delete(T0, b"k").unwrap());
         assert!(s.get(T0, b"k").is_none());
     }
 
     #[test]
     fn append_grows_rows() {
         let s = MemStore::new();
-        s.append(T0, b"list", &[1, 2]);
-        s.append(T0, b"list", &[3]);
+        s.append(T0, b"list", &[1, 2]).unwrap();
+        s.append(T0, b"list", &[3]).unwrap();
         assert_eq!(s.get(T0, b"list").unwrap().as_ref(), &[1, 2, 3]);
     }
 
     #[test]
     fn tables_are_isolated() {
         let s = MemStore::new();
-        s.put(T0, b"k", b"zero");
-        s.put(T1, b"k", b"one");
+        s.put(T0, b"k", b"zero").unwrap();
+        s.put(T1, b"k", b"one").unwrap();
         assert_eq!(s.get(T0, b"k").unwrap().as_ref(), b"zero");
         assert_eq!(s.get(T1, b"k").unwrap().as_ref(), b"one");
         assert_eq!(s.table_len(T0), 1);
@@ -192,9 +204,9 @@ mod tests {
     fn scan_returns_all_rows_of_table() {
         let s = MemStore::new();
         for i in 0..100u32 {
-            s.put(T0, &i.to_le_bytes(), &[i as u8]);
+            s.put(T0, &i.to_le_bytes(), &[i as u8]).unwrap();
         }
-        s.put(T1, b"other", b"x");
+        s.put(T1, b"other", b"x").unwrap();
         let mut rows = s.scan(T0);
         assert_eq!(rows.len(), 100);
         rows.sort();
@@ -204,9 +216,9 @@ mod tests {
     #[test]
     fn get_snapshot_survives_later_append() {
         let s = MemStore::new();
-        s.append(T0, b"k", b"abc");
+        s.append(T0, b"k", b"abc").unwrap();
         let snap = s.get(T0, b"k").unwrap();
-        s.append(T0, b"k", b"def");
+        s.append(T0, b"k", b"def").unwrap();
         assert_eq!(snap.as_ref(), b"abc");
         assert_eq!(s.get(T0, b"k").unwrap().as_ref(), b"abcdef");
     }
@@ -220,7 +232,7 @@ mod tests {
                 std::thread::spawn(move || {
                     for i in 0..1000u32 {
                         let key = (i % 16).to_le_bytes();
-                        s.append(T0, &key, &[t as u8]);
+                        s.append(T0, &key, &[t as u8]).unwrap();
                     }
                 })
             })
@@ -236,10 +248,10 @@ mod tests {
     fn metrics_are_recorded() {
         let m = Arc::new(StoreMetrics::new());
         let s = MemStore::with_metrics(m.clone());
-        s.put(T0, b"k", b"1234");
+        s.put(T0, b"k", b"1234").unwrap();
         s.get(T0, b"k");
-        s.append(T0, b"k", b"5");
-        s.delete(T0, b"k");
+        s.append(T0, b"k", b"5").unwrap();
+        s.delete(T0, b"k").unwrap();
         assert_eq!(m.puts(), 1);
         assert_eq!(m.gets(), 1);
         assert_eq!(m.appends(), 1);

@@ -5,7 +5,7 @@
 //! paper's cost driver once Cassandra is remote.
 
 use std::fmt;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
 /// Number of power-of-two latency buckets (covers 1µs … ~2^47µs ≈ 4.5 years).
 const LATENCY_BUCKETS: usize = 48;
@@ -229,6 +229,10 @@ pub struct StoreMetrics {
     cache_misses: AtomicU64,
     cache_evictions: AtomicU64,
     cache_invalidations: AtomicU64,
+    batch_commits: AtomicU64,
+    batch_aborts: AtomicU64,
+    fsyncs: AtomicU64,
+    degraded: AtomicBool,
     server: ServerMetrics,
 }
 
@@ -285,6 +289,26 @@ impl StoreMetrics {
     /// Record a posting-cache entry dropped as stale (generation change).
     pub fn record_cache_invalidation(&self) {
         self.cache_invalidations.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record one committed write batch.
+    pub fn record_batch_commit(&self) {
+        self.batch_commits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record one aborted (or commit-failed) write batch.
+    pub fn record_batch_abort(&self) {
+        self.batch_aborts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record one fsync issued by the store's write path.
+    pub fn record_fsync(&self) {
+        self.fsyncs.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Mark the store as degraded (sticky read-only after a write failure).
+    pub fn set_degraded(&self, degraded: bool) {
+        self.degraded.store(degraded, Ordering::Relaxed);
     }
 
     /// Number of `get` calls.
@@ -347,6 +371,26 @@ impl StoreMetrics {
         self.cache_invalidations.load(Ordering::Relaxed)
     }
 
+    /// Write batches committed.
+    pub fn batch_commits(&self) -> u64 {
+        self.batch_commits.load(Ordering::Relaxed)
+    }
+
+    /// Write batches aborted (including failed commits).
+    pub fn batch_aborts(&self) -> u64 {
+        self.batch_aborts.load(Ordering::Relaxed)
+    }
+
+    /// Fsyncs issued by the store's write path.
+    pub fn fsyncs(&self) -> u64 {
+        self.fsyncs.load(Ordering::Relaxed)
+    }
+
+    /// True once the store reported itself degraded.
+    pub fn degraded(&self) -> bool {
+        self.degraded.load(Ordering::Relaxed)
+    }
+
     /// The serving-layer counters (request count, status classes, latency,
     /// in-flight, shed).
     pub fn server(&self) -> &ServerMetrics {
@@ -367,6 +411,10 @@ impl StoreMetrics {
         self.cache_misses.store(0, Ordering::Relaxed);
         self.cache_evictions.store(0, Ordering::Relaxed);
         self.cache_invalidations.store(0, Ordering::Relaxed);
+        self.batch_commits.store(0, Ordering::Relaxed);
+        self.batch_aborts.store(0, Ordering::Relaxed);
+        self.fsyncs.store(0, Ordering::Relaxed);
+        self.degraded.store(false, Ordering::Relaxed);
         self.server.reset();
     }
 }
@@ -391,6 +439,23 @@ mod tests {
         assert_eq!(m.bytes_written(), 107);
         m.reset();
         assert_eq!(m.gets() + m.puts() + m.appends() + m.bytes_read(), 0);
+    }
+
+    #[test]
+    fn batch_and_degraded_counters() {
+        let m = StoreMetrics::new();
+        m.record_batch_commit();
+        m.record_batch_commit();
+        m.record_batch_abort();
+        m.record_fsync();
+        m.set_degraded(true);
+        assert_eq!(m.batch_commits(), 2);
+        assert_eq!(m.batch_aborts(), 1);
+        assert_eq!(m.fsyncs(), 1);
+        assert!(m.degraded());
+        m.reset();
+        assert_eq!(m.batch_commits() + m.batch_aborts() + m.fsyncs(), 0);
+        assert!(!m.degraded());
     }
 
     #[test]

@@ -1,0 +1,411 @@
+//! Filesystem seam for the persistent store.
+//!
+//! [`DiskStore`](crate::DiskStore) performs every file operation through the
+//! [`Vfs`] trait so the crash-consistency claims of the segment format can be
+//! *tested*, not just argued: [`RealFs`] passes straight through to
+//! `std::fs`, while [`FaultFs`] wraps the real filesystem and injects I/O
+//! errors, short writes, and deterministic "crash after N bytes" cut-offs.
+//!
+//! The fault modes mirror the failures an append-only log actually meets:
+//!
+//! * **crash after N bytes** — the process dies mid-write: the byte prefix
+//!   that fit under the budget reaches the file, the write returns an error,
+//!   and *every* subsequent operation through the handle fails (a dead
+//!   process issues no more I/O). Reopening the directory with a fresh
+//!   [`RealFs`] then exercises recovery against exactly the bytes a real
+//!   crash would have left behind.
+//! * **write error after N calls** — ENOSPC-style: one write fails (with an
+//!   optional short-write prefix reaching the file first), the filesystem
+//!   stays alive. This is the mode that drives the store's sticky degraded
+//!   state.
+//! * **remove error after N calls** — a failed unlink during the
+//!   compaction sweep, which must tolerate any subset of old segments
+//!   surviving.
+
+use parking_lot::Mutex;
+use std::fmt;
+use std::fs::{self, File, OpenOptions};
+use std::io::{self, BufWriter, Read, Write};
+use std::path::Path;
+use std::sync::Arc;
+
+/// An open writable file handle behind the [`Vfs`] seam.
+pub trait VfsFile: Send {
+    /// Write all of `buf`, as `io::Write::write_all`.
+    fn write_all(&mut self, buf: &[u8]) -> io::Result<()>;
+    /// Push any userspace buffer to the kernel (no durability implied).
+    fn flush(&mut self) -> io::Result<()>;
+    /// Flush and then fsync: all prior writes are durable on return.
+    fn sync_all(&mut self) -> io::Result<()>;
+}
+
+/// The slice of filesystem behaviour the store depends on.
+pub trait Vfs: Send + Sync + fmt::Debug {
+    /// Create `path` and all missing parents.
+    fn create_dir_all(&self, path: &Path) -> io::Result<()>;
+    /// Open `path` for appending, creating it if absent.
+    fn open_append(&self, path: &Path) -> io::Result<Box<dyn VfsFile>>;
+    /// Create (truncate) `path` for writing.
+    fn create(&self, path: &Path) -> io::Result<Box<dyn VfsFile>>;
+    /// Read the full contents of `path`.
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>>;
+    /// Atomically rename `from` to `to`.
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()>;
+    /// Unlink `path`.
+    fn remove_file(&self, path: &Path) -> io::Result<()>;
+    /// Fsync the directory itself, making renames/unlinks in it durable.
+    fn sync_dir(&self, path: &Path) -> io::Result<()>;
+    /// File names (not paths) of the entries of `dir`. Entries whose names
+    /// are not valid UTF-8 are skipped — the store only creates ASCII names.
+    fn read_dir_names(&self, dir: &Path) -> io::Result<Vec<String>>;
+}
+
+/// Pass-through [`Vfs`] over `std::fs`. Files opened for writing are
+/// buffered (`BufWriter`), matching the store's historical write path.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RealFs;
+
+struct RealFile {
+    inner: BufWriter<File>,
+}
+
+impl VfsFile for RealFile {
+    fn write_all(&mut self, buf: &[u8]) -> io::Result<()> {
+        self.inner.write_all(buf)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.inner.flush()
+    }
+
+    fn sync_all(&mut self) -> io::Result<()> {
+        self.inner.flush()?;
+        self.inner.get_ref().sync_all()
+    }
+}
+
+impl Vfs for RealFs {
+    fn create_dir_all(&self, path: &Path) -> io::Result<()> {
+        fs::create_dir_all(path)
+    }
+
+    fn open_append(&self, path: &Path) -> io::Result<Box<dyn VfsFile>> {
+        let file = OpenOptions::new().create(true).append(true).open(path)?;
+        Ok(Box::new(RealFile { inner: BufWriter::new(file) }))
+    }
+
+    fn create(&self, path: &Path) -> io::Result<Box<dyn VfsFile>> {
+        Ok(Box::new(RealFile { inner: BufWriter::new(File::create(path)?) }))
+    }
+
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
+        let mut data = Vec::new();
+        File::open(path)?.read_to_end(&mut data)?;
+        Ok(data)
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        fs::rename(from, to)
+    }
+
+    fn remove_file(&self, path: &Path) -> io::Result<()> {
+        fs::remove_file(path)
+    }
+
+    fn sync_dir(&self, path: &Path) -> io::Result<()> {
+        File::open(path)?.sync_all()
+    }
+
+    fn read_dir_names(&self, dir: &Path) -> io::Result<Vec<String>> {
+        let mut names = Vec::new();
+        for entry in fs::read_dir(dir)? {
+            if let Ok(name) = entry?.file_name().into_string() {
+                names.push(name);
+            }
+        }
+        Ok(names)
+    }
+}
+
+#[derive(Debug, Default)]
+struct FaultState {
+    /// Write-byte budget before a simulated crash. Once exhausted, the
+    /// failing write persists only the prefix that fit and `crashed` flips.
+    crash_after_bytes: Option<u64>,
+    /// Successful `write_all` calls remaining before one injected error.
+    fail_after_writes: Option<u64>,
+    /// Bytes of the failing write that still reach the file (a short write).
+    short_write: usize,
+    /// Successful `remove_file` calls remaining before injected errors.
+    fail_after_removes: Option<u64>,
+    /// A simulated crash happened: every further operation fails.
+    crashed: bool,
+    /// Number of errors injected so far.
+    injected: u64,
+}
+
+/// Fault-injecting [`Vfs`] wrapping the real filesystem.
+///
+/// Cloning shares the fault state, so tests keep a handle to arm faults
+/// after the store has been opened. Files opened through `FaultFs` are
+/// deliberately *unbuffered*: every record write issued by the store hits
+/// the byte accounting directly, making crash offsets deterministic over
+/// the actual byte stream.
+#[derive(Debug, Clone, Default)]
+pub struct FaultFs {
+    state: Arc<Mutex<FaultState>>,
+}
+
+fn injected_error(what: &str) -> io::Error {
+    io::Error::other(format!("injected fault: {what}"))
+}
+
+impl FaultFs {
+    /// Fault-free passthrough until a fault is armed.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Arm a hard crash once `n` more bytes have been written (across all
+    /// files). The failing write persists the prefix that fits; afterwards
+    /// every operation fails.
+    pub fn arm_crash_after_bytes(&self, n: u64) {
+        self.state.lock().crash_after_bytes = Some(n);
+    }
+
+    /// Arm one injected write error after `n` more successful `write_all`
+    /// calls. The filesystem stays alive afterwards.
+    pub fn arm_fail_after_writes(&self, n: u64) {
+        self.state.lock().fail_after_writes = Some(n);
+    }
+
+    /// When the next armed write error fires, let the first `k` bytes of the
+    /// failing buffer reach the file (a short write).
+    pub fn set_short_write(&self, k: usize) {
+        self.state.lock().short_write = k;
+    }
+
+    /// Arm injected `remove_file` errors after `n` more successful removes.
+    pub fn arm_fail_after_removes(&self, n: u64) {
+        self.state.lock().fail_after_removes = Some(n);
+    }
+
+    /// Clear all armed faults and the crashed flag.
+    pub fn heal(&self) {
+        *self.state.lock() = FaultState::default();
+    }
+
+    /// True once a simulated crash has fired.
+    pub fn crashed(&self) -> bool {
+        self.state.lock().crashed
+    }
+
+    /// Number of errors injected so far.
+    pub fn injected_errors(&self) -> u64 {
+        self.state.lock().injected
+    }
+
+    fn check_alive(&self) -> io::Result<()> {
+        if self.state.lock().crashed {
+            Err(injected_error("process crashed"))
+        } else {
+            Ok(())
+        }
+    }
+}
+
+struct FaultFile {
+    file: File,
+    state: Arc<Mutex<FaultState>>,
+}
+
+impl VfsFile for FaultFile {
+    fn write_all(&mut self, buf: &[u8]) -> io::Result<()> {
+        let mut st = self.state.lock();
+        if st.crashed {
+            return Err(injected_error("process crashed"));
+        }
+        if let Some(budget) = st.crash_after_bytes {
+            if (buf.len() as u64) > budget {
+                st.crashed = true;
+                st.injected += 1;
+                drop(st);
+                // The prefix that fit under the budget reaches the file —
+                // the torn write a real crash leaves behind.
+                self.file.write_all(&buf[..budget as usize])?;
+                return Err(injected_error("crash mid-write"));
+            }
+            st.crash_after_bytes = Some(budget - buf.len() as u64);
+        }
+        if let Some(n) = st.fail_after_writes {
+            if n == 0 {
+                let keep = st.short_write.min(buf.len());
+                st.short_write = 0;
+                st.injected += 1;
+                drop(st);
+                if keep > 0 {
+                    self.file.write_all(&buf[..keep])?;
+                }
+                return Err(injected_error("write error"));
+            }
+            st.fail_after_writes = Some(n - 1);
+        }
+        drop(st);
+        self.file.write_all(buf)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        if self.state.lock().crashed {
+            return Err(injected_error("process crashed"));
+        }
+        self.file.flush()
+    }
+
+    fn sync_all(&mut self) -> io::Result<()> {
+        if self.state.lock().crashed {
+            return Err(injected_error("process crashed"));
+        }
+        self.file.sync_all()
+    }
+}
+
+impl Vfs for FaultFs {
+    fn create_dir_all(&self, path: &Path) -> io::Result<()> {
+        self.check_alive()?;
+        fs::create_dir_all(path)
+    }
+
+    fn open_append(&self, path: &Path) -> io::Result<Box<dyn VfsFile>> {
+        self.check_alive()?;
+        let file = OpenOptions::new().create(true).append(true).open(path)?;
+        Ok(Box::new(FaultFile { file, state: self.state.clone() }))
+    }
+
+    fn create(&self, path: &Path) -> io::Result<Box<dyn VfsFile>> {
+        self.check_alive()?;
+        Ok(Box::new(FaultFile { file: File::create(path)?, state: self.state.clone() }))
+    }
+
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
+        self.check_alive()?;
+        RealFs.read(path)
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        self.check_alive()?;
+        fs::rename(from, to)
+    }
+
+    fn remove_file(&self, path: &Path) -> io::Result<()> {
+        let mut st = self.state.lock();
+        if st.crashed {
+            return Err(injected_error("process crashed"));
+        }
+        if let Some(n) = st.fail_after_removes {
+            if n == 0 {
+                st.injected += 1;
+                return Err(injected_error("remove error"));
+            }
+            st.fail_after_removes = Some(n - 1);
+        }
+        drop(st);
+        fs::remove_file(path)
+    }
+
+    fn sync_dir(&self, path: &Path) -> io::Result<()> {
+        self.check_alive()?;
+        RealFs.sync_dir(path)
+    }
+
+    fn read_dir_names(&self, dir: &Path) -> io::Result<Vec<String>> {
+        self.check_alive()?;
+        RealFs.read_dir_names(dir)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn tmp_dir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("seqdet-vfs-{name}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn real_fs_roundtrip() {
+        let dir = tmp_dir("real");
+        let path = dir.join("f");
+        let mut f = RealFs.open_append(&path).unwrap();
+        f.write_all(b"hello").unwrap();
+        f.sync_all().unwrap();
+        drop(f);
+        assert_eq!(RealFs.read(&path).unwrap(), b"hello");
+        let names = RealFs.read_dir_names(&dir).unwrap();
+        assert_eq!(names, vec!["f".to_owned()]);
+        RealFs.sync_dir(&dir).unwrap();
+        RealFs.rename(&path, &dir.join("g")).unwrap();
+        RealFs.remove_file(&dir.join("g")).unwrap();
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn crash_after_bytes_persists_exact_prefix_then_kills_everything() {
+        let dir = tmp_dir("crash");
+        let path = dir.join("f");
+        let fs_handle = FaultFs::new();
+        let mut f = fs_handle.open_append(&path).unwrap();
+        f.write_all(b"abcd").unwrap();
+        fs_handle.arm_crash_after_bytes(6);
+        f.write_all(b"efgh").unwrap(); // 4 <= 6: fits
+        assert!(f.write_all(b"ijkl").is_err()); // 4 > 2: crash, 2 bytes land
+        assert!(fs_handle.crashed());
+        assert!(f.write_all(b"nope").is_err());
+        assert!(f.sync_all().is_err());
+        assert!(fs_handle.open_append(&path).is_err());
+        assert!(fs_handle.read(&path).is_err());
+        assert!(fs_handle.remove_file(&path).is_err());
+        // The real bytes on disk are exactly the pre-crash prefix.
+        assert_eq!(RealFs.read(&path).unwrap(), b"abcdefghij");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn fail_after_writes_injects_one_error_and_stays_alive() {
+        let dir = tmp_dir("enospc");
+        let path = dir.join("f");
+        let fs_handle = FaultFs::new();
+        let mut f = fs_handle.open_append(&path).unwrap();
+        fs_handle.arm_fail_after_writes(1);
+        fs_handle.set_short_write(2);
+        f.write_all(b"ok").unwrap();
+        assert!(f.write_all(b"fail").is_err());
+        assert!(!fs_handle.crashed());
+        assert_eq!(fs_handle.injected_errors(), 1);
+        // Short write: 2 bytes of the failing buffer landed; fs still alive.
+        assert_eq!(fs_handle.read(&path).unwrap(), b"okfa");
+        fs_handle.heal();
+        f.write_all(b"more").unwrap();
+        assert_eq!(fs_handle.read(&path).unwrap(), b"okfamore");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn fail_after_removes_errors_without_crashing() {
+        let dir = tmp_dir("rm");
+        let a = dir.join("a");
+        let b = dir.join("b");
+        fs::write(&a, b"x").unwrap();
+        fs::write(&b, b"y").unwrap();
+        let fs_handle = FaultFs::new();
+        fs_handle.arm_fail_after_removes(1);
+        fs_handle.remove_file(&a).unwrap();
+        assert!(fs_handle.remove_file(&b).is_err());
+        assert!(!fs_handle.crashed());
+        assert!(b.exists());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -5,7 +5,7 @@
 
 use proptest::prelude::*;
 use seqdet_storage::crc::crc32;
-use seqdet_storage::{parse_segment_bytes, SegmentEnd, TableId};
+use seqdet_storage::{parse_segment_bytes, replay_segment_bytes, SegmentEnd, TableId};
 
 /// Build one wire-format record: `[crc][op][table][klen][vlen][key][value]`.
 fn record(op: u8, table: u8, key: &[u8], value: &[u8]) -> Vec<u8> {
@@ -20,6 +20,31 @@ fn record(op: u8, table: u8, key: &[u8], value: &[u8]) -> Vec<u8> {
     rec.extend_from_slice(&crc32(&body).to_le_bytes());
     rec.extend_from_slice(&body);
     rec
+}
+
+/// A batch-framed segment: `batches` batches, batch `i` holding `i % 3 + 1`
+/// put records, each batch wrapped in BEGIN/COMMIT control records.
+/// Returns the bytes plus, per batch, `(end_offset, cumulative_records)` —
+/// the byte where its COMMIT record ends and how many payload records are
+/// visible once it commits.
+fn batched_segment(batches: usize) -> (Vec<u8>, Vec<(usize, usize)>) {
+    const OP_BATCH_BEGIN: u8 = 4;
+    const OP_BATCH_COMMIT: u8 = 5;
+    let mut seg = Vec::new();
+    let mut boundaries = Vec::new();
+    let mut total = 0usize;
+    for i in 0..batches {
+        let id = (i as u64 + 1).to_le_bytes();
+        seg.extend_from_slice(&record(OP_BATCH_BEGIN, 0, b"", &id));
+        for r in 0..(i % 3 + 1) {
+            let key = (total as u32).to_le_bytes();
+            seg.extend_from_slice(&record(1, (r % 5) as u8, &key, &[r as u8; 5]));
+            total += 1;
+        }
+        seg.extend_from_slice(&record(OP_BATCH_COMMIT, 0, b"", &id));
+        boundaries.push((seg.len(), total));
+    }
+    (seg, boundaries)
 }
 
 /// A segment of `n` small valid records (ops cycle through put/append/delete).
@@ -80,6 +105,58 @@ proptest! {
             SegmentEnd::Corrupt { offset, reason, .. } => {
                 return Err(TestCaseError(format!(
                     "truncation at {cut} misread as corruption @ {offset}: {reason}"
+                )));
+            }
+        }
+    }
+
+    /// Arbitrary bytes through the batch-aware replayer: never panic, and
+    /// the bookkeeping stays coherent (discards only happen when a batch
+    /// was actually opened).
+    #[test]
+    fn batch_replay_of_arbitrary_bytes_never_panics(
+        data in prop::collection::vec(0u8..=255, 0..512),
+    ) {
+        let mut applied = 0u64;
+        let scan = replay_segment_bytes(&data, |_, _, _, _| applied += 1);
+        prop_assert!(scan.batches_discarded <= scan.batches_committed + 1);
+        if scan.batches_committed > 0 {
+            prop_assert!(scan.max_batch_id.is_some());
+        }
+    }
+
+    /// Cutting a batch-framed log anywhere applies exactly the records of
+    /// the whole committed batches before the cut — an open batch's records
+    /// are buffered, never applied, and counted as discarded.
+    #[test]
+    fn cuts_apply_only_whole_committed_batches(
+        batches in 1usize..8,
+        cut_ppm in 0u32..=1_000_000,
+    ) {
+        let (seg, boundaries) = batched_segment(batches);
+        let cut = (seg.len() as u64 * cut_ppm as u64 / 1_000_000) as usize;
+        let committed_before_cut =
+            boundaries.iter().take_while(|&&(end, _)| end <= cut).count();
+        let expected_records =
+            if committed_before_cut == 0 { 0 } else { boundaries[committed_before_cut - 1].1 };
+
+        let mut applied = Vec::new();
+        let scan = replay_segment_bytes(&seg[..cut], |_, _, key, _| {
+            applied.push(key.to_vec());
+        });
+        prop_assert_eq!(scan.batches_committed, committed_before_cut as u64);
+        prop_assert!(scan.batches_discarded <= 1, "at most the cut-open batch discards");
+        prop_assert_eq!(applied.len(), expected_records);
+        // Applied records are exactly the prefix, in order.
+        for (i, key) in applied.iter().enumerate() {
+            prop_assert_eq!(&key[..], &(i as u32).to_le_bytes());
+        }
+        // A cut is never misread as corruption.
+        match scan.end {
+            SegmentEnd::Clean { .. } | SegmentEnd::TornTail { .. } => {}
+            SegmentEnd::Corrupt { offset, reason, .. } => {
+                return Err(TestCaseError(format!(
+                    "cut at {cut} misread as corruption @ {offset}: {reason}"
                 )));
             }
         }

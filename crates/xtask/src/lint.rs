@@ -351,6 +351,21 @@ mod tests {
     }
 
     #[test]
+    fn storage_write_path_is_inside_the_no_panic_scope() {
+        // The crash-consistency work hinges on the storage write path never
+        // panicking on I/O failure — keep the whole crate (disk.rs, vfs.rs,
+        // kv.rs, …) under the no-panic rule.
+        let src = "fn f(x: std::io::Result<()>) { x.expect(\"write\"); }";
+        for file in
+            ["crates/storage/src/disk.rs", "crates/storage/src/vfs.rs", "crates/storage/src/kv.rs"]
+        {
+            let v = lint_source(file, src);
+            assert_eq!(v.len(), 1, "{file} must be linted: {v:?}");
+            assert_eq!(v[0].rule, "no-panic");
+        }
+    }
+
+    #[test]
     fn test_code_is_exempt() {
         let src = "fn prod() -> u32 { 1 }\n#[cfg(test)]\nmod tests {\n #[test]\n fn t() { None::<u32>.unwrap(); }\n}";
         assert!(lint_source(QUERY_FILE, src).is_empty());

@@ -66,7 +66,7 @@ fn corrupted_count_row_is_detected_end_to_end() {
         let (key, row) = store.scan(COUNT).into_iter().next().expect("Count rows exist");
         let mut entries = decode_counts(&row).expect("row decodes");
         entries[0].total_completions += 1;
-        store.put(COUNT, key.as_ref(), &encode_counts(&entries));
+        store.put(COUNT, key.as_ref(), &encode_counts(&entries)).expect("raw put");
         store.flush().expect("flush");
     }
 

@@ -39,7 +39,7 @@ fn corrupted_index_row_surfaces_as_error_not_panic() {
         ix.catalog().activity("a1").expect("known"),
     );
     let store = ix.store();
-    store.put(INDEX, &pair_key_bytes(key), &[0xFF; 21]);
+    store.put(INDEX, &pair_key_bytes(key), &[0xFF; 21]).expect("raw put");
     // A raw store.put bypasses the indexer and so does not bump the index
     // generation — the warmed engine is entitled to answer from its posting
     // cache. Any engine that actually reads the row must surface the
