@@ -1,0 +1,136 @@
+//! Posting-format experiment: v1 fixed-width rows vs v2 delta/varint
+//! blocks over the Figure-2 synthetic replicas.
+//!
+//! Two questions, matching the acceptance bar for the v2 format:
+//!
+//! 1. **Size** — how many Index-table bytes does the block-compressed
+//!    format save on the paper's synthetic datasets? (Target: ≥ 2x.)
+//! 2. **Latency** — is STNM detection over a v2-indexed store no slower
+//!    than over v1? The seek-capable cursor must pay for its varint
+//!    decoding with the smaller rows it reads.
+//!
+//! Alongside the criterion output the bench writes a machine-readable
+//! baseline to `results_posting_v2.json` at the workspace root (next to
+//! the other `results_*` files) recording per-profile Index-table bytes
+//! under both formats, the compression ratio, and median cold/warm STNM
+//! detect nanoseconds per query batch under both formats.
+
+use criterion::{criterion_group, BenchmarkId, Criterion};
+use seqdet_core::{IndexConfig, IndexStats, Indexer, Policy, PostingFormat};
+use seqdet_datagen::patterns::{pattern_batch, PatternMode};
+use seqdet_datagen::DatasetProfile;
+use seqdet_log::{EventLog, Pattern};
+use seqdet_query::QueryEngine;
+use seqdet_storage::MemStore;
+use std::time::{Duration, Instant};
+
+/// The Figure-2 replicas the size comparison runs over: small, medium and
+/// large pair-density regimes.
+const PROFILES: &[(&str, usize)] = &[("bpi_2013", 20), ("bpi_2020", 20), ("bpi_2017", 50)];
+
+fn indexed(log: &EventLog, format: PostingFormat) -> (QueryEngine<MemStore>, IndexStats) {
+    let mut ix =
+        Indexer::new(IndexConfig::new(Policy::SkipTillNextMatch).with_posting_format(format));
+    ix.index_log(log).expect("valid log");
+    let stats = IndexStats::collect(ix.store().as_ref()).expect("stats collect");
+    (QueryEngine::new(ix.store()).expect("indexed store"), stats)
+}
+
+fn run_batch(engine: &QueryEngine<MemStore>, batch: &[Pattern]) -> usize {
+    batch.iter().map(|p| engine.detect(p).expect("detect runs").total_completions()).sum()
+}
+
+fn bench_posting_v2(c: &mut Criterion) {
+    let mut group = c.benchmark_group("posting_v2");
+    group
+        .sample_size(15)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_secs(2));
+    let log = DatasetProfile::by_name("bpi_2017").expect("profile exists").scaled(50).generate();
+    let batch = pattern_batch(&log, 8, 25, PatternMode::Random, 13);
+    for format in [PostingFormat::V1, PostingFormat::V2] {
+        let (engine, _) = indexed(&log, format);
+        run_batch(&engine, &batch); // pre-warm the posting cache
+        group.bench_with_input(
+            BenchmarkId::new("stnm_detect", format.name()),
+            &batch,
+            |b, batch| b.iter(|| run_batch(&engine, batch)),
+        );
+    }
+    group.finish();
+}
+
+/// Median wall-clock nanoseconds of `samples` runs of `f`.
+fn median_ns(samples: usize, mut f: impl FnMut() -> usize) -> u64 {
+    let mut times: Vec<u64> = (0..samples)
+        .map(|_| {
+            let t = Instant::now();
+            std::hint::black_box(f());
+            t.elapsed().as_nanos() as u64
+        })
+        .collect();
+    times.sort_unstable();
+    times[times.len() / 2]
+}
+
+/// Direct size + latency measurement written as the JSON baseline.
+fn write_baseline() {
+    let mut entries = Vec::new();
+
+    // Size: Index-table bytes under both formats, per Figure-2 replica.
+    for &(name, scale) in PROFILES {
+        let log = DatasetProfile::by_name(name).expect("profile exists").scaled(scale).generate();
+        let (_, v1) = indexed(&log, PostingFormat::V1);
+        let (_, v2) = indexed(&log, PostingFormat::V2);
+        let ratio = v1.index_bytes as f64 / v2.index_bytes.max(1) as f64;
+        println!(
+            "posting_v2/{name}: index bytes v1 {} v2 {} ({ratio:.2}x smaller), {} postings",
+            v1.index_bytes, v2.index_bytes, v1.postings
+        );
+        entries.push(format!(
+            "  \"{name}\": {{\"postings\": {}, \"index_bytes_v1\": {}, \
+             \"index_bytes_v2\": {}, \"bytes_ratio\": {ratio:.3}}}",
+            v1.postings, v1.index_bytes, v2.index_bytes
+        ));
+    }
+
+    // Latency: STNM detect over the same store indexed both ways, cold
+    // (cache disabled: the full cursor-decode path) and warm (cached).
+    let log = DatasetProfile::by_name("bpi_2017").expect("profile exists").scaled(50).generate();
+    let batch = pattern_batch(&log, 8, 25, PatternMode::Random, 13);
+    let mut latency = Vec::new();
+    for format in [PostingFormat::V1, PostingFormat::V2] {
+        let (warm, _) = indexed(&log, format);
+        let cold = {
+            let (engine, _) = indexed(&log, format);
+            engine.with_cache_capacity(0)
+        };
+        run_batch(&warm, &batch); // pre-warm
+        run_batch(&cold, &batch); // fault in lazily touched rows
+        let cold_ns = median_ns(15, || run_batch(&cold, &batch));
+        let warm_ns = median_ns(15, || run_batch(&warm, &batch));
+        println!("posting_v2/stnm_detect/{}: cold {cold_ns} ns, warm {warm_ns} ns", format.name());
+        latency.push(format!(
+            "  \"stnm_detect_{}\": {{\"cold_ns\": {cold_ns}, \"warm_ns\": {warm_ns}}}",
+            format.name()
+        ));
+    }
+    entries.extend(latency);
+
+    let json = format!(
+        "{{\n  \"bench\": \"posting_v2\",\n  \"pattern_len\": 8, \"batch\": 25,\n{}\n}}\n",
+        entries.join(",\n")
+    );
+    // Workspace root, next to the other results_* baselines.
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../results_posting_v2.json");
+    if let Err(e) = std::fs::write(path, json) {
+        eprintln!("could not write {path}: {e}");
+    }
+}
+
+criterion_group!(benches, bench_posting_v2);
+
+fn main() {
+    benches();
+    write_baseline();
+}

@@ -19,11 +19,23 @@ pub fn run(cmd: Command) -> Result<(), CliError> {
         Command::Gen { profile, random, scale, seed, out } => {
             gen(profile, random, scale, seed, &out)
         }
-        Command::Index { input, store, policy, method, threads, partition_period, durability } => {
+        Command::Index {
+            input,
+            store,
+            policy,
+            method,
+            threads,
+            partition_period,
+            durability,
+            posting_format,
+        } => {
             let log = load_log(&input)?;
             let mut cfg = IndexConfig::new(policy).with_method(method).with_threads(threads);
             if let Some(p) = partition_period {
                 cfg = cfg.with_partition_period(p);
+            }
+            if let Some(f) = posting_format {
+                cfg = cfg.with_posting_format(f);
             }
             let disk = Arc::new(open_store(&store, durability, None)?);
             let mut indexer = Indexer::with_store(disk.clone(), cfg)?;
@@ -44,6 +56,7 @@ pub fn run(cmd: Command) -> Result<(), CliError> {
             let disk = Arc::new(DiskStore::open(&store)?);
             let engine = QueryEngine::new(disk.clone())?;
             println!("store: {store}");
+            println!("posting format: {}", seqdet_core::posting_format(disk.as_ref()).name());
             println!("activities: {}", engine.catalog().num_activities());
             println!("traces: {}", engine.catalog().num_traces());
             let stats = seqdet_core::IndexStats::collect(disk.as_ref())?;

@@ -28,7 +28,15 @@
 //!    trace from above, and (in strict mode) equals their maximum, with an
 //!    entry present for every `(pair, trace)` that has postings and a live
 //!    `Seq` row.
-//! 5. **meta** — the index generation counter parses as an integer.
+//! 5. **posting-blocks** — every `Index` row decodes under the store's
+//!    persisted posting format. For block-compressed v2 rows the skip
+//!    directory must be internally consistent (offsets strictly monotone
+//!    from 0, first-keys sorted, counts non-zero and summing to the chunk
+//!    header, first/max keys matching the decoded blocks) — a torn or
+//!    inconsistent directory is reported distinctly from a block-body
+//!    decode failure — and the decoded postings must survive a re-encode
+//!    through the fixed-width v1 codec and back (the differential oracle).
+//! 6. **meta** — the index generation counter parses as an integer.
 //!
 //! ## Strict vs. bounded mode
 //!
@@ -42,10 +50,11 @@
 //! `summary.strict` in the report says which mode ran.
 
 use crate::catalog::get_meta;
-use crate::indexer::{active_index_tables, META_GENERATION, META_MIN_PARTITION};
+use crate::indexer::{active_index_tables, posting_format, META_GENERATION, META_MIN_PARTITION};
+use crate::postings::{validate_v2_row, PostingFormat, V2RowError};
 use crate::tables::{
-    decode_counts, decode_events, decode_last_checked, decode_postings, COUNT, LAST_CHECKED,
-    RCOUNT, SEQ,
+    decode_counts, decode_events, decode_last_checked, decode_postings, encode_postings, COUNT,
+    LAST_CHECKED, RCOUNT, SEQ,
 };
 use crate::{Catalog, PairKey, Result};
 use seqdet_log::{Activity, TraceId, Ts};
@@ -57,8 +66,8 @@ use seqdet_storage::{FxHashMap, FxHashSet, KvStore};
 pub const MAX_VIOLATIONS: usize = 1000;
 
 /// Names of all checks the auditor runs, in execution order.
-pub const CHECKS: [&str; 5] =
-    ["seq-bounds", "count-index", "reverse-transpose", "last-checked", "meta"];
+pub const CHECKS: [&str; 6] =
+    ["seq-bounds", "posting-blocks", "count-index", "reverse-transpose", "last-checked", "meta"];
 
 /// One invariant violation found in a store.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -274,6 +283,7 @@ pub fn audit_store<S: KvStore>(store: &S) -> Result<AuditReport> {
     // Index: re-derive per-pair aggregates and per-(pair, trace) maxima.
     // ------------------------------------------------------------------
     let tables = active_index_tables(store);
+    let format = posting_format(store);
     report.summary.partitions = tables.len();
     let mut pair_agg: FxHashMap<PairKey, PairAgg> = FxHashMap::default();
     let mut pair_trace_max: FxHashMap<(PairKey, TraceId), Ts> = FxHashMap::default();
@@ -291,17 +301,62 @@ pub fn audit_store<S: KvStore>(store: &S) -> Result<AuditReport> {
             let pair = PairKey::from_le_bytes(key);
             let (a, b) = Activity::unpack_pair(pair);
             let pretty = || pair_name(&catalog, pair);
-            let postings = match decode_postings(&row) {
-                Ok(p) => p,
-                Err(e) => {
-                    report.push(Violation {
-                        check: "seq-bounds",
-                        table: "Index",
-                        key: pretty(),
-                        detail: format!("row failed to decode: {e}"),
-                    });
-                    continue;
-                }
+            let postings = match format {
+                PostingFormat::V1 => match decode_postings(&row) {
+                    Ok(p) => p,
+                    Err(e) => {
+                        report.push(Violation {
+                            check: "posting-blocks",
+                            table: "Index",
+                            key: pretty(),
+                            detail: format!("row failed to decode: {e}"),
+                        });
+                        continue;
+                    }
+                },
+                // v2 rows get the full directory validation plus a
+                // differential round-trip through the v1 oracle codec.
+                PostingFormat::V2 => match validate_v2_row(&row) {
+                    Ok(p) => {
+                        let mut oracle_row = Vec::with_capacity(p.len() * 20);
+                        for posting in &p {
+                            oracle_row.extend_from_slice(&encode_postings(
+                                posting.trace,
+                                &[(posting.ts_a, posting.ts_b)],
+                            ));
+                        }
+                        if decode_postings(&oracle_row).ok().as_deref() != Some(&p[..]) {
+                            report.push(Violation {
+                                check: "posting-blocks",
+                                table: "Index",
+                                key: pretty(),
+                                detail: "v2 postings do not round-trip through the v1 \
+                                         oracle codec"
+                                    .into(),
+                            });
+                            continue;
+                        }
+                        p
+                    }
+                    Err(V2RowError::TornDirectory(m)) => {
+                        report.push(Violation {
+                            check: "posting-blocks",
+                            table: "Index",
+                            key: pretty(),
+                            detail: format!("torn block directory: {m}"),
+                        });
+                        continue;
+                    }
+                    Err(V2RowError::BadBlock(m)) => {
+                        report.push(Violation {
+                            check: "posting-blocks",
+                            table: "Index",
+                            key: pretty(),
+                            detail: format!("row failed to decode: {m}"),
+                        });
+                        continue;
+                    }
+                },
             };
             let agg = pair_agg.entry(pair).or_default();
             for p in &postings {
@@ -722,6 +777,21 @@ mod tests {
         Activity::pair_key(ix.catalog().activity(a).unwrap(), ix.catalog().activity(b).unwrap())
     }
 
+    /// Encode postings in whatever format `store` persists — corruption
+    /// injected by tests must match the store's own row layout.
+    fn encode_for(store: &MemStore, postings: &[crate::tables::Posting]) -> Vec<u8> {
+        match posting_format(store) {
+            PostingFormat::V1 => {
+                let mut row = Vec::new();
+                for p in postings {
+                    row.extend_from_slice(&encode_postings(p.trace, &[(p.ts_a, p.ts_b)]));
+                }
+                row
+            }
+            PostingFormat::V2 => crate::postings::encode_postings_v2(postings),
+        }
+    }
+
     #[test]
     fn freshly_indexed_store_audits_clean() {
         let (_, store) = indexed_store();
@@ -803,9 +873,9 @@ mod tests {
         let (ix, store) = indexed_store();
         let key = pair(&ix, "A", "B");
         // Append a posting whose events t1 never contained.
-        store
-            .append(INDEX, &pair_key_bytes(key), &encode_postings(TraceId(0), &[(70, 71)]))
-            .unwrap();
+        let foreign =
+            encode_for(&store, &[crate::tables::Posting { trace: TraceId(0), ts_a: 70, ts_b: 71 }]);
+        store.append(INDEX, &pair_key_bytes(key), &foreign).unwrap();
         let report = audit_store(store.as_ref()).unwrap();
         let seq_violations: Vec<_> =
             report.violations.iter().filter(|v| v.check == "seq-bounds").collect();
@@ -844,9 +914,81 @@ mod tests {
     fn undecodable_rows_are_violations_not_errors() {
         let (ix, store) = indexed_store();
         let key = pair(&ix, "A", "B");
+        store.put(INDEX, &pair_key_bytes(key), &[1, 2, 3]).unwrap(); // garbage row
+        let report = audit_store(store.as_ref()).unwrap();
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| v.check == "posting-blocks" && v.table == "Index"));
+    }
+
+    #[test]
+    fn v1_store_reports_decode_failures() {
+        let mut b = EventLogBuilder::new();
+        b.add("t", "A", 1).add("t", "B", 2);
+        let cfg =
+            IndexConfig::new(Policy::SkipTillNextMatch).with_posting_format(PostingFormat::V1);
+        let mut ix = Indexer::new(cfg);
+        ix.index_log(&b.build()).unwrap();
+        let store = ix.store();
+        let key = pair(&ix, "A", "B");
         store.put(INDEX, &pair_key_bytes(key), &[1, 2, 3]).unwrap(); // torn record
         let report = audit_store(store.as_ref()).unwrap();
-        assert!(report.violations.iter().any(|v| v.detail.contains("failed to decode")));
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| v.check == "posting-blocks" && v.detail.contains("failed to decode")));
+    }
+
+    #[test]
+    fn torn_v2_directory_gets_a_distinct_finding() {
+        let (ix, store) = indexed_store();
+        assert_eq!(posting_format(store.as_ref()), PostingFormat::V2);
+        let key = pair(&ix, "A", "B");
+        let good = store.get(INDEX, &pair_key_bytes(key)).unwrap();
+        // Truncate inside the chunk header/directory: a torn directory.
+        store.put(INDEX, &pair_key_bytes(key), &good[..3]).unwrap();
+        let report = audit_store(store.as_ref()).unwrap();
+        assert!(
+            report
+                .violations
+                .iter()
+                .any(|v| v.check == "posting-blocks" && v.detail.contains("torn block directory")),
+            "{report:?}"
+        );
+        // A corrupted block *body* is reported as a decode failure instead.
+        let mut bad = good.to_vec();
+        let last = bad.len() - 1;
+        bad[last] ^= 0x80;
+        store.put(INDEX, &pair_key_bytes(key), &bad).unwrap();
+        let report = audit_store(store.as_ref()).unwrap();
+        assert!(
+            report.violations.iter().any(|v| v.check == "posting-blocks"
+                && v.detail.contains("failed to decode")
+                && !v.detail.contains("torn block directory")),
+            "{report:?}"
+        );
+    }
+
+    #[test]
+    fn both_formats_audit_clean_end_to_end() {
+        for format in [PostingFormat::V1, PostingFormat::V2] {
+            let mut b = EventLogBuilder::new();
+            for (act, ts) in [("A", 1), ("A", 2), ("B", 3), ("A", 4), ("B", 5), ("A", 6)] {
+                b.add("t1", act, ts);
+            }
+            b.add("t2", "A", 1).add("t2", "B", 2);
+            let cfg = IndexConfig::new(Policy::SkipTillNextMatch).with_posting_format(format);
+            let mut ix = Indexer::new(cfg);
+            ix.index_log(&b.build()).unwrap();
+            // A second batch appends another chunk to existing rows.
+            let mut b2 = EventLogBuilder::new();
+            b2.add("t1", "B", 9).add("t2", "A", 7);
+            ix.index_log(&b2.build()).unwrap();
+            let report = audit_store(ix.store().as_ref()).unwrap();
+            assert!(report.ok(), "{format:?}: {:?}", report.violations);
+            assert!(report.summary.postings > 0);
+        }
     }
 
     #[test]

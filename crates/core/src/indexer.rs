@@ -27,9 +27,10 @@
 use crate::catalog::{get_meta, put_meta, Catalog};
 use crate::pairs::{create_pairs, PairKey, TracePairs};
 use crate::policy::{Policy, StnmMethod};
+use crate::postings::{encode_postings_v2, PostingFormat};
 use crate::tables::{
     self, append_seq, index_partition, merge_counts, merge_last_checked, read_last_checked,
-    read_seq, COUNT, INDEX, LAST_CHECKED, MAX_PARTITIONS, RCOUNT, SEQ,
+    read_seq, Posting, COUNT, INDEX, LAST_CHECKED, MAX_PARTITIONS, RCOUNT, SEQ,
 };
 use crate::{CoreError, Result};
 use seqdet_exec::Executor;
@@ -43,6 +44,20 @@ const META_PERIOD: &str = "config:partition_period";
 pub(crate) const META_NUM_PARTITIONS: &str = "config:num_partitions";
 pub(crate) const META_MIN_PARTITION: &str = "config:min_partition";
 pub(crate) const META_GENERATION: &str = "config:index_generation";
+pub(crate) const META_POSTING_FORMAT: &str = "config:posting_format";
+
+/// Environment override for the posting format of *freshly created*
+/// indexes (`v1` or `v2`); anything else falls back to the built-in
+/// default. Existing stores always keep their persisted format. CI uses
+/// this to run the whole integration suite against the legacy layout.
+pub const POSTING_FORMAT_ENV: &str = "SEQDET_POSTING_FORMAT";
+
+fn default_posting_format() -> PostingFormat {
+    std::env::var(POSTING_FORMAT_ENV)
+        .ok()
+        .and_then(|s| PostingFormat::from_name(&s))
+        .unwrap_or_default()
+}
 
 /// Indexer configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -56,13 +71,24 @@ pub struct IndexConfig {
     /// Optional §3.1.3 period partitioning: width (in timestamp units) of
     /// each `Index` partition. `None` keeps a single `Index` table.
     pub partition_period: Option<Ts>,
+    /// `Index` row encoding for freshly created stores. `None` defers to
+    /// the store's persisted format (reopen) or to the default
+    /// ([`PostingFormat::V2`], overridable via [`POSTING_FORMAT_ENV`]) for
+    /// fresh stores. `Some(_)` on reopen must match the persisted format.
+    pub posting_format: Option<PostingFormat>,
 }
 
 impl IndexConfig {
     /// Default configuration for `policy`: *Indexing* flavor, all cores,
     /// single `Index` table.
     pub fn new(policy: Policy) -> Self {
-        Self { policy, method: StnmMethod::Indexing, threads: 0, partition_period: None }
+        Self {
+            policy,
+            method: StnmMethod::Indexing,
+            threads: 0,
+            partition_period: None,
+            posting_format: None,
+        }
     }
 
     /// Select the STNM pair-creation flavor.
@@ -81,6 +107,12 @@ impl IndexConfig {
     pub fn with_partition_period(mut self, period: Ts) -> Self {
         assert!(period > 0, "partition period must be positive");
         self.partition_period = Some(period);
+        self
+    }
+
+    /// Pin the `Index` posting-row encoding (see [`PostingFormat`]).
+    pub fn with_posting_format(mut self, format: PostingFormat) -> Self {
+        self.posting_format = Some(format);
         self
     }
 }
@@ -118,6 +150,8 @@ pub struct Indexer<S: KvStore = MemStore> {
     catalog: Catalog,
     executor: Executor,
     num_partitions: u32,
+    /// The resolved (persisted) posting-row encoding — sticky per store.
+    format: PostingFormat,
 }
 
 impl Indexer<MemStore> {
@@ -133,24 +167,29 @@ impl<S: KvStore> Indexer<S> {
     /// its persisted configuration must match `config` (you cannot reopen an
     /// SC index as STNM — the stored pairs would be wrong).
     pub fn with_store(store: Arc<S>, config: IndexConfig) -> Result<Self> {
-        if let Some(stored) = read_config(&store) {
+        let format = if let Some(stored) = read_config(&store) {
             if stored.policy != config.policy
                 || (config.policy == Policy::SkipTillNextMatch && stored.method != config.method)
                 || stored.partition_period != config.partition_period
+                || config.posting_format.is_some_and(|f| stored.posting_format != Some(f))
             {
                 return Err(CoreError::ConfigMismatch {
                     stored: format!("{stored:?}"),
                     requested: format!("{config:?}"),
                 });
             }
+            // Stores written before the format key existed read as v1.
+            stored.posting_format.unwrap_or(PostingFormat::V1)
         } else {
-            write_config(&store, &config)?;
-        }
+            let format = config.posting_format.unwrap_or_else(default_posting_format);
+            write_config(&store, &config, format)?;
+            format
+        };
         let catalog = Catalog::load(&store)?;
         let num_partitions =
             get_meta(&store, META_NUM_PARTITIONS).and_then(|s| s.parse().ok()).unwrap_or(0);
         let executor = Executor::new(config.threads);
-        Ok(Self { store, config, catalog, executor, num_partitions })
+        Ok(Self { store, config, catalog, executor, num_partitions, format })
     }
 
     /// Reopen an indexer using the configuration persisted in the store.
@@ -179,6 +218,11 @@ impl<S: KvStore> Indexer<S> {
     /// The active configuration.
     pub fn config(&self) -> &IndexConfig {
         &self.config
+    }
+
+    /// The resolved posting-row encoding this indexer writes.
+    pub fn posting_format(&self) -> PostingFormat {
+        self.format
     }
 
     /// Index one batch of new events. The whole `log` is treated as the
@@ -324,31 +368,51 @@ impl<S: KvStore> Indexer<S> {
 
         // 5b. Index postings, grouped by pair key → one append per
         //     (pair, partition). Parallel across pair keys: each key is
-        //     written by exactly one worker.
+        //     written by exactly one worker. v2 appends sort the batch's
+        //     postings by trace first: per-trace timestamp order is kept
+        //     (stable sort) and every appended chunk gets sorted directory
+        //     first-keys, which `seek` and the auditor rely on.
         let period = self.config.partition_period;
-        let max_parts = self.executor.map(groups, |(key, occs)| -> Result<u32> {
-            let mut max_part = 0u32;
-            match period {
-                None => {
+        let format = self.format;
+        let encode = move |occs: &[(TraceId, Ts, Ts)]| -> Vec<u8> {
+            match format {
+                PostingFormat::V1 => {
                     let mut enc = Vec::with_capacity(occs.len() * 20);
                     for &(t, a, b) in occs {
                         enc.extend_from_slice(&tables::encode_postings(t, &[(a, b)]));
                     }
-                    store.append(INDEX, &tables::pair_key_bytes(*key), &enc)?;
+                    enc
+                }
+                PostingFormat::V2 => {
+                    let mut ps: Vec<Posting> = occs
+                        .iter()
+                        .map(|&(t, a, b)| Posting { trace: t, ts_a: a, ts_b: b })
+                        .collect();
+                    ps.sort_by_key(|p| p.trace);
+                    encode_postings_v2(&ps)
+                }
+            }
+        };
+        let max_parts = self.executor.map(groups, |(key, occs)| -> Result<u32> {
+            let mut max_part = 0u32;
+            match period {
+                None => {
+                    store.append(INDEX, &tables::pair_key_bytes(*key), &encode(occs))?;
                 }
                 Some(p) => {
                     // Partition by completion timestamp.
-                    let mut parts: FxHashMap<u32, Vec<u8>> = FxHashMap::default();
-                    for &(t, a, b) in occs {
-                        let part = ((b / p) as u32).min(MAX_PARTITIONS - 1);
+                    let mut parts: FxHashMap<u32, PairOccurrences> = FxHashMap::default();
+                    for &occ in occs {
+                        let part = ((occ.2 / p) as u32).min(MAX_PARTITIONS - 1);
                         max_part = max_part.max(part);
-                        parts
-                            .entry(part)
-                            .or_default()
-                            .extend_from_slice(&tables::encode_postings(t, &[(a, b)]));
+                        parts.entry(part).or_default().push(occ);
                     }
-                    for (part, enc) in parts {
-                        store.append(index_partition(part), &tables::pair_key_bytes(*key), &enc)?;
+                    for (part, occs) in parts {
+                        store.append(
+                            index_partition(part),
+                            &tables::pair_key_bytes(*key),
+                            &encode(&occs),
+                        )?;
                     }
                 }
             }
@@ -500,16 +564,31 @@ fn read_config<S: KvStore>(store: &S) -> Option<IndexConfig> {
         Some(s) => Some(s.parse().ok()?),
         None => None,
     };
-    Some(IndexConfig { policy, method, threads: 0, partition_period })
+    // Stores that predate the posting-format key are v1 by construction.
+    let posting_format = Some(
+        get_meta(store, META_POSTING_FORMAT)
+            .and_then(|s| PostingFormat::from_name(&s))
+            .unwrap_or(PostingFormat::V1),
+    );
+    Some(IndexConfig { policy, method, threads: 0, partition_period, posting_format })
 }
 
-fn write_config<S: KvStore>(store: &S, config: &IndexConfig) -> Result<()> {
+fn write_config<S: KvStore>(store: &S, config: &IndexConfig, format: PostingFormat) -> Result<()> {
     put_meta(store, META_POLICY, config.policy.name())?;
     put_meta(store, META_METHOD, config.method.name())?;
     if let Some(p) = config.partition_period {
         put_meta(store, META_PERIOD, &p.to_string())?;
     }
+    put_meta(store, META_POSTING_FORMAT, format.name())?;
     Ok(())
+}
+
+/// The persisted `Index` posting-row encoding of a store. Stores written
+/// before the format existed (or never indexed) read as [`PostingFormat::V1`].
+pub fn posting_format<S: KvStore>(store: &S) -> PostingFormat {
+    get_meta(store, META_POSTING_FORMAT)
+        .and_then(|s| PostingFormat::from_name(&s))
+        .unwrap_or(PostingFormat::V1)
 }
 
 /// Monotonic counter bumped by every mutation of the indexed contents —

@@ -22,6 +22,10 @@
 //! * [`indexer`] — Algorithm 1: batched, duplicate-free index maintenance,
 //!   parallelized per trace; plus the §3.1.3 extensions (period partitioning
 //!   of the `Index` table, pruning of completed traces).
+//! * [`postings`] — the block-compressed v2 `Index` row format (delta +
+//!   varint packing with a per-row skip directory) and the seekable,
+//!   format-dispatching posting cursors. The fixed-width v1 codec in
+//!   [`tables`] stays as the differential-testing oracle.
 
 pub mod audit;
 pub mod catalog;
@@ -29,15 +33,17 @@ pub mod error;
 pub mod indexer;
 pub mod pairs;
 pub mod policy;
+pub mod postings;
 pub mod stats;
 pub mod tables;
 
 pub use audit::{audit_disk, audit_store, AuditReport, AuditSummary, DiskAuditOutcome, Violation};
 pub use catalog::Catalog;
 pub use error::CoreError;
-pub use indexer::{index_generation, IndexConfig, Indexer, UpdateStats};
+pub use indexer::{index_generation, posting_format, IndexConfig, Indexer, UpdateStats};
 pub use pairs::{create_pairs, PairKey, TracePairs};
 pub use policy::{Policy, StnmMethod};
+pub use postings::{IndexPostingCursor, PostingCursorV2, PostingFormat};
 pub use stats::IndexStats;
 
 /// Crate-wide result alias.

@@ -1,0 +1,829 @@
+//! Block-compressed (v2) `Index` posting rows with seekable cursors.
+//!
+//! The v1 row format (`tables::encode_postings`) spends a fixed 20 bytes per
+//! posting. Pair postings are monotone-per-trace and written trace-sorted by
+//! the indexer, so the classic inverted-index layout — delta encoding +
+//! varints in fixed-size blocks, with a skip directory per row — compresses
+//! them several-fold *and* lets a reader jump over whole blocks when looking
+//! for a trace (`seek`), instead of linearly decoding everything before it.
+//!
+//! ## Row layout
+//!
+//! `Index` rows grow strictly by byte append (one append per batch), so a v2
+//! row is a sequence of self-delimiting **chunks**, one per append:
+//!
+//! ```text
+//! chunk := [0xF2]                          version tag
+//!          [varint num_postings]           postings in this chunk (≥ 1)
+//!          [varint num_blocks]             directory entries (≥ 1)
+//!          [varint body_len]               bytes of block bodies
+//!          directory × num_blocks          skip directory
+//!          body      × body_len            delta/varint-packed postings
+//!
+//! directory entry (per block):
+//!          [varint first_trace]            trace of the block's 1st posting
+//!          [varint max_trace − first_trace] upper bound for seek-skip
+//!          [varint offset_delta]           body offset − previous offset
+//!                                          (first entry stores offset 0)
+//!          [varint count]                  postings in the block (≥ 1)
+//!
+//! body (per posting, starting from (trace 0, ts_a 0) at each block start):
+//!          [zigzag-varint Δtrace][zigzag-varint Δts_a][zigzag-varint ts_b − ts_a]
+//! ```
+//!
+//! Deltas use wrapping 64-bit arithmetic, so *any* posting list round-trips
+//! bit-exactly — including unsorted traces and duplicate trace ids. Block
+//! size is [`V2_BLOCK_POSTINGS`] postings.
+//!
+//! ## Versioning and compatibility
+//!
+//! A store's posting format is a persisted configuration
+//! ([`PostingFormat`], resolved like the policy: sticky after the first
+//! write), **not** sniffed per row — a v1 row may legitimately start with
+//! the byte `0xF2`. Stores created before the format key exist read as v1,
+//! so old segments replay unchanged. `tables::decode_postings` (v1) remains
+//! the reference oracle: the property suites assert the v2 round-trip
+//! against it, and the auditor cross-checks every decoded v2 row against a
+//! v1 re-encode.
+
+use crate::error::CoreError;
+use crate::tables::{Posting, PostingCursor};
+use crate::Result;
+use bytes::Bytes;
+use seqdet_log::TraceId;
+use seqdet_storage::codec::{Dec, Enc};
+
+/// Version tag opening every v2 chunk.
+pub const V2_TAG: u8 = 0xF2;
+
+/// Postings per compressed block (the skip-directory granularity).
+pub const V2_BLOCK_POSTINGS: usize = 128;
+
+/// Minimum encoded bytes per posting (three single-byte varints) — the
+/// decoder uses it to reject directories whose counts could not possibly
+/// fit their byte span.
+const MIN_POSTING_BYTES: usize = 3;
+
+/// On-disk encoding of `Index` posting rows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PostingFormat {
+    /// Fixed 20-byte `(trace, ts_a, ts_b)` records (the original layout).
+    V1,
+    /// Block-compressed chunks with a per-chunk skip directory.
+    #[default]
+    V2,
+}
+
+impl PostingFormat {
+    /// Stable name, as persisted in `Meta` and accepted by the CLI.
+    pub fn name(self) -> &'static str {
+        match self {
+            PostingFormat::V1 => "v1",
+            PostingFormat::V2 => "v2",
+        }
+    }
+
+    /// Inverse of [`PostingFormat::name`].
+    pub fn from_name(s: &str) -> Option<Self> {
+        match s {
+            "v1" => Some(PostingFormat::V1),
+            "v2" => Some(PostingFormat::V2),
+            _ => None,
+        }
+    }
+}
+
+/// How a v2 row failed validation. [`decode_postings_v2`] folds both cases
+/// into [`CoreError::Corrupt`]; the auditor keeps them apart so a torn or
+/// inconsistent skip directory gets its own finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum V2RowError {
+    /// The chunk header or skip directory is truncated, non-monotone, out
+    /// of bounds, or inconsistent with the posting counts.
+    TornDirectory(String),
+    /// A block body failed to decode (truncated varint, trace overflow, or
+    /// a block not ending exactly at the next directory offset).
+    BadBlock(String),
+}
+
+impl V2RowError {
+    fn message(&self) -> &str {
+        match self {
+            V2RowError::TornDirectory(m) | V2RowError::BadBlock(m) => m,
+        }
+    }
+}
+
+impl From<V2RowError> for CoreError {
+    fn from(e: V2RowError) -> Self {
+        CoreError::Corrupt { table: "Index", message: e.message().to_owned() }
+    }
+}
+
+fn torn<T>(msg: impl Into<String>) -> std::result::Result<T, V2RowError> {
+    Err(V2RowError::TornDirectory(msg.into()))
+}
+
+fn bad<T>(msg: impl Into<String>) -> std::result::Result<T, V2RowError> {
+    Err(V2RowError::BadBlock(msg.into()))
+}
+
+// ---------------------------------------------------------------------------
+// Encoding
+// ---------------------------------------------------------------------------
+
+/// Encode `postings` as one v2 chunk. An empty slice encodes to an empty
+/// byte string (matching v1, where no postings mean no bytes).
+pub fn encode_postings_v2(postings: &[Posting]) -> Vec<u8> {
+    if postings.is_empty() {
+        return Vec::new();
+    }
+    // Encode block bodies first; the header needs the directory + body size.
+    let mut body = Enc::with_capacity(postings.len() * 4);
+    let mut directory = Enc::new();
+    let mut prev_offset = 0u64;
+    for block in postings.chunks(V2_BLOCK_POSTINGS) {
+        let offset = body.len() as u64;
+        let first = block[0].trace.0;
+        let max = block.iter().map(|p| p.trace.0).max().unwrap_or(first);
+        directory
+            .varint(first as u64)
+            .varint((max - first) as u64)
+            .varint(offset - prev_offset)
+            .varint(block.len() as u64);
+        prev_offset = offset;
+        let (mut prev_trace, mut prev_ts_a) = (0u32, 0u64);
+        for p in block {
+            body.varint_signed(p.trace.0 as i64 - prev_trace as i64)
+                .varint_signed(p.ts_a.wrapping_sub(prev_ts_a) as i64)
+                .varint_signed(p.ts_b.wrapping_sub(p.ts_a) as i64);
+            prev_trace = p.trace.0;
+            prev_ts_a = p.ts_a;
+        }
+    }
+    let mut out = Enc::with_capacity(8 + directory.len() + body.len());
+    out.u8(V2_TAG)
+        .varint(postings.len() as u64)
+        .varint(postings.len().div_ceil(V2_BLOCK_POSTINGS) as u64)
+        .varint(body.len() as u64)
+        .bytes(directory.as_slice())
+        .bytes(body.as_slice());
+    out.into_vec()
+}
+
+// ---------------------------------------------------------------------------
+// Decoding
+// ---------------------------------------------------------------------------
+
+/// One parsed skip-directory entry: the block's byte range within the body
+/// plus the seek bounds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct DirEntry {
+    first_trace: u32,
+    max_trace: u32,
+    offset: usize,
+    count: usize,
+}
+
+/// One parsed chunk: directory plus the body's byte range within the row.
+#[derive(Debug, Clone)]
+struct Chunk {
+    num_postings: usize,
+    directory: Vec<DirEntry>,
+    /// Body range, as offsets into the row.
+    body_start: usize,
+    body_end: usize,
+    /// Offset of the byte after this chunk.
+    next_chunk: usize,
+}
+
+/// End (exclusive, relative to the body) of block `i` of `chunk`.
+fn block_end(chunk: &Chunk, i: usize) -> usize {
+    chunk.directory.get(i + 1).map(|e| e.offset).unwrap_or(chunk.body_end - chunk.body_start)
+}
+
+/// Parse and validate one chunk header + directory starting at `pos`.
+fn parse_chunk(row: &[u8], pos: usize) -> std::result::Result<Chunk, V2RowError> {
+    let mut d = Dec::new(&row[pos..]);
+    match d.u8() {
+        Some(V2_TAG) => {}
+        Some(tag) => return torn(format!("unknown posting-row version tag 0x{tag:02X}")),
+        None => return torn("empty chunk"),
+    }
+    let (Some(num_postings), Some(num_blocks), Some(body_len)) =
+        (d.varint(), d.varint(), d.varint())
+    else {
+        return torn("truncated chunk header");
+    };
+    let (num_postings, num_blocks, body_len) =
+        (num_postings as usize, num_blocks as usize, body_len as usize);
+    if num_postings == 0 || num_blocks == 0 {
+        return torn("chunk declares zero postings or zero blocks");
+    }
+    if num_blocks > num_postings {
+        return torn(format!("{num_blocks} blocks for {num_postings} postings"));
+    }
+    if num_postings.saturating_mul(MIN_POSTING_BYTES) > body_len {
+        return torn(format!("{num_postings} postings cannot fit a {body_len}-byte body"));
+    }
+    let mut directory = Vec::with_capacity(num_blocks.min(d.remaining()));
+    let mut offset = 0usize;
+    let mut total = 0usize;
+    for i in 0..num_blocks {
+        let (Some(first), Some(span), Some(delta), Some(count)) =
+            (d.varint(), d.varint(), d.varint(), d.varint())
+        else {
+            return torn(format!("torn directory: entry {i} of {num_blocks} is truncated"));
+        };
+        let Ok(first_trace) = u32::try_from(first) else {
+            return torn(format!("directory entry {i}: first trace {first} exceeds u32"));
+        };
+        let Some(max_trace) = first_trace.checked_add(u32::try_from(span).unwrap_or(u32::MAX))
+        else {
+            return torn(format!("directory entry {i}: max trace overflows u32"));
+        };
+        if i == 0 {
+            if delta != 0 {
+                return torn("directory offsets do not start at 0");
+            }
+        } else if delta == 0 {
+            return torn(format!("directory offsets not strictly monotone at entry {i}"));
+        }
+        offset += delta as usize;
+        if count == 0 {
+            return torn(format!("directory entry {i} declares an empty block"));
+        }
+        let count = count as usize;
+        if offset >= body_len || offset + count * MIN_POSTING_BYTES > body_len {
+            return torn(format!("directory entry {i} points past the chunk body"));
+        }
+        total += count;
+        directory.push(DirEntry { first_trace, max_trace, offset, count });
+    }
+    if total != num_postings {
+        return torn(format!("directory counts sum to {total}, chunk declares {num_postings}"));
+    }
+    let header_len = (row.len() - pos) - d.remaining();
+    let body_start = pos + header_len;
+    if d.remaining() < body_len {
+        return torn("truncated chunk body");
+    }
+    Ok(Chunk {
+        num_postings,
+        directory,
+        body_start,
+        body_end: body_start + body_len,
+        next_chunk: body_start + body_len,
+    })
+}
+
+/// Decode the `count` postings of one block. `body` is the chunk body;
+/// `end` is where the block must stop (the next directory offset).
+fn decode_block(
+    body: &[u8],
+    entry: DirEntry,
+    end: usize,
+) -> std::result::Result<Vec<Posting>, V2RowError> {
+    if entry.offset > end || end > body.len() {
+        return torn("block span exceeds the chunk body");
+    }
+    let mut d = Dec::new(&body[entry.offset..end]);
+    let mut out = Vec::with_capacity(entry.count);
+    let (mut prev_trace, mut prev_ts_a) = (0u32, 0u64);
+    for i in 0..entry.count {
+        let (Some(dt), Some(da), Some(db)) =
+            (d.varint_signed(), d.varint_signed(), d.varint_signed())
+        else {
+            return bad(format!("posting {i} of a block is truncated"));
+        };
+        let trace = prev_trace as i64 + dt;
+        let Ok(trace) = u32::try_from(trace) else {
+            return bad(format!("posting {i}: trace delta leaves the u32 range"));
+        };
+        let ts_a = prev_ts_a.wrapping_add(da as u64);
+        let ts_b = ts_a.wrapping_add(db as u64);
+        out.push(Posting { trace: TraceId(trace), ts_a, ts_b });
+        prev_trace = trace;
+        prev_ts_a = ts_a;
+    }
+    if !d.is_done() {
+        return bad("block does not end at the next directory offset");
+    }
+    Ok(out)
+}
+
+/// Decode a whole v2 `Index` row (any number of appended chunks). The
+/// inverse of [`encode_postings_v2`] — equal, posting for posting, to what
+/// [`crate::tables::decode_postings`] returns for the v1 encoding of the
+/// same list (the oracle relation the property suite pins down).
+pub fn decode_postings_v2(row: &[u8]) -> Result<Vec<Posting>> {
+    let mut out = Vec::new();
+    let mut pos = 0usize;
+    while pos < row.len() {
+        let chunk = parse_chunk(row, pos)?;
+        out.reserve(chunk.num_postings);
+        let body = &row[chunk.body_start..chunk.body_end];
+        for (i, &entry) in chunk.directory.iter().enumerate() {
+            let decoded = decode_block(body, entry, block_end(&chunk, i))?;
+            if let Some(first) = decoded.first() {
+                if first.trace.0 != entry.first_trace {
+                    return Err(V2RowError::TornDirectory(format!(
+                        "directory first-trace {} disagrees with block ({})",
+                        entry.first_trace, first.trace.0
+                    ))
+                    .into());
+                }
+            }
+            if let Some(max) = decoded.iter().map(|p| p.trace.0).max() {
+                if max != entry.max_trace {
+                    return Err(V2RowError::TornDirectory(format!(
+                        "directory max-trace {} disagrees with block ({max})",
+                        entry.max_trace
+                    ))
+                    .into());
+                }
+            }
+            out.extend(decoded);
+        }
+        pos = chunk.next_chunk;
+    }
+    Ok(out)
+}
+
+/// Validate a v2 row the way the auditor needs it: every directory
+/// invariant (offsets strictly monotone from 0, counts non-empty and
+/// consistent, first/max keys matching the blocks) plus, for rows written
+/// by the indexer, **first-keys sorted** across the blocks of each chunk.
+/// Returns the decoded postings so callers audit content without a second
+/// decode pass.
+pub fn validate_v2_row(row: &[u8]) -> std::result::Result<Vec<Posting>, V2RowError> {
+    let mut out = Vec::new();
+    let mut pos = 0usize;
+    while pos < row.len() {
+        let chunk = parse_chunk(row, pos)?;
+        let body = &row[chunk.body_start..chunk.body_end];
+        let mut prev_first: Option<u32> = None;
+        for (i, &entry) in chunk.directory.iter().enumerate() {
+            if prev_first.is_some_and(|p| entry.first_trace < p) {
+                return torn(format!("directory first-keys not sorted at entry {i}"));
+            }
+            prev_first = Some(entry.first_trace);
+            let decoded = decode_block(body, entry, block_end(&chunk, i))?;
+            match decoded.first() {
+                Some(first) if first.trace.0 != entry.first_trace => {
+                    return torn(format!(
+                        "directory first-trace {} disagrees with block ({})",
+                        entry.first_trace, first.trace.0
+                    ));
+                }
+                _ => {}
+            }
+            match decoded.iter().map(|p| p.trace.0).max() {
+                Some(max) if max != entry.max_trace => {
+                    return torn(format!(
+                        "directory max-trace {} disagrees with block ({max})",
+                        entry.max_trace
+                    ));
+                }
+                _ => {}
+            }
+            out.extend(decoded);
+        }
+        pos = chunk.next_chunk;
+    }
+    Ok(out)
+}
+
+// ---------------------------------------------------------------------------
+// Seekable cursor
+// ---------------------------------------------------------------------------
+
+/// Progress through one block's body bytes.
+#[derive(Debug, Clone)]
+struct BlockState {
+    entry: DirEntry,
+    /// Next unread byte, relative to the chunk body.
+    at: usize,
+    /// End of the block, relative to the chunk body.
+    end: usize,
+    /// Postings already yielded from this block.
+    yielded: usize,
+    prev_trace: u32,
+    prev_ts_a: u64,
+}
+
+/// Zero-copy streaming cursor over a v2 `Index` row.
+///
+/// Iterates postings in stored order, like [`PostingCursor`] does for v1
+/// rows; a torn row yields one `Err` and then terminates. The extra power
+/// is [`PostingCursorV2::seek`]: advancing to the next posting with
+/// `trace >= t` *skips whole blocks* via the chunk skip directories —
+/// blocks whose directory `max_trace` is below `t` are never decoded.
+#[derive(Debug, Clone)]
+pub struct PostingCursorV2 {
+    row: Bytes,
+    /// Offset of the next unparsed chunk.
+    pos: usize,
+    chunk: Option<Chunk>,
+    /// Index of the current block within the current chunk.
+    block_idx: usize,
+    block: Option<BlockState>,
+    /// A posting decoded by `seek` but not yet handed out.
+    pending: Option<Posting>,
+    failed: bool,
+}
+
+impl PostingCursorV2 {
+    /// Cursor over a raw v2 `Index` row.
+    pub fn new(row: Bytes) -> Self {
+        PostingCursorV2 {
+            row,
+            pos: 0,
+            chunk: None,
+            block_idx: 0,
+            block: None,
+            pending: None,
+            failed: false,
+        }
+    }
+
+    /// Cursor over no postings.
+    pub fn empty() -> Self {
+        Self::new(Bytes::new())
+    }
+
+    fn fail(&mut self, e: V2RowError) -> Option<Result<Posting>> {
+        self.failed = true;
+        Some(Err(e.into()))
+    }
+
+    /// Enter the next block that has postings left, parsing the next chunk
+    /// when the current one is exhausted. `Ok(false)` means end of row.
+    fn advance(&mut self) -> std::result::Result<bool, V2RowError> {
+        loop {
+            if let Some(b) = &self.block {
+                if b.yielded < b.entry.count {
+                    return Ok(true);
+                }
+                self.block = None;
+                self.block_idx += 1;
+            }
+            if let Some(chunk) = &self.chunk {
+                if let Some(&entry) = chunk.directory.get(self.block_idx) {
+                    let end = block_end(chunk, self.block_idx);
+                    self.block = Some(BlockState {
+                        entry,
+                        at: entry.offset,
+                        end,
+                        yielded: 0,
+                        prev_trace: 0,
+                        prev_ts_a: 0,
+                    });
+                    continue;
+                }
+                self.pos = chunk.next_chunk;
+                self.chunk = None;
+                self.block_idx = 0;
+            }
+            if self.pos >= self.row.len() {
+                return Ok(false);
+            }
+            self.chunk = Some(parse_chunk(&self.row, self.pos)?);
+        }
+    }
+
+    /// Decode the next posting of the current block (which must exist and
+    /// have postings left).
+    fn decode_next(&mut self) -> std::result::Result<Posting, V2RowError> {
+        // xtask-lint: allow(no-panic): advance() == Ok(true) guarantees a chunk; an unreachable-state guard, not an input check.
+        let chunk = self.chunk.as_ref().expect("advance() parsed a chunk");
+        // xtask-lint: allow(no-panic): advance() == Ok(true) guarantees a block; an unreachable-state guard, not an input check.
+        let block = self.block.as_mut().expect("advance() entered a block");
+        let body = &self.row[chunk.body_start..chunk.body_end];
+        let mut d = Dec::new(&body[block.at..block.end]);
+        let before = d.remaining();
+        let (Some(dt), Some(da), Some(db)) =
+            (d.varint_signed(), d.varint_signed(), d.varint_signed())
+        else {
+            return bad(format!("posting {} of a block is truncated", block.yielded))?;
+        };
+        let trace = block.prev_trace as i64 + dt;
+        let Ok(trace) = u32::try_from(trace) else {
+            return bad(format!("posting {}: trace delta leaves the u32 range", block.yielded))?;
+        };
+        let ts_a = block.prev_ts_a.wrapping_add(da as u64);
+        let ts_b = ts_a.wrapping_add(db as u64);
+        block.at += before - d.remaining();
+        block.yielded += 1;
+        block.prev_trace = trace;
+        block.prev_ts_a = ts_a;
+        if block.yielded == block.entry.count && block.at != block.end {
+            return bad("block does not end at the next directory offset")?;
+        }
+        Ok(Posting { trace: TraceId(trace), ts_a, ts_b })
+    }
+
+    /// Advance the cursor so the next yielded posting is the first one *in
+    /// stored order, at or after the current position* with `trace >= t`.
+    /// Blocks whose directory upper bound is below `t` are skipped without
+    /// decoding; returns the posting (also re-yielded by the following
+    /// `next()` call — `seek` positions, it does not consume). `None` when
+    /// no such posting remains.
+    pub fn seek(&mut self, t: TraceId) -> Option<Result<Posting>> {
+        if let Some(p) = self.pending {
+            if p.trace >= t {
+                return Some(Ok(p));
+            }
+            self.pending = None;
+        }
+        if self.failed {
+            return None;
+        }
+        loop {
+            match self.advance() {
+                Ok(true) => {}
+                Ok(false) => return None,
+                Err(e) => return self.fail(e),
+            }
+            {
+                // xtask-lint: allow(no-panic): advance() == Ok(true) guarantees a current block; unreachable-state guard.
+                let block = self.block.as_ref().expect("advance() entered a block");
+                // The whole block is below the seek key: skip it undecoded.
+                // (Only valid from the block's start — mid-block the delta
+                // chain is already partially consumed.)
+                if block.yielded == 0 && block.entry.max_trace < t.0 {
+                    // xtask-lint: allow(no-panic): block was just borrowed from self.block; unreachable-state guard.
+                    let b = self.block.as_mut().expect("current block exists");
+                    b.yielded = b.entry.count;
+                    b.at = b.end;
+                    continue;
+                }
+            }
+            match self.decode_next() {
+                Ok(p) if p.trace >= t => {
+                    self.pending = Some(p);
+                    return Some(Ok(p));
+                }
+                Ok(_) => continue,
+                Err(e) => return self.fail(e),
+            }
+        }
+    }
+}
+
+impl Iterator for PostingCursorV2 {
+    type Item = Result<Posting>;
+
+    fn next(&mut self) -> Option<Result<Posting>> {
+        if let Some(p) = self.pending.take() {
+            return Some(Ok(p));
+        }
+        if self.failed {
+            return None;
+        }
+        match self.advance() {
+            Ok(true) => {}
+            Ok(false) => return None,
+            Err(e) => return self.fail(e),
+        }
+        match self.decode_next() {
+            Ok(p) => Some(Ok(p)),
+            Err(e) => self.fail(e),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Format dispatch
+// ---------------------------------------------------------------------------
+
+/// A posting cursor over either row format. Readers that hold the store's
+/// resolved [`PostingFormat`] use this to stay format-agnostic.
+#[derive(Debug, Clone)]
+pub enum IndexPostingCursor {
+    /// Fixed-width v1 records.
+    V1(PostingCursor),
+    /// Block-compressed v2 chunks.
+    V2(PostingCursorV2),
+}
+
+impl IndexPostingCursor {
+    /// Cursor over a raw row of the given format.
+    pub fn over(format: PostingFormat, row: Bytes) -> Self {
+        match format {
+            PostingFormat::V1 => IndexPostingCursor::V1(PostingCursor::new(row)),
+            PostingFormat::V2 => IndexPostingCursor::V2(PostingCursorV2::new(row)),
+        }
+    }
+
+    /// Cursor over no postings.
+    pub fn empty(format: PostingFormat) -> Self {
+        Self::over(format, Bytes::new())
+    }
+
+    /// Advance to the next posting with `trace >= t` (stored order); see
+    /// [`PostingCursor::seek`] / [`PostingCursorV2::seek`].
+    pub fn seek(&mut self, t: TraceId) -> Option<Result<Posting>> {
+        match self {
+            IndexPostingCursor::V1(c) => c.seek(t),
+            IndexPostingCursor::V2(c) => c.seek(t),
+        }
+    }
+}
+
+impl Iterator for IndexPostingCursor {
+    type Item = Result<Posting>;
+
+    fn next(&mut self) -> Option<Result<Posting>> {
+        match self {
+            IndexPostingCursor::V1(c) => c.next(),
+            IndexPostingCursor::V2(c) => c.next(),
+        }
+    }
+}
+
+/// Decode a whole `Index` row of the given format — the format-dispatching
+/// sibling of [`crate::tables::decode_postings`].
+pub fn decode_index_row(format: PostingFormat, row: &[u8]) -> Result<Vec<Posting>> {
+    match format {
+        PostingFormat::V1 => crate::tables::decode_postings(row),
+        PostingFormat::V2 => decode_postings_v2(row),
+    }
+}
+
+/// Open a format-aware cursor over the postings of `key` in one `Index`
+/// table; a missing row behaves as an empty posting list.
+pub fn index_posting_cursor<S: seqdet_storage::KvStore>(
+    store: &S,
+    format: PostingFormat,
+    table: seqdet_storage::TableId,
+    key: crate::pairs::PairKey,
+) -> IndexPostingCursor {
+    match store.get(table, &crate::tables::pair_key_bytes(key)) {
+        Some(row) => IndexPostingCursor::over(format, row),
+        None => IndexPostingCursor::empty(format),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tables::{decode_postings, encode_postings};
+
+    fn p(trace: u32, ts_a: u64, ts_b: u64) -> Posting {
+        Posting { trace: TraceId(trace), ts_a, ts_b }
+    }
+
+    fn v1_row(postings: &[Posting]) -> Vec<u8> {
+        let mut row = Vec::new();
+        for posting in postings {
+            row.extend_from_slice(&encode_postings(posting.trace, &[(posting.ts_a, posting.ts_b)]));
+        }
+        row
+    }
+
+    #[test]
+    fn roundtrip_matches_v1_oracle() {
+        let lists: Vec<Vec<Posting>> = vec![
+            vec![],
+            vec![p(0, 0, 0)],
+            vec![p(3, 1, 5), p(3, 9, 12), p(4, 2, 3)],
+            vec![p(7, 10, 20); 5],          // duplicate traces
+            vec![p(9, 5, 2)],               // ts_b < ts_a still round-trips
+            vec![p(u32::MAX, u64::MAX, 0)], // extreme wrapping deltas
+            (0..300).map(|i| p(i, i as u64 * 10, i as u64 * 10 + 1)).collect(), // multi-block
+        ];
+        for list in lists {
+            let enc = encode_postings_v2(&list);
+            let dec = decode_postings_v2(&enc).unwrap();
+            let oracle = decode_postings(&v1_row(&list)).unwrap();
+            assert_eq!(dec, oracle, "list of {} postings", list.len());
+        }
+    }
+
+    #[test]
+    fn appended_chunks_concatenate() {
+        let a: Vec<Posting> = (0..10).map(|i| p(i, 1, 2)).collect();
+        let b: Vec<Posting> = (10..150).map(|i| p(i, 3, 4)).collect();
+        let mut row = encode_postings_v2(&a);
+        row.extend_from_slice(&encode_postings_v2(&b));
+        let dec = decode_postings_v2(&row).unwrap();
+        let whole: Vec<Posting> = a.iter().chain(&b).copied().collect();
+        assert_eq!(dec, whole);
+        assert!(validate_v2_row(&row).is_ok());
+    }
+
+    #[test]
+    fn compression_beats_v1_on_monotone_postings() {
+        let list: Vec<Posting> = (0..1000).map(|i| p(i, i as u64 * 7, i as u64 * 7 + 3)).collect();
+        let v2 = encode_postings_v2(&list);
+        assert!(
+            v2.len() * 2 < v1_row(&list).len(),
+            "v2 {} bytes vs v1 {} bytes",
+            v2.len(),
+            v1_row(&list).len()
+        );
+    }
+
+    #[test]
+    fn cursor_yields_same_postings_as_decode() {
+        let list: Vec<Posting> = (0..300).map(|i| p(i / 3, i as u64, i as u64 + 1)).collect();
+        let row = Bytes::from(encode_postings_v2(&list));
+        let via_cursor: Vec<Posting> =
+            PostingCursorV2::new(row.clone()).map(|r| r.unwrap()).collect();
+        assert_eq!(via_cursor, decode_postings_v2(&row).unwrap());
+        assert_eq!(PostingCursorV2::empty().count(), 0);
+    }
+
+    #[test]
+    fn seek_lands_on_first_posting_at_or_after_key() {
+        let list: Vec<Posting> = (0..400).map(|i| p(i * 2, i as u64, i as u64 + 1)).collect();
+        let row = Bytes::from(encode_postings_v2(&list));
+        for key in [0u32, 1, 2, 255, 256, 500, 798] {
+            let mut c = PostingCursorV2::new(row.clone());
+            let got = c.seek(TraceId(key)).unwrap().unwrap();
+            let want = list.iter().find(|p| p.trace.0 >= key).copied().unwrap();
+            assert_eq!(got, want, "seek({key})");
+            // seek positions without consuming: next() re-yields it.
+            assert_eq!(c.next().unwrap().unwrap(), want);
+        }
+        let mut c = PostingCursorV2::new(row.clone());
+        assert!(c.seek(TraceId(799)).is_none(), "past the last trace");
+        assert!(c.next().is_none());
+    }
+
+    #[test]
+    fn seek_is_monotone_and_resumable() {
+        let list: Vec<Posting> = (0..300).map(|i| p(i, 1, 2)).collect();
+        let row = Bytes::from(encode_postings_v2(&list));
+        let mut c = PostingCursorV2::new(row);
+        assert_eq!(c.seek(TraceId(10)).unwrap().unwrap().trace, TraceId(10));
+        assert_eq!(c.next().unwrap().unwrap().trace, TraceId(10));
+        assert_eq!(c.next().unwrap().unwrap().trace, TraceId(11));
+        // Seeking below the current position does not rewind.
+        assert_eq!(c.seek(TraceId(0)).unwrap().unwrap().trace, TraceId(12));
+        assert_eq!(c.seek(TraceId(250)).unwrap().unwrap().trace, TraceId(250));
+    }
+
+    #[test]
+    fn v1_tagged_garbage_is_a_typed_error() {
+        // A v1 row whose first trace is ≡ V2_TAG mod 256 would mis-sniff —
+        // which is why the format is persisted config, not sniffed. Fed to
+        // the v2 decoder anyway, it must fail cleanly.
+        let row = v1_row(&[p(0xF2, 1, 2)]);
+        assert_eq!(row[0], V2_TAG);
+        assert!(decode_postings_v2(&row).is_err());
+    }
+
+    #[test]
+    fn torn_directory_is_distinguished_from_bad_block() {
+        let list: Vec<Posting> = (0..10).map(|i| p(i, 1, 2)).collect();
+        let good = encode_postings_v2(&list);
+        // Truncate inside the directory.
+        let torn = &good[..4];
+        assert!(matches!(validate_v2_row(torn), Err(V2RowError::TornDirectory(_))));
+        // Corrupt the body: flip a byte past the directory.
+        let mut bad_body = good.clone();
+        let last = bad_body.len() - 1;
+        bad_body[last] ^= 0x80; // turn the final varint byte into a continuation
+        assert!(matches!(validate_v2_row(&bad_body), Err(V2RowError::BadBlock(_))));
+    }
+
+    #[test]
+    fn validate_rejects_unsorted_first_keys_but_decode_accepts() {
+        // Two blocks with descending first traces: legal for the codec
+        // (round-trips), illegal for the indexer's sorted-write invariant.
+        let list: Vec<Posting> =
+            (0..(V2_BLOCK_POSTINGS as u32 + 1)).rev().map(|i| p(i, 1, 2)).collect();
+        let row = encode_postings_v2(&list);
+        assert_eq!(decode_postings_v2(&row).unwrap(), list);
+        assert!(
+            matches!(validate_v2_row(&row), Err(V2RowError::TornDirectory(m)) if m.contains("not sorted"))
+        );
+    }
+
+    #[test]
+    fn format_names_roundtrip() {
+        for f in [PostingFormat::V1, PostingFormat::V2] {
+            assert_eq!(PostingFormat::from_name(f.name()), Some(f));
+        }
+        assert_eq!(PostingFormat::from_name("v3"), None);
+        assert_eq!(PostingFormat::default(), PostingFormat::V2);
+    }
+
+    #[test]
+    fn dispatching_cursor_and_decode_agree_across_formats() {
+        let list: Vec<Posting> = (0..50).map(|i| p(i, 2, 9)).collect();
+        let rows =
+            [(PostingFormat::V1, v1_row(&list)), (PostingFormat::V2, encode_postings_v2(&list))];
+        for (format, row) in rows {
+            let via_decode = decode_index_row(format, &row).unwrap();
+            assert_eq!(via_decode, list, "{format:?}");
+            let mut cursor = IndexPostingCursor::over(format, Bytes::from(row));
+            assert_eq!(cursor.seek(TraceId(30)).unwrap().unwrap().trace, TraceId(30));
+            let rest: Vec<Posting> = cursor.map(|r| r.unwrap()).collect();
+            assert_eq!(rest.len(), 20, "{format:?}");
+        }
+        assert_eq!(IndexPostingCursor::empty(PostingFormat::V2).count(), 0);
+    }
+}

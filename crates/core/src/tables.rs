@@ -177,13 +177,14 @@ pub fn decode_postings(row: &[u8]) -> Result<Vec<Posting>> {
     Ok(out)
 }
 
-/// Read all postings of a pair from one `Index` table.
+/// Read all postings of a pair from one `Index` table, dispatching on the
+/// store's persisted posting format (v1 for legacy stores).
 ///
 /// Slow/compat path: materializes a `Vec<Posting>`. The query read path uses
-/// [`posting_cursor`] instead, which walks the stored row in place.
+/// the cursors instead, which walk the stored row in place.
 pub fn read_postings<S: KvStore>(store: &S, table: TableId, key: PairKey) -> Result<Vec<Posting>> {
     match store.get(table, &pair_key_bytes(key)) {
-        Some(row) => decode_postings(&row),
+        Some(row) => crate::postings::decode_index_row(crate::indexer::posting_format(store), &row),
         None => Ok(Vec::new()),
     }
 }
@@ -224,6 +225,37 @@ impl PostingCursor {
         } else {
             (self.row.len() - self.pos) / POSTING_RECORD_BYTES
         }
+    }
+
+    /// Advance the cursor so the next yielded posting is the first one *in
+    /// stored order, at or after the current position* with `trace >= t`,
+    /// and return it (the following `next()` re-yields it — `seek`
+    /// positions, it does not consume). `None` when no such posting
+    /// remains.
+    ///
+    /// v1 rows carry no skip structure, so this scans record headers
+    /// linearly — but it only touches the 4 trace-id bytes of each skipped
+    /// record, never the timestamps. The block-compressed v2 cursor
+    /// (`postings::PostingCursorV2::seek`) skips whole blocks instead.
+    pub fn seek(&mut self, t: TraceId) -> Option<Result<Posting>> {
+        if self.failed {
+            return None;
+        }
+        while self.pos < self.row.len() {
+            let rest = &self.row[self.pos..];
+            if rest.len() < POSTING_RECORD_BYTES {
+                self.failed = true;
+                return Some(Err(corrupt("Index", self.row.len())));
+            }
+            let trace = u32::from_le_bytes(rest[0..4].try_into().unwrap());
+            if trace >= t.0 {
+                let ts_a = u64::from_le_bytes(rest[4..12].try_into().unwrap());
+                let ts_b = u64::from_le_bytes(rest[12..20].try_into().unwrap());
+                return Some(Ok(Posting { trace: TraceId(trace), ts_a, ts_b }));
+            }
+            self.pos += POSTING_RECORD_BYTES;
+        }
+        None
     }
 }
 
@@ -495,6 +527,29 @@ mod tests {
         // Missing rows behave as empty posting lists.
         assert_eq!(posting_cursor(&store, INDEX, 999).count(), 0);
         assert_eq!(PostingCursor::empty().count(), 0);
+    }
+
+    #[test]
+    fn cursor_seek_lands_on_first_trace_at_or_after_key() {
+        let mut row = Vec::new();
+        for t in [2u32, 2, 5, 9] {
+            row.extend_from_slice(&encode_postings(TraceId(t), &[(1, 2)]));
+        }
+        let mut c = PostingCursor::new(Bytes::from(row.clone()));
+        assert_eq!(c.seek(TraceId(0)).unwrap().unwrap().trace, TraceId(2));
+        // seek positions without consuming: next() re-yields the match.
+        assert_eq!(c.next().unwrap().unwrap().trace, TraceId(2));
+        assert_eq!(c.seek(TraceId(3)).unwrap().unwrap().trace, TraceId(5));
+        assert_eq!(c.seek(TraceId(6)).unwrap().unwrap().trace, TraceId(9));
+        assert!(c.seek(TraceId(10)).is_none());
+        assert!(c.next().is_none());
+        // A torn tail reached by seek errors once, then the cursor stops.
+        let mut torn = row;
+        torn.truncate(POSTING_RECORD_BYTES + 3);
+        let mut c = PostingCursor::new(Bytes::from(torn));
+        assert!(c.seek(TraceId(100)).unwrap().is_err());
+        assert!(c.seek(TraceId(100)).is_none());
+        assert_eq!(c.remaining(), 0);
     }
 
     #[test]

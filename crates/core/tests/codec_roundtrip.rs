@@ -1,19 +1,22 @@
 //! Codec roundtrip property suite — the registry the
 //! `codec-roundtrip-registered` lint checks against.
 //!
-//! Every row codec in `crates/core/src/tables.rs` must appear here with
-//! both its `encode_*` and `decode_*` halves: a codec without a registered
-//! roundtrip test can silently drift from its encoder (e.g. a field added
-//! to the struct but not to the wire format). The fuzz half of the suite
-//! feeds truncated and bit-flipped buffers to every decoder — decoding
-//! hostile bytes must return `Err`, never panic: these decoders run on
-//! data read back from disk.
+//! Every row codec in `crates/core/src/tables.rs` and
+//! `crates/core/src/postings.rs` must appear here with both its `encode_*`
+//! and `decode_*` halves: a codec without a registered roundtrip test can
+//! silently drift from its encoder (e.g. a field added to the struct but
+//! not to the wire format). The fuzz half of the suite feeds truncated and
+//! bit-flipped buffers to every decoder — decoding hostile bytes must
+//! return `Err`, never panic: these decoders run on data read back from
+//! disk.
 
 use proptest::prelude::*;
+use seqdet_core::postings::{decode_index_row, decode_postings_v2, encode_postings_v2};
 use seqdet_core::tables::{
     decode_counts, decode_events, decode_last_checked, decode_postings, encode_counts,
-    encode_events, encode_last_checked, encode_postings, CountEntry, LastCheckedEntry,
+    encode_events, encode_last_checked, encode_postings, CountEntry, LastCheckedEntry, Posting,
 };
+use seqdet_core::PostingFormat;
 use seqdet_log::{Activity, Event, TraceId};
 
 fn events_strategy() -> impl Strategy<Value = Vec<Event>> {
@@ -31,6 +34,24 @@ fn counts_strategy() -> impl Strategy<Value = Vec<CountEntry>> {
             })
             .collect()
     })
+}
+
+fn posting_list_strategy() -> impl Strategy<Value = Vec<Posting>> {
+    prop::collection::vec((0u32..1000, 0u64..1 << 48, 0u64..1 << 48), 0..300).prop_map(|v| {
+        v.into_iter().map(|(t, a, b)| Posting { trace: TraceId(t), ts_a: a, ts_b: b }).collect()
+    })
+}
+
+/// Format-dispatching encoder counterpart of [`decode_index_row`]. The
+/// production encoders live on the indexer's write path; this mirrors the
+/// dispatch so the reader's format switch is itself roundtrip-tested.
+fn encode_index_row(format: PostingFormat, postings: &[Posting]) -> Vec<u8> {
+    match format {
+        PostingFormat::V1 => {
+            postings.iter().flat_map(|p| encode_postings(p.trace, &[(p.ts_a, p.ts_b)])).collect()
+        }
+        PostingFormat::V2 => encode_postings_v2(postings),
+    }
 }
 
 fn last_checked_strategy() -> impl Strategy<Value = Vec<LastCheckedEntry>> {
@@ -65,6 +86,20 @@ proptest! {
     }
 
     #[test]
+    fn postings_v2_roundtrip(postings in posting_list_strategy()) {
+        let row = encode_postings_v2(&postings);
+        prop_assert_eq!(decode_postings_v2(&row).unwrap(), postings);
+    }
+
+    #[test]
+    fn index_row_roundtrips_under_both_formats(postings in posting_list_strategy()) {
+        for format in [PostingFormat::V1, PostingFormat::V2] {
+            let row = encode_index_row(format, &postings);
+            prop_assert_eq!(&decode_index_row(format, &row).unwrap(), &postings);
+        }
+    }
+
+    #[test]
     fn counts_roundtrip(entries in counts_strategy()) {
         let row = encode_counts(&entries);
         prop_assert_eq!(decode_counts(&row).unwrap(), entries);
@@ -84,6 +119,9 @@ proptest! {
     fn decoders_never_panic_on_arbitrary_bytes(row in prop::collection::vec(0u8..=255, 0..256)) {
         let _ = decode_events(&row);
         let _ = decode_postings(&row);
+        let _ = decode_postings_v2(&row);
+        let _ = decode_index_row(PostingFormat::V1, &row);
+        let _ = decode_index_row(PostingFormat::V2, &row);
         let _ = decode_counts(&row);
         let _ = decode_last_checked(&row);
     }
@@ -126,6 +164,9 @@ proptest! {
 fn empty_rows_are_valid_everywhere() {
     assert!(decode_events(&[]).unwrap().is_empty());
     assert!(decode_postings(&[]).unwrap().is_empty());
+    assert!(decode_postings_v2(&[]).unwrap().is_empty());
+    assert!(decode_index_row(PostingFormat::V1, &[]).unwrap().is_empty());
+    assert!(decode_index_row(PostingFormat::V2, &[]).unwrap().is_empty());
     assert!(decode_counts(&[]).unwrap().is_empty());
     assert!(decode_last_checked(&[]).unwrap().is_empty());
 }

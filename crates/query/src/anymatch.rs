@@ -20,7 +20,7 @@ use crate::detect::ReadCtx;
 use crate::Result;
 use seqdet_core::tables::read_seq;
 use seqdet_log::{Activity, Pattern, TraceId, Ts};
-use seqdet_storage::{FxHashSet, KvStore};
+use seqdet_storage::KvStore;
 
 /// STAM result for one trace.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -116,18 +116,22 @@ pub(crate) fn detect_any_match<S: KvStore>(
     enumerate_limit: usize,
 ) -> Result<AnyMatchResult> {
     let acts = pattern.activities();
-    // Candidate traces: intersection over consecutive pairs.
-    let mut candidates: Option<FxHashSet<TraceId>> = None;
-    for (a, b) in pattern.consecutive_pairs() {
-        let grouped = ctx.grouped(Activity::pair_key(a, b))?;
-        let set: FxHashSet<TraceId> = grouped.keys().copied().collect();
-        candidates = Some(match candidates {
-            None => set,
-            Some(prev) => prev.intersection(&set).copied().collect(),
-        });
+    // Candidate traces: intersection over consecutive pairs. The first
+    // pair's distinct traces seed the set (already ascending); every later
+    // pair prunes it with a seek-based membership probe into its sorted
+    // posting list — no per-pair trace-set materialization.
+    let mut candidates: Vec<TraceId> = Vec::new();
+    for (i, (a, b)) in pattern.consecutive_pairs().enumerate() {
+        let list = ctx.postings(Activity::pair_key(a, b))?;
+        if i == 0 {
+            candidates = list.traces().collect();
+        } else {
+            candidates.retain(|&t| list.contains_trace(t));
+        }
+        if candidates.is_empty() {
+            break;
+        }
     }
-    let mut candidates: Vec<TraceId> = candidates.unwrap_or_default().into_iter().collect();
-    candidates.sort_unstable();
 
     // Per-candidate DP over the stored Seq row — independent per trace.
     let per_trace = ctx.executor.map(&candidates, |&trace| -> Result<Option<TraceAnyMatches>> {

@@ -5,9 +5,11 @@
 //! into a posting-list fetch, and workloads repeat patterns (the paper's
 //! continuation queries literally re-detect the same prefix per candidate).
 //! This cache keeps the postings of recently used `(table, pair)` rows
-//! **already grouped per trace** — the exact shape the per-trace hash join
-//! consumes — so a warm query skips the row fetch, the record decode and the
-//! regrouping entirely.
+//! **already decoded and trace-sorted** (a [`PostingList`]) — the exact
+//! shape the per-trace join seeks into — so a warm query skips the row
+//! fetch, the block decode and the re-sort entirely. Under the v2 posting
+//! format this is what "the cache stores decoded blocks" means: the varint
+//! blocks are expanded once on miss and never re-decoded on a hit.
 //!
 //! ## Consistency
 //!
@@ -34,15 +36,87 @@ use seqdet_storage::{FxHashMap, StoreMetrics, TableId};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-/// Postings of one `(table, pair)` row, grouped per trace in posting order —
-/// the shape the per-trace join consumes directly.
-pub type GroupedPostings = FxHashMap<TraceId, Vec<(Ts, Ts)>>;
+/// Decoded postings of one `(table, pair)` row, stable-sorted by trace id
+/// (posting order preserved within a trace). The flat sorted layout lets the
+/// join find a trace's occurrences with a binary-search [`PostingList::seek`]
+/// instead of hashing every trace into a map, and it is the shape the cache
+/// stores: blocks are decoded once on miss, then every hit serves slices.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PostingList {
+    postings: Vec<(TraceId, Ts, Ts)>,
+}
+
+impl PostingList {
+    /// Build a list from decoded postings, stable-sorting by trace id so
+    /// per-trace posting order (the stored order) is preserved.
+    pub fn from_postings(mut postings: Vec<(TraceId, Ts, Ts)>) -> Self {
+        postings.sort_by_key(|p| p.0);
+        PostingList { postings }
+    }
+
+    /// Total postings across all traces.
+    pub fn len(&self) -> usize {
+        self.postings.len()
+    }
+
+    /// True when the pair has no postings at all.
+    pub fn is_empty(&self) -> bool {
+        self.postings.is_empty()
+    }
+
+    /// All postings, ascending by trace.
+    pub fn postings(&self) -> &[(TraceId, Ts, Ts)] {
+        &self.postings
+    }
+
+    /// Index of the first posting whose trace is `>= trace` — the decoded
+    /// counterpart of the storage cursors' `seek`, used by the joins for
+    /// next-match advancement.
+    pub fn seek(&self, trace: TraceId) -> usize {
+        self.postings.partition_point(|p| p.0 < trace)
+    }
+
+    /// The `(ts_a, ts_b)` occurrences of `trace`, in stored posting order
+    /// (empty slice when the trace has none). Found by `seek`, not a scan.
+    pub fn for_trace(&self, trace: TraceId) -> &[(TraceId, Ts, Ts)] {
+        let start = self.seek(trace);
+        let len = self.postings[start..].partition_point(|p| p.0 == trace);
+        &self.postings[start..start + len]
+    }
+
+    /// Whether `trace` has at least one occurrence (a single `seek` probe).
+    pub fn contains_trace(&self, trace: TraceId) -> bool {
+        self.postings.get(self.seek(trace)).is_some_and(|p| p.0 == trace)
+    }
+
+    /// Distinct traces with at least one occurrence, ascending.
+    pub fn traces(&self) -> impl Iterator<Item = TraceId> + '_ {
+        let mut i = 0;
+        std::iter::from_fn(move || {
+            let trace = self.postings.get(i)?.0;
+            i += self.postings[i..].partition_point(|p| p.0 == trace);
+            Some(trace)
+        })
+    }
+
+    /// Iterate `(trace, occurrences)` groups in ascending trace order.
+    pub fn by_trace(&self) -> impl Iterator<Item = (TraceId, &[(TraceId, Ts, Ts)])> + '_ {
+        let mut i = 0;
+        std::iter::from_fn(move || {
+            let trace = self.postings.get(i)?.0;
+            let len = self.postings[i..].partition_point(|p| p.0 == trace);
+            let group = &self.postings[i..i + len];
+            i += len;
+            Some((trace, group))
+        })
+    }
+}
 
 /// Number of lock stripes (power of two).
 const SHARDS: usize = 16;
 
 struct Entry {
-    grouped: Arc<GroupedPostings>,
+    postings: Arc<PostingList>,
     /// Index generation the postings were read under.
     generation: u64,
     /// Logical time of the last hit (or the insert), for LRU eviction.
@@ -150,15 +224,10 @@ impl PostingCache {
         &self.shards[(h as usize) & (SHARDS - 1)]
     }
 
-    /// Look up the grouped postings of `(table, key)` as read under
+    /// Look up the decoded postings of `(table, key)` as read under
     /// `generation`. A resident entry with a different generation is
     /// discarded (never served) and counts as an invalidation + miss.
-    pub fn get(
-        &self,
-        table: TableId,
-        key: PairKey,
-        generation: u64,
-    ) -> Option<Arc<GroupedPostings>> {
+    pub fn get(&self, table: TableId, key: PairKey, generation: u64) -> Option<Arc<PostingList>> {
         if !self.is_enabled() {
             return None;
         }
@@ -166,13 +235,13 @@ impl PostingCache {
         match shard.get_mut(&(table, key)) {
             Some(e) if e.generation == generation => {
                 e.last_used = self.tick.fetch_add(1, Ordering::Relaxed);
-                let grouped = Arc::clone(&e.grouped);
+                let postings = Arc::clone(&e.postings);
                 drop(shard);
                 self.hits.fetch_add(1, Ordering::Relaxed);
                 if let Some(m) = &self.metrics {
                     m.record_cache_hit();
                 }
-                Some(grouped)
+                Some(postings)
             }
             Some(_) => {
                 shard.remove(&(table, key));
@@ -196,7 +265,7 @@ impl PostingCache {
         }
     }
 
-    /// Insert (or refresh) the grouped postings of `(table, key)` read under
+    /// Insert (or refresh) the decoded postings of `(table, key)` read under
     /// `generation`, evicting the shard's least-recently-used entry when the
     /// capacity bound is reached. No-op when disabled.
     pub fn insert(
@@ -204,7 +273,7 @@ impl PostingCache {
         table: TableId,
         key: PairKey,
         generation: u64,
-        grouped: Arc<GroupedPostings>,
+        postings: Arc<PostingList>,
     ) {
         if !self.is_enabled() {
             return;
@@ -220,7 +289,7 @@ impl PostingCache {
                 }
             }
         }
-        shard.insert((table, key), Entry { grouped, generation, last_used: now });
+        shard.insert((table, key), Entry { postings, generation, last_used: now });
     }
 
     /// Drop every resident entry (counted as invalidations). Called when an
@@ -258,10 +327,34 @@ impl PostingCache {
 mod tests {
     use super::*;
 
-    fn grouped(trace: u32, occs: &[(Ts, Ts)]) -> Arc<GroupedPostings> {
-        let mut g = GroupedPostings::default();
-        g.insert(TraceId(trace), occs.to_vec());
-        Arc::new(g)
+    fn grouped(trace: u32, occs: &[(Ts, Ts)]) -> Arc<PostingList> {
+        Arc::new(PostingList::from_postings(
+            occs.iter().map(|&(a, b)| (TraceId(trace), a, b)).collect(),
+        ))
+    }
+
+    #[test]
+    fn posting_list_seeks_and_groups_by_trace() {
+        let l = PostingList::from_postings(vec![
+            (TraceId(5), 10, 11),
+            (TraceId(2), 3, 4),
+            (TraceId(2), 1, 2),
+            (TraceId(9), 7, 8),
+        ]);
+        assert_eq!(l.len(), 4);
+        assert_eq!(l.seek(TraceId(0)), 0);
+        assert_eq!(l.seek(TraceId(3)), 2);
+        assert_eq!(l.seek(TraceId(10)), 4);
+        // Stable sort: trace 2's stored posting order (3,4) then (1,2) holds.
+        assert_eq!(l.for_trace(TraceId(2)), &[(TraceId(2), 3, 4), (TraceId(2), 1, 2)]);
+        assert!(l.for_trace(TraceId(3)).is_empty());
+        assert!(l.contains_trace(TraceId(5)));
+        assert!(!l.contains_trace(TraceId(4)));
+        assert_eq!(l.traces().collect::<Vec<_>>(), vec![TraceId(2), TraceId(5), TraceId(9)]);
+        let groups: Vec<_> = l.by_trace().map(|(t, g)| (t, g.len())).collect();
+        assert_eq!(groups, vec![(TraceId(2), 2), (TraceId(5), 1), (TraceId(9), 1)]);
+        assert!(PostingList::default().is_empty());
+        assert_eq!(PostingList::default().traces().count(), 0);
     }
 
     #[test]
@@ -271,7 +364,7 @@ mod tests {
         assert!(c.get(t, 7, 0).is_none());
         c.insert(t, 7, 0, grouped(1, &[(1, 2)]));
         let g = c.get(t, 7, 0).expect("hit");
-        assert_eq!(g[&TraceId(1)], vec![(1, 2)]);
+        assert_eq!(g.for_trace(TraceId(1)), &[(TraceId(1), 1, 2)]);
         let s = c.stats();
         assert_eq!((s.hits, s.misses, s.entries), (1, 1, 1));
         assert!((s.hit_rate() - 0.5).abs() < 1e-12);

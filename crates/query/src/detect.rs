@@ -23,9 +23,12 @@
 //!
 //! Posting lists are fetched through a [`ReadCtx`]: per `(table, pair)` row
 //! the context first consults the generation-stamped [`PostingCache`], and
-//! only on a miss walks the stored row with the zero-copy
-//! [`seqdet_core::tables::PostingCursor`], grouping records per trace as
-//! they decode. The per-trace join itself fans out across the context's
+//! only on a miss walks the stored row with the format-dispatching
+//! [`seqdet_core::postings::index_posting_cursor`] (zero-copy v1 records or
+//! block-decoded v2), collecting the decoded postings into a trace-sorted
+//! [`PostingList`]. Join steps then advance to each partial's trace with
+//! [`PostingList::for_trace`] — a binary-search `seek`, not a hash probe or
+//! scan. The per-trace join itself fans out across the context's
 //! [`seqdet_exec::Executor`] — each trace's partial matches extend
 //! independently, so the join parallelizes embarrassingly.
 //!
@@ -38,10 +41,10 @@
 //! * [`JoinStrategy::NestedLoop`] — the paper's literal pseudocode: for
 //!   every partial, scan the trace's posting list.
 
-use crate::cache::{GroupedPostings, PostingCache};
+use crate::cache::{PostingCache, PostingList};
 use crate::Result;
-use seqdet_core::tables::posting_cursor;
-use seqdet_core::PairKey;
+use seqdet_core::postings::index_posting_cursor;
+use seqdet_core::{PairKey, PostingFormat};
 use seqdet_exec::Executor;
 use seqdet_log::{Activity, Pattern, TraceId, Ts};
 use seqdet_storage::{FxHashMap, KvStore, StoreMetrics, TableId};
@@ -127,6 +130,9 @@ pub(crate) struct ReadCtx<'a, S: KvStore> {
     pub tables: &'a [TableId],
     pub cache: Option<&'a PostingCache>,
     pub generation: u64,
+    /// Posting row format of the store (sticky per-store config); selects
+    /// the v1 record cursor or the v2 block cursor on a cache miss.
+    pub format: PostingFormat,
     pub metrics: Option<&'a StoreMetrics>,
     pub executor: Executor,
 }
@@ -141,57 +147,56 @@ impl<'a, S: KvStore> ReadCtx<'a, S> {
             tables,
             cache: None,
             generation: 0,
+            format: seqdet_core::posting_format(store),
             metrics: None,
             executor: Executor::sequential(),
         }
     }
 
-    /// Per-trace grouped postings of `key` across every active partition.
+    /// Decoded, trace-sorted postings of `key` across every active
+    /// partition.
     ///
     /// The common single-partition case returns the cached [`Arc`] without
-    /// copying; with multiple partitions the per-partition groups (each
-    /// individually cached) are merged in partition order.
-    pub fn grouped(&self, key: PairKey) -> Result<Arc<GroupedPostings>> {
+    /// copying; with multiple partitions the per-partition lists (each
+    /// individually cached) are concatenated in partition order and
+    /// re-sorted stably, so a trace's occurrences stay in partition order.
+    pub fn postings(&self, key: PairKey) -> Result<Arc<PostingList>> {
         if let [table] = self.tables {
-            return self.grouped_one(*table, key);
+            return self.postings_one(*table, key);
         }
-        let mut merged = GroupedPostings::default();
+        let mut merged = Vec::new();
         for &table in self.tables {
-            let g = self.grouped_one(table, key)?;
-            for (&trace, occs) in g.iter() {
-                merged.entry(trace).or_default().extend_from_slice(occs);
-            }
+            let list = self.postings_one(table, key)?;
+            merged.extend_from_slice(list.postings());
         }
-        Ok(Arc::new(merged))
+        Ok(Arc::new(PostingList::from_postings(merged)))
     }
 
-    fn grouped_one(&self, table: TableId, key: PairKey) -> Result<Arc<GroupedPostings>> {
+    fn postings_one(&self, table: TableId, key: PairKey) -> Result<Arc<PostingList>> {
         if let Some(cache) = self.cache {
-            if let Some(g) = cache.get(table, key, self.generation) {
-                return Ok(g);
+            if let Some(list) = cache.get(table, key, self.generation) {
+                return Ok(list);
             }
         }
-        let g = Arc::new(self.load(table, key)?);
+        let list = Arc::new(self.load(table, key)?);
         if let Some(cache) = self.cache {
-            cache.insert(table, key, self.generation, Arc::clone(&g));
+            cache.insert(table, key, self.generation, Arc::clone(&list));
         }
-        Ok(g)
+        Ok(list)
     }
 
-    /// Miss path: walk the stored row with the zero-copy cursor, grouping
-    /// records per trace as they decode.
-    fn load(&self, table: TableId, key: PairKey) -> Result<GroupedPostings> {
-        let mut map = GroupedPostings::default();
-        let mut decoded = 0usize;
-        for posting in posting_cursor(self.store, table, key) {
+    /// Miss path: walk the stored row with the format-dispatching cursor,
+    /// collecting decoded postings into a trace-sorted list.
+    fn load(&self, table: TableId, key: PairKey) -> Result<PostingList> {
+        let mut postings = Vec::new();
+        for posting in index_posting_cursor(self.store, self.format, table, key) {
             let p = posting?;
-            decoded += 1;
-            map.entry(p.trace).or_default().push((p.ts_a, p.ts_b));
+            postings.push((p.trace, p.ts_a, p.ts_b));
         }
         if let Some(m) = self.metrics {
-            m.record_cursor_decode(decoded);
+            m.record_cursor_decode(postings.len());
         }
-        Ok(map)
+        Ok(PostingList::from_postings(postings))
     }
 }
 
@@ -227,14 +232,14 @@ pub(crate) fn get_completions_within<S: KvStore>(
     let acts = pattern.activities();
 
     // previous ← Index.get(ev_1, ev_2), as per-trace partial matches.
-    let first = ctx.grouped(Activity::pair_key(acts[0], acts[1]))?;
+    let first = ctx.postings(Activity::pair_key(acts[0], acts[1]))?;
     let mut partials: Partials = first
-        .iter()
-        .filter_map(|(&trace, occs)| {
+        .by_trace()
+        .filter_map(|(trace, occs)| {
             let parts: Vec<Vec<Ts>> = occs
                 .iter()
-                .filter(|&&(a, b)| window.is_none_or(|w| b - a <= w))
-                .map(|&(a, b)| vec![a, b])
+                .filter(|&&(_, a, b)| window.is_none_or(|w| b - a <= w))
+                .map(|&(_, a, b)| vec![a, b])
                 .collect();
             (!parts.is_empty()).then_some((trace, parts))
         })
@@ -245,17 +250,23 @@ pub(crate) fn get_completions_within<S: KvStore>(
 
     for i in 1..p - 1 {
         let key = Activity::pair_key(acts[i], acts[i + 1]);
-        let next = ctx.grouped(key)?;
+        let next = ctx.postings(key)?;
         // Each trace's partials extend independently of every other trace's
-        // — fan the join step out across the executor.
+        // — fan the join step out across the executor. Next-match
+        // advancement seeks straight to the partial's trace in the sorted
+        // posting list.
         partials = ctx
             .executor
             .map(&partials, |(trace, parts)| {
-                let Some(occs) = next.get(trace) else { return (*trace, Vec::new()) };
+                let occs = next.for_trace(*trace);
+                if occs.is_empty() {
+                    return (*trace, Vec::new());
+                }
                 let mut extended = Vec::new();
                 match join {
                     JoinStrategy::Hash => {
-                        let by_start: FxHashMap<Ts, Ts> = occs.iter().copied().collect();
+                        let by_start: FxHashMap<Ts, Ts> =
+                            occs.iter().map(|&(_, a, b)| (a, b)).collect();
                         for part in parts {
                             let Some(&last) = part.last() else { continue };
                             if let Some(&ts_b) = by_start.get(&last) {
@@ -271,7 +282,7 @@ pub(crate) fn get_completions_within<S: KvStore>(
                     JoinStrategy::NestedLoop => {
                         for part in parts {
                             let Some(&last) = part.last() else { continue };
-                            for &(a, b) in occs {
+                            for &(_, a, b) in occs {
                                 if a == last && window.is_none_or(|w| b - part[0] <= w) {
                                     let mut next_part = part.clone();
                                     next_part.push(b);

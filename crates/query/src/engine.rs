@@ -8,7 +8,7 @@ use crate::stats::{self, PatternStats};
 use crate::{QueryError, Result};
 use parking_lot::RwLock;
 use seqdet_core::indexer::active_index_tables;
-use seqdet_core::{index_generation, Catalog};
+use seqdet_core::{index_generation, posting_format, Catalog, PostingFormat};
 use seqdet_exec::Executor;
 use seqdet_log::Pattern;
 use seqdet_storage::{KvStore, StoreMetrics, TableId};
@@ -17,10 +17,11 @@ use std::sync::Arc;
 /// Default bound on resident posting-cache entries.
 pub const DEFAULT_CACHE_CAPACITY: usize = 4096;
 
-/// Partition layout and catalog as of one index generation.
+/// Partition layout, posting format and catalog as of one index generation.
 struct Layout {
     generation: u64,
     tables: Vec<TableId>,
+    format: PostingFormat,
     catalog: Arc<Catalog>,
 }
 
@@ -53,9 +54,10 @@ impl<S: KvStore> QueryEngine<S> {
         let catalog = Arc::new(Catalog::load(store.as_ref())?);
         let generation = index_generation(store.as_ref());
         let tables = active_index_tables(store.as_ref());
+        let format = posting_format(store.as_ref());
         Ok(Self {
             store,
-            layout: RwLock::new(Layout { generation, tables, catalog }),
+            layout: RwLock::new(Layout { generation, tables, format, catalog }),
             cache: PostingCache::new(DEFAULT_CACHE_CAPACITY),
             executor: Executor::default(),
             metrics: None,
@@ -143,6 +145,10 @@ impl<S: KvStore> QueryEngine<S> {
             self.cache.invalidate_all();
             layout.generation = generation;
             layout.tables = active_index_tables(self.store.as_ref());
+            // The posting format is sticky per store, but an engine opened
+            // over an empty store learns the indexer's choice on the first
+            // committed batch — re-read it with the rest of the layout.
+            layout.format = posting_format(self.store.as_ref());
             // Live catalog: names interned since the last load become
             // resolvable. On a decode failure the previous catalog stays in
             // place — queries degrade to unknown-activity errors instead of
@@ -156,20 +162,27 @@ impl<S: KvStore> QueryEngine<S> {
         }
     }
 
-    /// Current generation + partition layout, refreshed from the store when
-    /// the indexer has mutated the index since the last query.
-    fn snapshot(&self) -> (u64, Vec<TableId>) {
+    /// Current generation + partition layout + posting format, refreshed
+    /// from the store when the indexer has mutated the index since the last
+    /// query.
+    fn snapshot(&self) -> (u64, Vec<TableId>, PostingFormat) {
         self.refresh();
         let layout = self.layout.read();
-        (layout.generation, layout.tables.clone())
+        (layout.generation, layout.tables.clone(), layout.format)
     }
 
-    fn ctx<'a>(&'a self, generation: u64, tables: &'a [TableId]) -> ReadCtx<'a, S> {
+    fn ctx<'a>(
+        &'a self,
+        generation: u64,
+        tables: &'a [TableId],
+        format: PostingFormat,
+    ) -> ReadCtx<'a, S> {
         ReadCtx {
             store: self.store.as_ref(),
             tables,
             cache: Some(&self.cache),
             generation,
+            format,
             metrics: self.metrics.as_deref(),
             executor: self.executor,
         }
@@ -183,8 +196,13 @@ impl<S: KvStore> QueryEngine<S> {
             [] => Err(QueryError::PatternTooShort { required: 1, actual: 0 }),
             &[single] => detect::detect_single(self.store.as_ref(), single),
             _ => {
-                let (generation, tables) = self.snapshot();
-                detect::get_completions(&self.ctx(generation, &tables), pattern, self.join, None)
+                let (generation, tables, format) = self.snapshot();
+                detect::get_completions(
+                    &self.ctx(generation, &tables, format),
+                    pattern,
+                    self.join,
+                    None,
+                )
             }
         }
     }
@@ -197,9 +215,9 @@ impl<S: KvStore> QueryEngine<S> {
         if pattern.len() < 2 {
             return Err(QueryError::PatternTooShort { required: 2, actual: pattern.len() });
         }
-        let (generation, tables) = self.snapshot();
+        let (generation, tables, format) = self.snapshot();
         detect::get_completions_within(
-            &self.ctx(generation, &tables),
+            &self.ctx(generation, &tables, format),
             pattern,
             self.join,
             Some(window),
@@ -216,10 +234,10 @@ impl<S: KvStore> QueryEngine<S> {
         if pattern.len() < 2 {
             return Err(QueryError::PatternTooShort { required: 2, actual: pattern.len() });
         }
-        let (generation, tables) = self.snapshot();
+        let (generation, tables, format) = self.snapshot();
         let mut prefixes = Vec::with_capacity(pattern.len() - 1);
         detect::get_completions(
-            &self.ctx(generation, &tables),
+            &self.ctx(generation, &tables, format),
             pattern,
             self.join,
             Some(&mut prefixes),
@@ -249,13 +267,24 @@ impl<S: KvStore> QueryEngine<S> {
         }
         match method {
             ContinuationMethod::Accurate { max_gap } => {
-                let (generation, tables) = self.snapshot();
-                continuation::accurate(&self.ctx(generation, &tables), pattern, self.join, max_gap)
+                let (generation, tables, format) = self.snapshot();
+                continuation::accurate(
+                    &self.ctx(generation, &tables, format),
+                    pattern,
+                    self.join,
+                    max_gap,
+                )
             }
             ContinuationMethod::Fast => continuation::fast(self.store.as_ref(), pattern),
             ContinuationMethod::Hybrid { k, max_gap } => {
-                let (generation, tables) = self.snapshot();
-                continuation::hybrid(&self.ctx(generation, &tables), pattern, self.join, k, max_gap)
+                let (generation, tables, format) = self.snapshot();
+                continuation::hybrid(
+                    &self.ctx(generation, &tables, format),
+                    pattern,
+                    self.join,
+                    k,
+                    max_gap,
+                )
             }
         }
     }
@@ -266,8 +295,8 @@ impl<S: KvStore> QueryEngine<S> {
         if pattern.is_empty() {
             return Err(QueryError::PatternTooShort { required: 1, actual: 0 });
         }
-        let (generation, tables) = self.snapshot();
-        continuation::accurate_at(&self.ctx(generation, &tables), pattern, pos, self.join)
+        let (generation, tables, format) = self.snapshot();
+        continuation::accurate_at(&self.ctx(generation, &tables, format), pattern, pos, self.join)
     }
 
     /// §7 extension: skip-till-any-match detection with exact embedding
@@ -280,8 +309,8 @@ impl<S: KvStore> QueryEngine<S> {
         if pattern.len() < 2 {
             return Err(QueryError::PatternTooShort { required: 2, actual: pattern.len() });
         }
-        let (generation, tables) = self.snapshot();
-        anymatch::detect_any_match(&self.ctx(generation, &tables), pattern, enumerate_limit)
+        let (generation, tables, format) = self.snapshot();
+        anymatch::detect_any_match(&self.ctx(generation, &tables, format), pattern, enumerate_limit)
     }
 }
 

@@ -26,9 +26,10 @@
 //! ([`QueryEngine::continuations_at`]).
 //!
 //! All index-reading queries share one read path: posting rows are decoded
-//! through a zero-copy cursor, grouped per trace, and cached in a sharded
-//! generation-stamped LRU ([`PostingCache`]); per-trace join work runs on a
-//! worker pool. See [`cache`] and the "Query read path" section of
+//! through a format-dispatching cursor (zero-copy v1 records or
+//! block-compressed v2), collected into trace-sorted [`cache::PostingList`]s,
+//! and cached in a sharded generation-stamped LRU ([`PostingCache`]);
+//! per-trace join work runs on a worker pool. See [`cache`] and the "Query read path" section of
 //! `DESIGN.md` for the consistency model and tuning knobs
 //! ([`QueryEngine::with_cache_capacity`], [`QueryEngine::with_threads`],
 //! [`QueryEngine::with_metrics`]).
@@ -43,7 +44,7 @@ pub mod lang;
 pub mod stats;
 
 pub use anymatch::AnyMatchResult;
-pub use cache::{CacheStats, GroupedPostings, PostingCache};
+pub use cache::{CacheStats, PostingCache, PostingList};
 pub use continuation::{ContinuationMethod, Proposition};
 pub use detect::{DetectResult, JoinStrategy, PatternMatch};
 pub use engine::{QueryEngine, DEFAULT_CACHE_CAPACITY};

@@ -29,7 +29,7 @@
 //! caught specifically on a cache-hit path.
 
 use seqdet_log::TraceId;
-use seqdet_query::{GroupedPostings, PostingCache};
+use seqdet_query::{PostingCache, PostingList};
 use seqdet_storage::TableId;
 use std::sync::Arc;
 
@@ -74,14 +74,12 @@ impl World {
     }
 }
 
-fn grouped(value: u64) -> Arc<GroupedPostings> {
-    let mut g = GroupedPostings::default();
-    g.insert(TraceId(0), vec![(value, value + 1)]);
-    Arc::new(g)
+fn grouped(value: u64) -> Arc<PostingList> {
+    Arc::new(PostingList::from_postings(vec![(TraceId(0), value, value + 1)]))
 }
 
-fn ungroup(g: &GroupedPostings) -> u64 {
-    g[&TraceId(0)][0].0
+fn ungroup(g: &PostingList) -> u64 {
+    g.for_trace(TraceId(0))[0].1
 }
 
 /// Reader progress: 0 = snapshot, 1 = cache probe, 2 = store read,

@@ -60,6 +60,24 @@ impl Enc {
         self.bytes(v)
     }
 
+    /// Append an LEB128 varint (7 payload bits per byte, little-endian
+    /// groups, high bit = continuation). At most 10 bytes for a `u64`.
+    #[inline]
+    pub fn varint(&mut self, mut v: u64) -> &mut Self {
+        while v >= 0x80 {
+            self.buf.put_u8((v as u8) | 0x80);
+            v >>= 7;
+        }
+        self.buf.put_u8(v as u8);
+        self
+    }
+
+    /// Append a zigzag-mapped varint: signed deltas near zero stay short.
+    #[inline]
+    pub fn varint_signed(&mut self, v: i64) -> &mut Self {
+        self.varint(zigzag_encode(v))
+    }
+
     /// Bytes written so far.
     #[inline]
     pub fn len(&self) -> usize {
@@ -153,6 +171,46 @@ impl<'a> Dec<'a> {
         let n = self.u32()? as usize;
         self.bytes(n)
     }
+
+    /// Read an LEB128 varint. `None` on truncation, on more than 10 bytes,
+    /// and on a 10th byte carrying bits beyond `u64::MAX` — so every value
+    /// has exactly one accepted encoding length ceiling and a decoder can
+    /// never be driven past the buffer.
+    #[inline]
+    pub fn varint(&mut self) -> Option<u64> {
+        let mut v: u64 = 0;
+        for (i, &byte) in self.buf.iter().take(10).enumerate() {
+            let payload = (byte & 0x7F) as u64;
+            if i == 9 && byte > 0x01 {
+                return None; // overflow past 64 bits (or non-canonical pad)
+            }
+            v |= payload << (7 * i);
+            if byte & 0x80 == 0 {
+                self.buf = &self.buf[i + 1..];
+                return Some(v);
+            }
+        }
+        None
+    }
+
+    /// Read a zigzag-mapped varint.
+    #[inline]
+    pub fn varint_signed(&mut self) -> Option<i64> {
+        self.varint().map(zigzag_decode)
+    }
+}
+
+/// Map a signed value to an unsigned one with small absolute values staying
+/// small: `0, -1, 1, -2, … → 0, 1, 2, 3, …`.
+#[inline]
+pub fn zigzag_encode(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+/// Inverse of [`zigzag_encode`].
+#[inline]
+pub fn zigzag_decode(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
 }
 
 #[cfg(test)]
@@ -202,6 +260,57 @@ mod tests {
         let v = e.into_vec();
         let mut d = Dec::new(&v);
         assert_eq!(d.len_bytes(), None);
+    }
+
+    #[test]
+    fn varint_roundtrip_edges() {
+        for v in [0u64, 1, 127, 128, 129, 16_383, 16_384, u32::MAX as u64, u64::MAX - 1, u64::MAX] {
+            let mut e = Enc::new();
+            e.varint(v);
+            let buf = e.into_vec();
+            let mut d = Dec::new(&buf);
+            assert_eq!(d.varint(), Some(v), "value {v}");
+            assert!(d.is_done());
+        }
+        // Length scaling: 7 payload bits per byte.
+        let mut e = Enc::new();
+        e.varint(127).varint(128).varint(u64::MAX);
+        assert_eq!(e.len(), 1 + 2 + 10);
+    }
+
+    #[test]
+    fn varint_signed_roundtrip() {
+        for v in [0i64, -1, 1, -64, 63, i64::MIN, i64::MAX, -123_456_789] {
+            let mut e = Enc::new();
+            e.varint_signed(v);
+            let buf = e.into_vec();
+            let mut d = Dec::new(&buf);
+            assert_eq!(d.varint_signed(), Some(v), "value {v}");
+        }
+        assert_eq!(zigzag_encode(0), 0);
+        assert_eq!(zigzag_encode(-1), 1);
+        assert_eq!(zigzag_encode(1), 2);
+        assert_eq!(zigzag_decode(zigzag_encode(i64::MIN)), i64::MIN);
+    }
+
+    #[test]
+    fn varint_rejects_truncation_and_overflow() {
+        // Truncated: continuation bit set on the last available byte.
+        let mut d = Dec::new(&[0x80]);
+        assert_eq!(d.varint(), None);
+        // 10 continuation bytes: too long for a u64.
+        let mut d = Dec::new(&[0x80; 10]);
+        assert_eq!(d.varint(), None);
+        // 10th byte carries bits beyond the 64th.
+        let mut buf = vec![0xFF; 9];
+        buf.push(0x02);
+        let mut d = Dec::new(&buf);
+        assert_eq!(d.varint(), None);
+        // ... while 0x01 in the 10th byte (u64::MAX) is fine.
+        let mut buf = vec![0xFF; 9];
+        buf.push(0x01);
+        let mut d = Dec::new(&buf);
+        assert_eq!(d.varint(), Some(u64::MAX));
     }
 
     #[test]

@@ -3,9 +3,11 @@
 //! Four rules, each encoding a correctness contract the compiler cannot:
 //!
 //! * **no-panic** — `unwrap()` / `expect(` / `panic!(` are banned in the
-//!   non-test code of `server`, `query` and `storage`: these crates sit on
-//!   the request path, where a panic tears down a worker instead of
-//!   returning a typed error.
+//!   non-test code of `server`, `query` and `storage`, plus the v2 posting
+//!   codec (`crates/core/src/postings.rs`): these sit on the request path,
+//!   where a panic tears down a worker instead of returning a typed error —
+//!   and the codec additionally decodes untrusted bytes read back from
+//!   disk.
 //! * **decoder-boundary** — `decode_postings` may only be called inside
 //!   `crates/core` (and in test code, where the property-test oracle
 //!   compares it against the zero-copy cursor). Everything else must go
@@ -17,10 +19,10 @@
 //!   paths stalls every query (or connection) sharing the stripe; the
 //!   vendored `parking_lot` types are the sanctioned replacement.
 //! * **codec-roundtrip-registered** — every `decode_*` codec in
-//!   `crates/core/src/tables.rs` must be exercised by the codec roundtrip
-//!   property suite (`crates/core/tests/codec_roundtrip.rs`); a codec
-//!   without a registered roundtrip test can silently drift from its
-//!   encoder.
+//!   `crates/core/src/tables.rs` and `crates/core/src/postings.rs` must be
+//!   exercised by the codec roundtrip property suite
+//!   (`crates/core/tests/codec_roundtrip.rs`); a codec without a
+//!   registered roundtrip test can silently drift from its encoder.
 //!
 //! ## Escape hatch
 //!
@@ -86,6 +88,9 @@ fn no_panic_scope(rel: &str) -> bool {
     ["crates/server/src/", "crates/query/src/", "crates/storage/src/"]
         .iter()
         .any(|p| rel.starts_with(p))
+        // The v2 posting codec decodes untrusted on-disk bytes on the query
+        // read path; a panic there tears down whichever worker hit the row.
+        || rel == "crates/core/src/postings.rs"
 }
 
 fn decoder_scope(rel: &str) -> bool {
@@ -228,20 +233,28 @@ pub fn lint_source(rel: &str, source: &str) -> Vec<LintViolation> {
 }
 
 /// The codec-roundtrip-registered rule: workspace-level, not per-file.
-/// Every `pub fn decode_<name>` in `tables.rs` must appear (with its
-/// `encode_` counterpart) in the codec roundtrip property suite.
-pub fn lint_codec_roundtrips(tables_src: &str, roundtrip_src: Option<&str>) -> Vec<LintViolation> {
+/// Every `pub fn decode_<name>` in the codec sources (`tables.rs` and
+/// `postings.rs`) must appear (with its `encode_` counterpart) in the
+/// codec roundtrip property suite.
+pub fn lint_codec_roundtrips(
+    codec_srcs: &[&str],
+    roundtrip_src: Option<&str>,
+) -> Vec<LintViolation> {
     let mut out = Vec::new();
-    let masked = mask_source(tables_src);
     let mut codecs = Vec::new();
-    let mut from = 0;
-    while let Some(found) = masked[from..].find("pub fn decode_") {
-        let at = from + found + "pub fn decode_".len();
-        from = at;
-        let name: String =
-            masked[at..].chars().take_while(|c| c.is_ascii_alphanumeric() || *c == '_').collect();
-        if !name.is_empty() {
-            codecs.push(name);
+    for src in codec_srcs {
+        let masked = mask_source(src);
+        let mut from = 0;
+        while let Some(found) = masked[from..].find("pub fn decode_") {
+            let at = from + found + "pub fn decode_".len();
+            from = at;
+            let name: String = masked[at..]
+                .chars()
+                .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
+                .collect();
+            if !name.is_empty() {
+                codecs.push(name);
+            }
         }
     }
     let Some(suite) = roundtrip_src else {
@@ -311,8 +324,9 @@ pub fn lint_workspace(root: &Path) -> std::io::Result<LintReport> {
         report.files += 1;
     }
     let tables = std::fs::read_to_string(root.join("crates/core/src/tables.rs"))?;
+    let postings = std::fs::read_to_string(root.join("crates/core/src/postings.rs"))?;
     let suite = std::fs::read_to_string(root.join("crates/core/tests/codec_roundtrip.rs")).ok();
-    report.violations.extend(lint_codec_roundtrips(&tables, suite.as_deref()));
+    report.violations.extend(lint_codec_roundtrips(&[&tables, &postings], suite.as_deref()));
     report.violations.sort_by(|a, b| a.file.cmp(&b.file).then(a.line.cmp(&b.line)));
     Ok(report)
 }
@@ -348,6 +362,18 @@ mod tests {
         assert!(lint_source("crates/core/src/tables.rs", src).is_empty());
         assert!(lint_source("crates/cli/src/main.rs", src).is_empty());
         assert!(lint_source("crates/query/tests/model.rs", src).is_empty());
+    }
+
+    #[test]
+    fn v2_posting_codec_is_inside_the_no_panic_scope() {
+        // The v2 block decoder parses untrusted on-disk bytes on the query
+        // read path — it gets the same no-panic treatment as query/storage
+        // even though the rest of core is exempt.
+        let src = "fn f(x: Option<u32>) -> u32 { x.unwrap() }";
+        let v = lint_source("crates/core/src/postings.rs", src);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, "no-panic");
+        assert!(lint_source("crates/core/src/indexer.rs", src).is_empty());
     }
 
     #[test]
@@ -435,18 +461,33 @@ mod tests {
     fn codec_rule_flags_unregistered_decoder() {
         let tables = "pub fn decode_events(r: &[u8]) {}\npub fn decode_postings(r: &[u8]) {}";
         let suite = "fn t() { encode_events(); decode_events(); }";
-        let v = lint_codec_roundtrips(tables, Some(suite));
+        let v = lint_codec_roundtrips(&[tables], Some(suite));
         assert_eq!(v.len(), 1, "{v:?}");
         assert!(v[0].message.contains("postings"));
         let full =
             "fn t() { encode_events(); decode_events(); encode_postings(); decode_postings(); }";
-        assert!(lint_codec_roundtrips(tables, Some(full)).is_empty());
+        assert!(lint_codec_roundtrips(&[tables], Some(full)).is_empty());
+    }
+
+    #[test]
+    fn codec_rule_scans_every_codec_source() {
+        // `postings.rs` joined `tables.rs` as a codec source with the v2
+        // format; its decoders need registered roundtrips too.
+        let tables = "pub fn decode_events(r: &[u8]) {}";
+        let postings = "pub fn decode_postings_v2(r: &[u8]) {}";
+        let suite = "fn t() { encode_events(); decode_events(); }";
+        let v = lint_codec_roundtrips(&[tables, postings], Some(suite));
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].message.contains("postings_v2"));
+        let full = "fn t() { encode_events(); decode_events(); \
+                    encode_postings_v2(); decode_postings_v2(); }";
+        assert!(lint_codec_roundtrips(&[tables, postings], Some(full)).is_empty());
     }
 
     #[test]
     fn codec_rule_flags_missing_suite_entirely() {
         let tables = "pub fn decode_events(r: &[u8]) {}";
-        let v = lint_codec_roundtrips(tables, None);
+        let v = lint_codec_roundtrips(&[tables], None);
         assert_eq!(v.len(), 1);
         assert!(v[0].message.contains("missing"));
     }

@@ -12,6 +12,12 @@
 //!   under-approximation of "an embedding exists" (it requires chained
 //!   greedy pairs), so we assert soundness: every trace we report is also
 //!   reported by the scan engines.
+//!
+//! On top of the baseline oracles, every query here runs against **both
+//! posting formats**: a v1-indexed store (fixed 20-byte records) and a
+//! v2-indexed store (delta/varint blocks) must return bit-identical
+//! results — the format is a storage concern only and must never leak into
+//! query semantics.
 
 use proptest::prelude::*;
 use seqdet::prelude::*;
@@ -19,6 +25,21 @@ use seqdet_baselines::{SaseEngine, SubtreeIndex, TextSearchIndex};
 use seqdet_log::{EventLog, Pattern, TraceId};
 use seqdet_query::QueryEngine;
 use seqdet_storage::MemStore;
+
+fn engine_with_format(
+    log: &EventLog,
+    policy: Policy,
+    format: PostingFormat,
+) -> QueryEngine<MemStore> {
+    let mut ix = Indexer::new(IndexConfig::new(policy).with_posting_format(format));
+    ix.index_log(log).expect("valid log");
+    QueryEngine::new(ix.store()).expect("indexed store")
+}
+
+/// One engine per posting format over identically indexed stores.
+fn engines_for(log: &EventLog, policy: Policy) -> [QueryEngine<MemStore>; 2] {
+    [PostingFormat::V1, PostingFormat::V2].map(|f| engine_with_format(log, policy, f))
+}
 
 fn engine_for(log: &EventLog, policy: Policy) -> QueryEngine<MemStore> {
     let mut ix = Indexer::new(IndexConfig::new(policy));
@@ -58,8 +79,11 @@ proptest! {
     fn sc_detection_matches_all_baselines(traces in arb_traces(), pat in arb_pattern(5)) {
         let log = build_log(&traces);
         let Some(p) = pattern(&log, &pat) else { return Ok(()) };
-        let ours = engine_for(&log, Policy::StrictContiguity);
+        let [ours_v1, ours] = engines_for(&log, Policy::StrictContiguity);
         let our_result = ours.detect(&p).expect("detect runs");
+
+        // v1-indexed and v2-indexed stores answer bit-identically.
+        prop_assert_eq!(&ours_v1.detect(&p).expect("detect runs"), &our_result);
 
         // SASE window scan: identical matches (trace + timestamps).
         let sase = SaseEngine::new(&log);
@@ -86,8 +110,9 @@ proptest! {
     fn stnm_pairs_match_sase_exactly(traces in arb_traces(), pat in arb_pattern(2)) {
         let log = build_log(&traces);
         let Some(p) = pattern(&log, &pat) else { return Ok(()) };
-        let ours = engine_for(&log, Policy::SkipTillNextMatch);
+        let [ours_v1, ours] = engines_for(&log, Policy::SkipTillNextMatch);
         let our_result = ours.detect(&p).expect("detect runs");
+        prop_assert_eq!(&ours_v1.detect(&p).expect("detect runs"), &our_result);
         let sase = SaseEngine::new(&log);
         let mut sase_matches: Vec<(TraceId, Vec<u64>)> =
             sase.detect_stnm(&p).into_iter().map(|m| (m.trace, m.timestamps)).collect();
@@ -102,8 +127,10 @@ proptest! {
     fn stnm_longer_patterns_are_sound(traces in arb_traces(), pat in arb_pattern(4)) {
         let log = build_log(&traces);
         let Some(p) = pattern(&log, &pat) else { return Ok(()) };
-        let ours = engine_for(&log, Policy::SkipTillNextMatch);
-        let our_traces = ours.detect(&p).expect("detect runs").traces();
+        let [ours_v1, ours] = engines_for(&log, Policy::SkipTillNextMatch);
+        let our_result = ours.detect(&p).expect("detect runs");
+        prop_assert_eq!(&ours_v1.detect(&p).expect("detect runs"), &our_result);
+        let our_traces = our_result.traces();
 
         // Every trace we report embeds the pattern (ES-like verifies
         // embeddings directly).
@@ -124,15 +151,56 @@ proptest! {
     fn stam_counts_dominate_stnm(traces in arb_traces(), pat in arb_pattern(3)) {
         let log = build_log(&traces);
         let Some(p) = pattern(&log, &pat) else { return Ok(()) };
-        let ours = engine_for(&log, Policy::SkipTillNextMatch);
+        let [ours_v1, ours] = engines_for(&log, Policy::SkipTillNextMatch);
         let stnm = ours.detect(&p).expect("detect runs");
         let stam = ours.detect_any_match(&p, 4).expect("detect runs");
+        prop_assert_eq!(&ours_v1.detect_any_match(&p, 4).expect("detect runs"), &stam);
         prop_assert!(stam.total() >= stnm.total_completions() as u64);
         // Every STNM trace also has a STAM embedding.
         let stam_traces: Vec<TraceId> = stam.traces.iter().map(|t| t.trace).collect();
         for t in stnm.traces() {
             prop_assert!(stam_traces.contains(&t));
         }
+    }
+
+    #[test]
+    fn continuation_and_stats_queries_agree_across_posting_formats(
+        traces in arb_traces(),
+        pat in arb_pattern(3),
+    ) {
+        let log = build_log(&traces);
+        let Some(p) = pattern(&log, &pat) else { return Ok(()) };
+        let [v1, v2] = engines_for(&log, Policy::SkipTillNextMatch);
+
+        for method in [
+            ContinuationMethod::Accurate { max_gap: None },
+            ContinuationMethod::Accurate { max_gap: Some(3) },
+            ContinuationMethod::Fast,
+            ContinuationMethod::Hybrid { k: 2, max_gap: None },
+        ] {
+            prop_assert_eq!(
+                v1.continuations(&p, method).expect("continuation runs"),
+                v2.continuations(&p, method).expect("continuation runs"),
+                "method {:?}",
+                method
+            );
+        }
+        prop_assert_eq!(
+            v1.stats(&p).expect("stats runs"),
+            v2.stats(&p).expect("stats runs")
+        );
+        prop_assert_eq!(
+            v1.stats_all_pairs(&p).expect("stats runs"),
+            v2.stats_all_pairs(&p).expect("stats runs")
+        );
+        prop_assert_eq!(
+            v1.detect_within(&p, 5).expect("detect runs"),
+            v2.detect_within(&p, 5).expect("detect runs")
+        );
+        prop_assert_eq!(
+            v1.detect_prefixes(&p).expect("detect runs"),
+            v2.detect_prefixes(&p).expect("detect runs")
+        );
     }
 }
 
