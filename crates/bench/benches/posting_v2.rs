@@ -12,15 +12,27 @@
 //! Alongside the criterion output the bench writes a machine-readable
 //! baseline to `results_posting_v2.json` at the workspace root (next to
 //! the other `results_*` files) recording per-profile Index-table bytes
-//! under both formats, the compression ratio, and median cold/warm STNM
-//! detect nanoseconds per query batch under both formats.
+//! under both formats, the compression ratio, median cold/warm STNM
+//! detect nanoseconds per query batch under both formats, per-kernel
+//! decode throughput (million postings/sec), and the candidate-join
+//! ablation (probe cascade vs bitmap intersection).
+//!
+//! The baseline run also *asserts* the acceptance bar: v2 cold detection
+//! must not be slower than v1 cold, and every profile's compression ratio
+//! must stay ≥ 5x — a regression fails the bench run, not just a reader
+//! squinting at the JSON.
 
 use criterion::{criterion_group, BenchmarkId, Criterion};
-use seqdet_core::{IndexConfig, IndexStats, Indexer, Policy, PostingFormat};
+use seqdet_core::postings::encode_postings_v2;
+use seqdet_core::tables::Posting;
+use seqdet_core::{
+    active_decode_kind, v2_decode_with_kind, DecodeKind, DecodeScratch, IndexConfig, IndexStats,
+    Indexer, Policy, PostingFormat,
+};
 use seqdet_datagen::patterns::{pattern_batch, PatternMode};
 use seqdet_datagen::DatasetProfile;
-use seqdet_log::{EventLog, Pattern};
-use seqdet_query::QueryEngine;
+use seqdet_log::{EventLog, Pattern, TraceId};
+use seqdet_query::{CandidateJoin, QueryEngine};
 use seqdet_storage::MemStore;
 use std::time::{Duration, Instant};
 
@@ -78,11 +90,13 @@ fn write_baseline() {
     let mut entries = Vec::new();
 
     // Size: Index-table bytes under both formats, per Figure-2 replica.
+    let mut min_ratio = f64::INFINITY;
     for &(name, scale) in PROFILES {
         let log = DatasetProfile::by_name(name).expect("profile exists").scaled(scale).generate();
         let (_, v1) = indexed(&log, PostingFormat::V1);
         let (_, v2) = indexed(&log, PostingFormat::V2);
         let ratio = v1.index_bytes as f64 / v2.index_bytes.max(1) as f64;
+        min_ratio = min_ratio.min(ratio);
         println!(
             "posting_v2/{name}: index bytes v1 {} v2 {} ({ratio:.2}x smaller), {} postings",
             v1.index_bytes, v2.index_bytes, v1.postings
@@ -96,26 +110,75 @@ fn write_baseline() {
 
     // Latency: STNM detect over the same store indexed both ways, cold
     // (cache disabled: the full cursor-decode path) and warm (cached).
+    // The four engine configurations are sampled interleaved so clock
+    // drift over the measurement window biases them all equally — the
+    // cold-regression assertion below compares v1 and v2 medians directly.
     let log = DatasetProfile::by_name("bpi_2017").expect("profile exists").scaled(50).generate();
     let batch = pattern_batch(&log, 8, 25, PatternMode::Random, 13);
-    let mut latency = Vec::new();
-    for format in [PostingFormat::V1, PostingFormat::V2] {
-        let (warm, _) = indexed(&log, format);
-        let cold = {
-            let (engine, _) = indexed(&log, format);
-            engine.with_cache_capacity(0)
-        };
-        run_batch(&warm, &batch); // pre-warm
-        run_batch(&cold, &batch); // fault in lazily touched rows
-        let cold_ns = median_ns(15, || run_batch(&cold, &batch));
-        let warm_ns = median_ns(15, || run_batch(&warm, &batch));
+    let engines: Vec<(PostingFormat, QueryEngine<MemStore>, QueryEngine<MemStore>)> =
+        [PostingFormat::V1, PostingFormat::V2]
+            .into_iter()
+            .map(|format| {
+                let (warm, _) = indexed(&log, format);
+                let cold = indexed(&log, format).0.with_cache_capacity(0);
+                run_batch(&warm, &batch); // pre-warm
+                run_batch(&cold, &batch); // fault in lazily touched rows
+                (format, warm, cold)
+            })
+            .collect();
+    let mut samples: Vec<[Vec<u64>; 2]> = vec![Default::default(); engines.len()];
+    for _ in 0..15 {
+        for (times, (_, warm, cold)) in samples.iter_mut().zip(&engines) {
+            let t = Instant::now();
+            std::hint::black_box(run_batch(cold, &batch));
+            times[0].push(t.elapsed().as_nanos() as u64);
+            let t = Instant::now();
+            std::hint::black_box(run_batch(warm, &batch));
+            times[1].push(t.elapsed().as_nanos() as u64);
+        }
+    }
+    let mut cold_by_format = Vec::new();
+    for (times, (format, _, _)) in samples.iter_mut().zip(&engines) {
+        times[0].sort_unstable();
+        times[1].sort_unstable();
+        let (cold_ns, warm_ns) = (times[0][times[0].len() / 2], times[1][times[1].len() / 2]);
         println!("posting_v2/stnm_detect/{}: cold {cold_ns} ns, warm {warm_ns} ns", format.name());
-        latency.push(format!(
+        cold_by_format.push(cold_ns);
+        entries.push(format!(
             "  \"stnm_detect_{}\": {{\"cold_ns\": {cold_ns}, \"warm_ns\": {warm_ns}}}",
             format.name()
         ));
     }
-    entries.extend(latency);
+
+    // Candidate-join ablation: the same v2 store and batch under a forced
+    // probe cascade vs forced bitmap intersection (the engine default picks
+    // per-query via the selectivity threshold).
+    for (name, join) in [("probe", CandidateJoin::Probe), ("bitmap", CandidateJoin::Bitmap)] {
+        let warm = indexed(&log, PostingFormat::V2).0.with_candidate_join(join);
+        let cold =
+            indexed(&log, PostingFormat::V2).0.with_candidate_join(join).with_cache_capacity(0);
+        run_batch(&warm, &batch);
+        run_batch(&cold, &batch);
+        let cold_ns = median_ns(15, || run_batch(&cold, &batch));
+        let warm_ns = median_ns(15, || run_batch(&warm, &batch));
+        println!("posting_v2/stnm_detect/v2_{name}: cold {cold_ns} ns, warm {warm_ns} ns");
+        entries.push(format!(
+            "  \"stnm_detect_v2_{name}\": {{\"cold_ns\": {cold_ns}, \"warm_ns\": {warm_ns}}}"
+        ));
+    }
+
+    // Decode throughput: million postings/sec expanding one large v2 row
+    // with each kernel kind (and `active` = what this host actually runs).
+    let decoded = decode_throughput();
+    entries.push(format!(
+        "  \"decode_kind_active\": \"{:?}\",\n  \"decode_mpostings_per_sec\": {{{}}}",
+        active_decode_kind(),
+        decoded
+            .iter()
+            .map(|(name, mps)| format!("\"{name}\": {mps:.1}"))
+            .collect::<Vec<_>>()
+            .join(", ")
+    ));
 
     let json = format!(
         "{{\n  \"bench\": \"posting_v2\",\n  \"pattern_len\": 8, \"batch\": 25,\n{}\n}}\n",
@@ -126,6 +189,68 @@ fn write_baseline() {
     if let Err(e) = std::fs::write(path, json) {
         eprintln!("could not write {path}: {e}");
     }
+
+    // Acceptance bar (asserted after the JSON lands so the numbers are
+    // inspectable even when a regression fails the run): the wide decode
+    // kernel must have paid for v2's varint rows — cold v2 detection may
+    // not be slower than cold v1 — and compression must hold ≥ 5x.
+    let (v1_cold, v2_cold) = (cold_by_format[0], cold_by_format[1]);
+    assert!(
+        v2_cold <= v1_cold,
+        "v2 cold detect regressed: {v2_cold} ns vs v1 {v1_cold} ns (see {path})"
+    );
+    assert!(min_ratio >= 5.0, "v2 compression below the 5x bar: {min_ratio:.3}x (see {path})");
+}
+
+/// Million postings/sec expanding one encoded v2 row per decode kind.
+/// The row shape mirrors real posting lists: many traces, a few postings
+/// each, small timestamp deltas — so varints stay short and the kernels'
+/// byte handling (not varint-width pathology) dominates. The row is
+/// sized like a real pair row (a few thousand postings, cache-resident)
+/// and decoded repeatedly per sample: a multi-megabyte row would measure
+/// DRAM write bandwidth, which every kind saturates equally.
+fn decode_throughput() -> Vec<(&'static str, f64)> {
+    const REPS: usize = 64;
+    let postings: Vec<Posting> = (0..4_096u32)
+        .map(|i| {
+            let base = i as u64 * 37 % 50_000;
+            Posting { trace: TraceId(i / 4), ts_a: base, ts_b: base + (i as u64 % 900) }
+        })
+        .collect();
+    let row = encode_postings_v2(&postings);
+    let kinds = [
+        ("scalar", DecodeKind::Scalar),
+        ("branchless", DecodeKind::Branchless),
+        ("simd", DecodeKind::Simd),
+    ];
+    let mut out = Vec::with_capacity(postings.len());
+    let mut scratch = DecodeScratch::new();
+    // Samples are interleaved across kinds so clock-frequency drift during
+    // the run biases every kind equally instead of whichever ran last.
+    let mut times: [Vec<u64>; 3] = Default::default();
+    for _ in 0..25 {
+        for (k, &(_, kind)) in kinds.iter().enumerate() {
+            let t = Instant::now();
+            for _ in 0..REPS {
+                out.clear();
+                v2_decode_with_kind(kind, &row, &mut scratch, &mut out).expect("valid row");
+                std::hint::black_box(&out);
+            }
+            times[k].push(t.elapsed().as_nanos() as u64);
+            assert_eq!(out.len(), postings.len());
+        }
+    }
+    kinds
+        .iter()
+        .zip(&mut times)
+        .map(|(&(name, _), samples)| {
+            samples.sort_unstable();
+            let ns = samples[samples.len() / 2];
+            let mps = (postings.len() * REPS) as f64 * 1e3 / ns as f64;
+            println!("posting_v2/decode_throughput/{name}: {mps:.1} Mpostings/s");
+            (name, mps)
+        })
+        .collect()
 }
 
 criterion_group!(benches, bench_posting_v2);

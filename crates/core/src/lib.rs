@@ -29,6 +29,7 @@
 
 pub mod audit;
 pub mod catalog;
+pub mod decode;
 pub mod error;
 pub mod indexer;
 pub mod pairs;
@@ -39,6 +40,9 @@ pub mod tables;
 
 pub use audit::{audit_disk, audit_store, AuditReport, AuditSummary, DiskAuditOutcome, Violation};
 pub use catalog::Catalog;
+pub use decode::{
+    active_decode_kind, decode_postings_v2_into, v2_decode_with_kind, DecodeKind, DecodeScratch,
+};
 pub use error::CoreError;
 pub use indexer::{index_generation, posting_format, IndexConfig, Indexer, UpdateStats};
 pub use pairs::{create_pairs, PairKey, TracePairs};

@@ -120,11 +120,11 @@ impl From<V2RowError> for CoreError {
     }
 }
 
-fn torn<T>(msg: impl Into<String>) -> std::result::Result<T, V2RowError> {
+pub(crate) fn torn<T>(msg: impl Into<String>) -> std::result::Result<T, V2RowError> {
     Err(V2RowError::TornDirectory(msg.into()))
 }
 
-fn bad<T>(msg: impl Into<String>) -> std::result::Result<T, V2RowError> {
+pub(crate) fn bad<T>(msg: impl Into<String>) -> std::result::Result<T, V2RowError> {
     Err(V2RowError::BadBlock(msg.into()))
 }
 
@@ -178,32 +178,32 @@ pub fn encode_postings_v2(postings: &[Posting]) -> Vec<u8> {
 /// One parsed skip-directory entry: the block's byte range within the body
 /// plus the seek bounds.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-struct DirEntry {
-    first_trace: u32,
-    max_trace: u32,
-    offset: usize,
-    count: usize,
+pub(crate) struct DirEntry {
+    pub(crate) first_trace: u32,
+    pub(crate) max_trace: u32,
+    pub(crate) offset: usize,
+    pub(crate) count: usize,
 }
 
 /// One parsed chunk: directory plus the body's byte range within the row.
 #[derive(Debug, Clone)]
-struct Chunk {
-    num_postings: usize,
-    directory: Vec<DirEntry>,
+pub(crate) struct Chunk {
+    pub(crate) num_postings: usize,
+    pub(crate) directory: Vec<DirEntry>,
     /// Body range, as offsets into the row.
-    body_start: usize,
-    body_end: usize,
+    pub(crate) body_start: usize,
+    pub(crate) body_end: usize,
     /// Offset of the byte after this chunk.
-    next_chunk: usize,
+    pub(crate) next_chunk: usize,
 }
 
 /// End (exclusive, relative to the body) of block `i` of `chunk`.
-fn block_end(chunk: &Chunk, i: usize) -> usize {
+pub(crate) fn block_end(chunk: &Chunk, i: usize) -> usize {
     chunk.directory.get(i + 1).map(|e| e.offset).unwrap_or(chunk.body_end - chunk.body_start)
 }
 
 /// Parse and validate one chunk header + directory starting at `pos`.
-fn parse_chunk(row: &[u8], pos: usize) -> std::result::Result<Chunk, V2RowError> {
+pub(crate) fn parse_chunk(row: &[u8], pos: usize) -> std::result::Result<Chunk, V2RowError> {
     let mut d = Dec::new(&row[pos..]);
     match d.u8() {
         Some(V2_TAG) => {}
@@ -296,8 +296,8 @@ fn decode_block(
         else {
             return bad(format!("posting {i} of a block is truncated"));
         };
-        let trace = prev_trace as i64 + dt;
-        let Ok(trace) = u32::try_from(trace) else {
+        let Some(trace) = (prev_trace as i64).checked_add(dt).and_then(|t| u32::try_from(t).ok())
+        else {
             return bad(format!("posting {i}: trace delta leaves the u32 range"));
         };
         let ts_a = prev_ts_a.wrapping_add(da as u64);
@@ -507,8 +507,9 @@ impl PostingCursorV2 {
         else {
             return bad(format!("posting {} of a block is truncated", block.yielded))?;
         };
-        let trace = block.prev_trace as i64 + dt;
-        let Ok(trace) = u32::try_from(trace) else {
+        let Some(trace) =
+            (block.prev_trace as i64).checked_add(dt).and_then(|t| u32::try_from(t).ok())
+        else {
             return bad(format!("posting {}: trace delta leaves the u32 range", block.yielded))?;
         };
         let ts_a = block.prev_ts_a.wrapping_add(da as u64);

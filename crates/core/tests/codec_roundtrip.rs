@@ -17,6 +17,7 @@ use seqdet_core::tables::{
     encode_events, encode_last_checked, encode_postings, CountEntry, LastCheckedEntry, Posting,
 };
 use seqdet_core::PostingFormat;
+use seqdet_core::{decode_postings_v2_into, DecodeScratch};
 use seqdet_log::{Activity, Event, TraceId};
 
 fn events_strategy() -> impl Strategy<Value = Vec<Event>> {
@@ -52,6 +53,13 @@ fn encode_index_row(format: PostingFormat, postings: &[Posting]) -> Vec<u8> {
         }
         PostingFormat::V2 => encode_postings_v2(postings),
     }
+}
+
+/// Appending encoder counterpart of [`decode_postings_v2_into`]: the wide
+/// decode kernel *appends* to its output buffer (the arena contract), so
+/// its registered roundtrip exercises the appending form on both sides.
+fn encode_postings_v2_into(postings: &[Posting], out: &mut Vec<u8>) {
+    out.extend_from_slice(&encode_postings_v2(postings));
 }
 
 fn last_checked_strategy() -> impl Strategy<Value = Vec<LastCheckedEntry>> {
@@ -92,6 +100,19 @@ proptest! {
     }
 
     #[test]
+    fn postings_v2_into_roundtrip_appends(postings in posting_list_strategy()) {
+        let mut row = Vec::new();
+        encode_postings_v2_into(&postings, &mut row);
+        let mut scratch = DecodeScratch::new();
+        let sentinel = Posting { trace: TraceId(u32::MAX), ts_a: 7, ts_b: 9 };
+        let mut out = vec![sentinel];
+        decode_postings_v2_into(&row, &mut scratch, &mut out).unwrap();
+        // Appending on both sides: the pre-existing prefix survives.
+        prop_assert_eq!(out[0], sentinel);
+        prop_assert_eq!(&out[1..], &postings[..]);
+    }
+
+    #[test]
     fn index_row_roundtrips_under_both_formats(postings in posting_list_strategy()) {
         for format in [PostingFormat::V1, PostingFormat::V2] {
             let row = encode_index_row(format, &postings);
@@ -120,6 +141,7 @@ proptest! {
         let _ = decode_events(&row);
         let _ = decode_postings(&row);
         let _ = decode_postings_v2(&row);
+        let _ = decode_postings_v2_into(&row, &mut DecodeScratch::new(), &mut Vec::new());
         let _ = decode_index_row(PostingFormat::V1, &row);
         let _ = decode_index_row(PostingFormat::V2, &row);
         let _ = decode_counts(&row);

@@ -16,6 +16,7 @@
 //! and the per-candidate DP + enumeration fans out across the executor —
 //! each trace's `Seq` row is independent.
 
+use crate::bitmap::{CandidateJoin, BITMAP_JOIN_MIN_POSTINGS};
 use crate::detect::ReadCtx;
 use crate::Result;
 use seqdet_core::tables::read_seq;
@@ -116,22 +117,49 @@ pub(crate) fn detect_any_match<S: KvStore>(
     enumerate_limit: usize,
 ) -> Result<AnyMatchResult> {
     let acts = pattern.activities();
-    // Candidate traces: intersection over consecutive pairs. The first
-    // pair's distinct traces seed the set (already ascending); every later
-    // pair prunes it with a seek-based membership probe into its sorted
-    // posting list — no per-pair trace-set materialization.
-    let mut candidates: Vec<TraceId> = Vec::new();
-    for (i, (a, b)) in pattern.consecutive_pairs().enumerate() {
-        let list = ctx.postings(Activity::pair_key(a, b))?;
-        if i == 0 {
-            candidates = list.traces().collect();
-        } else {
-            candidates.retain(|&t| list.contains_trace(t));
+    // Candidate traces: intersection over consecutive pairs. Two
+    // strategies produce the identical ascending set (differentially
+    // tested): the probe cascade retains candidates with a seek-based
+    // membership probe per posting list, while the bitmap path intersects
+    // the lists' compressed trace bitmaps container by container.
+    // `Auto` picks bitmaps once the first list is big enough for the
+    // build to pay for itself ([`BITMAP_JOIN_MIN_POSTINGS`]), or when the
+    // first list's bitmap is already cache-resident from an earlier query.
+    let mut pairs = pattern.consecutive_pairs();
+    let candidates: Vec<TraceId> = match pairs.next() {
+        None => Vec::new(),
+        Some((a, b)) => {
+            let first = ctx.postings(Activity::pair_key(a, b))?;
+            let use_bitmap = match ctx.candidate_join {
+                CandidateJoin::Probe => false,
+                CandidateJoin::Bitmap => true,
+                CandidateJoin::Auto => {
+                    first.len() >= BITMAP_JOIN_MIN_POSTINGS || first.bitmap_if_built().is_some()
+                }
+            };
+            if use_bitmap {
+                let mut acc = first.trace_bitmap().clone();
+                for (a, b) in pairs {
+                    if acc.is_empty() {
+                        break;
+                    }
+                    let list = ctx.postings(Activity::pair_key(a, b))?;
+                    acc = acc.intersect(list.trace_bitmap());
+                }
+                acc.iter().map(TraceId).collect()
+            } else {
+                let mut candidates: Vec<TraceId> = first.traces().collect();
+                for (a, b) in pairs {
+                    if candidates.is_empty() {
+                        break;
+                    }
+                    let list = ctx.postings(Activity::pair_key(a, b))?;
+                    candidates.retain(|&t| list.contains_trace(t));
+                }
+                candidates
+            }
         }
-        if candidates.is_empty() {
-            break;
-        }
-    }
+    };
 
     // Per-candidate DP over the stored Seq row — independent per trace.
     let per_trace = ctx.executor.map(&candidates, |&trace| -> Result<Option<TraceAnyMatches>> {

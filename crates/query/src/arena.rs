@@ -1,0 +1,100 @@
+//! Per-worker decode and join scratch — the query path's answer to
+//! per-block/per-trace allocation churn.
+//!
+//! Every cold posting fetch used to materialize a fresh `Vec<Posting>` per
+//! decoded block, and every hash-join step built a fresh `ts_a → ts_b` map
+//! per trace. Both buffers live here now, one set per worker thread:
+//!
+//! * [`with_decode_buffers`] hands out this thread's
+//!   [`DecodeScratch`] (the core decoder's delta lanes) plus a reusable
+//!   posting buffer. The buffers grow to the largest row the thread has
+//!   decoded and stay there, so a warm worker decodes rows with zero
+//!   allocation.
+//! * [`with_join_map`] hands out this thread's cleared `ts_a → ts_b`
+//!   join map, reused across every trace a join step processes.
+//!
+//! ## Lifetime rules
+//!
+//! The buffers are **thread-local and lexically scoped**: callers get them
+//! only inside a closure and nothing borrowed from them may escape (the
+//! posting buffer is cleared on the next use). Query worker threads — the
+//! server's connection threads and the executor's join workers — each get
+//! their own set, so no synchronization is involved. If a closure
+//! re-enters (it never does today), the nested call falls back to fresh
+//! temporaries rather than panicking on the `RefCell`.
+
+use seqdet_core::tables::Posting;
+use seqdet_core::DecodeScratch;
+use seqdet_log::Ts;
+use seqdet_storage::FxHashMap;
+use std::cell::RefCell;
+
+#[derive(Default)]
+struct DecodeArena {
+    scratch: DecodeScratch,
+    postings: Vec<Posting>,
+}
+
+thread_local! {
+    static DECODE: RefCell<DecodeArena> = RefCell::new(DecodeArena::default());
+    static JOIN: RefCell<FxHashMap<Ts, Ts>> = RefCell::new(FxHashMap::default());
+}
+
+/// Run `f` with this thread's decode scratch and a cleared reusable
+/// posting buffer. Nothing borrowed from the buffers may escape `f`.
+pub(crate) fn with_decode_buffers<R>(
+    f: impl FnOnce(&mut DecodeScratch, &mut Vec<Posting>) -> R,
+) -> R {
+    DECODE.with(|cell| match cell.try_borrow_mut() {
+        Ok(mut arena) => {
+            arena.postings.clear();
+            let DecodeArena { scratch, postings } = &mut *arena;
+            f(scratch, postings)
+        }
+        // Re-entrant use: fall back to temporaries instead of panicking.
+        Err(_) => f(&mut DecodeScratch::new(), &mut Vec::new()),
+    })
+}
+
+/// Run `f` with this thread's cleared `ts_a → ts_b` hash-join map.
+pub(crate) fn with_join_map<R>(f: impl FnOnce(&mut FxHashMap<Ts, Ts>) -> R) -> R {
+    JOIN.with(|cell| match cell.try_borrow_mut() {
+        Ok(mut map) => {
+            map.clear();
+            f(&mut map)
+        }
+        Err(_) => f(&mut FxHashMap::default()),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seqdet_log::TraceId;
+
+    #[test]
+    fn decode_buffers_are_cleared_between_uses() {
+        let p = Posting { trace: TraceId(1), ts_a: 2, ts_b: 3 };
+        with_decode_buffers(|_, buf| buf.push(p));
+        with_decode_buffers(|_, buf| assert!(buf.is_empty()));
+    }
+
+    #[test]
+    fn join_map_is_cleared_between_uses() {
+        with_join_map(|m| {
+            m.insert(1, 2);
+        });
+        with_join_map(|m| assert!(m.is_empty()));
+    }
+
+    #[test]
+    fn reentrant_use_falls_back_to_temporaries() {
+        with_decode_buffers(|_, outer| {
+            outer.push(Posting { trace: TraceId(9), ts_a: 0, ts_b: 0 });
+            with_decode_buffers(|_, inner| {
+                assert!(inner.is_empty(), "nested call must not see the outer buffer");
+            });
+            assert_eq!(outer.len(), 1);
+        });
+    }
+}

@@ -1,0 +1,338 @@
+//! Compressed trace-id sets for candidate intersection.
+//!
+//! Multi-pattern queries (STAM candidates, multi-step detect) need "which
+//! traces appear in *every* pair's posting list". The probe cascade —
+//! `partition_point` per candidate per list — costs `O(k · log n)` per
+//! list, re-walking the sorted postings once per surviving candidate. A
+//! [`TraceBitmap`] materializes each list's distinct trace set once
+//! (two-level, Roaring-style: trace ids are split into a high and a low
+//! 16-bit half; each high half owns a **container** holding the low
+//! halves), after which intersecting two lists is a linear merge of
+//! containers — word-wise `AND` in the dense case.
+//!
+//! Containers with at most [`ARRAY_MAX`] members are sorted `u16` arrays
+//! (sparse representation, 2 bytes per trace); denser containers switch to
+//! a packed 8 KiB bitset. Intersections re-canonicalize, so equal sets
+//! always have equal representations.
+//!
+//! The bitmap is built lazily per [`crate::PostingList`] and cached inside
+//! it ([`crate::PostingList::trace_bitmap`]) — a posting list resident in
+//! the query cache pays the build once across all queries. Below
+//! [`BITMAP_JOIN_MIN_POSTINGS`] postings the probe cascade is cheaper than
+//! touching a second structure, which is the selectivity heuristic
+//! [`CandidateJoin::Auto`] applies.
+
+/// Maximum members of a sparse (sorted-array) container; one past this and
+/// the container is a packed bitset. 4096 × 2 bytes = the break-even point
+/// against the 8 KiB bitset, as in Roaring.
+pub const ARRAY_MAX: usize = 4096;
+
+/// Words of a dense container's bitset (65 536 bits).
+const BITS_WORDS: usize = 1024;
+
+/// Posting-count threshold below which [`CandidateJoin::Auto`] keeps the
+/// probe cascade: for tiny lists the seek probes finish before a bitmap
+/// build pays for itself.
+pub const BITMAP_JOIN_MIN_POSTINGS: usize = 256;
+
+/// How multi-pattern candidate intersection is computed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CandidateJoin {
+    /// Bitmap intersection for large first lists, probe cascade for small
+    /// ones (the [`BITMAP_JOIN_MIN_POSTINGS`] heuristic).
+    #[default]
+    Auto,
+    /// Always the per-trace `partition_point` probe cascade.
+    Probe,
+    /// Always the bitmap intersection.
+    Bitmap,
+}
+
+/// One container: the low 16-bit halves present under one high half.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Container {
+    /// Sorted, distinct low halves (≤ [`ARRAY_MAX`] of them).
+    Array(Vec<u16>),
+    /// Packed bitset over all 65 536 low halves.
+    Bits(Box<[u64; BITS_WORDS]>),
+}
+
+impl Container {
+    fn from_sorted(values: Vec<u16>) -> Container {
+        if values.len() <= ARRAY_MAX {
+            return Container::Array(values);
+        }
+        let mut bits = vec![0u64; BITS_WORDS].into_boxed_slice();
+        for v in &values {
+            bits[*v as usize / 64] |= 1u64 << (*v as usize % 64);
+        }
+        // xtask-lint: allow(no-panic): the boxed slice was built with exactly BITS_WORDS words; a length mismatch is unrepresentable.
+        Container::Bits(bits.try_into().expect("BITS_WORDS words"))
+    }
+
+    fn len(&self) -> usize {
+        match self {
+            Container::Array(v) => v.len(),
+            Container::Bits(b) => b.iter().map(|w| w.count_ones() as usize).sum(),
+        }
+    }
+
+    fn contains(&self, lo: u16) -> bool {
+        match self {
+            Container::Array(v) => v.binary_search(&lo).is_ok(),
+            Container::Bits(b) => b[lo as usize / 64] >> (lo as usize % 64) & 1 == 1,
+        }
+    }
+
+    /// Intersection, re-canonicalized (`None` when empty).
+    fn and(&self, other: &Container) -> Option<Container> {
+        let out = match (self, other) {
+            (Container::Array(a), Container::Array(b)) => {
+                let (mut i, mut j) = (0usize, 0usize);
+                let mut out = Vec::new();
+                while i < a.len() && j < b.len() {
+                    match a[i].cmp(&b[j]) {
+                        std::cmp::Ordering::Less => i += 1,
+                        std::cmp::Ordering::Greater => j += 1,
+                        std::cmp::Ordering::Equal => {
+                            out.push(a[i]);
+                            i += 1;
+                            j += 1;
+                        }
+                    }
+                }
+                Container::Array(out)
+            }
+            (Container::Array(a), bits @ Container::Bits(_))
+            | (bits @ Container::Bits(_), Container::Array(a)) => {
+                Container::Array(a.iter().copied().filter(|&v| bits.contains(v)).collect())
+            }
+            (Container::Bits(a), Container::Bits(b)) => {
+                let mut words = vec![0u64; BITS_WORDS].into_boxed_slice();
+                let mut card = 0usize;
+                for (w, (x, y)) in words.iter_mut().zip(a.iter().zip(b.iter())) {
+                    *w = x & y;
+                    card += w.count_ones() as usize;
+                }
+                if card <= ARRAY_MAX {
+                    // Back to the sparse form so equal sets stay
+                    // representation-equal.
+                    let mut out = Vec::with_capacity(card);
+                    for (wi, &w) in words.iter().enumerate() {
+                        let mut w = w;
+                        while w != 0 {
+                            let bit = w.trailing_zeros() as usize;
+                            out.push((wi * 64 + bit) as u16);
+                            w &= w - 1;
+                        }
+                    }
+                    Container::Array(out)
+                } else {
+                    // xtask-lint: allow(no-panic): the boxed slice was built with exactly BITS_WORDS words; a length mismatch is unrepresentable.
+                    Container::Bits(words.try_into().expect("BITS_WORDS words"))
+                }
+            }
+        };
+        (out.len() > 0).then_some(out)
+    }
+}
+
+/// A compressed set of trace ids (see the module docs).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct TraceBitmap {
+    /// `(high half, container)`, ascending by high half; containers are
+    /// never empty.
+    containers: Vec<(u16, Container)>,
+    /// Total members, cached.
+    len: u64,
+}
+
+impl TraceBitmap {
+    /// Build from ascending (not necessarily distinct) trace ids — the
+    /// order [`crate::PostingList::traces`] yields.
+    pub fn from_sorted_traces<I: IntoIterator<Item = u32>>(traces: I) -> Self {
+        let mut containers: Vec<(u16, Container)> = Vec::new();
+        let mut current: Option<(u16, Vec<u16>)> = None;
+        let mut len = 0u64;
+        for t in traces {
+            let (hi, lo) = ((t >> 16) as u16, (t & 0xFFFF) as u16);
+            match &mut current {
+                Some((key, values)) if *key == hi => {
+                    debug_assert!(values.last() <= Some(&lo), "input must be ascending");
+                    if values.last() != Some(&lo) {
+                        values.push(lo);
+                        len += 1;
+                    }
+                }
+                _ => {
+                    if let Some((key, values)) = current.take() {
+                        debug_assert!(
+                            containers.last().is_none_or(|(k, _)| *k < key),
+                            "input must be ascending"
+                        );
+                        containers.push((key, Container::from_sorted(values)));
+                    }
+                    current = Some((hi, vec![lo]));
+                    len += 1;
+                }
+            }
+        }
+        if let Some((key, values)) = current {
+            containers.push((key, Container::from_sorted(values)));
+        }
+        TraceBitmap { containers, len }
+    }
+
+    /// Number of member trace ids.
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// True when no trace is a member.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Membership test.
+    pub fn contains(&self, trace: u32) -> bool {
+        let (hi, lo) = ((trace >> 16) as u16, (trace & 0xFFFF) as u16);
+        match self.containers.binary_search_by_key(&hi, |&(k, _)| k) {
+            Ok(i) => self.containers[i].1.contains(lo),
+            Err(_) => false,
+        }
+    }
+
+    /// Set intersection: a linear merge of the two container lists.
+    pub fn intersect(&self, other: &TraceBitmap) -> TraceBitmap {
+        let (mut i, mut j) = (0usize, 0usize);
+        let mut containers = Vec::new();
+        let mut len = 0u64;
+        while i < self.containers.len() && j < other.containers.len() {
+            let (ka, ca) = &self.containers[i];
+            let (kb, cb) = &other.containers[j];
+            match ka.cmp(kb) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    if let Some(c) = ca.and(cb) {
+                        len += c.len() as u64;
+                        containers.push((*ka, c));
+                    }
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        TraceBitmap { containers, len }
+    }
+
+    /// Member trace ids, ascending.
+    pub fn iter(&self) -> impl Iterator<Item = u32> + '_ {
+        self.containers.iter().flat_map(|(hi, c)| {
+            let base = (*hi as u32) << 16;
+            let values: Box<dyn Iterator<Item = u32> + '_> = match c {
+                Container::Array(v) => Box::new(v.iter().map(move |&lo| base | lo as u32)),
+                Container::Bits(b) => {
+                    Box::new(b.iter().enumerate().flat_map(move |(wi, &w)| BitIter {
+                        word: w,
+                        base: base | (wi as u32 * 64),
+                    }))
+                }
+            };
+            values
+        })
+    }
+}
+
+/// Iterate the set bits of one word as absolute trace ids.
+struct BitIter {
+    word: u64,
+    base: u32,
+}
+
+impl Iterator for BitIter {
+    type Item = u32;
+
+    fn next(&mut self) -> Option<u32> {
+        if self.word == 0 {
+            return None;
+        }
+        let bit = self.word.trailing_zeros();
+        self.word &= self.word - 1;
+        Some(self.base + bit)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set(traces: &[u32]) -> TraceBitmap {
+        TraceBitmap::from_sorted_traces(traces.iter().copied())
+    }
+
+    #[test]
+    fn roundtrips_sparse_sets() {
+        let traces = [0u32, 1, 5, 65_535, 65_536, 1 << 20, u32::MAX];
+        let b = set(&traces);
+        assert_eq!(b.len(), traces.len() as u64);
+        assert_eq!(b.iter().collect::<Vec<_>>(), traces);
+        for &t in &traces {
+            assert!(b.contains(t));
+        }
+        assert!(!b.contains(2));
+        assert!(!b.contains(65_537));
+    }
+
+    #[test]
+    fn duplicates_collapse_and_empty_is_empty() {
+        let b = TraceBitmap::from_sorted_traces([7u32, 7, 7, 9]);
+        assert_eq!(b.len(), 2);
+        assert_eq!(b.iter().collect::<Vec<_>>(), vec![7, 9]);
+        let e = TraceBitmap::default();
+        assert!(e.is_empty());
+        assert_eq!(e.iter().count(), 0);
+        assert!(!e.contains(0));
+    }
+
+    #[test]
+    fn dense_container_switches_to_bits_and_roundtrips() {
+        // > ARRAY_MAX members under one high half forces the bitset form.
+        let traces: Vec<u32> = (0..(ARRAY_MAX as u32 + 100)).map(|i| i * 2).collect();
+        let b = set(&traces);
+        assert_eq!(b.len(), traces.len() as u64);
+        assert_eq!(b.iter().collect::<Vec<_>>(), traces);
+        assert!(b.contains(0) && b.contains(2) && !b.contains(1));
+    }
+
+    #[test]
+    fn intersection_matches_naive_set_intersection() {
+        let a: Vec<u32> = (0..9000).map(|i| i * 3).collect(); // dense low container
+        let b: Vec<u32> = (0..9000).map(|i| i * 2 + 60_000).collect(); // straddles halves
+        let expect: Vec<u32> = a.iter().copied().filter(|t| b.binary_search(t).is_ok()).collect();
+        let got = set(&a).intersect(&set(&b));
+        assert_eq!(got.iter().collect::<Vec<_>>(), expect);
+        assert_eq!(got.len(), expect.len() as u64);
+        // Intersection is symmetric, including representation.
+        assert_eq!(got, set(&b).intersect(&set(&a)));
+    }
+
+    #[test]
+    fn disjoint_intersection_is_empty() {
+        let a = set(&[1, 2, 3]);
+        let b = set(&[70_000, 70_001]);
+        let c = a.intersect(&b);
+        assert!(c.is_empty());
+        assert_eq!(c, TraceBitmap::default());
+    }
+
+    #[test]
+    fn dense_intersection_recanonicalizes_to_array() {
+        // Two dense containers whose intersection is small: the result must
+        // equal the directly-built sparse set, representation included.
+        let a: Vec<u32> = (0..20_000).collect();
+        let b: Vec<u32> = (19_990..40_000).collect();
+        let expect: Vec<u32> = (19_990..20_000).collect();
+        assert_eq!(set(&a).intersect(&set(&b)), set(&expect));
+    }
+}

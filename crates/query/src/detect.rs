@@ -24,7 +24,7 @@
 //! Posting lists are fetched through a [`ReadCtx`]: per `(table, pair)` row
 //! the context first consults the generation-stamped [`PostingCache`], and
 //! only on a miss walks the stored row with the format-dispatching
-//! [`seqdet_core::postings::index_posting_cursor`] (zero-copy v1 records or
+//! [`seqdet_core::postings::IndexPostingCursor`] (zero-copy v1 records or
 //! block-decoded v2), collecting the decoded postings into a trace-sorted
 //! [`PostingList`]. Join steps then advance to each partial's trace with
 //! [`PostingList::for_trace`] — a binary-search `seek`, not a hash probe or
@@ -41,13 +41,14 @@
 //! * [`JoinStrategy::NestedLoop`] — the paper's literal pseudocode: for
 //!   every partial, scan the trace's posting list.
 
+use crate::bitmap::{CandidateJoin, TraceBitmap, BITMAP_JOIN_MIN_POSTINGS};
 use crate::cache::{PostingCache, PostingList};
 use crate::Result;
-use seqdet_core::postings::index_posting_cursor;
+use seqdet_core::postings::IndexPostingCursor;
 use seqdet_core::{PairKey, PostingFormat};
 use seqdet_exec::Executor;
 use seqdet_log::{Activity, Pattern, TraceId, Ts};
-use seqdet_storage::{FxHashMap, KvStore, StoreMetrics, TableId};
+use seqdet_storage::{KvStore, StoreMetrics, TableId};
 use std::sync::Arc;
 
 /// Per-trace join implementation used when extending partial matches.
@@ -135,6 +136,8 @@ pub(crate) struct ReadCtx<'a, S: KvStore> {
     pub format: PostingFormat,
     pub metrics: Option<&'a StoreMetrics>,
     pub executor: Executor,
+    /// How multi-pattern candidate sets are intersected (bitmap vs probe).
+    pub candidate_join: CandidateJoin,
 }
 
 impl<'a, S: KvStore> ReadCtx<'a, S> {
@@ -150,6 +153,7 @@ impl<'a, S: KvStore> ReadCtx<'a, S> {
             format: seqdet_core::posting_format(store),
             metrics: None,
             executor: Executor::sequential(),
+            candidate_join: CandidateJoin::default(),
         }
     }
 
@@ -174,7 +178,7 @@ impl<'a, S: KvStore> ReadCtx<'a, S> {
 
     fn postings_one(&self, table: TableId, key: PairKey) -> Result<Arc<PostingList>> {
         if let Some(cache) = self.cache {
-            if let Some(list) = cache.get(table, key, self.generation) {
+            if let Some(list) = cache.get(table, key, self.generation, self.format) {
                 return Ok(list);
             }
         }
@@ -185,18 +189,46 @@ impl<'a, S: KvStore> ReadCtx<'a, S> {
         Ok(list)
     }
 
-    /// Miss path: walk the stored row with the format-dispatching cursor,
-    /// collecting decoded postings into a trace-sorted list.
+    /// Miss path: decode the stored row into a trace-sorted list. v2 rows
+    /// go through the wide decode kernel
+    /// ([`seqdet_core::decode_postings_v2_into`]) with this worker's
+    /// thread-local scratch, so the only allocation is the escaping list
+    /// itself; v1 rows walk the zero-copy record cursor as before.
     fn load(&self, table: TableId, key: PairKey) -> Result<PostingList> {
+        if self.format == PostingFormat::V2 {
+            return self.load_v2(table, key);
+        }
+        let Some(row) = self.store.get(table, &seqdet_core::tables::pair_key_bytes(key)) else {
+            return Ok(PostingList::default());
+        };
+        let row_len = row.len();
         let mut postings = Vec::new();
-        for posting in index_posting_cursor(self.store, self.format, table, key) {
+        for posting in IndexPostingCursor::over(self.format, row) {
             let p = posting?;
             postings.push((p.trace, p.ts_a, p.ts_b));
         }
         if let Some(m) = self.metrics {
             m.record_cursor_decode(postings.len());
+            m.record_decoded_bytes(row_len);
         }
         Ok(PostingList::from_postings(postings))
+    }
+
+    /// v2 miss path: whole-row block decode through the per-worker arena.
+    fn load_v2(&self, table: TableId, key: PairKey) -> Result<PostingList> {
+        let Some(row) = self.store.get(table, &seqdet_core::tables::pair_key_bytes(key)) else {
+            return Ok(PostingList::default());
+        };
+        crate::arena::with_decode_buffers(|scratch, buf| {
+            // xtask-lint: allow(decoder-boundary): this *is* ReadCtx's miss path — the cached, metered read path the rule directs callers to.
+            seqdet_core::decode_postings_v2_into(&row, scratch, buf)?;
+            if let Some(m) = self.metrics {
+                m.record_cursor_decode(buf.len());
+                m.record_decoded_bytes(row.len());
+            }
+            let postings = buf.iter().map(|p| (p.trace, p.ts_a, p.ts_b)).collect();
+            Ok(PostingList::from_postings(postings))
+        })
     }
 }
 
@@ -231,10 +263,50 @@ pub(crate) fn get_completions_within<S: KvStore>(
     debug_assert!(p >= 2, "get_completions requires a pattern of length >= 2");
     let acts = pattern.activities();
 
+    // Fetch every consecutive pair's postings up front (the join loop
+    // reads each exactly once anyway), so the candidate prefilter below
+    // can intersect their trace bitmaps without a second fetch.
+    let mut lists = Vec::with_capacity(p - 1);
+    for i in 0..p - 1 {
+        lists.push(ctx.postings(Activity::pair_key(acts[i], acts[i + 1]))?);
+    }
+    let first = &lists[0];
+
+    // Candidate prefilter: a trace missing from *any* pair's posting list
+    // can never complete the pattern, so with ≥ 2 join steps the bitmap
+    // intersection of all pair lists prunes doomed traces before any
+    // partials are built. Skipped when prefix by-products are requested —
+    // prefixes legitimately contain traces that die at a later step — and
+    // under `Probe` (the ablation baseline) or below the `Auto`
+    // selectivity threshold, where the per-trace seeks win. `Auto` also
+    // takes the bitmap path whenever every list's bitmap is already
+    // built (cache-resident lists): the intersection is then pure reads.
+    let prefilter: Option<TraceBitmap> = if on_prefix.is_none()
+        && p > 2
+        && match ctx.candidate_join {
+            CandidateJoin::Probe => false,
+            CandidateJoin::Bitmap => true,
+            CandidateJoin::Auto => {
+                first.len() >= BITMAP_JOIN_MIN_POSTINGS
+                    || lists.iter().all(|l| l.bitmap_if_built().is_some())
+            }
+        } {
+        let mut acc = first.trace_bitmap().clone();
+        for list in &lists[1..] {
+            if acc.is_empty() {
+                break;
+            }
+            acc = acc.intersect(list.trace_bitmap());
+        }
+        Some(acc)
+    } else {
+        None
+    };
+
     // previous ← Index.get(ev_1, ev_2), as per-trace partial matches.
-    let first = ctx.postings(Activity::pair_key(acts[0], acts[1]))?;
     let mut partials: Partials = first
         .by_trace()
+        .filter(|(trace, _)| prefilter.as_ref().is_none_or(|f| f.contains(trace.0)))
         .filter_map(|(trace, occs)| {
             let parts: Vec<Vec<Ts>> = occs
                 .iter()
@@ -248,9 +320,7 @@ pub(crate) fn get_completions_within<S: KvStore>(
         prefixes.push(collect(&partials));
     }
 
-    for i in 1..p - 1 {
-        let key = Activity::pair_key(acts[i], acts[i + 1]);
-        let next = ctx.postings(key)?;
+    for next in lists.iter().take(p - 1).skip(1) {
         // Each trace's partials extend independently of every other trace's
         // — fan the join step out across the executor. Next-match
         // advancement seeks straight to the partial's trace in the sorted
@@ -264,9 +334,10 @@ pub(crate) fn get_completions_within<S: KvStore>(
                 }
                 let mut extended = Vec::new();
                 match join {
-                    JoinStrategy::Hash => {
-                        let by_start: FxHashMap<Ts, Ts> =
-                            occs.iter().map(|&(_, a, b)| (a, b)).collect();
+                    // The `ts_a → ts_b` map is this worker's reusable
+                    // scratch, not a fresh allocation per trace.
+                    JoinStrategy::Hash => crate::arena::with_join_map(|by_start| {
+                        by_start.extend(occs.iter().map(|&(_, a, b)| (a, b)));
                         for part in parts {
                             let Some(&last) = part.last() else { continue };
                             if let Some(&ts_b) = by_start.get(&last) {
@@ -278,7 +349,7 @@ pub(crate) fn get_completions_within<S: KvStore>(
                                 extended.push(next_part);
                             }
                         }
-                    }
+                    }),
                     JoinStrategy::NestedLoop => {
                         for part in parts {
                             let Some(&last) = part.last() else { continue };

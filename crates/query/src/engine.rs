@@ -1,6 +1,7 @@
 //! The query-processor facade.
 
 use crate::anymatch::{self, AnyMatchResult};
+use crate::bitmap::CandidateJoin;
 use crate::cache::{CacheStats, PostingCache};
 use crate::continuation::{self, ContinuationMethod, Proposition};
 use crate::detect::{self, DetectResult, JoinStrategy, ReadCtx};
@@ -44,6 +45,7 @@ pub struct QueryEngine<S: KvStore> {
     executor: Executor,
     metrics: Option<Arc<StoreMetrics>>,
     join: JoinStrategy,
+    candidate_join: CandidateJoin,
 }
 
 impl<S: KvStore> QueryEngine<S> {
@@ -62,12 +64,21 @@ impl<S: KvStore> QueryEngine<S> {
             executor: Executor::default(),
             metrics: None,
             join: JoinStrategy::default(),
+            candidate_join: CandidateJoin::default(),
         })
     }
 
     /// Select the per-trace join strategy (ablation knob; default Hash).
     pub fn with_join(mut self, join: JoinStrategy) -> Self {
         self.join = join;
+        self
+    }
+
+    /// Select how multi-pattern candidate sets are intersected: bitmap,
+    /// probe cascade, or the selectivity-based default
+    /// ([`CandidateJoin::Auto`]). All three are bit-identical in results.
+    pub fn with_candidate_join(mut self, candidate_join: CandidateJoin) -> Self {
+        self.candidate_join = candidate_join;
         self
     }
 
@@ -185,6 +196,7 @@ impl<S: KvStore> QueryEngine<S> {
             format,
             metrics: self.metrics.as_deref(),
             executor: self.executor,
+            candidate_join: self.candidate_join,
         }
     }
 

@@ -35,6 +35,8 @@
 //! [`QueryEngine::with_metrics`]).
 
 pub mod anymatch;
+mod arena;
+pub mod bitmap;
 pub mod cache;
 pub mod continuation;
 pub mod detect;
@@ -44,6 +46,7 @@ pub mod lang;
 pub mod stats;
 
 pub use anymatch::AnyMatchResult;
+pub use bitmap::{CandidateJoin, TraceBitmap};
 pub use cache::{CacheStats, PostingCache, PostingList};
 pub use continuation::{ContinuationMethod, Proposition};
 pub use detect::{DetectResult, JoinStrategy, PatternMatch};

@@ -1,0 +1,101 @@
+//! Differential property suite for the two-level trace bitmap.
+//!
+//! The reference model is `BTreeSet<u32>` — membership, cardinality,
+//! iteration order and set intersection must all agree with it. The
+//! strategies generate unions of dense runs so both container kinds are
+//! exercised: runs longer than the 4096-element array bound force `Bits`
+//! containers, short runs stay `Array`, and intersections cross the
+//! boundary in both directions (a dense∩dense result can re-canonicalize
+//! to sparse).
+//!
+//! The second half checks the query-level contract the candidate joins
+//! rely on: intersecting posting lists' bitmaps equals the probe cascade
+//! (`contains_trace` retain) over the same lists.
+
+use proptest::prelude::*;
+use seqdet_log::TraceId;
+use seqdet_query::{PostingList, TraceBitmap};
+use std::collections::BTreeSet;
+
+/// Unions of dense runs spread over a few high-16 containers. Runs of up
+/// to 6000 values cross the Array→Bits threshold (4096) in one container.
+fn arb_trace_set() -> impl Strategy<Value = BTreeSet<u32>> {
+    prop::collection::vec((0u32..200_000, 1u32..6_000), 0..5).prop_map(|runs| {
+        let mut set = BTreeSet::new();
+        for (start, len) in runs {
+            set.extend(start..start.saturating_add(len));
+        }
+        set
+    })
+}
+
+fn bitmap_of(set: &BTreeSet<u32>) -> TraceBitmap {
+    TraceBitmap::from_sorted_traces(set.iter().copied())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn bitmap_agrees_with_set_model(set in arb_trace_set()) {
+        let bm = bitmap_of(&set);
+        prop_assert_eq!(bm.len(), set.len() as u64);
+        prop_assert_eq!(bm.is_empty(), set.is_empty());
+        // Iteration yields exactly the set, ascending.
+        prop_assert_eq!(bm.iter().collect::<Vec<u32>>(), set.iter().copied().collect::<Vec<u32>>());
+        // Membership agrees on members and on near-miss probes.
+        for &v in set.iter().take(64) {
+            prop_assert!(bm.contains(v));
+            prop_assert_eq!(bm.contains(v.wrapping_add(1)), set.contains(&v.wrapping_add(1)));
+            prop_assert_eq!(bm.contains(v.wrapping_sub(1)), set.contains(&v.wrapping_sub(1)));
+        }
+    }
+
+    #[test]
+    fn intersection_agrees_with_set_model(a in arb_trace_set(), b in arb_trace_set()) {
+        let expected: BTreeSet<u32> = a.intersection(&b).copied().collect();
+        let got = bitmap_of(&a).intersect(&bitmap_of(&b));
+        prop_assert_eq!(got.len(), expected.len() as u64);
+        prop_assert_eq!(
+            got.iter().collect::<Vec<u32>>(),
+            expected.iter().copied().collect::<Vec<u32>>()
+        );
+        // Intersections re-canonicalize: equal sets are representation-
+        // equal regardless of how they were built.
+        let direct = bitmap_of(&expected);
+        prop_assert_eq!(got.iter().collect::<Vec<u32>>(), direct.iter().collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn bitmap_join_equals_probe_cascade(
+        lists in prop::collection::vec(
+            prop::collection::vec((0u32..500, 0u64..100, 0u64..100), 0..80),
+            1..4,
+        ),
+    ) {
+        let lists: Vec<PostingList> = lists
+            .into_iter()
+            .map(|ps| {
+                PostingList::from_postings(
+                    ps.into_iter().map(|(t, a, b)| (TraceId(t), a, b)).collect(),
+                )
+            })
+            .collect();
+
+        // Probe cascade: start from the first list's traces, retain by
+        // seek-probe against each later list (the `Probe` join).
+        let mut probe: Vec<TraceId> = lists[0].traces().collect();
+        for list in &lists[1..] {
+            probe.retain(|&t| list.contains_trace(t));
+        }
+
+        // Bitmap path: intersect the lists' lazy trace bitmaps.
+        let mut acc = lists[0].trace_bitmap().clone();
+        for list in &lists[1..] {
+            acc = acc.intersect(list.trace_bitmap());
+        }
+        let bitmap: Vec<TraceId> = acc.iter().map(TraceId).collect();
+
+        prop_assert_eq!(bitmap, probe);
+    }
+}

@@ -28,6 +28,7 @@
 //! order (generation bumped before the rows are written) is caught, and
 //! caught specifically on a cache-hit path.
 
+use seqdet_core::PostingFormat;
 use seqdet_log::TraceId;
 use seqdet_query::{PostingCache, PostingList};
 use seqdet_storage::TableId;
@@ -102,7 +103,7 @@ impl Reader {
                 self.snapshot = world.gen;
                 self.phase = 1;
             }
-            1 => match world.cache.get(TABLE, KEY, self.snapshot) {
+            1 => match world.cache.get(TABLE, KEY, self.snapshot, PostingFormat::V1) {
                 Some(g) => {
                     self.result = ReaderResult {
                         snapshot: self.snapshot,

@@ -268,14 +268,21 @@ pub(crate) fn route<S: KvStore>(
                 "OK",
                 format!(
                     "hits: {}\nmisses: {}\nhit_rate: {:.3}\nevictions: {}\n\
-                     invalidations: {}\nentries: {}\ncapacity: {}\n",
+                     invalidations: {}\nentries: {}\ncapacity: {}\n\
+                     hits_v1: {}\nhits_v2: {}\nmisses_v1: {}\nmisses_v2: {}\n\
+                     decoded_bytes: {}\n",
                     s.hits,
                     s.misses,
                     s.hit_rate(),
                     s.evictions,
                     s.invalidations,
                     s.entries,
-                    s.capacity
+                    s.capacity,
+                    s.hits_v1,
+                    s.hits_v2,
+                    s.misses_v1,
+                    s.misses_v2,
+                    metrics.decoded_bytes()
                 ),
             )
         }
@@ -412,6 +419,10 @@ mod tests {
         assert!(r.contains("hits: 1"), "{r}");
         assert!(r.contains("misses: 1"), "{r}");
         assert!(r.contains("entries: 1"), "{r}");
+        // Per-format attribution and decode volume ride along.
+        assert!(r.contains("hits_v1:"), "{r}");
+        assert!(r.contains("misses_v2:"), "{r}");
+        assert!(r.contains("decoded_bytes:"), "{r}");
     }
 
     #[test]

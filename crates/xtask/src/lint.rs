@@ -19,10 +19,18 @@
 //!   paths stalls every query (or connection) sharing the stripe; the
 //!   vendored `parking_lot` types are the sanctioned replacement.
 //! * **codec-roundtrip-registered** — every `decode_*` codec in
-//!   `crates/core/src/tables.rs` and `crates/core/src/postings.rs` must be
-//!   exercised by the codec roundtrip property suite
-//!   (`crates/core/tests/codec_roundtrip.rs`); a codec without a
-//!   registered roundtrip test can silently drift from its encoder.
+//!   `crates/core/src/tables.rs`, `crates/core/src/postings.rs` and
+//!   `crates/core/src/decode.rs` must be exercised by the codec roundtrip
+//!   property suite (`crates/core/tests/codec_roundtrip.rs`); a codec
+//!   without a registered roundtrip test can silently drift from its
+//!   encoder.
+//! * **unsafe-needs-safety-comment** — every `unsafe` occurrence in the
+//!   workspace must carry a `// SAFETY:` comment on the same line or in
+//!   the comment run directly above it. The workspace is almost entirely
+//!   safe code (the SIMD decode kernel is the sole exception), so each
+//!   site is individually audited and the total is reported with every
+//!   lint run — an unreviewed creep upward is itself a finding for a
+//!   human.
 //!
 //! ## Escape hatch
 //!
@@ -65,6 +73,8 @@ impl fmt::Display for LintViolation {
 pub struct LintReport {
     /// Files scanned.
     pub files: usize,
+    /// Total `unsafe` occurrences across the workspace (commented or not).
+    pub unsafe_blocks: usize,
     /// All findings, in path/line order.
     pub violations: Vec<LintViolation>,
 }
@@ -90,7 +100,9 @@ fn no_panic_scope(rel: &str) -> bool {
         .any(|p| rel.starts_with(p))
         // The v2 posting codec decodes untrusted on-disk bytes on the query
         // read path; a panic there tears down whichever worker hit the row.
+        // The wide decode kernel (`decode.rs`) parses the same bytes.
         || rel == "crates/core/src/postings.rs"
+        || rel == "crates/core/src/decode.rs"
 }
 
 fn decoder_scope(rel: &str) -> bool {
@@ -232,6 +244,73 @@ pub fn lint_source(rel: &str, source: &str) -> Vec<LintViolation> {
     out
 }
 
+/// True when the `unsafe` at `line_idx` carries a `SAFETY:` comment — on
+/// the same line, or anywhere in the contiguous run of `//` comment lines
+/// directly above it (multi-line SAFETY justifications are the norm).
+fn safety_commented(lines: &[&str], line_idx: usize) -> bool {
+    if lines[line_idx].contains("SAFETY:") {
+        return true;
+    }
+    let mut i = line_idx;
+    while i > 0 {
+        i -= 1;
+        let t = lines[i].trim_start();
+        if !t.starts_with("//") {
+            return false;
+        }
+        if t.contains("SAFETY:") {
+            return true;
+        }
+    }
+    false
+}
+
+/// The unsafe audit: count every `unsafe` occurrence in real code (strings
+/// and comments are masked out) and report the ones without a `// SAFETY:`
+/// justification. Test code is *not* exempt — an unsound test block is
+/// still unsound. Returns `(occurrences, violations)`.
+pub fn lint_unsafe(rel: &str, source: &str) -> (usize, Vec<LintViolation>) {
+    let masked = mask_source(source);
+    let lines: Vec<&str> = source.lines().collect();
+    let mut line_starts = vec![0usize];
+    for (i, b) in masked.bytes().enumerate() {
+        if b == b'\n' {
+            line_starts.push(i + 1);
+        }
+    }
+    let line_of = |at: usize| line_starts.partition_point(|&s| s <= at) - 1;
+
+    let ident = |c: u8| c.is_ascii_alphanumeric() || c == b'_';
+    let bytes = masked.as_bytes();
+    let mut count = 0;
+    let mut out = Vec::new();
+    let mut from = 0;
+    while let Some(found) = masked[from..].find("unsafe") {
+        let at = from + found;
+        from = at + "unsafe".len();
+        // Whole-word match only (e.g. not `an_unsafe_name`).
+        let before_ok = at == 0 || !ident(bytes[at - 1]);
+        let after_ok = from >= bytes.len() || !ident(bytes[from]);
+        if !before_ok || !after_ok {
+            continue;
+        }
+        count += 1;
+        let line_idx = line_of(at);
+        if !safety_commented(&lines, line_idx) {
+            out.push(LintViolation {
+                file: rel.to_owned(),
+                line: line_idx + 1,
+                rule: "unsafe-needs-safety-comment",
+                message: "`unsafe` without a `// SAFETY:` comment on the same line or \
+                          in the comment run directly above; write down the proof \
+                          obligation the compiler cannot check"
+                    .to_owned(),
+            });
+        }
+    }
+    (count, out)
+}
+
 /// The codec-roundtrip-registered rule: workspace-level, not per-file.
 /// Every `pub fn decode_<name>` in the codec sources (`tables.rs` and
 /// `postings.rs`) must appear (with its `encode_` counterpart) in the
@@ -321,12 +400,18 @@ pub fn lint_workspace(root: &Path) -> std::io::Result<LintReport> {
             .to_string_lossy()
             .replace(std::path::MAIN_SEPARATOR, "/");
         report.violations.extend(lint_source(&rel, &source));
+        let (unsafe_count, unsafe_violations) = lint_unsafe(&rel, &source);
+        report.unsafe_blocks += unsafe_count;
+        report.violations.extend(unsafe_violations);
         report.files += 1;
     }
     let tables = std::fs::read_to_string(root.join("crates/core/src/tables.rs"))?;
     let postings = std::fs::read_to_string(root.join("crates/core/src/postings.rs"))?;
+    let decode = std::fs::read_to_string(root.join("crates/core/src/decode.rs"))?;
     let suite = std::fs::read_to_string(root.join("crates/core/tests/codec_roundtrip.rs")).ok();
-    report.violations.extend(lint_codec_roundtrips(&[&tables, &postings], suite.as_deref()));
+    report
+        .violations
+        .extend(lint_codec_roundtrips(&[&tables, &postings, &decode], suite.as_deref()));
     report.violations.sort_by(|a, b| a.file.cmp(&b.file).then(a.line.cmp(&b.line)));
     Ok(report)
 }
@@ -490,6 +575,46 @@ mod tests {
         let v = lint_codec_roundtrips(&[tables], None);
         assert_eq!(v.len(), 1);
         assert!(v[0].message.contains("missing"));
+    }
+
+    #[test]
+    fn unsafe_without_safety_comment_is_reported() {
+        let src = "fn f(p: *const u8) -> u8 { unsafe { *p } }";
+        let (count, v) = lint_unsafe("crates/core/src/decode.rs", src);
+        assert_eq!(count, 1);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, "unsafe-needs-safety-comment");
+        assert_eq!(v[0].line, 1);
+    }
+
+    #[test]
+    fn unsafe_with_safety_comment_counts_but_does_not_fire() {
+        let same = "fn f(p: *const u8) -> u8 { /* SAFETY: p is valid */ unsafe { *p } }";
+        let (count, v) = lint_unsafe("crates/core/src/decode.rs", same);
+        assert_eq!((count, v.len()), (1, 0), "{v:?}");
+        // Multi-line comment runs directly above the block qualify too.
+        let above = "fn f(p: *const u8) -> u8 {\n    // SAFETY: the caller handed us a\n    // live, aligned pointer.\n    unsafe { *p }\n}";
+        let (count, v) = lint_unsafe("crates/core/src/decode.rs", above);
+        assert_eq!((count, v.len()), (1, 0), "{v:?}");
+        // ...but an interrupted run does not.
+        let gap = "fn f(p: *const u8) -> u8 {\n    // SAFETY: stale.\n    let x = 1;\n    unsafe { *p }\n}";
+        let (count, v) = lint_unsafe("crates/core/src/decode.rs", gap);
+        assert_eq!((count, v.len()), (1, 1), "{v:?}");
+    }
+
+    #[test]
+    fn unsafe_in_strings_comments_and_identifiers_is_not_counted() {
+        let src = "fn f() { log(\"unsafe!\"); } // unsafe in prose\nfn an_unsafe_name() {}";
+        let (count, v) = lint_unsafe("crates/query/src/detect.rs", src);
+        assert_eq!((count, v.len()), (0, 0), "{v:?}");
+    }
+
+    #[test]
+    fn decode_kernel_is_inside_the_no_panic_scope() {
+        let src = "fn f(x: Option<u32>) -> u32 { x.unwrap() }";
+        let v = lint_source("crates/core/src/decode.rs", src);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, "no-panic");
     }
 
     #[test]

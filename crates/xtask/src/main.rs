@@ -83,16 +83,22 @@ fn cmd_lint(args: &[String]) -> ExitCode {
                 v.message.replace('\\', "\\\\").replace('"', "\\\"")
             ));
         }
-        out.push_str(&format!("],\"files\":{},\"ok\":{}}}", report.files, report.ok()));
+        out.push_str(&format!(
+            "],\"files\":{},\"unsafe_blocks\":{},\"ok\":{}}}",
+            report.files,
+            report.unsafe_blocks,
+            report.ok()
+        ));
         println!("{out}");
     } else {
         for v in &report.violations {
             println!("{v}");
         }
         println!(
-            "lint: {} file(s) scanned, {} violation(s)",
+            "lint: {} file(s) scanned, {} violation(s), {} unsafe block(s) audited",
             report.files,
-            report.violations.len()
+            report.violations.len(),
+            report.unsafe_blocks
         );
     }
     if report.ok() {
