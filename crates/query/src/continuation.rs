@@ -97,8 +97,11 @@ fn evaluate_exact<S: KvStore>(
     let mut kept = 0u64;
     let mut gap_sum = 0u64;
     for m in &result.matches {
-        let n = m.timestamps.len();
-        let gap = m.timestamps[n - 1] - m.timestamps[n - 2];
+        // Every match of the extended pattern carries >= 2 timestamps,
+        // but that invariant lives in another crate — skip rather than
+        // index out of bounds if it is ever violated.
+        let &[.., prev, last] = m.timestamps.as_slice() else { continue };
+        let gap = last - prev;
         if max_gap.is_some_and(|g| gap > g) {
             continue;
         }
@@ -216,7 +219,15 @@ pub(crate) fn accurate_at<S: KvStore>(
         let anchor = if pos > 0 { pos } else { 1 };
         let mut sum = 0u64;
         for m in &result.matches {
-            sum += m.timestamps[anchor] - m.timestamps[anchor - 1];
+            // `anchor < timestamps.len()` holds for every well-formed
+            // match of the inserted pattern; fetch defensively so a
+            // malformed result cannot panic the request path.
+            let (Some(&at), Some(&before)) =
+                (m.timestamps.get(anchor), m.timestamps.get(anchor - 1))
+            else {
+                continue;
+            };
+            sum += at - before;
         }
         let n = result.total_completions() as u64;
         let avg = if n == 0 { 0.0 } else { sum as f64 / n as f64 };

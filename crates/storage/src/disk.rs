@@ -601,19 +601,32 @@ fn replay_segment(
     state: &MemStore,
 ) -> Result<SegmentScan, StorageError> {
     let data = vfs.read(path)?;
-    let scan = replay_segment_bytes(&data, |op, table, key, value| match op {
-        OP_PUT => {
-            let _ = state.put(table, key, value);
+    // A store failure mid-replay means the in-memory image is missing
+    // records the log says exist — that must fail the open, not be
+    // swallowed. (MemStore is infallible today; this guards the trait.)
+    let mut store_err: Option<StorageError> = None;
+    let scan = replay_segment_bytes(&data, |op, table, key, value| {
+        if store_err.is_some() {
+            return;
         }
-        OP_APPEND => {
-            let _ = state.append(table, key, value);
+        let applied = match op {
+            OP_PUT => state.put(table, key, value),
+            OP_APPEND => state.append(table, key, value),
+            OP_DELETE => state.delete(table, key).map(|_| ()),
+            // OP_SNAPSHOT: this segment supersedes everything replayed
+            // so far.
+            _ => {
+                state.clear_all();
+                Ok(())
+            }
+        };
+        if let Err(e) = applied {
+            store_err = Some(e);
         }
-        OP_DELETE => {
-            let _ = state.delete(table, key);
-        }
-        // OP_SNAPSHOT: this segment supersedes everything replayed so far.
-        _ => state.clear_all(),
     });
+    if let Some(e) = store_err {
+        return Err(e);
+    }
     match &scan.end {
         SegmentEnd::Corrupt { offset, reason, .. } => Err(StorageError::CorruptSegment {
             segment: path.to_path_buf(),

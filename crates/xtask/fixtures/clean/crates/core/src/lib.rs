@@ -1,0 +1,11 @@
+//! Clean fixture: a helper the server calls without any panic source.
+
+pub struct LookupError;
+
+/// Total lookup: every failure is a typed error.
+pub fn lookup(key: &[u8]) -> Result<u64, LookupError> {
+    match key.first() {
+        Some(&b) => Ok(b as u64),
+        None => Err(LookupError),
+    }
+}

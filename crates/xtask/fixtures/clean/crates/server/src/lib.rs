@@ -1,0 +1,27 @@
+//! Clean fixture: an entry point that handles every error and takes its
+//! two locks strictly sequentially (never nested).
+
+pub struct State {
+    pub counter: Mutex<u64>,
+    pub gauge: Mutex<u64>,
+}
+
+impl State {
+    fn bump_counter(&self) {
+        *self.counter.lock() += 1;
+    }
+
+    fn bump_gauge(&self) {
+        *self.gauge.lock() += 1;
+    }
+}
+
+/// Request-path entry point: no reachable panic, no dropped Result.
+pub fn handle(state: &State, key: &[u8]) -> u64 {
+    state.bump_counter();
+    state.bump_gauge();
+    match fx_core::lookup(key) {
+        Ok(v) => v,
+        Err(_) => 0,
+    }
+}

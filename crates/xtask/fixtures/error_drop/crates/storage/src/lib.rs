@@ -1,0 +1,12 @@
+//! Seeded violation: a write-path Result explicitly discarded.
+
+pub struct WriteError;
+
+fn write_log(_data: &[u8]) -> Result<(), WriteError> {
+    Err(WriteError)
+}
+
+/// The seeded bug: a failed log write is silently swallowed.
+pub fn persist(data: &[u8]) {
+    let _ = write_log(data);
+}

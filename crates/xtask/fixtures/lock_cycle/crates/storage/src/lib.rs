@@ -1,0 +1,31 @@
+//! Seeded violation: two paths acquire the same two locks in opposite
+//! orders — a classic deadlock when both run concurrently.
+
+pub struct Store {
+    alpha: Mutex<u64>,
+    beta: Mutex<u64>,
+}
+
+impl Store {
+    fn add_beta(&self) {
+        *self.beta.lock() += 1;
+    }
+
+    fn add_alpha(&self) {
+        *self.alpha.lock() += 1;
+    }
+
+    /// Acquires alpha, then beta (via add_beta) while still holding alpha.
+    pub fn forward(&self) {
+        let guard = self.alpha.lock();
+        self.add_beta();
+        drop(guard);
+    }
+
+    /// Acquires beta, then alpha (via add_alpha) while still holding beta.
+    pub fn backward(&self) {
+        let guard = self.beta.lock();
+        self.add_alpha();
+        drop(guard);
+    }
+}

@@ -1,0 +1,7 @@
+//! Seeded violation: a panic source reachable from the server entry point.
+
+/// The seeded bug: unwraps a lookup that can legitimately be None.
+pub fn lookup(key: &[u8]) -> u64 {
+    let first = key.first().unwrap();
+    *first as u64
+}

@@ -1,0 +1,6 @@
+//! Entry point that reaches the seeded panic in fx-core across the crate
+//! boundary — the case the file-scoped lint could not see.
+
+pub fn handle(key: &[u8]) -> u64 {
+    fx_core::lookup(key)
+}

@@ -156,7 +156,7 @@ const DIRECTIVE: &str = "xtask-lint: allow(";
 /// True when `lines[line_idx]` (or the line above) carries a well-formed
 /// allow directive for `rule`. A malformed directive (no reason) does not
 /// suppress — `lint_source` reports it separately.
-fn allowed(lines: &[&str], line_idx: usize, rule: &str) -> bool {
+pub(crate) fn allowed(lines: &[&str], line_idx: usize, rule: &str) -> bool {
     let candidates =
         [Some(lines[line_idx]), if line_idx > 0 { Some(lines[line_idx - 1]) } else { None }];
     for line in candidates.into_iter().flatten() {
@@ -374,7 +374,9 @@ fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) {
         let name = entry.file_name();
         let name = name.to_string_lossy();
         if path.is_dir() {
-            if name == "target" || name == ".git" || name == "vendor" {
+            // `fixtures` holds the analyzer's seeded-violation workspaces —
+            // linting those would report the violations they exist to seed.
+            if name == "target" || name == ".git" || name == "vendor" || name == "fixtures" {
                 continue;
             }
             collect_rs(&path, out);

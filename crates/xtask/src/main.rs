@@ -1,13 +1,14 @@
 //! `cargo xtask` — workspace correctness tooling.
 //!
 //! Not shipped to users: this binary is the repo's own enforcement arm.
-//! `cargo xtask lint` runs the invariant lints ([`lint`]) over the source
-//! tree; `cargo xtask audit --store DIR` verifies a persisted index
-//! ([`seqdet_core::audit_disk`]). Both exit nonzero on findings so CI can
+//! `cargo xtask lint` runs the invariant lints ([`xtask::lint`]) over the
+//! source tree; `cargo xtask analyze` runs the call-graph static analyses
+//! ([`xtask::analyze`]) against the committed `analysis_baseline.json`
+//! ratchet; `cargo xtask audit --store DIR` verifies a persisted index
+//! ([`seqdet_core::audit_disk`]). All exit nonzero on findings so CI can
 //! gate on them.
 
-mod lint;
-mod mask;
+use xtask::{analyze, baseline, lint};
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -16,14 +17,19 @@ const USAGE: &str = "\
 usage: cargo xtask <command>
 
 commands:
-  lint  [--json] [--root DIR]   run the workspace invariant lints
-  audit --store DIR [--json]    audit a persisted index store
+  lint    [--json] [--root DIR]     run the workspace invariant lints
+  analyze [--json] [--root DIR]     call-graph analyses (panic-reachability,
+          [--baseline FILE]         lock-order, error-taint, unsafe ratchet)
+          [--update-baseline]       against the committed baseline
+          [--report FILE]
+  audit   --store DIR [--json]      audit a persisted index store
 ";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("lint") => cmd_lint(&args[1..]),
+        Some("analyze") => cmd_analyze(&args[1..]),
         Some("audit") => cmd_audit(&args[1..]),
         _ => {
             eprint!("{USAGE}");
@@ -106,6 +112,193 @@ fn cmd_lint(args: &[String]) -> ExitCode {
     } else {
         ExitCode::FAILURE
     }
+}
+
+fn cmd_analyze(args: &[String]) -> ExitCode {
+    let mut json = false;
+    let mut root = None;
+    let mut baseline_path = None;
+    let mut update = false;
+    let mut report_path = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--json" => json = true,
+            "--root" => root = it.next().map(PathBuf::from),
+            "--baseline" => baseline_path = it.next().map(PathBuf::from),
+            "--update-baseline" => update = true,
+            "--report" => report_path = it.next().map(PathBuf::from),
+            other => {
+                eprintln!("unknown analyze option {other:?}\n{USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let root = workspace_root(root);
+    let baseline_path = baseline_path.unwrap_or_else(|| root.join("analysis_baseline.json"));
+
+    let report = match analyze::analyze_root(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("analyze failed to read sources under {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+    let base = match baseline::Baseline::load(&baseline_path) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("analyze: bad baseline {}: {e}", baseline_path.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    if update {
+        let new = analyze::updated_baseline(&report, &base);
+        let pending: Vec<&String> =
+            new.findings.iter().filter(|(_, j)| j.trim().is_empty()).map(|(id, _)| id).collect();
+        if let Err(e) = std::fs::write(&baseline_path, new.to_json()) {
+            eprintln!("analyze: cannot write {}: {e}", baseline_path.display());
+            return ExitCode::from(2);
+        }
+        println!(
+            "analyze: wrote {} ({} finding(s), {} crate unsafe budget(s))",
+            baseline_path.display(),
+            new.findings.len(),
+            new.unsafe_budget.len()
+        );
+        if !pending.is_empty() {
+            println!(
+                "analyze: {} entr{} need a written justification before the run passes:",
+                pending.len(),
+                if pending.len() == 1 { "y" } else { "ies" }
+            );
+            for id in pending {
+                println!("  {id}");
+            }
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let outcome = analyze::check(&report, &base);
+    let text = render_analysis(&report, &outcome);
+    if let Some(path) = report_path {
+        if let Err(e) = std::fs::write(&path, &text) {
+            eprintln!("analyze: cannot write report {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    }
+    if json {
+        println!("{}", analysis_json(&report, &outcome));
+    } else {
+        print!("{text}");
+    }
+    if outcome.ok() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn render_analysis(report: &analyze::AnalysisReport, outcome: &analyze::RatchetOutcome) -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    let s = &report.stats;
+    let _ = writeln!(
+        out,
+        "analyze: {} file(s), {} function(s), {} entry point(s), {} call edge(s) \
+         ({} ambiguous call(s) dropped), {} lock(s), {} nesting pair(s)",
+        s.files, s.funcs, s.entry_points, s.call_edges, s.ambiguous_calls, s.locks, s.lock_pairs
+    );
+    for (crate_name, count) in &report.unsafe_counts {
+        let _ = writeln!(out, "analyze: unsafe count {crate_name} = {count}");
+    }
+    if !outcome.new_findings.is_empty() {
+        let _ = writeln!(out, "\nNEW findings (not in baseline) — FAIL:");
+        for f in &outcome.new_findings {
+            let _ = writeln!(out, "  {f}");
+            let _ = writeln!(out, "    id: {}", f.id);
+        }
+    }
+    if !outcome.unjustified.is_empty() {
+        let _ = writeln!(out, "\nbaseline entries without a written justification — FAIL:");
+        for id in &outcome.unjustified {
+            let _ = writeln!(out, "  {id}");
+        }
+    }
+    if !outcome.over_budget.is_empty() {
+        let _ = writeln!(out, "\nunsafe count above recorded budget — FAIL:");
+        for (c, actual, budget) in &outcome.over_budget {
+            let _ = writeln!(out, "  {c}: {actual} unsafe (budget {budget})");
+        }
+    }
+    if !outcome.stale.is_empty() {
+        let _ = writeln!(
+            out,
+            "\nstale baseline entries (finding no longer produced — run \
+             `cargo xtask analyze --update-baseline` to garbage-collect):"
+        );
+        for id in &outcome.stale {
+            let _ = writeln!(out, "  {id}");
+        }
+    }
+    let _ = writeln!(
+        out,
+        "analyze: {} finding(s) total, {} new, {} unjustified, {} over budget — {}",
+        report.findings.len(),
+        outcome.new_findings.len(),
+        outcome.unjustified.len(),
+        outcome.over_budget.len(),
+        if outcome.ok() { "OK" } else { "FAIL" }
+    );
+    out
+}
+
+fn analysis_json(report: &analyze::AnalysisReport, outcome: &analyze::RatchetOutcome) -> String {
+    let esc = |s: &str| s.replace('\\', "\\\\").replace('"', "\\\"").replace('\n', "\\n");
+    let mut out = String::from("{\"findings\":[");
+    for (i, f) in report.findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"id\":\"{}\",\"kind\":\"{}\",\"file\":\"{}\",\"line\":{},\"message\":\"{}\"}}",
+            esc(&f.id),
+            f.kind,
+            esc(&f.file),
+            f.line,
+            esc(&f.message)
+        ));
+    }
+    out.push_str("],\"new\":[");
+    for (i, f) in outcome.new_findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("\"{}\"", esc(&f.id)));
+    }
+    out.push_str("],\"unjustified\":[");
+    for (i, id) in outcome.unjustified.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("\"{}\"", esc(id)));
+    }
+    out.push_str("],\"stale\":[");
+    for (i, id) in outcome.stale.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("\"{}\"", esc(id)));
+    }
+    out.push_str("],\"unsafe_counts\":{");
+    for (i, (c, n)) in report.unsafe_counts.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("\"{}\":{n}", esc(c)));
+    }
+    out.push_str(&format!("}},\"ok\":{}}}", outcome.ok()));
+    out
 }
 
 fn cmd_audit(args: &[String]) -> ExitCode {

@@ -53,8 +53,14 @@ pub fn mask_source(source: &str) -> String {
                 }
             }
             b'"' => i = mask_string(b, &mut out, i),
-            b'r' | b'b' if starts_raw_string(b, i) => i = mask_raw_string(b, &mut out, i),
-            b'b' if i + 1 < b.len() && b[i + 1] == b'"' => {
+            // An `r`/`b` prefix only starts a literal at a token boundary:
+            // the `r` in `attr"…"` or the `b` in `sub"…"` is the tail of an
+            // identifier, and treating it as a prefix would give the
+            // following string raw-string (no-escape) semantics.
+            b'r' | b'b' if !prev_is_ident(b, i) && starts_raw_string(b, i) => {
+                i = mask_raw_string(b, &mut out, i)
+            }
+            b'b' if !prev_is_ident(b, i) && i + 1 < b.len() && b[i + 1] == b'"' => {
                 i = mask_string(b, &mut out, i + 1);
             }
             b'\'' => i = mask_char_or_lifetime(b, &mut out, i),
@@ -67,6 +73,12 @@ pub fn mask_source(source: &str) -> String {
     // masked region covers whole characters — which it does, because region
     // boundaries are ASCII delimiters.
     String::from_utf8(out).unwrap_or_else(|e| String::from_utf8_lossy(e.as_bytes()).into_owned())
+}
+
+/// True when the byte before `i` continues an identifier (or number), i.e.
+/// a literal prefix at `i` would really be the tail of a longer token.
+fn prev_is_ident(b: &[u8], i: usize) -> bool {
+    i > 0 && (b[i - 1].is_ascii_alphanumeric() || b[i - 1] == b'_' || b[i - 1] >= 0x80)
 }
 
 /// True when `b[i..]` starts a raw (byte) string: `r"`, `r#`, `br"`, `br#`.
@@ -143,15 +155,21 @@ fn mask_char_or_lifetime(b: &[u8], out: &mut [u8], i: usize) -> usize {
     if i + 1 >= b.len() {
         return i + 1;
     }
-    // Escaped char: '\n', '\\', '\u{…}', …
+    // Escaped char: '\n', '\\', '\'', '\u{…}', … — the character right
+    // after the backslash is consumed unconditionally, because it may
+    // itself be a quote (`'\''`).
     if b[i + 1] == b'\\' {
+        out[i + 1] = b' ';
         let mut j = i + 2;
+        if j < b.len() && b[j] != b'\n' {
+            out[j] = b' ';
+            j += 1;
+        }
         while j < b.len() && b[j] != b'\'' && b[j] != b'\n' {
             out[j] = b' ';
             j += 1;
         }
-        out[i + 1] = b' ';
-        return (j + 1).min(b.len());
+        return if j < b.len() && b[j] == b'\'' { j + 1 } else { j };
     }
     // Plain char literal: exactly one scalar value, so the closing quote
     // sits at a position fixed by the UTF-8 length of the char after the
@@ -269,6 +287,26 @@ mod tests {
         assert!(!m.contains("'{'"), "char literal survived: {m}");
         // The masked brace no longer unbalances brace matching.
         assert_eq!(m.matches('{').count(), 1);
+    }
+
+    #[test]
+    fn escaped_quote_char_literal() {
+        // '\'' must consume the escaped quote and close on the *next* one.
+        let m = mask_source(r"let q = '\''; after()");
+        assert!(m.contains("after()"), "scan desynced: {m}");
+        assert_eq!(m.len(), r"let q = '\''; after()".len());
+        assert!(!m.contains('\\'), "escape body must be blanked: {m}");
+    }
+
+    #[test]
+    fn ident_tail_r_or_b_is_not_a_literal_prefix() {
+        // The `r` in `attr` / `b` in `sub` must not give the following
+        // string raw-string semantics (escapes would stop working).
+        let m = mask_source(r#"attr"pa\"nic", sub"un\"wrap", done"#);
+        assert!(!m.contains("pa"), "{m}");
+        assert!(!m.contains("nic"), "{m}");
+        assert!(!m.contains("wrap"), "{m}");
+        assert!(m.contains("done"), "{m}");
     }
 
     #[test]

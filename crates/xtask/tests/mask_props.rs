@@ -1,0 +1,79 @@
+//! Property tests: `mask::mask_source` (the byte-wise state machine the
+//! lints run on) must agree byte-for-byte with `lexer::mask_via_tokens`
+//! (the mask re-derived from the full token stream). Sources are generated
+//! by concatenating token-shaped fragments — every comment/literal form
+//! the masker claims to handle, adjacent in arbitrary orders.
+
+use proptest::prelude::*;
+
+use xtask::lexer::mask_via_tokens;
+use xtask::mask::mask_source;
+
+const IDENTS: &[&str] = &["foo", "bar_baz", "r", "b", "br", "attr", "sub", "x1", "_tmp", "unwrap"];
+const PUNCTS: &[&str] =
+    &["(", ")", "{", "}", "[", "]", ";", ",", ".", "::", "->", "=>", "=", "+", "&", "*", "!"];
+const WS: &[&str] = &[" ", "  ", "\n", "\n\n", "\t"];
+const NUMS: &[&str] = &["0", "42", "1000"];
+const LIFETIMES: &[&str] = &["'a", "'static", "'_"];
+// Interior text for strings/comments: no quotes/backslashes here — those
+// are injected deliberately by the literal arms below.
+const BODIES: &[&str] = &["", "x", "panic!", ".unwrap()", "a b", "{", "}}"];
+const ESCAPES: &[&str] = &["", "\\\"", "\\\\", "\\n"];
+const CHARS: &[&str] = &["'x'", "'{'", "'\\n'", "'\\''", "'\\\\'", "'0'", "b'q'"];
+
+/// One token-shaped source fragment. `kind` is drawn over a weighted table
+/// so plain tokens dominate but every literal form appears regularly.
+fn fragment() -> impl Strategy<Value = String> {
+    const KINDS: &[u8] = &[0, 0, 0, 1, 1, 1, 2, 2, 2, 3, 4, 5, 5, 6, 7, 7, 8, 8, 9, 10];
+    (0usize..KINDS.len(), 0usize..64, 0usize..64, 0usize..3).prop_map(|(k, a, e, h)| {
+        let body = BODIES[a % BODIES.len()];
+        match KINDS[k] {
+            0 => IDENTS[a % IDENTS.len()].to_owned(),
+            1 => PUNCTS[a % PUNCTS.len()].to_owned(),
+            2 => WS[a % WS.len()].to_owned(),
+            3 => NUMS[a % NUMS.len()].to_owned(),
+            4 => LIFETIMES[a % LIFETIMES.len()].to_owned(),
+            5 => format!("\"{body}{}\"", ESCAPES[e % ESCAPES.len()]),
+            6 => format!("b\"{body}\""),
+            7 => {
+                let hashes = "#".repeat(h);
+                let prefix = if e % 2 == 0 { "" } else { "b" };
+                format!("{prefix}r{hashes}\"{body}\"{hashes}")
+            }
+            8 => CHARS[a % CHARS.len()].to_owned(),
+            9 => format!("// {body}\n"),
+            _ => {
+                if e % 2 == 0 {
+                    format!("/* {body} */")
+                } else {
+                    format!("/* {body} /* inner */ tail */")
+                }
+            }
+        }
+    })
+}
+
+fn source() -> impl Strategy<Value = String> {
+    prop::collection::vec(fragment(), 0..40).prop_map(|parts| parts.concat())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn mask_source_matches_model_tokenizer(src in source()) {
+        let fast = mask_source(&src);
+        let model = mask_via_tokens(&src);
+        prop_assert_eq!(&fast, &model, "masks diverge for source: {:?}", src);
+    }
+
+    #[test]
+    fn mask_preserves_length_and_newlines(src in source()) {
+        let masked = mask_source(&src);
+        prop_assert_eq!(masked.len(), src.len());
+        let nl = |s: &str| {
+            s.bytes().enumerate().filter(|(_, c)| *c == b'\n').map(|(i, _)| i).collect::<Vec<_>>()
+        };
+        prop_assert_eq!(nl(&masked), nl(&src));
+    }
+}
