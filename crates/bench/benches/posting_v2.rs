@@ -151,8 +151,9 @@ fn write_baseline() {
     }
 
     // Candidate-join ablation: the same v2 store and batch under a forced
-    // probe cascade vs forced bitmap intersection (the engine default picks
-    // per-query via the selectivity threshold).
+    // probe cascade vs forced bitmap intersection (`Auto` takes the probe
+    // cascade until the bitmaps are cache-resident, then the intersection).
+    let mut join_ns = Vec::new();
     for (name, join) in [("probe", CandidateJoin::Probe), ("bitmap", CandidateJoin::Bitmap)] {
         let warm = indexed(&log, PostingFormat::V2).0.with_candidate_join(join);
         let cold =
@@ -165,6 +166,7 @@ fn write_baseline() {
         entries.push(format!(
             "  \"stnm_detect_v2_{name}\": {{\"cold_ns\": {cold_ns}, \"warm_ns\": {warm_ns}}}"
         ));
+        join_ns.push((cold_ns, warm_ns));
     }
 
     // Decode throughput: million postings/sec expanding one large v2 row
@@ -200,6 +202,24 @@ fn write_baseline() {
         "v2 cold detect regressed: {v2_cold} ns vs v1 {v1_cold} ns (see {path})"
     );
     assert!(min_ratio >= 5.0, "v2 compression below the 5x bar: {min_ratio:.3}x (see {path})");
+
+    // The candidate-join orderings `CandidateJoin::Auto` is built on: cold,
+    // building bitmaps inline must lose to the probe cascade (which is why
+    // Auto never builds them); warm, the cache-resident intersection must
+    // win (which is why Auto uses bitmaps exactly when they're built). A
+    // flip on either side means the Auto heuristic is leaving time on the
+    // table and this bench is the place that notices.
+    let ((probe_cold, probe_warm), (bitmap_cold, bitmap_warm)) = (join_ns[0], join_ns[1]);
+    assert!(
+        probe_cold <= bitmap_cold,
+        "cold ordering flipped: probe cascade {probe_cold} ns vs inline bitmap build \
+         {bitmap_cold} ns (see {path})"
+    );
+    assert!(
+        bitmap_warm <= probe_warm,
+        "warm ordering flipped: cache-resident bitmap join {bitmap_warm} ns vs probe \
+         cascade {probe_warm} ns (see {path})"
+    );
 }
 
 /// Million postings/sec expanding one encoded v2 row per decode kind.

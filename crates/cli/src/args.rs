@@ -19,6 +19,7 @@ usage:
                   [--k N] [--max-gap G]
   seqdet query    --store DIR \"DETECT a -> b [WITHIN n] [ANY MATCH]\"
   seqdet audit    --store DIR [--json]
+  seqdet compact  --store DIR [--retention TTL]
   seqdet serve    --store DIR [--addr 127.0.0.1:7878] [--workers N]
                   [--queue N] [--timeout-ms T] [--max-requests-per-conn N]
                   [--durability always|batch|os]
@@ -91,6 +92,15 @@ pub enum Command {
         store: String,
         /// Emit the report as JSON instead of text.
         json: bool,
+    },
+    /// Compact a store's segments into sorted immutable runs, optionally
+    /// dropping runs whose newest timestamp has aged past a TTL.
+    Compact {
+        /// Store directory.
+        store: String,
+        /// Optional retention TTL (same unit as event timestamps): runs
+        /// entirely older than `newest run timestamp − TTL` are dropped.
+        retention: Option<u64>,
     },
     /// Run a query-language statement.
     Query {
@@ -264,6 +274,23 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
             Ok(Command::Query {
                 store: store.ok_or_else(|| "query requires --store".to_string())?,
                 statement: statement.ok_or_else(|| "query requires a statement".to_string())?,
+            })
+        }
+        "compact" => {
+            let (mut store, mut retention) = (None, None);
+            while cur.i + 1 < args.len() {
+                cur.i += 1;
+                match args[cur.i].as_str() {
+                    "--store" => store = Some(cur.value("--store")?),
+                    "--retention" => {
+                        retention = Some(parse_u64(&cur.value("--retention")?, "retention TTL")?)
+                    }
+                    other => return Err(format!("unknown flag {other} for compact")),
+                }
+            }
+            Ok(Command::Compact {
+                store: store.ok_or_else(|| "compact requires --store".to_string())?,
+                retention,
             })
         }
         "audit" => {
@@ -503,6 +530,17 @@ mod tests {
         assert!(matches!(c, Command::Audit { json: true, .. }));
         assert!(parse(&argv("audit")).is_err());
         assert!(parse(&argv("audit --store d --bogus")).is_err());
+    }
+
+    #[test]
+    fn parse_compact() {
+        let c = parse(&argv("compact --store d")).unwrap();
+        assert_eq!(c, Command::Compact { store: "d".into(), retention: None });
+        let c = parse(&argv("compact --store d --retention 3600")).unwrap();
+        assert_eq!(c, Command::Compact { store: "d".into(), retention: Some(3600) });
+        assert!(parse(&argv("compact")).is_err());
+        assert!(parse(&argv("compact --store d --retention soon")).is_err());
+        assert!(parse(&argv("compact --store d --bogus")).is_err());
     }
 
     #[test]

@@ -39,6 +39,9 @@ pub fn run(cmd: Command) -> Result<(), CliError> {
             }
             let disk = Arc::new(open_store(&store, durability, None)?);
             let mut indexer = Indexer::with_store(disk.clone(), cfg)?;
+            // The config (and posting format) is persisted now — runs
+            // written by size-triggered compaction get real zone maps.
+            seqdet_core::install_zone_extractor(&disk);
             let start = std::time::Instant::now();
             let stats = indexer.index_log(&log)?;
             disk.flush()?;
@@ -72,6 +75,7 @@ pub fn run(cmd: Command) -> Result<(), CliError> {
             println!("count rows: {} / reverse {}", stats.count_rows, stats.reverse_count_rows);
             println!("last-checked pairs: {}", stats.last_checked_rows);
             println!("segments on disk: {}", disk.num_segments()?);
+            println!("runs on disk: {}", disk.num_runs());
             Ok(())
         }
         Command::Detect { store, pattern, any_match } => {
@@ -139,6 +143,39 @@ pub fn run(cmd: Command) -> Result<(), CliError> {
                 Err("audit found violations".into())
             }
         }
+        Command::Compact { store, retention } => {
+            let disk = DiskStore::open(&store)?;
+            seqdet_core::install_zone_extractor(&disk);
+            let start = std::time::Instant::now();
+            disk.compact()?;
+            println!(
+                "compacted into {} run(s) ({} segment(s) remain) in {:.3}s",
+                disk.num_runs(),
+                disk.num_segments()?,
+                start.elapsed().as_secs_f64()
+            );
+            if let Some(ttl) = retention {
+                // Age runs against the newest timestamp any run covers, not
+                // the wall clock — event time and wall time need not agree.
+                match disk.run_time_range() {
+                    Some((_, newest)) => {
+                        let cutoff = newest.saturating_sub(ttl);
+                        let dropped = disk.drop_expired_runs(cutoff)?;
+                        if dropped > 0 {
+                            // Dropped runs change query-visible contents:
+                            // invalidate generation-stamped caches.
+                            seqdet_core::indexer::bump_index_generation(&disk)?;
+                        }
+                        println!(
+                            "retention: dropped {dropped} run(s) older than {cutoff} \
+                             (newest {newest}, ttl {ttl})"
+                        );
+                    }
+                    None => println!("retention: no runs carry time zones; nothing to expire"),
+                }
+            }
+            Ok(())
+        }
         Command::Query { store, statement } => {
             let disk = Arc::new(DiskStore::open(&store)?);
             let engine = QueryEngine::new(disk.clone())?;
@@ -160,6 +197,7 @@ pub fn run(cmd: Command) -> Result<(), CliError> {
             // `/stats/server` reports real batch/fsync/degraded counters.
             let metrics = Arc::new(StoreMetrics::new());
             let disk = Arc::new(open_store(&store, durability, Some(Arc::clone(&metrics)))?);
+            seqdet_core::install_zone_extractor(&disk);
             let timeout = std::time::Duration::from_millis(timeout_ms);
             let config = seqdet_server::ServeConfig {
                 workers,

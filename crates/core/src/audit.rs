@@ -628,12 +628,16 @@ pub fn audit_store<S: KvStore>(store: &S) -> Result<AuditReport> {
 }
 
 /// Outcome of a full audit of a persisted store directory: the disk layer
-/// ([`seqdet_storage::verify_segments`]) plus the cross-table layer
-/// ([`audit_store`]). This is the shared driver behind `cargo xtask audit`,
-/// `seqdet audit`, and the server's `GET /stats/audit`.
+/// ([`seqdet_storage::verify_segments`] for the write-ahead segments and
+/// [`seqdet_storage::verify_runs`] for the immutable run tier) plus the
+/// cross-table layer ([`audit_store`]). This is the shared driver behind
+/// `cargo xtask audit`, `seqdet audit`, and the server's `GET /stats/audit`.
 pub struct DiskAuditOutcome {
     /// Disk-layer report: per-segment CRC verification.
     pub segments: seqdet_storage::SegmentReport,
+    /// Run-tier report: manifest checksum, per-run structure and CRC
+    /// cross-check, orphan count.
+    pub runs: seqdet_storage::RunReport,
     /// Index-layer report; `None` when the store could not be opened.
     pub index: Option<AuditReport>,
     /// Error that prevented the index-layer audit, if any.
@@ -641,9 +645,10 @@ pub struct DiskAuditOutcome {
 }
 
 impl DiskAuditOutcome {
-    /// True when both layers are clean.
+    /// True when every layer is clean.
     pub fn ok(&self) -> bool {
         self.segments.ok()
+            && self.runs.ok()
             && self.open_error.is_none()
             && self.index.as_ref().is_some_and(|r| r.ok())
     }
@@ -669,6 +674,23 @@ impl DiskAuditOutcome {
                 "{{\"segment\":\"{}\",\"offset\":{},\"reason\":\"{}\"}}",
                 json_escape(&v.segment.display().to_string()),
                 v.offset,
+                json_escape(&v.reason)
+            ));
+        }
+        out.push_str("]}");
+        let r = &self.runs;
+        out.push_str(&format!(
+            ",\"runs\":{{\"manifest\":{},\"segment_floor\":{},\"runs\":{},\"records\":{},\
+             \"orphans\":{},\"violations\":[",
+            r.manifest, r.segment_floor, r.runs, r.records, r.orphans,
+        ));
+        for (i, v) in r.violations.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"path\":\"{}\",\"reason\":\"{}\"}}",
+                json_escape(&v.path.display().to_string()),
                 json_escape(&v.reason)
             ));
         }
@@ -702,6 +724,20 @@ impl DiskAuditOutcome {
                 v.offset,
                 v.reason
             ));
+        }
+        let r = &self.runs;
+        out.push_str(&format!(
+            "runs: {}, {} run(s), {} record(s), {} orphan(s), {} violation(s), \
+             segment floor {}\n",
+            if r.manifest { "manifest present" } else { "no manifest (legacy layout)" },
+            r.runs,
+            r.records,
+            r.orphans,
+            r.violations.len(),
+            r.segment_floor,
+        ));
+        for v in &r.violations {
+            out.push_str(&format!("  CORRUPT {}: {}\n", v.path.display(), v.reason));
         }
         match (&self.index, &self.open_error) {
             (Some(r), _) => {
@@ -739,6 +775,10 @@ pub fn audit_disk(dir: &std::path::Path) -> Result<DiskAuditOutcome> {
         seqdet_storage::StorageError::Io(io) => crate::CoreError::Io(io),
         other => crate::CoreError::Corrupt { table: "segments", message: other.to_string() },
     })?;
+    let runs = seqdet_storage::verify_runs(&seqdet_storage::RealFs, dir).map_err(|e| match e {
+        seqdet_storage::StorageError::Io(io) => crate::CoreError::Io(io),
+        other => crate::CoreError::Corrupt { table: "runs", message: other.to_string() },
+    })?;
     let (index, open_error) = match seqdet_storage::DiskStore::open(dir) {
         Ok(store) => match audit_store(&store) {
             Ok(report) => (Some(report), None),
@@ -746,7 +786,7 @@ pub fn audit_disk(dir: &std::path::Path) -> Result<DiskAuditOutcome> {
         },
         Err(e) => (None, Some(e.to_string())),
     };
-    Ok(DiskAuditOutcome { segments, index, open_error })
+    Ok(DiskAuditOutcome { segments, runs, index, open_error })
 }
 
 #[cfg(test)]
@@ -942,7 +982,18 @@ mod tests {
 
     #[test]
     fn torn_v2_directory_gets_a_distinct_finding() {
-        let (ix, store) = indexed_store();
+        // Pin v2 explicitly: this test is about the v2 block directory, and
+        // the suite also runs under SEQDET_POSTING_FORMAT=v1 in CI.
+        let mut b = EventLogBuilder::new();
+        for (act, ts) in [("A", 1), ("A", 2), ("B", 3), ("A", 4), ("B", 5), ("A", 6)] {
+            b.add("t1", act, ts);
+        }
+        b.add("t2", "A", 1).add("t2", "B", 2).add("t2", "C", 3);
+        let cfg =
+            IndexConfig::new(Policy::SkipTillNextMatch).with_posting_format(PostingFormat::V2);
+        let mut ix = Indexer::new(cfg);
+        ix.index_log(&b.build()).unwrap();
+        let store = ix.store();
         assert_eq!(posting_format(store.as_ref()), PostingFormat::V2);
         let key = pair(&ix, "A", "B");
         let good = store.get(INDEX, &pair_key_bytes(key)).unwrap();
@@ -989,6 +1040,41 @@ mod tests {
             assert!(report.ok(), "{format:?}: {:?}", report.violations);
             assert!(report.summary.postings > 0);
         }
+    }
+
+    #[test]
+    fn disk_audit_covers_the_run_tier() {
+        let dir = std::env::temp_dir().join(format!("seqdet-audit-runs-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = Arc::new(seqdet_storage::DiskStore::open(&dir).unwrap());
+        crate::zones::install_zone_extractor(&store);
+        let mut b = EventLogBuilder::new();
+        b.add("t1", "A", 1).add("t1", "B", 3).add("t2", "A", 2).add("t2", "B", 5);
+        let mut ix =
+            Indexer::with_store(store.clone(), IndexConfig::new(Policy::SkipTillNextMatch))
+                .unwrap();
+        ix.index_log(&b.build()).unwrap();
+        store.compact().unwrap();
+        drop((ix, store));
+        let outcome = audit_disk(&dir).unwrap();
+        assert!(outcome.ok(), "{}", outcome.to_text());
+        assert!(outcome.runs.manifest);
+        assert!(outcome.runs.runs > 0, "compaction must have produced runs");
+        assert!(outcome.runs.records > 0);
+        assert_eq!(outcome.runs.orphans, 0);
+        let json = outcome.to_json();
+        assert!(json.contains("\"runs\":{\"manifest\":true"), "{json}");
+        assert!(outcome.to_text().contains("manifest present"));
+        // Damage the manifest: the run layer must report it and ok() flip.
+        let manifest = dir.join("MANIFEST");
+        let mut bytes = std::fs::read(&manifest).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xff;
+        std::fs::write(&manifest, &bytes).unwrap();
+        let outcome = audit_disk(&dir).unwrap();
+        assert!(!outcome.ok());
+        assert!(!outcome.runs.ok(), "{}", outcome.to_text());
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

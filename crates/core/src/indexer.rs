@@ -340,6 +340,10 @@ impl<S: KvStore> Indexer<S> {
         match self.write_batch(&work, &groups, skipped_events, new_pairs) {
             Ok(stats) => {
                 self.store.commit_batch()?;
+                // Give the backend its maintenance window now that the
+                // batch is durable: a disk store past its write threshold
+                // compacts the committed state into immutable runs here.
+                self.store.maintain()?;
                 Ok(stats)
             }
             Err(e) => {
@@ -477,7 +481,7 @@ impl<S: KvStore> Indexer<S> {
             new_pairs,
         };
         if stats.new_events > 0 || stats.new_pairs > 0 {
-            bump_generation(store)?;
+            bump_index_generation(store)?;
         }
 
         Ok(stats)
@@ -506,7 +510,7 @@ impl<S: KvStore> Indexer<S> {
             }
         }
         put_meta(self.store.as_ref(), META_MIN_PARTITION, &new_min.to_string())?;
-        bump_generation(self.store.as_ref())?;
+        bump_index_generation(self.store.as_ref())?;
         Ok((new_min - min_kept) as usize)
     }
 
@@ -551,7 +555,7 @@ impl<S: KvStore> Indexer<S> {
             }
         }
         if changed {
-            bump_generation(self.store.as_ref())?;
+            bump_index_generation(self.store.as_ref())?;
         }
         Ok(pruned)
     }
@@ -599,7 +603,10 @@ pub fn index_generation<S: KvStore>(store: &S) -> u64 {
     get_meta(store, META_GENERATION).and_then(|s| s.parse().ok()).unwrap_or(0)
 }
 
-fn bump_generation<S: KvStore>(store: &S) -> Result<()> {
+/// Bump [`index_generation`], invalidating every generation-stamped cache
+/// entry. Public for maintenance paths that mutate indexed contents outside
+/// the indexer — e.g. retention dropping expired runs from a disk store.
+pub fn bump_index_generation<S: KvStore>(store: &S) -> Result<()> {
     put_meta(store, META_GENERATION, &(index_generation(store) + 1).to_string())
 }
 

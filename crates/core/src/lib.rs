@@ -37,6 +37,7 @@ pub mod policy;
 pub mod postings;
 pub mod stats;
 pub mod tables;
+pub mod zones;
 
 pub use audit::{audit_disk, audit_store, AuditReport, AuditSummary, DiskAuditOutcome, Violation};
 pub use catalog::Catalog;
@@ -49,6 +50,7 @@ pub use pairs::{create_pairs, PairKey, TracePairs};
 pub use policy::{Policy, StnmMethod};
 pub use postings::{IndexPostingCursor, PostingCursorV2, PostingFormat};
 pub use stats::IndexStats;
+pub use zones::{install_zone_extractor, TableZones};
 
 /// Crate-wide result alias.
 pub type Result<T> = std::result::Result<T, CoreError>;

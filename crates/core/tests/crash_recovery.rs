@@ -137,6 +137,97 @@ fn recovery_from_a_crash_at_every_offset_lands_on_a_committed_boundary() {
     let _ = std::fs::remove_dir_all(&crash_dir);
 }
 
+/// The same crash-at-every-byte sweep, with compactions interleaved into
+/// the workload so the cut can land inside a run file, the manifest
+/// temporary, or the post-compaction segment swap. Boundaries are recorded
+/// in cumulative write-byte space ([`FaultFs::bytes_written`]) instead of
+/// on-disk sizes — compaction rewrites and removes files, so directory
+/// sizes no longer measure the write stream. Compaction never changes
+/// logical contents, so every cut must still recover exactly the last
+/// committed batch, audit clean, *and* leave an untorn run tier (orphan
+/// run files are fine; a referenced-but-damaged run never is).
+#[test]
+fn recovery_from_a_crash_at_every_offset_during_compaction() {
+    let ref_dir = tmp_dir("compact-reference");
+    let mut boundaries: Vec<(u64, Snapshot)> = Vec::new();
+    {
+        let fs = FaultFs::new();
+        let store = Arc::new(
+            DiskStore::open_with(
+                &ref_dir,
+                DiskOptions { vfs: Arc::new(fs.clone()), ..DiskOptions::default() },
+            )
+            .expect("open reference"),
+        );
+        let mut ix = Indexer::with_store(Arc::clone(&store), config()).expect("indexer");
+        seqdet_core::install_zone_extractor(&store);
+        store.flush().expect("flush");
+        boundaries.push((fs.bytes_written(), snapshot(store.as_ref())));
+        for (i, log) in batches().into_iter().enumerate() {
+            ix.index_log(&log).expect("reference indexing");
+            store.flush().expect("flush");
+            boundaries.push((fs.bytes_written(), snapshot(store.as_ref())));
+            if i < 2 {
+                store.compact().expect("reference compaction");
+                boundaries.push((fs.bytes_written(), snapshot(store.as_ref())));
+            }
+        }
+        assert!(store.num_runs() > 0, "workload must exercise the run tier");
+    }
+    let preamble = boundaries[0].0;
+    let total = boundaries.last().expect("boundaries").0;
+    assert!(boundaries.windows(2).all(|w| w[0].0 < w[1].0), "boundaries must advance");
+
+    let crash_dir = tmp_dir("compact-cut");
+    for cut in 0..=total {
+        let _ = std::fs::remove_dir_all(&crash_dir);
+        let fs = FaultFs::new();
+        fs.arm_crash_after_bytes(cut);
+        let run = (|| -> Result<(), Box<dyn std::error::Error>> {
+            let store = Arc::new(DiskStore::open_with(
+                &crash_dir,
+                DiskOptions { vfs: Arc::new(fs.clone()), ..DiskOptions::default() },
+            )?);
+            let mut ix = Indexer::with_store(Arc::clone(&store), config())?;
+            seqdet_core::install_zone_extractor(&store);
+            for (i, log) in batches().into_iter().enumerate() {
+                ix.index_log(&log)?;
+                if i < 2 {
+                    store.compact()?;
+                }
+            }
+            Ok(())
+        })();
+        if cut < total {
+            assert!(run.is_err(), "cut at {cut}/{total} must interrupt the workload");
+        }
+
+        let recovered = DiskStore::open(&crash_dir)
+            .unwrap_or_else(|e| panic!("reopen after cut at {cut} failed: {e}"));
+        assert!(recovered.degraded().is_none());
+        if cut >= preamble {
+            let (size, expected) = boundaries
+                .iter()
+                .rev()
+                .find(|(size, _)| *size <= cut)
+                .expect("preamble boundary exists");
+            let got = snapshot(&recovered);
+            assert_eq!(
+                &got, expected,
+                "cut at byte {cut} must recover the boundary at {size} bytes"
+            );
+        }
+        let report = audit_store(&recovered)
+            .unwrap_or_else(|e| panic!("audit after cut at {cut} failed: {e}"));
+        assert!(report.ok(), "cut at {cut} failed audit: {report:?}");
+        let runs = seqdet_storage::verify_runs(&seqdet_storage::RealFs, &crash_dir)
+            .unwrap_or_else(|e| panic!("verify_runs after cut at {cut} failed: {e}"));
+        assert!(runs.ok(), "cut at {cut} left a damaged run tier: {runs:?}");
+    }
+    let _ = std::fs::remove_dir_all(&ref_dir);
+    let _ = std::fs::remove_dir_all(&crash_dir);
+}
+
 #[test]
 fn degraded_store_still_answers_reads_and_returns_typed_indexing_errors() {
     let dir = tmp_dir("degraded-reads");

@@ -16,7 +16,7 @@
 //! and the per-candidate DP + enumeration fans out across the executor —
 //! each trace's `Seq` row is independent.
 
-use crate::bitmap::{CandidateJoin, BITMAP_JOIN_MIN_POSTINGS};
+use crate::bitmap::CandidateJoin;
 use crate::detect::ReadCtx;
 use crate::Result;
 use seqdet_core::tables::read_seq;
@@ -122,9 +122,9 @@ pub(crate) fn detect_any_match<S: KvStore>(
     // tested): the probe cascade retains candidates with a seek-based
     // membership probe per posting list, while the bitmap path intersects
     // the lists' compressed trace bitmaps container by container.
-    // `Auto` picks bitmaps once the first list is big enough for the
-    // build to pay for itself ([`BITMAP_JOIN_MIN_POSTINGS`]), or when the
-    // first list's bitmap is already cache-resident from an earlier query.
+    // `Auto` picks bitmaps only when the first list's bitmap is already
+    // cache-resident from an earlier query; a cold mid-query bitmap build
+    // measures slower than probing at every list size.
     let mut pairs = pattern.consecutive_pairs();
     let candidates: Vec<TraceId> = match pairs.next() {
         None => Vec::new(),
@@ -133,9 +133,7 @@ pub(crate) fn detect_any_match<S: KvStore>(
             let use_bitmap = match ctx.candidate_join {
                 CandidateJoin::Probe => false,
                 CandidateJoin::Bitmap => true,
-                CandidateJoin::Auto => {
-                    first.len() >= BITMAP_JOIN_MIN_POSTINGS || first.bitmap_if_built().is_some()
-                }
+                CandidateJoin::Auto => first.bitmap_if_built().is_some(),
             };
             if use_bitmap {
                 let mut acc = first.trace_bitmap().clone();

@@ -17,10 +17,12 @@
 //!
 //! The bitmap is built lazily per [`crate::PostingList`] and cached inside
 //! it ([`crate::PostingList::trace_bitmap`]) — a posting list resident in
-//! the query cache pays the build once across all queries. Below
-//! [`BITMAP_JOIN_MIN_POSTINGS`] postings the probe cascade is cheaper than
-//! touching a second structure, which is the selectivity heuristic
-//! [`CandidateJoin::Auto`] applies.
+//! the query cache pays the build once across all queries. That laziness
+//! *is* the [`CandidateJoin::Auto`] heuristic: on cold lists no bitmap
+//! exists yet and building one mid-query measures slower than the probe
+//! cascade regardless of list size, so `Auto` only takes the bitmap path
+//! when every list's bitmap is already built (cache-resident lists), where
+//! the intersection is pure reads.
 
 /// Maximum members of a sparse (sorted-array) container; one past this and
 /// the container is a packed bitset. 4096 × 2 bytes = the break-even point
@@ -30,16 +32,13 @@ pub const ARRAY_MAX: usize = 4096;
 /// Words of a dense container's bitset (65 536 bits).
 const BITS_WORDS: usize = 1024;
 
-/// Posting-count threshold below which [`CandidateJoin::Auto`] keeps the
-/// probe cascade: for tiny lists the seek probes finish before a bitmap
-/// build pays for itself.
-pub const BITMAP_JOIN_MIN_POSTINGS: usize = 256;
-
 /// How multi-pattern candidate intersection is computed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum CandidateJoin {
-    /// Bitmap intersection for large first lists, probe cascade for small
-    /// ones (the [`BITMAP_JOIN_MIN_POSTINGS`] heuristic).
+    /// Bitmap intersection when every posting list's bitmap is already
+    /// built (cache-resident lists); probe cascade otherwise. Cold bitmap
+    /// builds lose to probing at every measured list size, so `Auto` never
+    /// builds one mid-query.
     #[default]
     Auto,
     /// Always the per-trace `partition_point` probe cascade.

@@ -299,7 +299,9 @@ pub(crate) fn route<S: KvStore>(
                      status_4xx: {c4}\nstatus_5xx: {c5}\nlatency_samples: {}\n\
                      latency_mean_us: {}\nlatency_p50_us: {}\nlatency_p95_us: {}\n\
                      latency_p99_us: {}\ndegraded: {}\nbatch_commits: {}\n\
-                     batch_aborts: {}\nfsyncs: {}\n",
+                     batch_aborts: {}\nfsyncs: {}\nruns_live: {}\n\
+                     run_compactions: {}\nruns_written: {}\nrun_bytes_written: {}\n\
+                     runs_searched: {}\nruns_pruned: {}\nruns_expired: {}\n",
                     s.requests(),
                     s.in_flight(),
                     s.shed(),
@@ -314,6 +316,13 @@ pub(crate) fn route<S: KvStore>(
                     metrics.batch_commits(),
                     metrics.batch_aborts(),
                     metrics.fsyncs(),
+                    metrics.runs_live(),
+                    metrics.run_compactions(),
+                    metrics.runs_written(),
+                    metrics.run_bytes_written(),
+                    metrics.runs_searched(),
+                    metrics.runs_pruned(),
+                    metrics.runs_expired(),
                 ),
             )
         }
@@ -441,6 +450,12 @@ mod tests {
         assert!(r.contains("shed: 0"), "{r}");
         assert!(r.contains("latency_p50_us:"), "{r}");
         assert!(r.contains("latency_p99_us:"), "{r}");
+        // Run-tier counters ride along (zero on a memory-backed server).
+        assert!(r.contains("runs_live: 0"), "{r}");
+        assert!(r.contains("runs_pruned: 0"), "{r}");
+        assert!(r.contains("runs_searched: 0"), "{r}");
+        assert!(r.contains("run_compactions: 0"), "{r}");
+        assert!(r.contains("runs_expired: 0"), "{r}");
     }
 
     #[test]

@@ -1,13 +1,20 @@
-//! Log-structured persistent store.
+//! Log-structured persistent store with a tiered immutable cold path.
 //!
-//! Every mutation is appended as one record to the active segment file; the
-//! current state is kept in an inner [`MemStore`] (the "memtable") and
-//! rebuilt by replaying segments on open. [`DiskStore::compact`] folds all
-//! segments into a single snapshot segment of `put`s.
+//! Every mutation is appended as one record to the active segment file. The
+//! live state is two layers: an immutable base of sorted per-table **run
+//! files** (see [`crate::run`]) written by [`DiskStore::compact`], plus an
+//! in-memory [`DeltaState`] overlay holding every mutation since the last
+//! compaction, rebuilt by replaying segments on open. Point reads fold the
+//! delta over zero-copy slices of the resident run images; each run's
+//! footer zone map (key range, trace-id range, time range) lets
+//! [`DiskStore::key_may_exist`] prune whole runs without touching a row,
+//! and lets retention ([`DiskStore::drop_expired_runs`]) drop a run whose
+//! entire time range has expired instead of rewriting anything.
 //!
-//! This mirrors the write path Cassandra gives the paper — sequential
-//! appends, point reads served from memory — at laptop scale, and keeps
-//! index persistence across the periodic update runs of §3.1.3.
+//! This mirrors the storage Cassandra gives the paper — LSM runs fed by
+//! sequential appends, point reads served from memory-resident structures —
+//! at laptop scale, and keeps index persistence across the periodic update
+//! runs of §3.1.3.
 //!
 //! ## Record format
 //!
@@ -47,21 +54,32 @@
 //! further writes return [`StorageError::Degraded`], reads keep serving
 //! from memory, and a restart recovers the durable committed prefix.
 //!
-//! Compaction writes the snapshot (headed by a snapshot-marker record that
-//! makes replay clear all prior state) to a `.tmp` name, fsyncs it, renames
-//! it into place, fsyncs the directory, and only then sweeps old segments —
-//! tolerating per-file remove failures, since replay is correct with any
-//! subset of old segments remaining.
+//! ## Compaction and the manifest
+//!
+//! [`DiskStore::compact`] merges the runs and the delta into fresh sorted
+//! run files (fsynced before they are referenced), then publishes them by
+//! atomically replacing the `MANIFEST` (`.tmp` + fsync + rename + dir
+//! fsync). The manifest's `segment_floor` is the first segment number
+//! replay may apply: stale segments below the floor are superseded by the
+//! runs and ignored, so a failed post-compaction sweep can never cause a
+//! double replay. A crash mid-compaction leaves only orphan run files and
+//! an ignored `MANIFEST.tmp`. Stores created before the run tier (segments
+//! only, possibly headed by a legacy snapshot-marker record) open
+//! unchanged: no manifest means an empty run set and full-log replay.
 
 use crate::codec::{Dec, Enc};
 use crate::crc::crc32;
 use crate::error::StorageError;
 use crate::kv::{KvStore, TableId};
-use crate::mem::MemStore;
 use crate::metrics::StoreMetrics;
+use crate::run::{
+    encode_run, read_manifest, run_file_name, write_manifest, DeltaOp, DeltaState, Manifest,
+    ManifestRun, RunReader, RunSet, ZoneExtractor,
+};
 use crate::vfs::{RealFs, Vfs, VfsFile};
 use bytes::Bytes;
-use parking_lot::Mutex;
+use parking_lot::{Mutex, RwLock};
+use std::collections::BTreeMap;
 use std::io;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -120,26 +138,61 @@ pub struct DiskOptions {
     pub vfs: Arc<dyn Vfs>,
     /// Metrics handle for batch/fsync/degraded accounting.
     pub metrics: Option<Arc<StoreMetrics>>,
+    /// Mutation bytes accumulated since the last compaction before
+    /// [`DiskStore::maintain`] triggers one; `None` disables the
+    /// size-triggered path entirely. The default (4 MiB) is far above what
+    /// a single indexing batch writes, so maintenance only fires on
+    /// genuinely grown stores.
+    pub run_flush_bytes: Option<u64>,
 }
 
 impl Default for DiskOptions {
     fn default() -> Self {
-        Self { durability: DurabilityPolicy::default(), vfs: Arc::new(RealFs), metrics: None }
+        Self {
+            durability: DurabilityPolicy::default(),
+            vfs: Arc::new(RealFs),
+            metrics: None,
+            run_flush_bytes: Some(4 << 20),
+        }
     }
 }
 
-/// Persistent [`KvStore`] backed by append-only segment files in one
-/// directory.
+/// The two-layer live state: an immutable run base and the mutation delta
+/// accumulated on top since the last compaction. Swapped atomically (both
+/// `Arc`s under one `RwLock`) so a reader never observes a half-installed
+/// tier — e.g. new runs that already contain a delta append *and* the delta
+/// still holding it.
+struct TierState {
+    runs: Arc<RunSet>,
+    delta: Arc<DeltaState>,
+}
+
+/// Persistent [`KvStore`] backed by append-only segment files and immutable
+/// sorted runs in one directory.
 pub struct DiskStore {
     dir: PathBuf,
-    state: MemStore,
+    tier: RwLock<TierState>,
     vfs: Arc<dyn Vfs>,
     durability: DurabilityPolicy,
     metrics: Option<Arc<StoreMetrics>>,
-    /// Sticky degraded reason. Lock order: `writer` before `degraded`.
+    /// Sticky degraded reason. Lock order: `writer` before `tier` before
+    /// `degraded`.
     degraded: Mutex<Option<String>>,
     next_batch: AtomicU64,
     writer: Mutex<Writer>,
+    /// Schema-layer hook that derives trace/timestamp zones for run
+    /// footers. Installed after open (the row formats are only known once
+    /// the Meta table is readable), so compactions before installation
+    /// write runs with key-range zones only.
+    zone_extractor: RwLock<Option<Arc<dyn ZoneExtractor>>>,
+    /// Mutation bytes logged since the last compaction (drives `maintain`).
+    bytes_since_compact: AtomicU64,
+    run_flush_bytes: Option<u64>,
+    /// Next unused run id (mirrors the manifest; only written under the
+    /// writer lock).
+    next_run_id: AtomicU64,
+    /// Current manifest `segment_floor` (0 for a store without a manifest).
+    segment_floor: AtomicU64,
 }
 
 struct Writer {
@@ -190,31 +243,96 @@ impl DiskStore {
 
     /// Open (or create) a store with an explicit durability policy, VFS and
     /// metrics handle.
+    ///
+    /// With a `MANIFEST` present, the referenced runs are loaded and fully
+    /// verified (a damaged or missing referenced run fails the open with
+    /// [`StorageError::CorruptRun`]) and only segments at or above the
+    /// manifest's `segment_floor` are replayed into the delta. Without one
+    /// — a fresh directory or a store from before the run tier — every
+    /// segment is replayed, including legacy snapshot-marker handling.
     pub fn open_with(dir: impl AsRef<Path>, options: DiskOptions) -> Result<Self, StorageError> {
-        let DiskOptions { durability, vfs, metrics } = options;
+        let DiskOptions { durability, vfs, metrics, run_flush_bytes } = options;
         let dir = dir.as_ref().to_path_buf();
         vfs.create_dir_all(&dir)?;
-        let state = MemStore::new();
+        let manifest = read_manifest(vfs.as_ref(), &dir)?.unwrap_or_default();
+        let mut readers = Vec::with_capacity(manifest.runs.len());
+        for entry in &manifest.runs {
+            let path = dir.join(run_file_name(entry.id, entry.table));
+            let reader = match RunReader::open(vfs.as_ref(), &path, entry.id, entry.table) {
+                Ok(r) => r,
+                // A referenced run that cannot be read is damage to
+                // acknowledged state (runs are fsynced before the manifest
+                // names them), not a crash artifact.
+                Err(StorageError::Io(e)) => {
+                    return Err(StorageError::CorruptRun {
+                        path,
+                        reason: format!("referenced by manifest but unreadable: {e}"),
+                    })
+                }
+                Err(e) => return Err(e),
+            };
+            if reader.crc != entry.crc {
+                return Err(StorageError::CorruptRun {
+                    path,
+                    reason: format!(
+                        "manifest expects crc {:08x}, file has {:08x}",
+                        entry.crc, reader.crc
+                    ),
+                });
+            }
+            readers.push(Arc::new(reader));
+        }
+        let runs = RunSet::new(readers);
+        let delta = DeltaState::new();
         let segments = list_segments(vfs.as_ref(), &dir)?;
         let mut next_batch = 0u64;
         for &n in &segments {
-            let scan = replay_segment(vfs.as_ref(), &segment_path(&dir, n), &state)?;
+            if n < manifest.segment_floor {
+                // Superseded by the runs (a sweep failed to remove it).
+                continue;
+            }
+            let scan = replay_segment(vfs.as_ref(), &segment_path(&dir, n), &delta)?;
             if let Some(id) = scan.max_batch_id {
                 next_batch = next_batch.max(id + 1);
             }
         }
-        let next = segments.last().map_or(0, |n| n + 1);
+        // The active segment is always a fresh file: appending to an
+        // existing one could land records after a torn tail. Never reuse a
+        // number below the floor.
+        let next = segments.last().map_or(0, |n| n + 1).max(manifest.segment_floor);
         let file = vfs.open_append(&segment_path(&dir, next))?;
+        if let Some(m) = &metrics {
+            m.set_runs_live(runs.len());
+        }
         Ok(Self {
             dir,
-            state,
+            tier: RwLock::new(TierState { runs: Arc::new(runs), delta: Arc::new(delta) }),
             vfs,
             durability,
             metrics,
             degraded: Mutex::new(None),
             next_batch: AtomicU64::new(next_batch),
             writer: Mutex::new(Writer { file, segment: next, in_batch: None }),
+            zone_extractor: RwLock::new(None),
+            bytes_since_compact: AtomicU64::new(0),
+            run_flush_bytes,
+            next_run_id: AtomicU64::new(manifest.next_run_id),
+            segment_floor: AtomicU64::new(manifest.segment_floor),
         })
+    }
+
+    /// Install the schema-layer hook that derives trace/timestamp zones for
+    /// run footers (see [`ZoneExtractor`]). Runs written before
+    /// installation carry key-range zones only.
+    pub fn set_zone_extractor(&self, extractor: Arc<dyn ZoneExtractor>) {
+        *self.zone_extractor.write() = Some(extractor);
+    }
+
+    /// Snapshot the current tier: the immutable run base and the delta
+    /// overlay, consistent with each other.
+    fn tier_snapshot(&self) -> (Arc<RunSet>, Arc<DeltaState>) {
+        let t = self.tier.read();
+        (t.runs.clone(), t.delta.clone())
     }
 
     /// The configured fsync policy.
@@ -257,7 +375,16 @@ impl DiskStore {
         Ok(())
     }
 
-    fn log(&self, op: u8, table: TableId, key: &[u8], value: &[u8]) -> Result<(), StorageError> {
+    /// Log one mutation record and apply it to the delta, both under the
+    /// writer lock — so a concurrent compaction can never snapshot a state
+    /// missing a record the log already holds.
+    fn log_apply(
+        &self,
+        op: u8,
+        table: TableId,
+        key: &[u8],
+        value: &[u8],
+    ) -> Result<(), StorageError> {
         self.check_writable()?;
         let rec = encode_record(op, table, key, value);
         let mut w = self.writer.lock();
@@ -269,18 +396,30 @@ impl DiskStore {
             self.enter_degraded(format!("segment write failed: {e}"));
             return Err(StorageError::Io(e));
         }
+        self.bytes_since_compact.fetch_add(rec.len() as u64, Ordering::Relaxed);
+        let delta = self.tier.read().delta.clone();
+        match op {
+            OP_PUT => delta.record_put(table, key, value),
+            OP_APPEND => delta.record_append(table, key, value),
+            OP_DELETE => delta.record_delete(table, key),
+            // log_apply is only called with mutation ops; control records
+            // go through their own paths.
+            _ => {}
+        }
         Ok(())
     }
 
-    /// Rewrite the full live state into a fresh snapshot segment and delete
-    /// all older segments. Concurrent writers are blocked for the duration.
+    /// Merge the runs and the delta into fresh sorted per-table run files,
+    /// publish them through the manifest, and sweep everything they
+    /// supersede. Concurrent writers are blocked for the duration.
     ///
-    /// Crash-safe: the snapshot is built under a `.tmp` name replay ignores,
-    /// fsynced, renamed into place, and the directory fsynced; only then are
-    /// old segments swept. The snapshot opens with a marker record that
-    /// makes replay drop all earlier state, so recovery is correct with
-    /// *any* subset of old segments still present — a remove failure during
-    /// the sweep is collected and reported once, after the sweep finishes.
+    /// Crash-safe: the new runs are written whole and fsynced first (a
+    /// crash leaves only orphan files replay ignores), then the manifest is
+    /// atomically replaced (`.tmp` + fsync + rename + dir fsync) — *the
+    /// rename is the commit point*. The manifest's `segment_floor` makes
+    /// replay skip every pre-compaction segment, so recovery is correct
+    /// with any subset of them still present: a remove failure during the
+    /// sweep is collected and reported once, after the sweep finishes.
     pub fn compact(&self) -> io::Result<()> {
         let mut w = self.writer.lock();
         self.check_writable()?;
@@ -288,58 +427,155 @@ impl DiskStore {
             return Err(io::Error::other("cannot compact while a write batch is open"));
         }
         let old_active = w.segment;
-        let next = old_active + 1;
-        let tmp = self.dir.join(format!("seg-{next:06}.log.tmp"));
-        let final_path = segment_path(&self.dir, next);
-        // Phase 1: snapshot to the .tmp name and fsync it. A crash here
-        // leaves only an ignored .tmp file; the store is unaffected.
-        let written = (|| -> io::Result<()> {
-            let mut out = self.vfs.create(&tmp)?;
-            out.write_all(&encode_record(OP_SNAPSHOT, TableId(0), b"", b""))?;
-            for (table, key, value) in &self.state.scan_all() {
-                out.write_all(&encode_record(OP_PUT, *table, key, value))?;
+        let floor = old_active + 1;
+        let (runs, delta) = {
+            let t = self.tier.read();
+            (t.runs.clone(), t.delta.clone())
+        };
+        let extractor = self.zone_extractor.read().clone();
+        // Phase 1: merge and write the new runs, fsynced, unreferenced. A
+        // failure here only leaves orphans a later sweep removes.
+        let mut tables = runs.tables();
+        for t in delta.tables() {
+            if !tables.contains(&t) {
+                tables.push(t);
             }
-            out.sync_all()?;
+        }
+        tables.sort_unstable();
+        let first_id = self.next_run_id.load(Ordering::Relaxed);
+        let mut new_entries: Vec<ManifestRun> = Vec::new();
+        let mut run_bytes = 0u64;
+        let written = (|| -> io::Result<()> {
+            for &table in &tables {
+                let mut image: BTreeMap<Vec<u8>, Bytes> = BTreeMap::new();
+                for run in runs.for_table(table) {
+                    for (key, value) in run.iter() {
+                        image.insert(key.to_vec(), value);
+                    }
+                }
+                for (key, op) in delta.entries_for(table) {
+                    let key = key.into_vec();
+                    match op {
+                        DeltaOp::Put(v) => {
+                            image.insert(key, Bytes::from(v));
+                        }
+                        DeltaOp::Delete => {
+                            image.remove(&key);
+                        }
+                        DeltaOp::Append(tail) => {
+                            let merged = match image.remove(&key) {
+                                Some(base) => {
+                                    let mut v = Vec::with_capacity(base.len() + tail.len());
+                                    v.extend_from_slice(&base);
+                                    v.extend_from_slice(&tail);
+                                    v
+                                }
+                                None => tail,
+                            };
+                            image.insert(key, Bytes::from(merged));
+                        }
+                    }
+                }
+                let records: Vec<(Vec<u8>, Bytes)> = image.into_iter().collect();
+                let Some((buf, _zone)) = encode_run(table, &records, extractor.as_deref())? else {
+                    continue; // empty table: no run
+                };
+                let id = first_id + new_entries.len() as u64;
+                let path = self.dir.join(run_file_name(id, table));
+                let mut out = self.vfs.create(&path)?;
+                out.write_all(&buf)?;
+                out.sync_all()?;
+                if let Some(m) = &self.metrics {
+                    m.record_fsync();
+                }
+                run_bytes += buf.len() as u64;
+                let crc_off = buf.len().saturating_sub(8);
+                let crc = Dec::new(buf.get(crc_off..).unwrap_or(&[])).u32().unwrap_or(0);
+                new_entries.push(ManifestRun { id, table, crc });
+            }
             Ok(())
         })();
         if let Err(e) = written {
-            let _ = self.vfs.remove_file(&tmp);
+            for entry in &new_entries {
+                let _ = self.vfs.remove_file(&self.dir.join(run_file_name(entry.id, entry.table)));
+            }
+            return Err(e);
+        }
+        // Phase 2: publish. Until the rename lands, replay still sees the
+        // old manifest (or none) and the old segments — a crash anywhere
+        // before this point changes nothing.
+        let manifest = Manifest {
+            segment_floor: floor,
+            next_run_id: first_id + new_entries.len() as u64,
+            runs: new_entries.clone(),
+        };
+        if let Err(e) = write_manifest(self.vfs.as_ref(), &self.dir, &manifest) {
+            for entry in &new_entries {
+                let _ = self.vfs.remove_file(&self.dir.join(run_file_name(entry.id, entry.table)));
+            }
             return Err(e);
         }
         if let Some(m) = &self.metrics {
             m.record_fsync();
         }
-        // Phase 2: publish. A failed rename leaves nothing visible.
-        if let Err(e) = self.vfs.rename(&tmp, &final_path) {
-            let _ = self.vfs.remove_file(&tmp);
-            return Err(e);
-        }
-        // Point of no return: the snapshot replays after (and supersedes)
-        // every current segment, so all further writes must land in a
-        // segment numbered after it. Failing to swap the writer would send
-        // them to a segment the snapshot shadows — degrade instead.
-        match self.vfs.open_append(&segment_path(&self.dir, next + 1)) {
+        // Point of no return: the manifest supersedes every current
+        // segment, so all further writes must land in a segment at or above
+        // the floor. Failing to swap the writer would send them to a
+        // segment replay now skips — degrade instead.
+        match self.vfs.open_append(&segment_path(&self.dir, floor)) {
             Ok(file) => {
                 w.file = file;
-                w.segment = next + 1;
+                w.segment = floor;
             }
             Err(e) => {
                 self.enter_degraded(format!(
-                    "compaction published a snapshot but could not open a fresh active segment: {e}"
+                    "compaction published a manifest but could not open a fresh active segment: {e}"
                 ));
                 return Err(e);
             }
         }
+        // Install the new tier while writers are still blocked: the new
+        // runs already contain every delta op, so the delta restarts empty.
+        let mut readers = Vec::with_capacity(new_entries.len());
+        for entry in &new_entries {
+            let path = self.dir.join(run_file_name(entry.id, entry.table));
+            match RunReader::open(self.vfs.as_ref(), &path, entry.id, entry.table) {
+                Ok(r) => readers.push(Arc::new(r)),
+                Err(e) => {
+                    // We just wrote and fsynced this file; failing to read
+                    // it back means the store can no longer serve its own
+                    // state coherently.
+                    self.enter_degraded(format!(
+                        "compaction could not re-open its own run {}: {e}",
+                        path.display()
+                    ));
+                    return Err(io::Error::other(e.to_string()));
+                }
+            }
+        }
+        let live = readers.len();
+        *self.tier.write() =
+            TierState { runs: Arc::new(RunSet::new(readers)), delta: Arc::new(DeltaState::new()) };
+        self.next_run_id.store(manifest.next_run_id, Ordering::Relaxed);
+        self.segment_floor.store(floor, Ordering::Relaxed);
+        self.bytes_since_compact.store(0, Ordering::Relaxed);
+        if let Some(m) = &self.metrics {
+            m.record_run_compaction(live, run_bytes);
+            m.set_runs_live(live);
+        }
         drop(w);
         // Make the rename durable before deleting the data it replaces.
         self.vfs.sync_dir(&self.dir)?;
-        // Phase 3: sweep old segments. Failures are collected so one bad
-        // unlink cannot abort the sweep halfway; leftovers are harmless.
+        // Phase 3: sweep superseded segments and orphan run files (from
+        // this compaction's predecessors or crashed attempts). Failures are
+        // collected so one bad unlink cannot abort the sweep halfway;
+        // leftovers are harmless — the floor keeps stale segments out of
+        // replay and orphan runs are never referenced.
         let mut failures: Vec<String> = Vec::new();
         match list_segments(self.vfs.as_ref(), &self.dir) {
             Ok(nums) => {
                 for n in nums {
-                    if n <= old_active {
+                    if n < floor {
                         if let Err(e) = self.vfs.remove_file(&segment_path(&self.dir, n)) {
                             failures.push(format!("seg-{n:06}.log: {e}"));
                         }
@@ -348,9 +584,23 @@ impl DiskStore {
             }
             Err(e) => failures.push(format!("listing segments: {e}")),
         }
+        match self.vfs.read_dir_names(&self.dir) {
+            Ok(names) => {
+                for name in names {
+                    if crate::run::parse_run_file_name(&name).is_some()
+                        && !new_entries.iter().any(|e| run_file_name(e.id, e.table) == name)
+                    {
+                        if let Err(e) = self.vfs.remove_file(&self.dir.join(&name)) {
+                            failures.push(format!("{name}: {e}"));
+                        }
+                    }
+                }
+            }
+            Err(e) => failures.push(format!("listing runs: {e}")),
+        }
         if !failures.is_empty() {
             return Err(io::Error::other(format!(
-                "compaction succeeded, but {} old segment file(s) could not be removed \
+                "compaction succeeded, but {} superseded file(s) could not be removed \
                  (replay stays correct with them present): {}",
                 failures.len(),
                 failures.join("; ")
@@ -359,9 +609,102 @@ impl DiskStore {
         Ok(())
     }
 
+    /// Drop every run whose entire time range lies before `cutoff_ts` —
+    /// retention without rewriting a byte of surviving data. Runs without
+    /// trace/timestamp zones (no [`ZoneExtractor`] at compaction time, or
+    /// undecodable rows) are conservatively kept. Returns how many runs
+    /// were dropped.
+    ///
+    /// Note: delta appends whose run base is dropped keep only their tail;
+    /// callers expire data only along boundaries the schema layer aligns
+    /// with its partitions, where no live delta overlaps expired runs.
+    pub fn drop_expired_runs(&self, cutoff_ts: u64) -> io::Result<usize> {
+        let w = self.writer.lock();
+        self.check_writable()?;
+        if w.in_batch.is_some() {
+            return Err(io::Error::other("cannot expire runs while a write batch is open"));
+        }
+        let (runs, delta) = {
+            let t = self.tier.read();
+            (t.runs.clone(), t.delta.clone())
+        };
+        let (dropped, kept): (Vec<_>, Vec<_>) = runs
+            .runs()
+            .iter()
+            .cloned()
+            .partition(|r| r.zone.zones.is_some_and(|z| z.ts_max < cutoff_ts));
+        if dropped.is_empty() {
+            return Ok(0);
+        }
+        let manifest = Manifest {
+            segment_floor: self.segment_floor.load(Ordering::Relaxed),
+            next_run_id: self.next_run_id.load(Ordering::Relaxed),
+            runs: kept
+                .iter()
+                .map(|r| ManifestRun { id: r.id, table: r.table, crc: r.crc })
+                .collect(),
+        };
+        write_manifest(self.vfs.as_ref(), &self.dir, &manifest)?;
+        let expired = dropped.len();
+        let live = kept.len();
+        *self.tier.write() = TierState { runs: Arc::new(RunSet::new(kept)), delta };
+        if let Some(m) = &self.metrics {
+            m.record_fsync();
+            m.record_runs_expired(expired);
+            m.set_runs_live(live);
+        }
+        drop(w);
+        // Make the manifest rename durable before unlinking the runs it
+        // stopped referencing; an unlink failure leaves an orphan the next
+        // compaction sweeps.
+        self.vfs.sync_dir(&self.dir)?;
+        let mut failures: Vec<String> = Vec::new();
+        for r in &dropped {
+            if let Err(e) = self.vfs.remove_file(&r.path) {
+                failures.push(format!("{}: {e}", r.path.display()));
+            }
+        }
+        if !failures.is_empty() {
+            return Err(io::Error::other(format!(
+                "retention dropped {expired} run(s), but {} file(s) could not be removed \
+                 (they are unreferenced orphans): {}",
+                failures.len(),
+                failures.join("; ")
+            )));
+        }
+        Ok(expired)
+    }
+
+    /// `(earliest ts_min, latest ts_max)` across all runs that carry
+    /// trace/timestamp zones, or `None` if no run does. The retention CLI
+    /// anchors its TTL cutoff at the latest timestamp.
+    pub fn run_time_range(&self) -> Option<(u64, u64)> {
+        let (runs, _) = self.tier_snapshot();
+        let mut range: Option<(u64, u64)> = None;
+        for r in runs.runs() {
+            if let Some(z) = r.zone.zones {
+                range = Some(match range {
+                    Some((lo, hi)) => (lo.min(z.ts_min), hi.max(z.ts_max)),
+                    None => (z.ts_min, z.ts_max),
+                });
+            }
+        }
+        range
+    }
+
     /// Number of segment files currently on disk.
     pub fn num_segments(&self) -> io::Result<usize> {
         Ok(list_segments(self.vfs.as_ref(), &self.dir)?.len())
+    }
+
+    /// Number of live (manifest-referenced) runs.
+    pub fn num_runs(&self) -> usize {
+        self.tier_snapshot().0.len()
+    }
+
+    /// Mutation bytes logged since the last compaction.
+    pub fn bytes_since_compact(&self) -> u64 {
+        self.bytes_since_compact.load(Ordering::Relaxed)
     }
 
     /// The directory this store lives in.
@@ -598,35 +941,21 @@ pub fn replay_segment_bytes(
 fn replay_segment(
     vfs: &dyn Vfs,
     path: &Path,
-    state: &MemStore,
+    delta: &DeltaState,
 ) -> Result<SegmentScan, StorageError> {
     let data = vfs.read(path)?;
-    // A store failure mid-replay means the in-memory image is missing
-    // records the log says exist — that must fail the open, not be
-    // swallowed. (MemStore is infallible today; this guards the trait.)
-    let mut store_err: Option<StorageError> = None;
     let scan = replay_segment_bytes(&data, |op, table, key, value| {
-        if store_err.is_some() {
-            return;
-        }
-        let applied = match op {
-            OP_PUT => state.put(table, key, value),
-            OP_APPEND => state.append(table, key, value),
-            OP_DELETE => state.delete(table, key).map(|_| ()),
-            // OP_SNAPSHOT: this segment supersedes everything replayed
-            // so far.
-            _ => {
-                state.clear_all();
-                Ok(())
-            }
-        };
-        if let Err(e) = applied {
-            store_err = Some(e);
+        match op {
+            OP_PUT => delta.record_put(table, key, value),
+            OP_APPEND => delta.record_append(table, key, value),
+            OP_DELETE => delta.record_delete(table, key),
+            // OP_SNAPSHOT: a legacy pre-manifest compaction marker — this
+            // segment supersedes everything replayed so far. (Stores with a
+            // manifest never contain one; their supersession is the
+            // segment floor.)
+            _ => delta.clear_all(),
         }
     });
-    if let Some(e) = store_err {
-        return Err(e);
-    }
     match &scan.end {
         SegmentEnd::Corrupt { offset, reason, .. } => Err(StorageError::CorruptSegment {
             segment: path.to_path_buf(),
@@ -704,30 +1033,121 @@ pub fn verify_segments(dir: impl AsRef<Path>) -> Result<SegmentReport, StorageEr
 
 impl KvStore for DiskStore {
     fn get(&self, table: TableId, key: &[u8]) -> Option<Bytes> {
-        self.state.get(table, key)
+        // Borrow the tier under the read guard rather than snapshotting:
+        // point reads are the query hot path, and the two Arc clone/drop
+        // pairs a snapshot costs are measurable there. Nothing below takes
+        // another lock, so the guard scope stays leaf-level.
+        let t = self.tier.read();
+        let (runs, delta) = (&t.runs, &t.delta);
+        match delta.get(table, key) {
+            Some(DeltaOp::Put(v)) => Some(Bytes::from(v)),
+            Some(DeltaOp::Delete) => None,
+            Some(DeltaOp::Append(tail)) => match runs.get(table, key) {
+                Some(base) => {
+                    let mut v = Vec::with_capacity(base.len() + tail.len());
+                    v.extend_from_slice(&base);
+                    v.extend_from_slice(&tail);
+                    Some(Bytes::from(v))
+                }
+                None => Some(Bytes::from(tail)),
+            },
+            // Absent from the delta: the run image is the value, zero-copy.
+            None => runs.get(table, key),
+        }
+    }
+
+    /// One-pass fused read for the query hot path: the zone-map membership
+    /// check and the row fetch share a single guard scope and a single walk
+    /// of the table's runs, where `key_may_exist` + `get` would search the
+    /// tier twice. Run pruned/searched accounting matches `key_may_exist`:
+    /// a delta hit answers without consulting the runs at all.
+    fn get_checked(&self, table: TableId, key: &[u8]) -> Option<Bytes> {
+        let t = self.tier.read();
+        let (runs, delta) = (&t.runs, &t.delta);
+        let metered_runs_get = || {
+            runs.get_pruning(table, key, |covered| {
+                if let Some(m) = &self.metrics {
+                    if covered {
+                        m.record_run_searched();
+                    } else {
+                        m.record_run_pruned();
+                    }
+                }
+            })
+        };
+        match delta.get(table, key) {
+            Some(DeltaOp::Put(v)) => Some(Bytes::from(v)),
+            Some(DeltaOp::Delete) => None,
+            Some(DeltaOp::Append(tail)) => match metered_runs_get() {
+                Some(base) => {
+                    let mut v = Vec::with_capacity(base.len() + tail.len());
+                    v.extend_from_slice(&base);
+                    v.extend_from_slice(&tail);
+                    Some(Bytes::from(v))
+                }
+                None => Some(Bytes::from(tail)),
+            },
+            None => metered_runs_get(),
+        }
     }
 
     fn put(&self, table: TableId, key: &[u8], value: &[u8]) -> Result<(), StorageError> {
-        self.log(OP_PUT, table, key, value)?;
-        self.state.put(table, key, value)
+        self.log_apply(OP_PUT, table, key, value)
     }
 
     fn append(&self, table: TableId, key: &[u8], value: &[u8]) -> Result<(), StorageError> {
-        self.log(OP_APPEND, table, key, value)?;
-        self.state.append(table, key, value)
+        self.log_apply(OP_APPEND, table, key, value)
     }
 
     fn delete(&self, table: TableId, key: &[u8]) -> Result<bool, StorageError> {
-        self.log(OP_DELETE, table, key, &[])?;
-        self.state.delete(table, key)
+        let existed = self.get(table, key).is_some();
+        self.log_apply(OP_DELETE, table, key, &[])?;
+        Ok(existed)
     }
 
     fn scan(&self, table: TableId) -> Vec<(Bytes, Bytes)> {
-        self.state.scan(table)
+        let (runs, delta) = self.tier_snapshot();
+        let mut image: BTreeMap<Box<[u8]>, Vec<u8>> = BTreeMap::new();
+        for run in runs.for_table(table) {
+            for (key, value) in run.iter() {
+                image.insert(key.into(), value.to_vec());
+            }
+        }
+        for (key, op) in delta.entries_for(table) {
+            match op {
+                DeltaOp::Put(v) => {
+                    image.insert(key, v);
+                }
+                DeltaOp::Delete => {
+                    image.remove(&key);
+                }
+                DeltaOp::Append(tail) => {
+                    image.entry(key).or_default().extend_from_slice(&tail);
+                }
+            }
+        }
+        image.into_iter().map(|(k, v)| (Bytes::from(k.into_vec()), Bytes::from(v))).collect()
     }
 
     fn table_len(&self, table: TableId) -> usize {
-        self.state.table_len(table)
+        let (runs, delta) = self.tier_snapshot();
+        let mut n: isize = runs.for_table(table).map(|r| r.len() as isize).sum();
+        for (key, op) in delta.entries_for(table) {
+            let in_run = runs.for_table(table).any(|r| r.contains(&key));
+            match op {
+                DeltaOp::Delete => {
+                    if in_run {
+                        n -= 1;
+                    }
+                }
+                DeltaOp::Put(_) | DeltaOp::Append(_) => {
+                    if !in_run {
+                        n += 1;
+                    }
+                }
+            }
+        }
+        n.max(0) as usize
     }
 
     fn flush(&self) -> io::Result<()> {
@@ -819,6 +1239,50 @@ impl KvStore for DiskStore {
     fn degraded(&self) -> Option<String> {
         self.degraded_reason()
     }
+
+    /// Zone-map pruning: a key outside every run's key range — and absent
+    /// from the delta — is definitely not stored, without touching a row.
+    /// Each run of the table counts as either pruned (zone excludes the
+    /// key) or searched (zone covers it) in [`StoreMetrics`].
+    fn key_may_exist(&self, table: TableId, key: &[u8]) -> bool {
+        // Same guard-level borrow as `get`: this runs once per posting row
+        // on the query read path.
+        let t = self.tier.read();
+        let (runs, delta) = (&t.runs, &t.delta);
+        if runs.is_empty() {
+            // No immutable tier yet (fresh or legacy store): no pruning
+            // metadata exists, so every key may exist.
+            return true;
+        }
+        if delta.contains(table, key) {
+            return true;
+        }
+        let mut covered = false;
+        for run in runs.for_table(table) {
+            if run.zone.covers_key(key) {
+                covered = true;
+                if let Some(m) = &self.metrics {
+                    m.record_run_searched();
+                }
+            } else if let Some(m) = &self.metrics {
+                m.record_run_pruned();
+            }
+        }
+        covered
+    }
+
+    /// Size-triggered compaction: once the mutation bytes logged since the
+    /// last compaction exceed [`DiskOptions::run_flush_bytes`], fold them
+    /// into fresh runs. Called by the indexer after each committed batch.
+    fn maintain(&self) -> Result<(), StorageError> {
+        let Some(limit) = self.run_flush_bytes else {
+            return Ok(());
+        };
+        if self.bytes_since_compact.load(Ordering::Relaxed) < limit {
+            return Ok(());
+        }
+        self.compact().map_err(StorageError::Io)
+    }
 }
 
 #[cfg(test)]
@@ -891,8 +1355,10 @@ mod tests {
             s.flush().unwrap();
             assert!(s.num_segments().unwrap() >= 2);
             s.compact().unwrap();
-            // snapshot + fresh active segment
-            assert_eq!(s.num_segments().unwrap(), 2);
+            // The state now lives in runs; only the fresh active segment
+            // remains.
+            assert_eq!(s.num_segments().unwrap(), 1);
+            assert_eq!(s.num_runs(), 1);
             assert_eq!(s.get(T, b"k").unwrap().len(), 200);
         }
         let s = DiskStore::open(&dir).unwrap();
@@ -1273,6 +1739,299 @@ mod tests {
         assert_eq!(s.get(T, b"a").unwrap().as_ref(), b"1");
         assert_eq!(s.get(T, b"b").unwrap().as_ref(), b"2");
         assert_eq!(s.get(T, b"c").unwrap().as_ref(), b"3");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn compact_emits_runs_and_manifest_and_reopen_serves_from_runs() {
+        let dir = tmp_dir("runs-roundtrip");
+        let t2 = TableId(7);
+        {
+            let s = DiskStore::open(&dir).unwrap();
+            s.put(T, b"a", b"1").unwrap();
+            s.append(T, b"b", b"xy").unwrap();
+            s.append(T, b"b", b"z").unwrap();
+            s.put(t2, b"other", b"table").unwrap();
+            s.compact().unwrap();
+            assert_eq!(s.num_runs(), 2, "one run per non-empty table");
+            assert_eq!(s.bytes_since_compact(), 0);
+            // Post-compact reads serve from the runs.
+            assert_eq!(s.get(T, b"b").unwrap().as_ref(), b"xyz");
+            assert_eq!(s.get(t2, b"other").unwrap().as_ref(), b"table");
+            assert_eq!(s.table_len(T), 2);
+        }
+        let report = crate::run::verify_runs(&RealFs, &dir).unwrap();
+        assert!(report.ok(), "{report:?}");
+        assert_eq!(report.runs, 2);
+        assert_eq!(report.records, 3);
+        let s = DiskStore::open(&dir).unwrap();
+        assert_eq!(s.num_runs(), 2);
+        assert_eq!(s.get(T, b"a").unwrap().as_ref(), b"1");
+        assert_eq!(s.get(T, b"b").unwrap().as_ref(), b"xyz");
+        assert_eq!(s.get(t2, b"other").unwrap().as_ref(), b"table");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn compact_sweep_failure_cannot_double_replay() {
+        // Regression guard for the error-sweep path: a compaction that
+        // publishes its manifest but fails to unlink the old segments must
+        // not replay those segments again on reopen — an append replayed on
+        // top of the run holding the same bytes would double the value.
+        let dir = tmp_dir("no-double-replay");
+        let fault = FaultFs::new();
+        let s = open_fault(&dir, &fault);
+        s.append(T, b"k", b"ab").unwrap();
+        s.append(T, b"k", b"cd").unwrap();
+        s.flush().unwrap();
+        fault.arm_fail_after_removes(0);
+        let err = s.compact().unwrap_err();
+        assert!(err.to_string().contains("could not be removed"), "{err}");
+        assert!(s.degraded().is_none());
+        assert_eq!(s.get(T, b"k").unwrap().as_ref(), b"abcd");
+        fault.heal();
+        drop(s);
+        // The stale segment with both append records is still on disk
+        // alongside the run; the manifest's segment floor must keep it out
+        // of replay.
+        let s = DiskStore::open(&dir).unwrap();
+        assert_eq!(
+            s.get(T, b"k").unwrap().as_ref(),
+            b"abcd",
+            "stale pre-compaction segment was replayed on top of the runs"
+        );
+        assert_eq!(s.table_len(T), 1);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn delta_over_runs_folds_mutations_across_compactions() {
+        let dir = tmp_dir("delta-fold");
+        {
+            let s = DiskStore::open(&dir).unwrap();
+            s.append(T, b"grow", b"base").unwrap();
+            s.put(T, b"gone", b"soon").unwrap();
+            s.put(T, b"stay", b"1").unwrap();
+            s.compact().unwrap();
+            // Mutate on top of the runs: append to a run row, delete a run
+            // row, overwrite a run row, create a fresh row.
+            s.append(T, b"grow", b"+tail").unwrap();
+            s.delete(T, b"gone").unwrap();
+            s.put(T, b"stay", b"2").unwrap();
+            s.put(T, b"new", b"row").unwrap();
+            assert_eq!(s.get(T, b"grow").unwrap().as_ref(), b"base+tail");
+            assert!(s.get(T, b"gone").is_none());
+            assert_eq!(s.table_len(T), 3);
+            s.flush().unwrap();
+        }
+        // Reopen replays the delta from the post-compaction segment.
+        let s = DiskStore::open(&dir).unwrap();
+        assert_eq!(s.get(T, b"grow").unwrap().as_ref(), b"base+tail");
+        assert!(s.get(T, b"gone").is_none());
+        assert_eq!(s.get(T, b"stay").unwrap().as_ref(), b"2");
+        assert_eq!(s.get(T, b"new").unwrap().as_ref(), b"row");
+        // A second compaction folds the delta into fresh runs.
+        s.compact().unwrap();
+        assert_eq!(s.get(T, b"grow").unwrap().as_ref(), b"base+tail");
+        assert_eq!(s.table_len(T), 3);
+        let scanned = s.scan(T);
+        assert_eq!(scanned.len(), 3);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn key_may_exist_prunes_by_zone_map() {
+        let dir = tmp_dir("zone-prune");
+        let metrics = Arc::new(StoreMetrics::new());
+        let s = DiskStore::open_with(
+            &dir,
+            DiskOptions { metrics: Some(metrics.clone()), ..DiskOptions::default() },
+        )
+        .unwrap();
+        // Before any run exists there is no pruning metadata.
+        assert!(s.key_may_exist(T, b"anything"));
+        s.put(T, b"m-key-1", b"1").unwrap();
+        s.put(T, b"m-key-5", b"5").unwrap();
+        s.compact().unwrap();
+        // Inside the zone: the run must be consulted.
+        assert!(s.key_may_exist(T, b"m-key-1"));
+        assert!(s.key_may_exist(T, b"m-key-3"), "absent but zone-covered: may exist");
+        assert_eq!(metrics.runs_searched(), 2);
+        // Outside the zone on both sides: definitively absent.
+        assert!(!s.key_may_exist(T, b"a-before"));
+        assert!(!s.key_may_exist(T, b"z-after"));
+        assert_eq!(metrics.runs_pruned(), 2);
+        // Fresh delta writes are always visible.
+        s.put(T, b"z-after", b"now").unwrap();
+        assert!(s.key_may_exist(T, b"z-after"));
+        // A table with no runs and no delta rows holds nothing.
+        assert!(!s.key_may_exist(TableId(99), b"m-key-1"));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn get_checked_fuses_pruning_with_the_read() {
+        let dir = tmp_dir("get-checked");
+        let metrics = Arc::new(StoreMetrics::new());
+        let s = DiskStore::open_with(
+            &dir,
+            DiskOptions { metrics: Some(metrics.clone()), ..DiskOptions::default() },
+        )
+        .unwrap();
+        s.put(T, b"m-key-1", b"1").unwrap();
+        s.put(T, b"m-key-5", b"5").unwrap();
+        s.compact().unwrap();
+        // A covered hit and a covered miss each search the run once.
+        assert_eq!(s.get_checked(T, b"m-key-1").unwrap().as_ref(), b"1");
+        assert!(s.get_checked(T, b"m-key-3").is_none());
+        assert_eq!(metrics.runs_searched(), 2);
+        // Outside the zone: the run's row index is never consulted.
+        assert!(s.get_checked(T, b"a-before").is_none());
+        assert!(s.get_checked(T, b"z-after").is_none());
+        assert_eq!(metrics.runs_pruned(), 2);
+        // Delta ops shadow and extend the run image without run accounting,
+        // matching `key_may_exist`'s delta fast path.
+        s.put(T, b"m-key-1", b"new").unwrap();
+        s.append(T, b"m-key-5", b"+tail").unwrap();
+        let (searched, pruned) = (metrics.runs_searched(), metrics.runs_pruned());
+        assert_eq!(s.get_checked(T, b"m-key-1").unwrap().as_ref(), b"new");
+        assert_eq!(metrics.runs_searched(), searched, "delta Put answers without the runs");
+        assert_eq!(s.get_checked(T, b"m-key-5").unwrap().as_ref(), b"5+tail");
+        assert_eq!(metrics.runs_searched(), searched + 1, "Append merges over the run image");
+        assert_eq!(metrics.runs_pruned(), pruned);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn maintain_compacts_once_over_the_byte_threshold() {
+        let dir = tmp_dir("maintain");
+        let s = DiskStore::open_with(
+            &dir,
+            DiskOptions { run_flush_bytes: Some(64), ..DiskOptions::default() },
+        )
+        .unwrap();
+        s.maintain().unwrap();
+        assert_eq!(s.num_runs(), 0, "below the threshold: no compaction");
+        for i in 0..8u32 {
+            s.append(T, b"k", &i.to_le_bytes()).unwrap();
+        }
+        assert!(s.bytes_since_compact() > 64);
+        s.maintain().unwrap();
+        assert_eq!(s.num_runs(), 1, "over the threshold: compacted into a run");
+        assert_eq!(s.bytes_since_compact(), 0);
+        assert_eq!(s.get(T, b"k").unwrap().len(), 32);
+        // Disabled maintenance never compacts.
+        let dir2 = tmp_dir("maintain-off");
+        let s2 = DiskStore::open_with(
+            &dir2,
+            DiskOptions { run_flush_bytes: None, ..DiskOptions::default() },
+        )
+        .unwrap();
+        for i in 0..100u32 {
+            s2.append(T, b"k", &i.to_le_bytes()).unwrap();
+        }
+        s2.maintain().unwrap();
+        assert_eq!(s2.num_runs(), 0);
+        fs::remove_dir_all(&dir).unwrap();
+        fs::remove_dir_all(&dir2).unwrap();
+    }
+
+    /// Test extractor: timestamp zones keyed by table id, trace range fixed.
+    struct TsByTable;
+    impl crate::run::ZoneExtractor for TsByTable {
+        fn zones(&self, table: TableId, _: &[u8], _: &[u8]) -> Option<crate::run::RowZones> {
+            Some(crate::run::RowZones {
+                trace_min: 1,
+                trace_max: 9,
+                ts_min: table.0 as u64 * 100,
+                ts_max: table.0 as u64 * 100 + 50,
+            })
+        }
+    }
+
+    #[test]
+    fn drop_expired_runs_drops_only_fully_expired_runs() {
+        let dir = tmp_dir("retention");
+        let metrics = Arc::new(StoreMetrics::new());
+        let old_t = TableId(1); // ts range [100, 150]
+        let new_t = TableId(4); // ts range [400, 450]
+        let s = DiskStore::open_with(
+            &dir,
+            DiskOptions { metrics: Some(metrics.clone()), ..DiskOptions::default() },
+        )
+        .unwrap();
+        s.set_zone_extractor(Arc::new(TsByTable));
+        s.put(old_t, b"old", b"1").unwrap();
+        s.put(new_t, b"new", b"2").unwrap();
+        s.compact().unwrap();
+        assert_eq!(s.num_runs(), 2);
+        assert_eq!(s.run_time_range(), Some((100, 450)));
+        // Cutoff between the two runs' ranges: only the old one expires.
+        assert_eq!(s.drop_expired_runs(200).unwrap(), 1);
+        assert_eq!(s.num_runs(), 1);
+        assert_eq!(metrics.runs_expired(), 1);
+        assert!(s.get(old_t, b"old").is_none(), "expired run no longer serves");
+        assert_eq!(s.get(new_t, b"new").unwrap().as_ref(), b"2");
+        // Nothing left to expire below the same cutoff.
+        assert_eq!(s.drop_expired_runs(200).unwrap(), 0);
+        drop(s);
+        // The rewritten manifest survives reopen.
+        let s = DiskStore::open(&dir).unwrap();
+        assert_eq!(s.num_runs(), 1);
+        assert!(s.get(old_t, b"old").is_none());
+        assert_eq!(s.get(new_t, b"new").unwrap().as_ref(), b"2");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn crashed_compaction_leaves_store_state_unchanged() {
+        let dir = tmp_dir("compact-crash");
+        let fault = FaultFs::new();
+        {
+            let s = open_fault(&dir, &fault);
+            s.put(T, b"a", b"1").unwrap();
+            s.put(T, b"b", b"2").unwrap();
+            s.flush().unwrap();
+        }
+        let s = open_fault(&dir, &fault);
+        // Crash after a handful of bytes: somewhere inside the run write,
+        // before the manifest rename can land.
+        fault.arm_crash_after_bytes(10);
+        assert!(s.compact().is_err());
+        fault.heal();
+        drop(s);
+        // Whatever the crash left behind (orphan run files, a manifest
+        // .tmp), replay must reproduce the pre-compaction state.
+        let s = DiskStore::open(&dir).unwrap();
+        assert_eq!(s.get(T, b"a").unwrap().as_ref(), b"1");
+        assert_eq!(s.get(T, b"b").unwrap().as_ref(), b"2");
+        assert_eq!(s.num_runs(), 0, "no manifest was published");
+        // A later compaction sweeps the orphans and completes normally.
+        s.compact().unwrap();
+        assert_eq!(s.num_runs(), 1);
+        let report = crate::run::verify_runs(&RealFs, &dir).unwrap();
+        assert!(report.ok(), "{report:?}");
+        assert_eq!(report.orphans, 0, "completed compaction swept crash leftovers");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn legacy_snapshot_store_upgrades_to_runs_on_compact() {
+        let dir = tmp_dir("legacy-upgrade");
+        fs::create_dir_all(&dir).unwrap();
+        // A pre-run-tier layout: snapshot-marker segment plus a tail write.
+        let mut seg0 = Vec::new();
+        seg0.extend_from_slice(&encode_record(OP_SNAPSHOT, TableId(0), b"", b""));
+        seg0.extend_from_slice(&encode_record(OP_PUT, T, b"k", b"legacy"));
+        fs::write(segment_path(&dir, 0), &seg0).unwrap();
+        let s = DiskStore::open(&dir).unwrap();
+        assert_eq!(s.num_runs(), 0);
+        assert_eq!(s.get(T, b"k").unwrap().as_ref(), b"legacy");
+        s.compact().unwrap();
+        assert_eq!(s.num_runs(), 1);
+        drop(s);
+        let s = DiskStore::open(&dir).unwrap();
+        assert_eq!(s.get(T, b"k").unwrap().as_ref(), b"legacy");
         fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -22,6 +22,17 @@ pub enum StorageError {
         /// What failed to verify.
         reason: String,
     },
+    /// A run file or the run-set manifest fails its structural checks
+    /// (magic, checksum, sort order, zone containment). Runs are written
+    /// whole and published atomically by the manifest rename, so a torn run
+    /// can only be an *orphan* replay ignores — a referenced run that fails
+    /// verification means acknowledged state was damaged after the fact.
+    CorruptRun {
+        /// Run or manifest file the damage lives in.
+        path: PathBuf,
+        /// What failed to verify.
+        reason: String,
+    },
     /// The store has entered its sticky read-only degraded state after an
     /// earlier write failure: in-memory state may be ahead of the durable
     /// committed prefix, so further writes are refused while reads keep
@@ -48,6 +59,9 @@ impl fmt::Display for StorageError {
             StorageError::CorruptSegment { segment, offset, reason } => {
                 write!(f, "corrupt segment {}: {reason} at byte {offset}", segment.display())
             }
+            StorageError::CorruptRun { path, reason } => {
+                write!(f, "corrupt run {}: {reason}", path.display())
+            }
             StorageError::Degraded { reason } => {
                 write!(f, "store is read-only (degraded): {reason}")
             }
@@ -59,7 +73,9 @@ impl std::error::Error for StorageError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             StorageError::Io(e) => Some(e),
-            StorageError::CorruptSegment { .. } | StorageError::Degraded { .. } => None,
+            StorageError::CorruptSegment { .. }
+            | StorageError::CorruptRun { .. }
+            | StorageError::Degraded { .. } => None,
         }
     }
 }
@@ -100,6 +116,14 @@ mod tests {
         assert!(e.to_string().contains("disk on fire"));
         use std::error::Error;
         assert!(e.source().is_some());
+
+        let e = StorageError::CorruptRun {
+            path: PathBuf::from("run-000001-t001.run"),
+            reason: "keys not strictly ascending".into(),
+        };
+        assert!(e.to_string().contains("run-000001-t001.run"), "{e}");
+        let io_err: io::Error = e.into();
+        assert_eq!(io_err.kind(), io::ErrorKind::InvalidData);
 
         let e = StorageError::Degraded { reason: "segment write failed".into() };
         assert!(e.is_degraded());

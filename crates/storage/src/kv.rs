@@ -87,6 +87,31 @@ pub trait KvStore: Send + Sync {
     fn degraded(&self) -> Option<String> {
         None
     }
+
+    /// Cheap membership pre-check: `false` means `key` is definitely absent
+    /// from `table`, `true` means it *may* be present. Backends with pruning
+    /// metadata (run zone maps) answer without touching row data; the
+    /// default answers `true` so callers always fall through to `get`.
+    fn key_may_exist(&self, _table: TableId, _key: &[u8]) -> bool {
+        true
+    }
+
+    /// Fused [`get`](KvStore::get) +
+    /// [`key_may_exist`](KvStore::key_may_exist): read the value while the
+    /// backend consults its pruning metadata in the same pass, so the query
+    /// read path doesn't walk the backend's structures once for membership
+    /// and again for the row. Backends without pruning metadata fall back
+    /// to a plain `get`.
+    fn get_checked(&self, table: TableId, key: &[u8]) -> Option<Bytes> {
+        self.get(table, key)
+    }
+
+    /// Give the backend a chance to run deferred maintenance (e.g. a
+    /// size-triggered compaction into immutable runs). Called from the
+    /// indexer after each committed batch; no-op for memory backends.
+    fn maintain(&self) -> Result<(), StorageError> {
+        Ok(())
+    }
 }
 
 /// Blanket impl so `Arc<S>` (and other smart pointers) can be used where a
@@ -125,6 +150,15 @@ impl<S: KvStore + ?Sized> KvStore for std::sync::Arc<S> {
     fn degraded(&self) -> Option<String> {
         (**self).degraded()
     }
+    fn key_may_exist(&self, table: TableId, key: &[u8]) -> bool {
+        (**self).key_may_exist(table, key)
+    }
+    fn get_checked(&self, table: TableId, key: &[u8]) -> Option<Bytes> {
+        (**self).get_checked(table, key)
+    }
+    fn maintain(&self) -> Result<(), StorageError> {
+        (**self).maintain()
+    }
 }
 
 #[cfg(test)]
@@ -149,5 +183,7 @@ mod tests {
         KvStore::commit_batch(&store).unwrap();
         KvStore::abort_batch(&store);
         assert!(KvStore::degraded(&store).is_none());
+        assert!(KvStore::key_may_exist(&store, t, b"anything"));
+        KvStore::maintain(&store).unwrap();
     }
 }

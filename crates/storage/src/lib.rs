@@ -33,6 +33,7 @@ pub mod fxhash;
 pub mod kv;
 pub mod mem;
 pub mod metrics;
+pub mod run;
 pub mod vfs;
 
 pub use disk::{
@@ -44,4 +45,8 @@ pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use kv::{KvStore, TableId};
 pub use mem::MemStore;
 pub use metrics::{LatencyHistogram, ServerMetrics, StoreMetrics};
+pub use run::{
+    verify_runs, DeltaOp, DeltaState, Manifest, ManifestRun, RowZones, RunReader, RunReport,
+    RunSet, RunViolation, ZoneExtractor, ZoneMap,
+};
 pub use vfs::{FaultFs, RealFs, Vfs, VfsFile};

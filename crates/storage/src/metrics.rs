@@ -237,6 +237,13 @@ pub struct StoreMetrics {
     batch_commits: AtomicU64,
     batch_aborts: AtomicU64,
     fsyncs: AtomicU64,
+    runs_written: AtomicU64,
+    runs_live: AtomicU64,
+    run_bytes_written: AtomicU64,
+    run_compactions: AtomicU64,
+    runs_pruned: AtomicU64,
+    runs_searched: AtomicU64,
+    runs_expired: AtomicU64,
     degraded: AtomicBool,
     server: ServerMetrics,
 }
@@ -331,6 +338,36 @@ impl StoreMetrics {
     /// Record one fsync issued by the store's write path.
     pub fn record_fsync(&self) {
         self.fsyncs.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record one compaction that rewrote the immutable tier, emitting
+    /// `runs` run files totalling `bytes` on disk.
+    pub fn record_run_compaction(&self, runs: usize, bytes: u64) {
+        self.run_compactions.fetch_add(1, Ordering::Relaxed);
+        self.runs_written.fetch_add(runs as u64, Ordering::Relaxed);
+        self.run_bytes_written.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// Set the gauge of currently live (manifest-referenced) runs.
+    pub fn set_runs_live(&self, live: usize) {
+        self.runs_live.store(live as u64, Ordering::Relaxed);
+    }
+
+    /// Record one run skipped by its zone map during a membership check.
+    pub fn record_run_pruned(&self) {
+        self.runs_pruned.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record one run whose zone map covered the probed key (so the read
+    /// had to consult it).
+    pub fn record_run_searched(&self) {
+        self.runs_searched.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record `n` runs dropped by retention because their whole time range
+    /// had expired.
+    pub fn record_runs_expired(&self, n: usize) {
+        self.runs_expired.fetch_add(n as u64, Ordering::Relaxed);
     }
 
     /// Mark the store as degraded (sticky read-only after a write failure).
@@ -438,6 +475,41 @@ impl StoreMetrics {
         self.fsyncs.load(Ordering::Relaxed)
     }
 
+    /// Run files written by compactions.
+    pub fn runs_written(&self) -> u64 {
+        self.runs_written.load(Ordering::Relaxed)
+    }
+
+    /// Currently live (manifest-referenced) runs.
+    pub fn runs_live(&self) -> u64 {
+        self.runs_live.load(Ordering::Relaxed)
+    }
+
+    /// Bytes of run files written by compactions.
+    pub fn run_bytes_written(&self) -> u64 {
+        self.run_bytes_written.load(Ordering::Relaxed)
+    }
+
+    /// Compactions that rewrote the immutable tier.
+    pub fn run_compactions(&self) -> u64 {
+        self.run_compactions.load(Ordering::Relaxed)
+    }
+
+    /// Runs skipped outright by zone-map pruning.
+    pub fn runs_pruned(&self) -> u64 {
+        self.runs_pruned.load(Ordering::Relaxed)
+    }
+
+    /// Runs whose zone map covered a probed key.
+    pub fn runs_searched(&self) -> u64 {
+        self.runs_searched.load(Ordering::Relaxed)
+    }
+
+    /// Runs dropped by retention.
+    pub fn runs_expired(&self) -> u64 {
+        self.runs_expired.load(Ordering::Relaxed)
+    }
+
     /// True once the store reported itself degraded.
     pub fn degraded(&self) -> bool {
         self.degraded.load(Ordering::Relaxed)
@@ -471,6 +543,13 @@ impl StoreMetrics {
         self.batch_commits.store(0, Ordering::Relaxed);
         self.batch_aborts.store(0, Ordering::Relaxed);
         self.fsyncs.store(0, Ordering::Relaxed);
+        self.runs_written.store(0, Ordering::Relaxed);
+        self.runs_live.store(0, Ordering::Relaxed);
+        self.run_bytes_written.store(0, Ordering::Relaxed);
+        self.run_compactions.store(0, Ordering::Relaxed);
+        self.runs_pruned.store(0, Ordering::Relaxed);
+        self.runs_searched.store(0, Ordering::Relaxed);
+        self.runs_expired.store(0, Ordering::Relaxed);
         self.degraded.store(false, Ordering::Relaxed);
         self.server.reset();
     }
@@ -539,6 +618,36 @@ mod tests {
         m.reset();
         assert_eq!(m.batch_commits() + m.batch_aborts() + m.fsyncs(), 0);
         assert!(!m.degraded());
+    }
+
+    #[test]
+    fn run_tier_counters() {
+        let m = StoreMetrics::new();
+        m.record_run_compaction(3, 4096);
+        m.record_run_compaction(2, 1024);
+        m.set_runs_live(2);
+        m.record_run_pruned();
+        m.record_run_pruned();
+        m.record_run_searched();
+        m.record_runs_expired(1);
+        assert_eq!(m.run_compactions(), 2);
+        assert_eq!(m.runs_written(), 5);
+        assert_eq!(m.run_bytes_written(), 5120);
+        assert_eq!(m.runs_live(), 2);
+        assert_eq!(m.runs_pruned(), 2);
+        assert_eq!(m.runs_searched(), 1);
+        assert_eq!(m.runs_expired(), 1);
+        m.reset();
+        assert_eq!(
+            m.run_compactions()
+                + m.runs_written()
+                + m.run_bytes_written()
+                + m.runs_live()
+                + m.runs_pruned()
+                + m.runs_searched()
+                + m.runs_expired(),
+            0
+        );
     }
 
     #[test]

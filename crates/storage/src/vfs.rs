@@ -142,6 +142,11 @@ struct FaultState {
     crashed: bool,
     /// Number of errors injected so far.
     injected: u64,
+    /// Bytes successfully persisted across all files (torn prefixes
+    /// included). Crash-at-every-offset tests read this to translate
+    /// workload boundaries into write budgets — on-disk sizes no longer
+    /// work once compaction rewrites and removes files.
+    bytes_written: u64,
 }
 
 /// Fault-injecting [`Vfs`] wrapping the real filesystem.
@@ -205,6 +210,12 @@ impl FaultFs {
         self.state.lock().injected
     }
 
+    /// Total bytes persisted through this filesystem so far (counting torn
+    /// crash prefixes).
+    pub fn bytes_written(&self) -> u64 {
+        self.state.lock().bytes_written
+    }
+
     fn check_alive(&self) -> io::Result<()> {
         if self.state.lock().crashed {
             Err(injected_error("process crashed"))
@@ -229,6 +240,7 @@ impl VfsFile for FaultFile {
             if (buf.len() as u64) > budget {
                 st.crashed = true;
                 st.injected += 1;
+                st.bytes_written += budget;
                 drop(st);
                 // The prefix that fit under the budget reaches the file —
                 // the torn write a real crash leaves behind.
@@ -242,6 +254,7 @@ impl VfsFile for FaultFile {
                 let keep = st.short_write.min(buf.len());
                 st.short_write = 0;
                 st.injected += 1;
+                st.bytes_written += keep as u64;
                 drop(st);
                 if keep > 0 {
                     self.file.write_all(&buf[..keep])?;
@@ -250,6 +263,7 @@ impl VfsFile for FaultFile {
             }
             st.fail_after_writes = Some(n - 1);
         }
+        st.bytes_written += buf.len() as u64;
         drop(st);
         self.file.write_all(buf)
     }

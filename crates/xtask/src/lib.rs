@@ -15,6 +15,9 @@
 //!   panic-reachability, lock-order, error-taint, unsafe ratchet.
 //! * [`baseline`] — the ratchet file (`analysis_baseline.json`) that pins
 //!   the accepted finding set, each entry with a written justification.
+//! * [`regressions`] — enforcement that every committed
+//!   `*.proptest-regressions` case is pinned as a deterministic replay
+//!   test (the vendored proptest cannot replay seed hashes).
 
 pub mod analyze;
 pub mod baseline;
@@ -22,3 +25,4 @@ pub mod graph;
 pub mod lexer;
 pub mod lint;
 pub mod mask;
+pub mod regressions;

@@ -8,7 +8,7 @@
 //! ([`seqdet_core::audit_disk`]). All exit nonzero on findings so CI can
 //! gate on them.
 
-use xtask::{analyze, baseline, lint};
+use xtask::{analyze, baseline, lint, regressions};
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -23,6 +23,8 @@ commands:
           [--update-baseline]       against the committed baseline
           [--report FILE]
   audit   --store DIR [--json]      audit a persisted index store
+  regressions [--root DIR]          verify every committed *.proptest-regressions
+                                    case is pinned as a deterministic replay test
 ";
 
 fn main() -> ExitCode {
@@ -31,6 +33,7 @@ fn main() -> ExitCode {
         Some("lint") => cmd_lint(&args[1..]),
         Some("analyze") => cmd_analyze(&args[1..]),
         Some("audit") => cmd_audit(&args[1..]),
+        Some("regressions") => cmd_regressions(&args[1..]),
         _ => {
             eprint!("{USAGE}");
             ExitCode::from(2)
@@ -107,6 +110,34 @@ fn cmd_lint(args: &[String]) -> ExitCode {
             report.unsafe_blocks
         );
     }
+    if report.ok() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn cmd_regressions(args: &[String]) -> ExitCode {
+    let mut root = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--root" => root = it.next().map(PathBuf::from),
+            other => {
+                eprintln!("unknown regressions option {other:?}\n{USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let root = workspace_root(root);
+    let report = match regressions::check_root(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("regressions scan failed under {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+    print!("{report}");
     if report.ok() {
         ExitCode::SUCCESS
     } else {

@@ -1,0 +1,228 @@
+//! Proptest-regression replay enforcement.
+//!
+//! The vendored `proptest` stand-in (see `vendor/README.md`) generates
+//! cases from a fixed RNG but has **no `.proptest-regressions`
+//! persistence**: the `cc <hash>` seed lines real proptest replays before
+//! novel cases are *silently ignored* here. A committed regression file
+//! therefore proves nothing unless its shrunk case is also pinned as a
+//! deterministic `#[test]`.
+//!
+//! This module enforces that contract: every `cc <hash>` line in every
+//! committed `*.proptest-regressions` file must be referenced from the
+//! sibling test file (same path, `.rs` extension) with a
+//! `replays cc <hash>` marker — by convention a doc comment on the pinned
+//! replay test. `cargo xtask regressions` fails the build listing every
+//! unreplayed case, so a regression file can never be committed (or a
+//! replay test deleted) without the pinned test that keeps the case alive.
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// One `cc` seed line that has no matching `replays cc` marker.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Unreplayed {
+    /// The `*.proptest-regressions` file the seed is committed in.
+    pub file: PathBuf,
+    /// The full hash from the `cc <hash>` line.
+    pub hash: String,
+    /// The sibling `.rs` file the marker was expected in (which may not
+    /// exist at all).
+    pub expected_in: PathBuf,
+    /// Whether the sibling test file exists.
+    pub sibling_exists: bool,
+}
+
+/// Outcome of a scan: how many seed cases were checked and which ones
+/// lack a pinned replay.
+#[derive(Debug, Default)]
+pub struct RegressionReport {
+    /// Regression files scanned.
+    pub files: usize,
+    /// Total `cc` seed lines found.
+    pub cases: usize,
+    /// Seed lines with no `replays cc <hash>` marker in the sibling test.
+    pub unreplayed: Vec<Unreplayed>,
+}
+
+impl RegressionReport {
+    /// True when every committed case is pinned.
+    pub fn ok(&self) -> bool {
+        self.unreplayed.is_empty()
+    }
+}
+
+impl fmt::Display for RegressionReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{} regression file(s), {} saved case(s), {} unreplayed",
+            self.files,
+            self.cases,
+            self.unreplayed.len()
+        )?;
+        for u in &self.unreplayed {
+            if u.sibling_exists {
+                writeln!(
+                    f,
+                    "  {}: cc {} has no `replays cc {}` marker in {}",
+                    u.file.display(),
+                    u.hash,
+                    u.hash,
+                    u.expected_in.display()
+                )?;
+            } else {
+                writeln!(
+                    f,
+                    "  {}: sibling test file {} does not exist",
+                    u.file.display(),
+                    u.expected_in.display()
+                )?;
+            }
+        }
+        if !self.unreplayed.is_empty() {
+            writeln!(
+                f,
+                "note: the vendored proptest does not replay seed hashes; pin each \
+                 saved case as a deterministic #[test] carrying a `replays cc <hash>` \
+                 doc comment (see tests/dirty_streams.rs for the pattern)"
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Directories never scanned for regression files.
+const SKIP_DIRS: &[&str] = &[".git", "target", "vendor", ".github"];
+
+/// Scan `root` for `*.proptest-regressions` files and verify each saved
+/// case has a pinned replay in the sibling test file.
+pub fn check_root(root: &Path) -> std::io::Result<RegressionReport> {
+    let mut report = RegressionReport::default();
+    let mut stack = vec![root.to_path_buf()];
+    let mut files = Vec::new();
+    while let Some(dir) = stack.pop() {
+        for entry in std::fs::read_dir(&dir)? {
+            let entry = entry?;
+            let path = entry.path();
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if entry.file_type()?.is_dir() {
+                if !SKIP_DIRS.contains(&name.as_ref()) {
+                    stack.push(path);
+                }
+            } else if name.ends_with(".proptest-regressions") {
+                files.push(path);
+            }
+        }
+    }
+    files.sort();
+    for file in files {
+        report.files += 1;
+        let seeds = parse_seeds(&std::fs::read_to_string(&file)?);
+        if seeds.is_empty() {
+            continue;
+        }
+        let sibling = file.with_extension("rs");
+        let sibling_src = std::fs::read_to_string(&sibling).ok();
+        for hash in seeds {
+            report.cases += 1;
+            let marker = format!("replays cc {hash}");
+            let replayed = sibling_src.as_deref().is_some_and(|src| src.contains(&marker));
+            if !replayed {
+                report.unreplayed.push(Unreplayed {
+                    file: file.clone(),
+                    hash,
+                    expected_in: sibling.clone(),
+                    sibling_exists: sibling_src.is_some(),
+                });
+            }
+        }
+    }
+    Ok(report)
+}
+
+/// Extract the hash of every `cc <hash> …` seed line.
+fn parse_seeds(contents: &str) -> Vec<String> {
+    contents
+        .lines()
+        .filter_map(|line| {
+            let line = line.trim();
+            let rest = line.strip_prefix("cc ")?;
+            let hash: &str = rest.split_whitespace().next()?;
+            (!hash.is_empty()).then(|| hash.to_string())
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("seqdet-xtask-regr-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("create tmp dir");
+        dir
+    }
+
+    const REGR: &str =
+        "# comment\ncc aaaa1111 # shrinks to x = 1\ncc bbbb2222 # shrinks to y = 2\n";
+
+    #[test]
+    fn parses_seed_hashes_and_ignores_comments() {
+        assert_eq!(parse_seeds(REGR), vec!["aaaa1111", "bbbb2222"]);
+        assert!(parse_seeds("# only comments\n\n").is_empty());
+    }
+
+    #[test]
+    fn pinned_cases_pass_and_missing_markers_fail() {
+        let dir = tmp("pinned");
+        std::fs::write(dir.join("suite.proptest-regressions"), REGR).expect("write");
+        // Only one of the two cases carries a replay marker.
+        std::fs::write(
+            dir.join("suite.rs"),
+            "/// replays cc aaaa1111\n#[test]\nfn regression_one() {}\n",
+        )
+        .expect("write");
+        let report = check_root(&dir).expect("scan");
+        assert_eq!((report.files, report.cases), (1, 2));
+        assert_eq!(report.unreplayed.len(), 1);
+        assert_eq!(report.unreplayed[0].hash, "bbbb2222");
+        assert!(report.unreplayed[0].sibling_exists);
+        assert!(!report.ok());
+
+        // Adding the second marker fixes the scan.
+        std::fs::write(
+            dir.join("suite.rs"),
+            "/// replays cc aaaa1111\n#[test]\nfn one() {}\n/// replays cc bbbb2222\n#[test]\nfn two() {}\n",
+        )
+        .expect("write");
+        assert!(check_root(&dir).expect("scan").ok());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn missing_sibling_file_is_its_own_finding() {
+        let dir = tmp("orphan");
+        std::fs::write(dir.join("ghost.proptest-regressions"), "cc cafe01 # shrinks to z = 0\n")
+            .expect("write");
+        let report = check_root(&dir).expect("scan");
+        assert_eq!(report.unreplayed.len(), 1);
+        assert!(!report.unreplayed[0].sibling_exists);
+        let text = report.to_string();
+        assert!(text.contains("does not exist"), "{text}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn the_committed_regression_files_are_all_replayed() {
+        // The real enforcement, run in-tree: every saved case in this
+        // repository must be pinned.
+        let root =
+            Path::new(env!("CARGO_MANIFEST_DIR")).ancestors().nth(2).expect("root").to_path_buf();
+        let report = check_root(&root).expect("scan");
+        assert!(report.cases >= 4, "expected the committed seed cases, saw {}", report.cases);
+        assert!(report.ok(), "{report}");
+    }
+}

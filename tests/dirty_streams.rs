@@ -51,6 +51,38 @@ fn duplicated_batches_leave_the_index_unchanged() {
     assert_eq!(detection_fingerprint(&clean, &log), detection_fingerprint(&dirty, &log));
 }
 
+/// Pinned replay of the committed regression case — the vendored proptest
+/// does not replay `.proptest-regressions` seed hashes, so saved failures
+/// are kept alive as deterministic tests (`cargo xtask regressions`
+/// enforces this file-by-file).
+///
+/// replays cc 7c6396fb6c67da8c4c5fb748d7d28a5cf2c9fd590735761f0efade9fe6514206
+#[test]
+fn regression_two_event_trace_period_two_with_resends() {
+    let traces: Vec<Vec<u32>> = vec![vec![2, 0]];
+    let period = 2u64;
+    let dup_fraction = 0.567683998990177f64;
+
+    let mut b = EventLogBuilder::new();
+    for (t, acts) in traces.iter().enumerate() {
+        for (i, a) in acts.iter().enumerate() {
+            b.add(&format!("t{t}"), &format!("a{a}"), i as u64 + 1);
+        }
+    }
+    let log = b.build();
+
+    let mut bulk = Indexer::new(IndexConfig::new(Policy::SkipTillNextMatch));
+    bulk.index_log(&log).expect("valid log");
+
+    let mut periodic = Indexer::new(IndexConfig::new(Policy::SkipTillNextMatch));
+    for batch in split_by_period(&log, period) {
+        let raw = to_raw(&batch);
+        let noisy = with_duplicates(&raw, dup_fraction, 11);
+        periodic.index_log(&from_raw(&noisy)).expect("valid batch");
+    }
+    assert_eq!(detection_fingerprint(&bulk, &log), detection_fingerprint(&periodic, &log));
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 

@@ -92,6 +92,36 @@ fn check_equivalence(traces: &[Vec<u32>], num_batches: usize, cfg: IndexConfig) 
     assert_eq!(canon(&bulk), canon(&inc), "batched ≠ bulk for {cfg:?}");
 }
 
+/// Pinned replays of the committed regression cases — the vendored
+/// proptest does not replay `.proptest-regressions` seed hashes, so saved
+/// failures are kept alive as deterministic tests (`cargo xtask
+/// regressions` enforces this file-by-file). Both saved cases shrank to
+/// the same input (a single one-event trace split across more batches
+/// than it has events, i.e. some batches are empty); run it through every
+/// policy/method variant the properties cover.
+///
+/// replays cc 86ce490335483844e79d65577d689f62fd11755b99642b05a3aaf2ce1873d188
+/// replays cc 61905dd205e7994732864edc9c286828a376e0e480a6a9fb890d512232abfbd2
+#[test]
+fn regression_single_event_trace_over_three_batches() {
+    let traces: Vec<Vec<u32>> = vec![vec![0]];
+    let num_batches = 3usize;
+    check_equivalence(&traces, num_batches, IndexConfig::new(Policy::SkipTillNextMatch));
+    check_equivalence(&traces, num_batches, IndexConfig::new(Policy::StrictContiguity));
+    for method in StnmMethod::ALL {
+        check_equivalence(
+            &traces,
+            num_batches,
+            IndexConfig::new(Policy::SkipTillNextMatch).with_method(method),
+        );
+    }
+    check_equivalence(
+        &traces,
+        num_batches,
+        IndexConfig::new(Policy::SkipTillNextMatch).with_partition_period(7),
+    );
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 

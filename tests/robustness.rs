@@ -85,6 +85,42 @@ fn windowed_index_vs_windowed_automaton_divergence_is_pinned() {
     assert_eq!(m[0].timestamps, vec![8, 9]);
 }
 
+/// Pinned replay of the committed regression case — the vendored proptest
+/// does not replay `.proptest-regressions` seed hashes, so saved failures
+/// are kept alive as deterministic tests (`cargo xtask regressions`
+/// enforces this file-by-file). Exercises both windowed properties on the
+/// shrunk input: a window of 1 over a trace where the pattern's pair
+/// completes both adjacently and at a distance.
+///
+/// replays cc ce7abe18a8dbf1d049a52f65df32d9b7caf4265e1d017a66ec538e0f6e1e7b7f
+#[test]
+fn regression_window_one_with_distant_and_adjacent_completions() {
+    let traces: Vec<Vec<u32>> = vec![vec![3, 0, 0, 0, 0, 0, 0, 3, 2]];
+    let pat = [3u32, 2];
+    let window = 1u64;
+
+    let log = build_log(&traces);
+    let names: Vec<String> = pat.iter().map(|a| format!("a{a}")).collect();
+    let refs: Vec<&str> = names.iter().map(String::as_str).collect();
+    let p = Pattern::from_log(&log, &refs).expect("both activities occur");
+    let (_ix, engine) = engine_for(&log);
+
+    // Soundness: every windowed match is a real embedding within the span.
+    let ours = engine.detect_within(&p, window).expect("detect runs");
+    for m in &ours.matches {
+        assert!(m.duration() <= window);
+        let trace = log.trace(m.trace).expect("trace exists");
+        for (i, &ts) in m.timestamps.iter().enumerate() {
+            let ev = trace.events().iter().find(|e| e.ts == ts).expect("event exists");
+            assert_eq!(ev.activity, p.activities()[i]);
+        }
+    }
+    // Exactness: windowed results = unwindowed results whose span fits.
+    let all = engine.detect(&p).expect("detect runs");
+    let expected: Vec<_> = all.matches.iter().filter(|m| m.duration() <= window).cloned().collect();
+    assert_eq!(ours.matches, expected);
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 
