@@ -11,7 +11,7 @@ usage:
   seqdet index    --input FILE.{csv,xes} --store DIR [--policy sc|stnm]
                   [--method indexing|parsing|state] [--threads N]
                   [--partition-period P] [--durability always|batch|os]
-                  [--posting-format v1|v2]
+                  [--posting-format v1|v2] [--retain-segments]
   seqdet info     --store DIR
   seqdet detect   --store DIR --pattern A,B,C [--any-match]
   seqdet stats    --store DIR --pattern A,B,C [--all-pairs]
@@ -19,10 +19,13 @@ usage:
                   [--k N] [--max-gap G]
   seqdet query    --store DIR \"DETECT a -> b [WITHIN n] [ANY MATCH]\"
   seqdet audit    --store DIR [--json]
-  seqdet compact  --store DIR [--retention TTL]
+  seqdet compact  --store DIR [--retention TTL] [--retain-segments]
+  seqdet scrub    --store DIR
+  seqdet repair   --store DIR [--retain-segments]
   seqdet serve    --store DIR [--addr 127.0.0.1:7878] [--workers N]
                   [--queue N] [--timeout-ms T] [--max-requests-per-conn N]
-                  [--durability always|batch|os]
+                  [--durability always|batch|os] [--scrub-interval-ms T]
+                  [--retain-segments]
 profiles: max_100 max_500 med_5000 max_5000 max_1000 max_10000 min_10000
           bpi_2013 bpi_2020 bpi_2017";
 
@@ -62,6 +65,9 @@ pub enum Command {
         /// `SEQDET_POSTING_FORMAT` override). Existing stores keep their
         /// recorded format; passing a conflicting flag is an error.
         posting_format: Option<PostingFormat>,
+        /// Keep compaction-superseded segments as a repair log, making
+        /// `seqdet repair` lossless at the cost of disk space.
+        retain_segments: bool,
     },
     /// Print store summary.
     Info {
@@ -101,6 +107,24 @@ pub enum Command {
         /// Optional retention TTL (same unit as event timestamps): runs
         /// entirely older than `newest run timestamp − TTL` are dropped.
         retention: Option<u64>,
+        /// Keep the superseded segments on disk as a repair log instead of
+        /// deleting them once their rows are in runs.
+        retain_segments: bool,
+    },
+    /// Re-verify every live run file against its checksum, quarantining
+    /// any that rotted at rest.
+    Scrub {
+        /// Store directory.
+        store: String,
+    },
+    /// Rebuild the run tier after quarantine events (lossless when the
+    /// full segment history was retained, bounded-loss otherwise).
+    Repair {
+        /// Store directory.
+        store: String,
+        /// Keep superseded segments from now on, so future repairs are
+        /// lossless.
+        retain_segments: bool,
     },
     /// Run a query-language statement.
     Query {
@@ -125,6 +149,11 @@ pub enum Command {
         max_requests_per_conn: usize,
         /// Fsync policy of the store's write path.
         durability: DurabilityPolicy,
+        /// Background scrub cadence in milliseconds (`0` disables the
+        /// scrubber thread).
+        scrub_interval_ms: u64,
+        /// Keep compaction-superseded segments as a repair log.
+        retain_segments: bool,
     },
     /// Pattern continuation.
     Continue {
@@ -212,10 +241,12 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
             let mut partition_period = None;
             let mut durability = DurabilityPolicy::default();
             let mut posting_format = None;
+            let mut retain_segments = false;
             while cur.i + 1 < args.len() {
                 cur.i += 1;
                 match args[cur.i].as_str() {
                     "--input" => input = Some(cur.value("--input")?),
+                    "--retain-segments" => retain_segments = true,
                     "--store" => store = Some(cur.value("--store")?),
                     "--policy" => {
                         policy = match cur.value("--policy")?.as_str() {
@@ -257,6 +288,7 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
                 partition_period,
                 durability,
                 posting_format,
+                retain_segments,
             })
         }
         "query" => {
@@ -278,6 +310,7 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
         }
         "compact" => {
             let (mut store, mut retention) = (None, None);
+            let mut retain_segments = false;
             while cur.i + 1 < args.len() {
                 cur.i += 1;
                 match args[cur.i].as_str() {
@@ -285,12 +318,40 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
                     "--retention" => {
                         retention = Some(parse_u64(&cur.value("--retention")?, "retention TTL")?)
                     }
+                    "--retain-segments" => retain_segments = true,
                     other => return Err(format!("unknown flag {other} for compact")),
                 }
             }
             Ok(Command::Compact {
                 store: store.ok_or_else(|| "compact requires --store".to_string())?,
                 retention,
+                retain_segments,
+            })
+        }
+        "scrub" => {
+            let mut store = None;
+            while cur.i + 1 < args.len() {
+                cur.i += 1;
+                match args[cur.i].as_str() {
+                    "--store" => store = Some(cur.value("--store")?),
+                    other => return Err(format!("unknown flag {other} for scrub")),
+                }
+            }
+            Ok(Command::Scrub { store: store.ok_or_else(|| "scrub requires --store".to_string())? })
+        }
+        "repair" => {
+            let (mut store, mut retain_segments) = (None, false);
+            while cur.i + 1 < args.len() {
+                cur.i += 1;
+                match args[cur.i].as_str() {
+                    "--store" => store = Some(cur.value("--store")?),
+                    "--retain-segments" => retain_segments = true,
+                    other => return Err(format!("unknown flag {other} for repair")),
+                }
+            }
+            Ok(Command::Repair {
+                store: store.ok_or_else(|| "repair requires --store".to_string())?,
+                retain_segments,
             })
         }
         "audit" => {
@@ -314,6 +375,8 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
             let mut timeout_ms = 10_000u64;
             let mut max_requests_per_conn = 1000usize;
             let mut durability = DurabilityPolicy::default();
+            let mut scrub_interval_ms = 0u64;
+            let mut retain_segments = false;
             while cur.i + 1 < args.len() {
                 cur.i += 1;
                 match args[cur.i].as_str() {
@@ -340,6 +403,11 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
                         }
                     }
                     "--durability" => durability = parse_durability(&cur.value("--durability")?)?,
+                    "--scrub-interval-ms" => {
+                        scrub_interval_ms =
+                            parse_u64(&cur.value("--scrub-interval-ms")?, "scrub interval")?;
+                    }
+                    "--retain-segments" => retain_segments = true,
                     other => return Err(format!("unknown flag {other} for serve")),
                 }
             }
@@ -351,6 +419,8 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
                 timeout_ms,
                 max_requests_per_conn,
                 durability,
+                scrub_interval_ms,
+                retain_segments,
             })
         }
         "info" | "detect" | "stats" | "continue" => {
@@ -535,12 +605,47 @@ mod tests {
     #[test]
     fn parse_compact() {
         let c = parse(&argv("compact --store d")).unwrap();
-        assert_eq!(c, Command::Compact { store: "d".into(), retention: None });
-        let c = parse(&argv("compact --store d --retention 3600")).unwrap();
-        assert_eq!(c, Command::Compact { store: "d".into(), retention: Some(3600) });
+        assert_eq!(
+            c,
+            Command::Compact { store: "d".into(), retention: None, retain_segments: false }
+        );
+        let c = parse(&argv("compact --store d --retention 3600 --retain-segments")).unwrap();
+        assert_eq!(
+            c,
+            Command::Compact { store: "d".into(), retention: Some(3600), retain_segments: true }
+        );
         assert!(parse(&argv("compact")).is_err());
         assert!(parse(&argv("compact --store d --retention soon")).is_err());
         assert!(parse(&argv("compact --store d --bogus")).is_err());
+    }
+
+    #[test]
+    fn parse_scrub_and_repair() {
+        let c = parse(&argv("scrub --store d")).unwrap();
+        assert_eq!(c, Command::Scrub { store: "d".into() });
+        assert!(parse(&argv("scrub")).is_err());
+        assert!(parse(&argv("scrub --store d --bogus")).is_err());
+
+        let c = parse(&argv("repair --store d")).unwrap();
+        assert_eq!(c, Command::Repair { store: "d".into(), retain_segments: false });
+        let c = parse(&argv("repair --store d --retain-segments")).unwrap();
+        assert!(matches!(c, Command::Repair { retain_segments: true, .. }));
+        assert!(parse(&argv("repair")).is_err());
+    }
+
+    #[test]
+    fn parse_retain_segments_and_scrub_interval() {
+        let c = parse(&argv("index --input a.csv --store d --retain-segments")).unwrap();
+        assert!(matches!(c, Command::Index { retain_segments: true, .. }));
+        let c = parse(&argv("index --input a.csv --store d")).unwrap();
+        assert!(matches!(c, Command::Index { retain_segments: false, .. }));
+
+        let c = parse(&argv("serve --store d --scrub-interval-ms 5000 --retain-segments")).unwrap();
+        assert!(matches!(c, Command::Serve { scrub_interval_ms: 5000, retain_segments: true, .. }));
+        // Default: scrubber off, segments swept.
+        let c = parse(&argv("serve --store d")).unwrap();
+        assert!(matches!(c, Command::Serve { scrub_interval_ms: 0, retain_segments: false, .. }));
+        assert!(parse(&argv("serve --store d --scrub-interval-ms soon")).is_err());
     }
 
     #[test]
@@ -555,6 +660,7 @@ mod tests {
                 timeout_ms,
                 max_requests_per_conn,
                 durability,
+                ..
             } => {
                 assert_eq!(store, "d");
                 assert_eq!(addr, "127.0.0.1:7878");

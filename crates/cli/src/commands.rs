@@ -28,6 +28,7 @@ pub fn run(cmd: Command) -> Result<(), CliError> {
             partition_period,
             durability,
             posting_format,
+            retain_segments,
         } => {
             let log = load_log(&input)?;
             let mut cfg = IndexConfig::new(policy).with_method(method).with_threads(threads);
@@ -37,7 +38,7 @@ pub fn run(cmd: Command) -> Result<(), CliError> {
             if let Some(f) = posting_format {
                 cfg = cfg.with_posting_format(f);
             }
-            let disk = Arc::new(open_store(&store, durability, None)?);
+            let disk = Arc::new(open_store(&store, durability, None, retain_segments)?);
             let mut indexer = Indexer::with_store(disk.clone(), cfg)?;
             // The config (and posting format) is persisted now — runs
             // written by size-triggered compaction get real zone maps.
@@ -76,6 +77,7 @@ pub fn run(cmd: Command) -> Result<(), CliError> {
             println!("last-checked pairs: {}", stats.last_checked_rows);
             println!("segments on disk: {}", disk.num_segments()?);
             println!("runs on disk: {}", disk.num_runs());
+            print_health(&disk);
             Ok(())
         }
         Command::Detect { store, pattern, any_match } => {
@@ -143,8 +145,8 @@ pub fn run(cmd: Command) -> Result<(), CliError> {
                 Err("audit found violations".into())
             }
         }
-        Command::Compact { store, retention } => {
-            let disk = DiskStore::open(&store)?;
+        Command::Compact { store, retention, retain_segments } => {
+            let disk = open_store(&store, DurabilityPolicy::default(), None, retain_segments)?;
             seqdet_core::install_zone_extractor(&disk);
             let start = std::time::Instant::now();
             disk.compact()?;
@@ -176,6 +178,49 @@ pub fn run(cmd: Command) -> Result<(), CliError> {
             }
             Ok(())
         }
+        Command::Scrub { store } => {
+            let disk = DiskStore::open(&store)?;
+            let start = std::time::Instant::now();
+            let outcome = disk.scrub();
+            println!(
+                "scrubbed {} run(s), {} newly quarantined in {:.3}s",
+                outcome.runs_checked,
+                outcome.newly_quarantined,
+                start.elapsed().as_secs_f64()
+            );
+            print_health(&disk);
+            // Nonzero exit while *any* quarantine is live, not just fresh
+            // ones: open() already quarantines damage it finds, and a cron
+            // invocation must keep failing until the store is repaired.
+            if !disk.quarantine().is_empty() {
+                Err("store has quarantined runs (see above; run `seqdet repair`)".into())
+            } else {
+                Ok(())
+            }
+        }
+        Command::Repair { store, retain_segments } => {
+            let disk = open_store(&store, DurabilityPolicy::default(), None, retain_segments)?;
+            seqdet_core::install_zone_extractor(&disk);
+            let start = std::time::Instant::now();
+            let outcome = disk.repair()?;
+            if outcome.repaired > 0 {
+                // Repair changes query-visible contents: invalidate
+                // generation-stamped caches, exactly like retention drops.
+                seqdet_core::indexer::bump_index_generation(&disk)?;
+            }
+            println!(
+                "repaired {} quarantined run(s) ({}) in {:.3}s",
+                outcome.repaired,
+                if outcome.full_history {
+                    "lossless: rebuilt from the full segment history"
+                } else {
+                    "bounded loss: rebuilt from surviving runs and the live delta"
+                },
+                start.elapsed().as_secs_f64()
+            );
+            print_health(&disk);
+            Ok(())
+        }
         Command::Query { store, statement } => {
             let disk = Arc::new(DiskStore::open(&store)?);
             let engine = QueryEngine::new(disk.clone())?;
@@ -192,12 +237,31 @@ pub fn run(cmd: Command) -> Result<(), CliError> {
             timeout_ms,
             max_requests_per_conn,
             durability,
+            scrub_interval_ms,
+            retain_segments,
         } => {
             // Share one metrics handle between the store and the server so
             // `/stats/server` reports real batch/fsync/degraded counters.
             let metrics = Arc::new(StoreMetrics::new());
-            let disk = Arc::new(open_store(&store, durability, Some(Arc::clone(&metrics)))?);
+            let disk = Arc::new(open_store(
+                &store,
+                durability,
+                Some(Arc::clone(&metrics)),
+                retain_segments,
+            )?);
             seqdet_core::install_zone_extractor(&disk);
+            // Background scrubber (off by default): periodically re-reads
+            // every run so bit rot surfaces as quarantine between queries,
+            // not inside one. The handle stops the thread on shutdown.
+            let _scrubber = if scrub_interval_ms > 0 {
+                Some(DiskStore::spawn_scrubber(
+                    Arc::clone(&disk),
+                    std::time::Duration::from_millis(scrub_interval_ms),
+                    std::time::Duration::from_millis(1),
+                )?)
+            } else {
+                None
+            };
             let timeout = std::time::Duration::from_millis(timeout_ms);
             let config = seqdet_server::ServeConfig {
                 workers,
@@ -278,8 +342,47 @@ fn open_store(
     dir: &str,
     durability: DurabilityPolicy,
     metrics: Option<Arc<StoreMetrics>>,
+    retain_segments: bool,
 ) -> Result<DiskStore, CliError> {
-    Ok(DiskStore::open_with(dir, DiskOptions { durability, metrics, ..DiskOptions::default() })?)
+    Ok(DiskStore::open_with(
+        dir,
+        DiskOptions { durability, metrics, retain_segments, ..DiskOptions::default() },
+    )?)
+}
+
+/// Print the store's failure state: the sticky degraded reason (writes
+/// refused) and the quarantine ledger (answers narrowed), or a single
+/// healthy line when neither applies.
+fn print_health(disk: &DiskStore) {
+    let degraded = KvStore::degraded(disk);
+    let quarantine = disk.quarantine();
+    if degraded.is_none() && quarantine.is_empty() {
+        println!("health: ok (full coverage)");
+        return;
+    }
+    if let Some(reason) = degraded {
+        println!("health: DEGRADED (writes refused): {reason}");
+    }
+    if !quarantine.is_empty() {
+        println!(
+            "health: NARROWED — {} run(s) quarantined; answers may be missing rows \
+             until `seqdet repair`",
+            quarantine.len()
+        );
+        for e in quarantine.entries() {
+            let records = e
+                .records
+                .map(|n| format!("{n} record(s)"))
+                .unwrap_or_else(|| "unknown record count".to_owned());
+            println!(
+                "  table {} run {:06}: {} ({records}) at {}",
+                e.table.0,
+                e.id,
+                e.reason,
+                e.path.display()
+            );
+        }
+    }
 }
 
 fn load_log(path: &str) -> Result<EventLog, CliError> {

@@ -103,6 +103,9 @@ pub struct AuditSummary {
     pub generation: u64,
     /// Whether exact equalities were enforced (no partition ever dropped).
     pub strict: bool,
+    /// Whether the store answered with narrowed coverage (quarantined
+    /// runs) during the audit — observed counts may under-report.
+    pub narrowed: bool,
 }
 
 /// Outcome of one audit pass.
@@ -136,12 +139,13 @@ impl AuditReport {
         let s = &self.summary;
         let mut out = String::with_capacity(256 + self.violations.len() * 96);
         out.push_str(&format!(
-            "{{\"ok\":{},\"strict\":{},\"truncated\":{},\"summary\":{{\
+            "{{\"ok\":{},\"strict\":{},\"narrowed\":{},\"truncated\":{},\"summary\":{{\
              \"seq_rows\":{},\"pairs\":{},\"postings\":{},\"count_rows\":{},\
              \"reverse_count_rows\":{},\"last_checked_rows\":{},\"partitions\":{},\
              \"generation\":{}}},\"checks\":[",
             self.ok(),
             s.strict,
+            s.narrowed,
             self.truncated,
             s.seq_rows,
             s.pairs,
@@ -219,6 +223,9 @@ pub fn audit_store<S: KvStore>(store: &S) -> Result<AuditReport> {
     let dropped_floor: u32 =
         get_meta(store, META_MIN_PARTITION).and_then(|s| s.parse().ok()).unwrap_or(0);
     report.summary.strict = dropped_floor == 0;
+    // Quarantined runs narrow every read below; flag the whole report so
+    // "0 rows" violations can be read as possibly-missing, not corrupt.
+    report.summary.narrowed = !store.coverage().is_full();
 
     match get_meta(store, META_GENERATION) {
         None => {} // fresh store: generation reads as 0
@@ -752,6 +759,11 @@ impl DiskAuditOutcome {
                     s.generation,
                     if s.strict { "strict" } else { "bounded" }
                 ));
+                if s.narrowed {
+                    out.push_str(
+                        "  NARROWED: quarantined runs excluded — counts may under-report\n",
+                    );
+                }
                 for v in &r.violations {
                     out.push_str(&format!("  {} [{}] {}: {}\n", v.table, v.check, v.key, v.detail));
                 }

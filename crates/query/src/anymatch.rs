@@ -21,7 +21,7 @@ use crate::detect::ReadCtx;
 use crate::Result;
 use seqdet_core::tables::read_seq;
 use seqdet_log::{Activity, Pattern, TraceId, Ts};
-use seqdet_storage::KvStore;
+use seqdet_storage::{Coverage, KvStore};
 
 /// STAM result for one trace.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -40,6 +40,10 @@ pub struct AnyMatchResult {
     /// Per-trace counts/examples, ascending by trace id; traces with zero
     /// embeddings are omitted.
     pub traces: Vec<TraceAnyMatches>,
+    /// How complete the answer is — see
+    /// [`DetectResult::coverage`](crate::DetectResult). Stamped by the
+    /// engine.
+    pub coverage: Coverage,
 }
 
 impl AnyMatchResult {
@@ -176,7 +180,7 @@ pub(crate) fn detect_any_match<S: KvStore>(
             traces.push(t);
         }
     }
-    Ok(AnyMatchResult { traces })
+    Ok(AnyMatchResult { traces, coverage: Coverage::Full })
 }
 
 #[cfg(test)]

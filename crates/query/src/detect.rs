@@ -48,7 +48,7 @@ use seqdet_core::postings::IndexPostingCursor;
 use seqdet_core::{PairKey, PostingFormat};
 use seqdet_exec::Executor;
 use seqdet_log::{Activity, Pattern, TraceId, Ts};
-use seqdet_storage::{KvStore, StoreMetrics, TableId};
+use seqdet_storage::{Coverage, KvStore, StoreMetrics, TableId};
 use std::sync::Arc;
 
 /// Per-trace join implementation used when extending partial matches.
@@ -96,6 +96,11 @@ pub struct DetectResult {
     /// Completions, grouped by trace in ascending trace order, ascending by
     /// end timestamp within a trace.
     pub matches: Vec<PatternMatch>,
+    /// How complete the answer is: [`Coverage::Narrowed`] when part of the
+    /// store's persisted state was quarantined while this query ran —
+    /// every returned match is real, but matches whose postings the
+    /// quarantined data held may be missing. Stamped by the engine.
+    pub coverage: Coverage,
 }
 
 impl DetectResult {
@@ -399,7 +404,7 @@ pub(crate) fn detect_single<S: KvStore>(store: &S, activity: Activity) -> Result
         }
     }
     matches.sort_by_key(|m| (m.trace, m.end()));
-    Ok(DetectResult { matches })
+    Ok(DetectResult { matches, coverage: Coverage::Full })
 }
 
 fn collect(partials: &Partials) -> DetectResult {
@@ -410,7 +415,7 @@ fn collect(partials: &Partials) -> DetectResult {
         })
         .collect();
     matches.sort_by_key(|m| (m.trace, m.end()));
-    DetectResult { matches }
+    DetectResult { matches, coverage: Coverage::Full }
 }
 
 #[cfg(test)]

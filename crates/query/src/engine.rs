@@ -12,7 +12,7 @@ use seqdet_core::indexer::active_index_tables;
 use seqdet_core::{index_generation, posting_format, Catalog, PostingFormat};
 use seqdet_exec::Executor;
 use seqdet_log::Pattern;
-use seqdet_storage::{KvStore, StoreMetrics, TableId};
+use seqdet_storage::{Coverage, KvStore, StoreMetrics, TableId};
 use std::sync::Arc;
 
 /// Default bound on resident posting-cache entries.
@@ -200,11 +200,32 @@ impl<S: KvStore> QueryEngine<S> {
         }
     }
 
+    /// How complete the store's answers currently are. Narrowed coverage
+    /// means part of the persisted index was quarantined after corruption:
+    /// queries keep working against the surviving data, and every result
+    /// this engine returns carries the same annotation.
+    pub fn coverage(&self) -> Coverage {
+        self.store.coverage()
+    }
+
+    /// Run `query` and determine the coverage its answer should carry.
+    /// The store is sampled before *and* after execution and the narrowed
+    /// view wins: a quarantine landing mid-query may have hidden data from
+    /// the reads (after is narrowed), while a mid-query repair means the
+    /// reads may have started against the narrowed tier (before is
+    /// narrowed). Either way the annotation errs toward `Narrowed`.
+    fn stamped<T>(&self, query: impl FnOnce() -> Result<T>) -> Result<(T, Coverage)> {
+        let before = self.store.coverage();
+        let value = query()?;
+        let coverage = if before.is_full() { self.store.coverage() } else { before };
+        Ok((value, coverage))
+    }
+
     /// **Pattern detection** (Algorithm 2): all completions of `pattern`.
     /// Length-1 patterns fall back to a `Seq` scan (see
     /// [`crate::detect`]); the empty pattern is rejected.
     pub fn detect(&self, pattern: &Pattern) -> Result<DetectResult> {
-        match pattern.activities() {
+        let (mut result, coverage) = self.stamped(|| match pattern.activities() {
             [] => Err(QueryError::PatternTooShort { required: 1, actual: 0 }),
             &[single] => detect::detect_single(self.store.as_ref(), single),
             _ => {
@@ -216,7 +237,9 @@ impl<S: KvStore> QueryEngine<S> {
                     None,
                 )
             }
-        }
+        })?;
+        result.coverage = coverage;
+        Ok(result)
     }
 
     /// Pattern detection with a CEP-style time window: only completions
@@ -227,14 +250,18 @@ impl<S: KvStore> QueryEngine<S> {
         if pattern.len() < 2 {
             return Err(QueryError::PatternTooShort { required: 2, actual: pattern.len() });
         }
-        let (generation, tables, format) = self.snapshot();
-        detect::get_completions_within(
-            &self.ctx(generation, &tables, format),
-            pattern,
-            self.join,
-            Some(window),
-            None,
-        )
+        let (mut result, coverage) = self.stamped(|| {
+            let (generation, tables, format) = self.snapshot();
+            detect::get_completions_within(
+                &self.ctx(generation, &tables, format),
+                pattern,
+                self.join,
+                Some(window),
+                None,
+            )
+        })?;
+        result.coverage = coverage;
+        Ok(result)
     }
 
     /// Pattern detection that also returns every prefix's completions
@@ -246,14 +273,20 @@ impl<S: KvStore> QueryEngine<S> {
         if pattern.len() < 2 {
             return Err(QueryError::PatternTooShort { required: 2, actual: pattern.len() });
         }
-        let (generation, tables, format) = self.snapshot();
-        let mut prefixes = Vec::with_capacity(pattern.len() - 1);
-        detect::get_completions(
-            &self.ctx(generation, &tables, format),
-            pattern,
-            self.join,
-            Some(&mut prefixes),
-        )?;
+        let (mut prefixes, coverage) = self.stamped(|| {
+            let (generation, tables, format) = self.snapshot();
+            let mut prefixes = Vec::with_capacity(pattern.len() - 1);
+            detect::get_completions(
+                &self.ctx(generation, &tables, format),
+                pattern,
+                self.join,
+                Some(&mut prefixes),
+            )?;
+            Ok(prefixes)
+        })?;
+        for p in &mut prefixes {
+            p.coverage = coverage.clone();
+        }
         Ok(prefixes)
     }
 
@@ -321,8 +354,16 @@ impl<S: KvStore> QueryEngine<S> {
         if pattern.len() < 2 {
             return Err(QueryError::PatternTooShort { required: 2, actual: pattern.len() });
         }
-        let (generation, tables, format) = self.snapshot();
-        anymatch::detect_any_match(&self.ctx(generation, &tables, format), pattern, enumerate_limit)
+        let (mut result, coverage) = self.stamped(|| {
+            let (generation, tables, format) = self.snapshot();
+            anymatch::detect_any_match(
+                &self.ctx(generation, &tables, format),
+                pattern,
+                enumerate_limit,
+            )
+        })?;
+        result.coverage = coverage;
+        Ok(result)
     }
 }
 

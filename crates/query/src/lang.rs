@@ -251,7 +251,13 @@ pub enum QueryOutput {
     /// `STATS` result.
     Stats(crate::PatternStats),
     /// `CONTINUE` result.
-    Continuations(Vec<Proposition>),
+    Continuations {
+        /// Ranked next-event propositions.
+        propositions: Vec<Proposition>,
+        /// How complete the answer is (continuation results have no struct
+        /// of their own to carry it, so the output variant does).
+        coverage: seqdet_storage::Coverage,
+    },
 }
 
 /// Execute a parsed query against an engine.
@@ -284,14 +290,18 @@ pub fn execute<S: KvStore>(engine: &QueryEngine<S>, query: &Query) -> Result<Que
         Query::Continue { pattern, method, k, max_gap, at } => {
             let p = engine.pattern(&names(pattern))?;
             if let Some(pos) = at {
-                return Ok(QueryOutput::Continuations(engine.continuations_at(&p, *pos)?));
+                let propositions = engine.continuations_at(&p, *pos)?;
+                let coverage = engine.coverage();
+                return Ok(QueryOutput::Continuations { propositions, coverage });
             }
             let m = match method.as_str() {
                 "fast" => ContinuationMethod::Fast,
                 "hybrid" => ContinuationMethod::Hybrid { k: *k, max_gap: *max_gap },
                 _ => ContinuationMethod::Accurate { max_gap: *max_gap },
             };
-            Ok(QueryOutput::Continuations(engine.continuations(&p, m)?))
+            let propositions = engine.continuations(&p, m)?;
+            let coverage = engine.coverage();
+            Ok(QueryOutput::Continuations { propositions, coverage })
         }
     }
 }
@@ -410,7 +420,10 @@ mod tests {
             other => panic!("unexpected {other:?}"),
         }
         match run(&e, "CONTINUE A USING fast").unwrap() {
-            QueryOutput::Continuations(props) => assert!(!props.is_empty()),
+            QueryOutput::Continuations { propositions, coverage } => {
+                assert!(!propositions.is_empty());
+                assert!(coverage.is_full());
+            }
             other => panic!("unexpected {other:?}"),
         }
     }

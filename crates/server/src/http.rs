@@ -221,6 +221,27 @@ pub fn write_response<W: Write>(
     write_response_conn(stream, status, reason, body, false)
 }
 
+/// Like [`write_response`], with extra response headers. Each entry is a
+/// complete `Name: value` line without the trailing CRLF.
+pub fn write_response_headers<W: Write>(
+    mut stream: W,
+    status: u16,
+    reason: &str,
+    extra_headers: &[&str],
+    body: &str,
+) -> io::Result<()> {
+    let mut head = format!(
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: text/plain; charset=utf-8\r\nContent-Length: {}\r\nConnection: close\r\n",
+        body.len(),
+    );
+    for h in extra_headers {
+        head.push_str(h);
+        head.push_str("\r\n");
+    }
+    write!(stream, "{head}\r\n{body}")?;
+    stream.flush()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -4,6 +4,20 @@ use seqdet_core::Catalog;
 use seqdet_query::QueryOutput;
 use std::fmt::Write as _;
 
+/// Append a warning line when an answer does not reflect all acknowledged
+/// data (part of the store is quarantined). Full coverage prints nothing —
+/// healthy responses keep their exact historical shape.
+fn coverage_note(out: &mut String, coverage: &seqdet_storage::Coverage) {
+    if let seqdet_storage::Coverage::Narrowed { quarantined_tables, reason } = coverage {
+        let _ = writeln!(
+            out,
+            "warning: narrowed coverage — {} table(s) quarantined ({reason}); \
+             answers may be missing rows until repair",
+            quarantined_tables.len()
+        );
+    }
+}
+
 /// Render a query output as the service's plain-text response body.
 pub fn render(catalog: &Catalog, output: &QueryOutput) -> String {
     let mut out = String::new();
@@ -11,6 +25,7 @@ pub fn render(catalog: &Catalog, output: &QueryOutput) -> String {
     let trace = |t: seqdet_log::TraceId| catalog.trace_name(t).unwrap_or("?").to_owned();
     match output {
         QueryOutput::Detection(r) => {
+            coverage_note(&mut out, &r.coverage);
             let _ = writeln!(
                 out,
                 "{} completions in {} traces",
@@ -22,6 +37,7 @@ pub fn render(catalog: &Catalog, output: &QueryOutput) -> String {
             }
         }
         QueryOutput::AnyMatch(r) => {
+            coverage_note(&mut out, &r.coverage);
             let _ = writeln!(out, "{} embeddings in {} traces", r.total(), r.num_traces());
             for t in &r.traces {
                 let _ = writeln!(
@@ -48,7 +64,8 @@ pub fn render(catalog: &Catalog, output: &QueryOutput) -> String {
             let _ = writeln!(out, "pattern completions <= {}", s.max_completions);
             let _ = writeln!(out, "estimated duration ~= {:.3}", s.est_duration);
         }
-        QueryOutput::Continuations(props) => {
+        QueryOutput::Continuations { propositions: props, coverage } => {
+            coverage_note(&mut out, coverage);
             let _ = writeln!(out, "{} propositions", props.len());
             for p in props {
                 let _ = writeln!(

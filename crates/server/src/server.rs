@@ -1,7 +1,7 @@
 //! The accept loop, worker-pool dispatch, and request routing.
 
 use crate::conn::{handle_connection, ConnCtx};
-use crate::http::{write_response, Request};
+use crate::http::{write_response_headers, Request};
 use crate::pool::{is_transient_accept_error, ConnPool, Dispatch};
 use crate::render::render;
 use seqdet_query::{lang, QueryEngine, QueryError};
@@ -198,10 +198,13 @@ impl<S: KvStore + 'static> QueryServer<S> {
                         Dispatch::Shed(stream) => {
                             self.metrics.server().record_shed();
                             let _ = stream.set_write_timeout(Some(self.config.write_timeout));
-                            let _ = write_response(
+                            // `Retry-After` tells well-behaved clients to
+                            // back off instead of hammering the full queue.
+                            let _ = write_response_headers(
                                 &stream,
                                 503,
                                 "Service Unavailable",
+                                &["Retry-After: 1"],
                                 "server overloaded, retry later\n",
                             );
                         }
@@ -244,10 +247,23 @@ pub(crate) fn route<S: KvStore>(
     match (request.method.as_str(), request.path.as_str()) {
         // Health gates on the store's sticky degraded state: once a write
         // failed, the process keeps answering queries but orchestrators
-        // should stop routing ingest at it (and alert).
+        // should stop routing ingest at it (and alert). A quarantine
+        // (narrowed coverage) stays 200 — reads and ingest both still work
+        // — but the body names each unhealthy table so monitors can alert
+        // and trigger a repair.
         ("GET", "/health") => match store.degraded() {
-            None => (200, "OK", "ok\n".to_owned()),
             Some(reason) => (503, "Service Unavailable", format!("degraded: {reason}\n")),
+            None => match store.coverage() {
+                seqdet_storage::Coverage::Full => (200, "OK", "ok\n".to_owned()),
+                seqdet_storage::Coverage::Narrowed { quarantined_tables, reason } => {
+                    let mut body = format!("narrowed: {reason}\n");
+                    for t in &quarantined_tables {
+                        use std::fmt::Write as _;
+                        let _ = writeln!(body, "table {}: quarantined", t.0);
+                    }
+                    (200, "OK", body)
+                }
+            },
         },
         ("GET", "/info") => {
             let catalog = engine.catalog();
@@ -301,7 +317,9 @@ pub(crate) fn route<S: KvStore>(
                      latency_p99_us: {}\ndegraded: {}\nbatch_commits: {}\n\
                      batch_aborts: {}\nfsyncs: {}\nruns_live: {}\n\
                      run_compactions: {}\nruns_written: {}\nrun_bytes_written: {}\n\
-                     runs_searched: {}\nruns_pruned: {}\nruns_expired: {}\n",
+                     runs_searched: {}\nruns_pruned: {}\nruns_expired: {}\n\
+                     runs_quarantined: {}\nquarantined_live: {}\nruns_repaired: {}\n\
+                     scrub_passes: {}\nio_retries: {}\n",
                     s.requests(),
                     s.in_flight(),
                     s.shed(),
@@ -323,6 +341,11 @@ pub(crate) fn route<S: KvStore>(
                     metrics.runs_searched(),
                     metrics.runs_pruned(),
                     metrics.runs_expired(),
+                    metrics.runs_quarantined(),
+                    metrics.quarantined_live(),
+                    metrics.runs_repaired(),
+                    metrics.scrub_passes(),
+                    metrics.io_retries(),
                 ),
             )
         }
@@ -456,6 +479,86 @@ mod tests {
         assert!(r.contains("runs_searched: 0"), "{r}");
         assert!(r.contains("run_compactions: 0"), "{r}");
         assert!(r.contains("runs_expired: 0"), "{r}");
+        // Failure-tolerance counters too.
+        assert!(r.contains("runs_quarantined: 0"), "{r}");
+        assert!(r.contains("quarantined_live: 0"), "{r}");
+        assert!(r.contains("runs_repaired: 0"), "{r}");
+        assert!(r.contains("scrub_passes: 0"), "{r}");
+        assert!(r.contains("io_retries: 0"), "{r}");
+    }
+
+    #[test]
+    fn quarantined_store_reports_narrowed_health_and_flags_answers() {
+        use seqdet_storage::{DiskOptions, DiskStore};
+        let dir =
+            std::env::temp_dir().join(format!("seqdet-srv-quarantine-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        {
+            let store = Arc::new(DiskStore::open(&dir).unwrap());
+            let mut ix = Indexer::with_store(
+                Arc::clone(&store),
+                IndexConfig::new(Policy::SkipTillNextMatch),
+            )
+            .unwrap();
+            let mut b = EventLogBuilder::new();
+            b.add("t1", "go", 1).add("t1", "stop", 3);
+            ix.index_log(&b.build()).unwrap();
+            store.compact().unwrap();
+        }
+        // Rot the Count table's run at rest: the reopen quarantines it
+        // instead of refusing to start.
+        let count_run = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| {
+                let name = e.unwrap().file_name().into_string().unwrap();
+                let (_, t) = seqdet_storage::run::parse_run_file_name(&name)?;
+                (t == seqdet_core::tables::COUNT).then(|| dir.join(name))
+            })
+            .next()
+            .expect("Count run exists after compaction");
+        let mut bytes = std::fs::read(&count_run).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xFF;
+        std::fs::write(&count_run, bytes).unwrap();
+
+        let metrics = Arc::new(StoreMetrics::new());
+        let store = Arc::new(
+            DiskStore::open_with(
+                &dir,
+                DiskOptions { metrics: Some(metrics.clone()), ..DiskOptions::default() },
+            )
+            .unwrap(),
+        );
+        let server = QueryServer::bind_with_metrics(
+            "127.0.0.1:0",
+            Arc::clone(&store),
+            ServeConfig::default(),
+            metrics,
+        )
+        .unwrap();
+        let addr = server.local_addr().unwrap();
+        std::thread::spawn(move || server.serve_n(3).unwrap());
+
+        // Health stays 200 (reads and ingest work) but names the table.
+        let r = roundtrip(addr, "GET /health HTTP/1.1\r\nHost: x\r\n\r\n");
+        assert!(r.starts_with("HTTP/1.1 200"), "{r}");
+        assert!(r.contains("narrowed:"), "{r}");
+        assert!(r.contains(&format!("table {}: quarantined", seqdet_core::tables::COUNT.0)), "{r}");
+        // Query answers carry the narrowed-coverage warning but still work
+        // against the surviving tables.
+        let body = "DETECT go -> stop";
+        let r = roundtrip(
+            addr,
+            &format!("POST /query HTTP/1.1\r\nContent-Length: {}\r\n\r\n{body}", body.len()),
+        );
+        assert!(r.starts_with("HTTP/1.1 200"), "{r}");
+        assert!(r.contains("warning: narrowed coverage"), "{r}");
+        assert!(r.contains("1 completions in 1 traces"), "{r}");
+        // The counters surface the quarantine.
+        let r = roundtrip(addr, "GET /stats/server HTTP/1.1\r\nHost: x\r\n\r\n");
+        assert!(r.contains("runs_quarantined: 1"), "{r}");
+        assert!(r.contains("quarantined_live: 1"), "{r}");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -70,20 +70,21 @@
 use crate::codec::{Dec, Enc};
 use crate::crc::crc32;
 use crate::error::StorageError;
-use crate::kv::{KvStore, TableId};
+use crate::kv::{Coverage, KvStore, TableId};
 use crate::metrics::StoreMetrics;
 use crate::run::{
     encode_run, read_manifest, run_file_name, write_manifest, DeltaOp, DeltaState, Manifest,
-    ManifestRun, RunReader, RunSet, ZoneExtractor,
+    ManifestRun, QuarantineSet, QuarantinedRun, RunReader, RunSet, ZoneExtractor,
 };
-use crate::vfs::{RealFs, Vfs, VfsFile};
+use crate::vfs::{RealFs, RetryPolicy, RetryVfs, Vfs, VfsFile};
 use bytes::Bytes;
 use parking_lot::{Mutex, RwLock};
 use std::collections::BTreeMap;
 use std::io;
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 
 const OP_PUT: u8 = 1;
 const OP_APPEND: u8 = 2;
@@ -144,6 +145,18 @@ pub struct DiskOptions {
     /// a single indexing batch writes, so maintenance only fires on
     /// genuinely grown stores.
     pub run_flush_bytes: Option<u64>,
+    /// Transient-I/O retry policy: the store wraps `vfs` in a
+    /// [`RetryVfs`], so interrupted-syscall-style failures are re-issued
+    /// with bounded backoff instead of tripping the degraded fuse. `None`
+    /// disables the wrapper (every failure surfaces immediately).
+    pub retry: Option<RetryPolicy>,
+    /// Keep superseded segments on disk after compaction instead of
+    /// sweeping them. With the full segment history retained,
+    /// [`DiskStore::repair`] can rebuild a quarantined run losslessly from
+    /// the log; replay correctness is unaffected either way (the manifest's
+    /// `segment_floor` keeps stale segments out of replay). Costs disk
+    /// space proportional to total writes.
+    pub retain_segments: bool,
 }
 
 impl Default for DiskOptions {
@@ -153,6 +166,8 @@ impl Default for DiskOptions {
             vfs: Arc::new(RealFs),
             metrics: None,
             run_flush_bytes: Some(4 << 20),
+            retry: Some(RetryPolicy::default()),
+            retain_segments: false,
         }
     }
 }
@@ -193,6 +208,14 @@ pub struct DiskStore {
     next_run_id: AtomicU64,
     /// Current manifest `segment_floor` (0 for a store without a manifest).
     segment_floor: AtomicU64,
+    /// Runs pulled from the searched set after failing verification (at
+    /// open or during a scrub). Non-empty quarantine narrows coverage and
+    /// blocks compaction/retention until [`DiskStore::repair`] rebuilds the
+    /// tier. Lock order: after `writer` and `tier`.
+    quarantine: Mutex<QuarantineSet>,
+    /// Whether compaction's sweep keeps superseded segments as a repair
+    /// log (see [`DiskOptions::retain_segments`]).
+    retain_segments: bool,
 }
 
 struct Writer {
@@ -245,42 +268,71 @@ impl DiskStore {
     /// metrics handle.
     ///
     /// With a `MANIFEST` present, the referenced runs are loaded and fully
-    /// verified (a damaged or missing referenced run fails the open with
-    /// [`StorageError::CorruptRun`]) and only segments at or above the
-    /// manifest's `segment_floor` are replayed into the delta. Without one
-    /// — a fresh directory or a store from before the run tier — every
-    /// segment is replayed, including legacy snapshot-marker handling.
+    /// verified, and only segments at or above the manifest's
+    /// `segment_floor` are replayed into the delta. A referenced run that
+    /// is damaged or unreadable does **not** fail the open: runs are
+    /// derived state, so the store *quarantines* it — records it (reason +
+    /// key-range coverage), serves reads from the survivors, reports
+    /// [`Coverage::Narrowed`](crate::kv::Coverage) and refuses
+    /// compaction/retention until [`DiskStore::repair`] rebuilds the tier.
+    /// Without a manifest — a fresh directory or a store from before the
+    /// run tier — every segment is replayed, including legacy
+    /// snapshot-marker handling.
     pub fn open_with(dir: impl AsRef<Path>, options: DiskOptions) -> Result<Self, StorageError> {
-        let DiskOptions { durability, vfs, metrics, run_flush_bytes } = options;
+        let DiskOptions { durability, vfs, metrics, run_flush_bytes, retry, retain_segments } =
+            options;
+        let vfs: Arc<dyn Vfs> = match retry {
+            Some(policy) => {
+                let wrapped = RetryVfs::with_policy(vfs, policy);
+                if let Some(m) = &metrics {
+                    wrapped.set_metrics(m.clone());
+                }
+                Arc::new(wrapped)
+            }
+            None => vfs,
+        };
         let dir = dir.as_ref().to_path_buf();
         vfs.create_dir_all(&dir)?;
         let manifest = read_manifest(vfs.as_ref(), &dir)?.unwrap_or_default();
         let mut readers = Vec::with_capacity(manifest.runs.len());
+        let mut quarantine = QuarantineSet::new();
         for entry in &manifest.runs {
             let path = dir.join(run_file_name(entry.id, entry.table));
-            let reader = match RunReader::open(vfs.as_ref(), &path, entry.id, entry.table) {
-                Ok(r) => r,
-                // A referenced run that cannot be read is damage to
-                // acknowledged state (runs are fsynced before the manifest
-                // names them), not a crash artifact.
-                Err(StorageError::Io(e)) => {
-                    return Err(StorageError::CorruptRun {
-                        path,
-                        reason: format!("referenced by manifest but unreadable: {e}"),
-                    })
-                }
-                Err(e) => return Err(e),
-            };
-            if reader.crc != entry.crc {
-                return Err(StorageError::CorruptRun {
-                    path,
-                    reason: format!(
-                        "manifest expects crc {:08x}, file has {:08x}",
-                        entry.crc, reader.crc
+            // A referenced run that cannot be read or verified is damage to
+            // acknowledged state (runs are fsynced before the manifest
+            // names them), not a crash artifact — but it is *derived*
+            // state, so quarantine it instead of failing the open.
+            let (reason, key_range, records) =
+                match RunReader::open(vfs.as_ref(), &path, entry.id, entry.table) {
+                    Ok(r) if r.crc == entry.crc => {
+                        readers.push(Arc::new(r));
+                        continue;
+                    }
+                    Ok(r) => (
+                        format!("manifest expects crc {:08x}, file has {:08x}", entry.crc, r.crc),
+                        Some((r.zone.min_key.clone(), r.zone.max_key.clone())),
+                        Some(r.zone.records),
                     ),
-                });
+                    Err(StorageError::Io(e)) => {
+                        (format!("referenced by manifest but unreadable: {e}"), None, None)
+                    }
+                    Err(StorageError::CorruptRun { reason, .. }) => (reason, None, None),
+                    Err(e) => return Err(e),
+                };
+            quarantine.record(QuarantinedRun {
+                id: entry.id,
+                table: entry.table,
+                path,
+                reason,
+                key_range,
+                records,
+            });
+            if let Some(m) = &metrics {
+                m.record_run_quarantined();
             }
-            readers.push(Arc::new(reader));
+        }
+        if let Some(m) = &metrics {
+            m.set_quarantined_live(quarantine.len());
         }
         let runs = RunSet::new(readers);
         let delta = DeltaState::new();
@@ -318,6 +370,8 @@ impl DiskStore {
             run_flush_bytes,
             next_run_id: AtomicU64::new(manifest.next_run_id),
             segment_floor: AtomicU64::new(manifest.segment_floor),
+            quarantine: Mutex::new(quarantine),
+            retain_segments,
         })
     }
 
@@ -421,17 +475,40 @@ impl DiskStore {
     /// with any subset of them still present: a remove failure during the
     /// sweep is collected and reported once, after the sweep finishes.
     pub fn compact(&self) -> io::Result<()> {
-        let mut w = self.writer.lock();
+        let w = self.writer.lock();
         self.check_writable()?;
         if w.in_batch.is_some() {
             return Err(io::Error::other("cannot compact while a write batch is open"));
         }
-        let old_active = w.segment;
-        let floor = old_active + 1;
+        // Compacting while runs are quarantined would write a manifest
+        // without them and sweep their files — silently finalizing the
+        // data loss a repair could still undo. Refuse instead.
+        if !self.quarantine.lock().is_empty() {
+            return Err(io::Error::other(
+                "cannot compact while runs are quarantined (the new manifest would finalize \
+                 their data loss); run repair first",
+            ));
+        }
         let (runs, delta) = {
             let t = self.tier.read();
             (t.runs.clone(), t.delta.clone())
         };
+        self.compact_locked(w, runs, delta)
+    }
+
+    /// Phases 1–3 of compaction over an explicit source image (`runs` +
+    /// `delta`), under the writer guard the caller passes in. Shared by
+    /// [`DiskStore::compact`] (current tier) and [`DiskStore::repair`]
+    /// (rebuilt image); the guard is dropped before the phase-3 sweep so
+    /// writers unblock as soon as the new tier is installed.
+    fn compact_locked(
+        &self,
+        mut w: parking_lot::MutexGuard<'_, Writer>,
+        runs: Arc<RunSet>,
+        delta: Arc<DeltaState>,
+    ) -> io::Result<()> {
+        let old_active = w.segment;
+        let floor = old_active + 1;
         let extractor = self.zone_extractor.read().clone();
         // Phase 1: merge and write the new runs, fsynced, unreferenced. A
         // failure here only leaves orphans a later sweep removes.
@@ -570,19 +647,23 @@ impl DiskStore {
         // this compaction's predecessors or crashed attempts). Failures are
         // collected so one bad unlink cannot abort the sweep halfway;
         // leftovers are harmless — the floor keeps stale segments out of
-        // replay and orphan runs are never referenced.
+        // replay and orphan runs are never referenced. With
+        // `retain_segments` the superseded segments are deliberately kept
+        // as the repair log (replay still skips them via the floor).
         let mut failures: Vec<String> = Vec::new();
-        match list_segments(self.vfs.as_ref(), &self.dir) {
-            Ok(nums) => {
-                for n in nums {
-                    if n < floor {
-                        if let Err(e) = self.vfs.remove_file(&segment_path(&self.dir, n)) {
-                            failures.push(format!("seg-{n:06}.log: {e}"));
+        if !self.retain_segments {
+            match list_segments(self.vfs.as_ref(), &self.dir) {
+                Ok(nums) => {
+                    for n in nums {
+                        if n < floor {
+                            if let Err(e) = self.vfs.remove_file(&segment_path(&self.dir, n)) {
+                                failures.push(format!("seg-{n:06}.log: {e}"));
+                            }
                         }
                     }
                 }
+                Err(e) => failures.push(format!("listing segments: {e}")),
             }
-            Err(e) => failures.push(format!("listing segments: {e}")),
         }
         match self.vfs.read_dir_names(&self.dir) {
             Ok(names) => {
@@ -623,6 +704,13 @@ impl DiskStore {
         self.check_writable()?;
         if w.in_batch.is_some() {
             return Err(io::Error::other("cannot expire runs while a write batch is open"));
+        }
+        // Same guard as compaction: rewriting the manifest without the
+        // quarantined runs would silently finalize their data loss.
+        if !self.quarantine.lock().is_empty() {
+            return Err(io::Error::other(
+                "cannot expire runs while runs are quarantined; run repair first",
+            ));
         }
         let (runs, delta) = {
             let t = self.tier.read();
@@ -710,6 +798,242 @@ impl DiskStore {
     /// The directory this store lives in.
     pub fn dir(&self) -> &Path {
         &self.dir
+    }
+
+    /// Snapshot of the current quarantine state: which runs were pulled
+    /// from the searched set, why, and the key-range coverage lost.
+    pub fn quarantine(&self) -> QuarantineSet {
+        self.quarantine.lock().clone()
+    }
+
+    /// Pull run `(id, table)` from the searched tier and record the
+    /// quarantine event. Returns `false` when the run is no longer live (a
+    /// concurrent compaction or repair already superseded it — the damage
+    /// is gone with it) or was already quarantined.
+    fn quarantine_run(
+        &self,
+        id: u64,
+        table: TableId,
+        path: PathBuf,
+        key_range: Option<(Vec<u8>, Vec<u8>)>,
+        records: Option<u64>,
+        reason: String,
+    ) -> bool {
+        // The writer lock serializes the tier swap against a concurrent
+        // compaction installing a fresh tier (lock order: writer → tier →
+        // quarantine).
+        let _w = self.writer.lock();
+        {
+            let mut tier = self.tier.write();
+            if !tier.runs.runs().iter().any(|r| r.id == id && r.table == table) {
+                return false;
+            }
+            let kept: Vec<_> = tier
+                .runs
+                .runs()
+                .iter()
+                .filter(|r| !(r.id == id && r.table == table))
+                .cloned()
+                .collect();
+            let live = kept.len();
+            tier.runs = Arc::new(RunSet::new(kept));
+            if let Some(m) = &self.metrics {
+                m.set_runs_live(live);
+            }
+        }
+        let mut q = self.quarantine.lock();
+        let new = q.record(QuarantinedRun { id, table, path, reason, key_range, records });
+        if new {
+            if let Some(m) = &self.metrics {
+                m.record_run_quarantined();
+                m.set_quarantined_live(q.len());
+            }
+        }
+        new
+    }
+
+    /// One verification pass over the live run tier: re-read every run
+    /// file from disk and re-validate its full structure and CRC —
+    /// catching bit rot that happened *after* the resident image was
+    /// loaded. A run that no longer verifies is quarantined; reads
+    /// continue against the survivors. `pause` sleeps between files to
+    /// pace the I/O (the background scrubber passes a non-zero pause so a
+    /// scrub never monopolizes the disk).
+    pub fn scrub_paced(&self, pause: Duration) -> ScrubOutcome {
+        let (runs, _) = self.tier_snapshot();
+        let mut newly = 0usize;
+        for run in runs.runs() {
+            let verdict = match RunReader::open(self.vfs.as_ref(), &run.path, run.id, run.table) {
+                Ok(fresh) if fresh.crc == run.crc => None,
+                Ok(fresh) => Some(format!(
+                    "scrub: file crc {:08x} no longer matches the loaded run's crc {:08x}",
+                    fresh.crc, run.crc
+                )),
+                Err(e) => Some(format!("scrub: {e}")),
+            };
+            if let Some(reason) = verdict {
+                let key_range = Some((run.zone.min_key.clone(), run.zone.max_key.clone()));
+                if self.quarantine_run(
+                    run.id,
+                    run.table,
+                    run.path.clone(),
+                    key_range,
+                    Some(run.zone.records),
+                    reason,
+                ) {
+                    newly += 1;
+                }
+            }
+            if !pause.is_zero() {
+                std::thread::sleep(pause);
+            }
+        }
+        if let Some(m) = &self.metrics {
+            m.record_scrub_pass();
+        }
+        ScrubOutcome { runs_checked: runs.len(), newly_quarantined: newly }
+    }
+
+    /// [`DiskStore::scrub_paced`] without I/O pacing.
+    pub fn scrub(&self) -> ScrubOutcome {
+        self.scrub_paced(Duration::ZERO)
+    }
+
+    /// Rebuild the run tier after quarantine events, re-publishing through
+    /// the crash-consistent manifest rename. No-op when nothing is
+    /// quarantined.
+    ///
+    /// When the complete segment history is on disk (the store ran with
+    /// [`DiskOptions::retain_segments`], or never compacted since the
+    /// damaged runs were written), the tier is rebuilt **losslessly** by
+    /// replaying every segment from the beginning — the quarantined runs'
+    /// contents are re-derived from the log. The surviving runs are
+    /// deliberately *not* used as a base in that path: their contents are
+    /// already in the below-floor segments, and overlaying a full replay
+    /// on them would double-apply appends.
+    ///
+    /// Without the full history, the tier is rebuilt from the surviving
+    /// runs plus the live delta: integrity is restored and coverage
+    /// returns to `Full`, but rows only the damaged files held are lost
+    /// (bounded by the quarantined runs' record counts).
+    pub fn repair(&self) -> io::Result<RepairOutcome> {
+        let mut w = self.writer.lock();
+        self.check_writable()?;
+        if w.in_batch.is_some() {
+            return Err(io::Error::other("cannot repair while a write batch is open"));
+        }
+        if self.quarantine.lock().is_empty() {
+            return Ok(RepairOutcome { repaired: 0, full_history: false });
+        }
+        // Push buffered bytes of the active segment to the kernel so a
+        // full-log read-back sees every record logged so far.
+        w.file.flush()?;
+        let segments = list_segments(self.vfs.as_ref(), &self.dir)?;
+        let full_history = segments.first() == Some(&0)
+            && segments.last().is_some_and(|&last| segments.len() as u64 == last + 1);
+        let (runs, delta) = if full_history {
+            let fresh = DeltaState::new();
+            for &n in &segments {
+                replay_segment(self.vfs.as_ref(), &segment_path(&self.dir, n), &fresh)
+                    .map_err(io::Error::from)?;
+            }
+            (Arc::new(RunSet::empty()), Arc::new(fresh))
+        } else {
+            let t = self.tier.read();
+            (t.runs.clone(), t.delta.clone())
+        };
+        self.compact_locked(w, runs, delta)?;
+        let repaired = {
+            let mut q = self.quarantine.lock();
+            let n = q.len();
+            q.clear();
+            n
+        };
+        if let Some(m) = &self.metrics {
+            m.record_runs_repaired(repaired);
+            m.set_quarantined_live(0);
+        }
+        Ok(RepairOutcome { repaired, full_history })
+    }
+
+    /// Spawn a background thread that runs [`DiskStore::scrub_paced`]
+    /// every `interval`, pacing `pause` between run files. The thread
+    /// stops when the returned handle is dropped or
+    /// [`ScrubberHandle::stop`] is called (it checks for shutdown in
+    /// ≤50ms slices, so stopping never waits out a whole interval).
+    pub fn spawn_scrubber(
+        store: Arc<DiskStore>,
+        interval: Duration,
+        pause: Duration,
+    ) -> io::Result<ScrubberHandle> {
+        let stop = Arc::new(AtomicBool::new(false));
+        let flag = stop.clone();
+        let thread =
+            std::thread::Builder::new().name("seqdet-scrub".into()).spawn(move || loop {
+                let mut slept = Duration::ZERO;
+                while slept < interval {
+                    if flag.load(Ordering::Relaxed) {
+                        return;
+                    }
+                    let step = (interval - slept).min(Duration::from_millis(50));
+                    std::thread::sleep(step);
+                    slept += step;
+                }
+                if flag.load(Ordering::Relaxed) {
+                    return;
+                }
+                store.scrub_paced(pause);
+            })?;
+        Ok(ScrubberHandle { stop, thread: Some(thread) })
+    }
+}
+
+/// Outcome of one [`DiskStore::scrub`] pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScrubOutcome {
+    /// Live runs whose files were re-read and re-validated.
+    pub runs_checked: usize,
+    /// Runs this pass newly quarantined.
+    pub newly_quarantined: usize,
+}
+
+/// Outcome of a [`DiskStore::repair`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RepairOutcome {
+    /// Quarantine entries cleared by the rebuild.
+    pub repaired: usize,
+    /// Whether the complete segment history was available: `true` means
+    /// the rebuild was lossless (full-log replay); `false` means the tier
+    /// was rebuilt from the survivors and rows only the damaged runs held
+    /// are gone.
+    pub full_history: bool,
+}
+
+/// Handle to the background scrubber spawned by
+/// [`DiskStore::spawn_scrubber`]. Dropping it stops and joins the thread.
+#[derive(Debug)]
+pub struct ScrubberHandle {
+    stop: Arc<AtomicBool>,
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl ScrubberHandle {
+    /// Stop the scrubber and wait for its thread to exit.
+    pub fn stop(mut self) {
+        self.shutdown();
+    }
+
+    fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for ScrubberHandle {
+    fn drop(&mut self) {
+        self.shutdown();
     }
 }
 
@@ -1281,7 +1605,20 @@ impl KvStore for DiskStore {
         if self.bytes_since_compact.load(Ordering::Relaxed) < limit {
             return Ok(());
         }
+        if !self.quarantine.lock().is_empty() {
+            // Compaction is refused while runs are quarantined (the new
+            // manifest would finalize their data loss). Maintenance just
+            // waits for a repair instead of failing every committed batch.
+            return Ok(());
+        }
         self.compact().map_err(StorageError::Io)
+    }
+
+    fn coverage(&self) -> Coverage {
+        // Clone out of the guard before deriving the answer: Coverage
+        // construction happens with no store lock held.
+        let quarantine = self.quarantine.lock().clone();
+        quarantine.coverage()
     }
 }
 
@@ -2088,6 +2425,268 @@ mod tests {
         s.abort_batch();
         assert_eq!(metrics.batch_aborts(), 1);
         assert!(metrics.degraded());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// Flip one mid-file byte of `path` on the real filesystem — simulated
+    /// at-rest bit rot for a closed store.
+    fn flip_mid_byte(path: &Path) {
+        let mut data = fs::read(path).unwrap();
+        let mid = data.len() / 2;
+        data[mid] ^= 0xFF;
+        fs::write(path, data).unwrap();
+    }
+
+    /// Path of the run file holding `table`'s rows.
+    fn run_path_for(dir: &Path, table: TableId) -> PathBuf {
+        for entry in fs::read_dir(dir).unwrap() {
+            let name = entry.unwrap().file_name().into_string().unwrap();
+            if let Some((_, t)) = crate::run::parse_run_file_name(&name) {
+                if t == table {
+                    return dir.join(name);
+                }
+            }
+        }
+        panic!("no run file for table {table:?} in {}", dir.display());
+    }
+
+    #[test]
+    fn damaged_run_quarantines_on_open_instead_of_failing() {
+        let dir = tmp_dir("quarantine-open");
+        let t2 = TableId(8);
+        {
+            let s = DiskStore::open(&dir).unwrap();
+            s.put(T, b"hit", b"run-row").unwrap();
+            s.put(t2, b"safe", b"other-table").unwrap();
+            s.compact().unwrap();
+        }
+        flip_mid_byte(&run_path_for(&dir, T));
+        let metrics = Arc::new(StoreMetrics::new());
+        let s = DiskStore::open_with(
+            &dir,
+            DiskOptions { metrics: Some(metrics.clone()), ..DiskOptions::default() },
+        )
+        .unwrap();
+        // The damaged run is out of the searched set: its rows are gone,
+        // the surviving table still answers, nothing fails.
+        assert!(s.get(T, b"hit").is_none());
+        assert_eq!(s.get(t2, b"safe").unwrap().as_ref(), b"other-table");
+        let q = s.quarantine();
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.tables(), vec![T]);
+        match s.coverage() {
+            Coverage::Narrowed { quarantined_tables, reason } => {
+                assert_eq!(quarantined_tables, vec![T]);
+                assert!(!reason.is_empty());
+            }
+            Coverage::Full => panic!("damaged run did not narrow coverage"),
+        }
+        assert_eq!(metrics.runs_quarantined(), 1);
+        assert_eq!(metrics.quarantined_live(), 1);
+        // New writes still land (in the delta and segments).
+        s.put(T, b"fresh", b"write").unwrap();
+        assert_eq!(s.get(T, b"fresh").unwrap().as_ref(), b"write");
+        s.flush().unwrap();
+        drop(s);
+        // The manifest still references the damaged run, so a reopen
+        // re-quarantines it — the narrowed state is sticky until repaired.
+        let s = DiskStore::open(&dir).unwrap();
+        assert!(!s.coverage().is_full());
+        assert_eq!(s.get(T, b"fresh").unwrap().as_ref(), b"write");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn compaction_and_expiry_are_refused_while_quarantined() {
+        let dir = tmp_dir("quarantine-blocks-compact");
+        {
+            let s = DiskStore::open(&dir).unwrap();
+            s.put(T, b"k", b"v").unwrap();
+            s.compact().unwrap();
+        }
+        flip_mid_byte(&run_path_for(&dir, T));
+        let s = DiskStore::open_with(
+            &dir,
+            DiskOptions { run_flush_bytes: Some(1), ..DiskOptions::default() },
+        )
+        .unwrap();
+        assert!(!s.coverage().is_full());
+        // A compaction would publish a manifest without the quarantined
+        // run, silently finalizing its loss — refused until repair.
+        let err = s.compact().unwrap_err();
+        assert!(err.to_string().contains("quarantined"), "{err}");
+        let err = s.drop_expired_runs(u64::MAX).unwrap_err();
+        assert!(err.to_string().contains("quarantined"), "{err}");
+        // maintain() (the indexer's per-batch hook) waits instead of
+        // failing every committed batch.
+        s.put(T, b"more", b"data").unwrap();
+        s.maintain().unwrap();
+        assert!(!s.coverage().is_full());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn scrub_quarantines_bit_rotted_run() {
+        let dir = tmp_dir("scrub-bit-rot");
+        let fault = FaultFs::new();
+        let metrics = Arc::new(StoreMetrics::new());
+        let s = DiskStore::open_with(
+            &dir,
+            DiskOptions {
+                vfs: Arc::new(fault.clone()),
+                metrics: Some(metrics.clone()),
+                ..DiskOptions::default()
+            },
+        )
+        .unwrap();
+        s.put(T, b"k", b"v").unwrap();
+        s.compact().unwrap();
+        // A clean pass finds nothing.
+        assert_eq!(s.scrub(), ScrubOutcome { runs_checked: 1, newly_quarantined: 0 });
+        assert!(s.coverage().is_full());
+        // Rot a byte of the run file: the resident image is unaffected (no
+        // read touches disk), but the next scrub re-reads the file.
+        fault.arm_bit_rot("run-", 10);
+        assert_eq!(s.get(T, b"k").unwrap().as_ref(), b"v", "resident reads unaffected");
+        assert_eq!(s.scrub(), ScrubOutcome { runs_checked: 1, newly_quarantined: 1 });
+        assert!(!s.coverage().is_full());
+        assert!(s.get(T, b"k").is_none());
+        assert_eq!(metrics.scrub_passes(), 2);
+        assert_eq!(metrics.runs_quarantined(), 1);
+        // Nothing live is left to check, and the quarantine is not
+        // double-counted.
+        assert_eq!(s.scrub(), ScrubOutcome { runs_checked: 0, newly_quarantined: 0 });
+        assert_eq!(metrics.quarantined_live(), 1);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn repair_without_history_restores_coverage_with_bounded_loss() {
+        let dir = tmp_dir("repair-lossy");
+        let t2 = TableId(9);
+        {
+            let s = DiskStore::open(&dir).unwrap();
+            s.put(T, b"lost", b"only-in-damaged-run").unwrap();
+            s.put(t2, b"kept", b"in-surviving-run").unwrap();
+            s.compact().unwrap();
+        }
+        flip_mid_byte(&run_path_for(&dir, T));
+        let metrics = Arc::new(StoreMetrics::new());
+        let s = DiskStore::open_with(
+            &dir,
+            DiskOptions { metrics: Some(metrics.clone()), ..DiskOptions::default() },
+        )
+        .unwrap();
+        s.put(T, b"delta", b"post-damage write").unwrap();
+        assert!(!s.coverage().is_full());
+        let outcome = s.repair().unwrap();
+        assert_eq!(outcome, RepairOutcome { repaired: 1, full_history: false });
+        // Integrity is back — coverage Full, survivors and delta intact.
+        // The damaged run's row is gone: the default segment sweep had
+        // already removed the log that could have rebuilt it.
+        assert!(s.coverage().is_full());
+        assert!(s.quarantine().is_empty());
+        assert!(s.get(T, b"lost").is_none());
+        assert_eq!(s.get(t2, b"kept").unwrap().as_ref(), b"in-surviving-run");
+        assert_eq!(s.get(T, b"delta").unwrap().as_ref(), b"post-damage write");
+        assert_eq!(metrics.runs_repaired(), 1);
+        assert_eq!(metrics.quarantined_live(), 0);
+        // The rebuilt tier verifies clean and the damaged file was swept.
+        let report = crate::run::verify_runs(&RealFs, &dir).unwrap();
+        assert!(report.ok(), "{report:?}");
+        drop(s);
+        let s = DiskStore::open(&dir).unwrap();
+        assert!(s.coverage().is_full());
+        assert_eq!(s.get(T, b"delta").unwrap().as_ref(), b"post-damage write");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn repair_with_retained_segments_is_lossless() {
+        let dir = tmp_dir("repair-lossless");
+        {
+            let s = DiskStore::open_with(
+                &dir,
+                DiskOptions { retain_segments: true, ..DiskOptions::default() },
+            )
+            .unwrap();
+            s.put(T, b"a", b"first").unwrap();
+            s.append(T, b"a", b"+more").unwrap();
+            s.compact().unwrap();
+            s.put(T, b"b", b"second-era").unwrap();
+            s.compact().unwrap();
+            s.put(T, b"c", b"delta-row").unwrap();
+            s.flush().unwrap();
+            // retain_segments kept the complete history on disk.
+            assert_eq!(list_segments(&RealFs, &dir).unwrap(), vec![0, 1, 2]);
+        }
+        flip_mid_byte(&run_path_for(&dir, T));
+        let metrics = Arc::new(StoreMetrics::new());
+        let s = DiskStore::open_with(
+            &dir,
+            DiskOptions {
+                metrics: Some(metrics.clone()),
+                retain_segments: true,
+                ..DiskOptions::default()
+            },
+        )
+        .unwrap();
+        assert!(!s.coverage().is_full());
+        assert!(s.get(T, b"a").is_none(), "damaged run's rows are narrowed out");
+        let outcome = s.repair().unwrap();
+        assert_eq!(outcome, RepairOutcome { repaired: 1, full_history: true });
+        // Everything ever acknowledged is back, rebuilt from the log.
+        assert!(s.coverage().is_full());
+        assert_eq!(s.get(T, b"a").unwrap().as_ref(), b"first+more");
+        assert_eq!(s.get(T, b"b").unwrap().as_ref(), b"second-era");
+        assert_eq!(s.get(T, b"c").unwrap().as_ref(), b"delta-row");
+        assert_eq!(metrics.runs_repaired(), 1);
+        // The repair republished through a compaction, so the history is
+        // still complete (contiguous from segment 0) for the next incident.
+        let segs = list_segments(&RealFs, &dir).unwrap();
+        assert_eq!(segs, (0..segs.len() as u64).collect::<Vec<_>>());
+        let report = crate::run::verify_runs(&RealFs, &dir).unwrap();
+        assert!(report.ok(), "{report:?}");
+        drop(s);
+        let s = DiskStore::open_with(
+            &dir,
+            DiskOptions { retain_segments: true, ..DiskOptions::default() },
+        )
+        .unwrap();
+        assert!(s.coverage().is_full());
+        assert_eq!(s.get(T, b"a").unwrap().as_ref(), b"first+more");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn background_scrubber_detects_damage_within_its_interval() {
+        let dir = tmp_dir("scrubber-thread");
+        let fault = FaultFs::new();
+        let metrics = Arc::new(StoreMetrics::new());
+        let s = Arc::new(
+            DiskStore::open_with(
+                &dir,
+                DiskOptions {
+                    vfs: Arc::new(fault.clone()),
+                    metrics: Some(metrics.clone()),
+                    ..DiskOptions::default()
+                },
+            )
+            .unwrap(),
+        );
+        s.put(T, b"k", b"v").unwrap();
+        s.compact().unwrap();
+        let handle =
+            DiskStore::spawn_scrubber(s.clone(), Duration::from_millis(1), Duration::ZERO).unwrap();
+        fault.arm_bit_rot("run-", 10);
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        while s.coverage().is_full() && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        handle.stop();
+        assert!(!s.coverage().is_full(), "scrubber never caught the bit rot");
+        assert!(metrics.scrub_passes() >= 1);
+        assert_eq!(metrics.runs_quarantined(), 1);
         fs::remove_dir_all(&dir).unwrap();
     }
 }

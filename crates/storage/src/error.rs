@@ -44,11 +44,50 @@ pub enum StorageError {
     },
 }
 
+/// Coarse failure class driving the recovery strategy: transient failures
+/// are retried, permanent write failures trip the sticky degraded fuse, and
+/// corruption of acknowledged data quarantines the damaged unit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorClass {
+    /// The operation may succeed if simply re-issued (interrupted syscall,
+    /// timeout, momentary resource exhaustion). [`crate::vfs::RetryVfs`]
+    /// absorbs these with bounded exponential backoff.
+    Transient,
+    /// The operation failed and retrying will not help (ENOSPC, EACCES,
+    /// hardware write error). On the write path this trips the sticky
+    /// read-only degraded fuse.
+    Permanent,
+    /// Persisted, acknowledged data no longer verifies (checksum, magic,
+    /// structure). Retrying re-reads the same damaged bytes; the unit is
+    /// quarantined and rebuilt from the segment log instead.
+    Corruption,
+}
+
+/// True when an [`io::ErrorKind`] is worth retrying: the failure is a
+/// property of the *moment*, not of the operation.
+pub fn io_kind_is_transient(kind: io::ErrorKind) -> bool {
+    matches!(kind, io::ErrorKind::Interrupted | io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut)
+}
+
 impl StorageError {
     /// True for [`StorageError::Degraded`] — the caller hit the read-only
     /// fuse, not a fresh I/O failure.
     pub fn is_degraded(&self) -> bool {
         matches!(self, StorageError::Degraded { .. })
+    }
+
+    /// Classify this error into the recovery strategy it calls for:
+    /// transient → retry, permanent → degraded fuse, corruption →
+    /// quarantine + repair. The sticky [`StorageError::Degraded`] state is
+    /// the *consequence* of a permanent failure and classifies as such.
+    pub fn classify(&self) -> ErrorClass {
+        match self {
+            StorageError::Io(e) if io_kind_is_transient(e.kind()) => ErrorClass::Transient,
+            StorageError::Io(_) | StorageError::Degraded { .. } => ErrorClass::Permanent,
+            StorageError::CorruptSegment { .. } | StorageError::CorruptRun { .. } => {
+                ErrorClass::Corruption
+            }
+        }
     }
 }
 
@@ -130,5 +169,42 @@ mod tests {
         assert!(e.to_string().contains("read-only"), "{e}");
         let io_err: io::Error = e.into();
         assert!(io_err.to_string().contains("degraded"));
+    }
+
+    #[test]
+    fn classification_matches_recovery_strategy() {
+        let transient: StorageError = io::Error::from(io::ErrorKind::Interrupted).into();
+        assert_eq!(transient.classify(), ErrorClass::Transient);
+        let transient: StorageError = io::Error::from(io::ErrorKind::TimedOut).into();
+        assert_eq!(transient.classify(), ErrorClass::Transient);
+
+        let permanent: StorageError = io::Error::other("disk on fire").into();
+        assert_eq!(permanent.classify(), ErrorClass::Permanent);
+        let permanent: StorageError = io::Error::from(io::ErrorKind::PermissionDenied).into();
+        assert_eq!(permanent.classify(), ErrorClass::Permanent);
+        let degraded = StorageError::Degraded { reason: "earlier write failed".into() };
+        assert_eq!(degraded.classify(), ErrorClass::Permanent);
+
+        let corrupt = StorageError::CorruptRun {
+            path: PathBuf::from("run-000001-t001.run"),
+            reason: "checksum mismatch".into(),
+        };
+        assert_eq!(corrupt.classify(), ErrorClass::Corruption);
+        let corrupt = StorageError::CorruptSegment {
+            segment: PathBuf::from("seg-000001.log"),
+            offset: 0,
+            reason: "checksum mismatch".into(),
+        };
+        assert_eq!(corrupt.classify(), ErrorClass::Corruption);
+    }
+
+    #[test]
+    fn transient_kind_predicate() {
+        assert!(io_kind_is_transient(io::ErrorKind::Interrupted));
+        assert!(io_kind_is_transient(io::ErrorKind::WouldBlock));
+        assert!(io_kind_is_transient(io::ErrorKind::TimedOut));
+        assert!(!io_kind_is_transient(io::ErrorKind::NotFound));
+        assert!(!io_kind_is_transient(io::ErrorKind::InvalidData));
+        assert!(!io_kind_is_transient(io::ErrorKind::Other));
     }
 }

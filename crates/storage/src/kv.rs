@@ -24,6 +24,43 @@ impl TableId {
     }
 }
 
+/// How much of the acknowledged data a store's answers currently reflect.
+///
+/// `Full` is the healthy state: every read sees everything that was ever
+/// acknowledged. A store narrows itself when corruption quarantines part of
+/// its persisted state — reads keep working against the surviving data, but
+/// answers may be missing rows the quarantined unit held, and callers
+/// (query results, `/health`) surface that honestly instead of failing or
+/// silently under-reporting.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Coverage {
+    /// Answers reflect all acknowledged data.
+    Full,
+    /// Part of the persisted state is quarantined: answers are correct over
+    /// the surviving data but may be incomplete for the listed tables.
+    Narrowed {
+        /// Tables the quarantined units held keys for.
+        quarantined_tables: Vec<TableId>,
+        /// Human-readable reason (first quarantine event's diagnosis).
+        reason: String,
+    },
+}
+
+impl Coverage {
+    /// True in the healthy (`Full`) state.
+    pub fn is_full(&self) -> bool {
+        matches!(self, Coverage::Full)
+    }
+}
+
+/// The healthy state is the default, so result types carrying a coverage
+/// annotation can keep deriving `Default`.
+impl Default for Coverage {
+    fn default() -> Self {
+        Coverage::Full
+    }
+}
+
 /// A key-value table store.
 ///
 /// All operations are atomic per key. `append` is the workhorse: it extends
@@ -112,6 +149,14 @@ pub trait KvStore: Send + Sync {
     fn maintain(&self) -> Result<(), StorageError> {
         Ok(())
     }
+
+    /// How complete this store's answers currently are. Backends without a
+    /// quarantine mechanism are always [`Coverage::Full`]; a backend that
+    /// quarantined corrupt state reports [`Coverage::Narrowed`] until a
+    /// repair restores it.
+    fn coverage(&self) -> Coverage {
+        Coverage::Full
+    }
 }
 
 /// Blanket impl so `Arc<S>` (and other smart pointers) can be used where a
@@ -159,6 +204,9 @@ impl<S: KvStore + ?Sized> KvStore for std::sync::Arc<S> {
     fn maintain(&self) -> Result<(), StorageError> {
         (**self).maintain()
     }
+    fn coverage(&self) -> Coverage {
+        (**self).coverage()
+    }
 }
 
 #[cfg(test)]
@@ -185,5 +233,17 @@ mod tests {
         assert!(KvStore::degraded(&store).is_none());
         assert!(KvStore::key_may_exist(&store, t, b"anything"));
         KvStore::maintain(&store).unwrap();
+        assert!(KvStore::coverage(&store).is_full());
+    }
+
+    #[test]
+    fn coverage_states() {
+        assert!(Coverage::Full.is_full());
+        let narrowed = Coverage::Narrowed {
+            quarantined_tables: vec![TableId(1), TableId(3)],
+            reason: "checksum mismatch".into(),
+        };
+        assert!(!narrowed.is_full());
+        assert_eq!(narrowed.clone(), narrowed);
     }
 }

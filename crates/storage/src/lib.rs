@@ -38,15 +38,16 @@ pub mod vfs;
 
 pub use disk::{
     parse_segment_bytes, replay_segment_bytes, verify_segments, DiskOptions, DiskStore,
-    DurabilityPolicy, SegmentEnd, SegmentReport, SegmentScan, SegmentViolation,
+    DurabilityPolicy, RepairOutcome, ScrubOutcome, ScrubberHandle, SegmentEnd, SegmentReport,
+    SegmentScan, SegmentViolation,
 };
-pub use error::StorageError;
+pub use error::{io_kind_is_transient, ErrorClass, StorageError};
 pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
-pub use kv::{KvStore, TableId};
+pub use kv::{Coverage, KvStore, TableId};
 pub use mem::MemStore;
 pub use metrics::{LatencyHistogram, ServerMetrics, StoreMetrics};
 pub use run::{
-    verify_runs, DeltaOp, DeltaState, Manifest, ManifestRun, RowZones, RunReader, RunReport,
-    RunSet, RunViolation, ZoneExtractor, ZoneMap,
+    verify_runs, DeltaOp, DeltaState, Manifest, ManifestRun, QuarantineSet, QuarantinedRun,
+    RowZones, RunReader, RunReport, RunSet, RunViolation, ZoneExtractor, ZoneMap,
 };
-pub use vfs::{FaultFs, RealFs, Vfs, VfsFile};
+pub use vfs::{FaultFs, RealFs, RetryPolicy, RetryVfs, Vfs, VfsFile};

@@ -244,6 +244,11 @@ pub struct StoreMetrics {
     runs_pruned: AtomicU64,
     runs_searched: AtomicU64,
     runs_expired: AtomicU64,
+    runs_quarantined: AtomicU64,
+    quarantined_live: AtomicU64,
+    runs_repaired: AtomicU64,
+    scrub_passes: AtomicU64,
+    io_retries: AtomicU64,
     degraded: AtomicBool,
     server: ServerMetrics,
 }
@@ -368,6 +373,33 @@ impl StoreMetrics {
     /// had expired.
     pub fn record_runs_expired(&self, n: usize) {
         self.runs_expired.fetch_add(n as u64, Ordering::Relaxed);
+    }
+
+    /// Record one run pulled from the searched set after failing
+    /// verification (corruption quarantine).
+    pub fn record_run_quarantined(&self) {
+        self.runs_quarantined.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Set the gauge of currently quarantined runs.
+    pub fn set_quarantined_live(&self, live: usize) {
+        self.quarantined_live.store(live as u64, Ordering::Relaxed);
+    }
+
+    /// Record `n` quarantined runs rebuilt from the segment log by
+    /// `repair()`.
+    pub fn record_runs_repaired(&self, n: usize) {
+        self.runs_repaired.fetch_add(n as u64, Ordering::Relaxed);
+    }
+
+    /// Record one completed scrub pass over the run tier.
+    pub fn record_scrub_pass(&self) {
+        self.scrub_passes.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record one transient I/O failure absorbed by a retry.
+    pub fn record_io_retry(&self) {
+        self.io_retries.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Mark the store as degraded (sticky read-only after a write failure).
@@ -510,6 +542,31 @@ impl StoreMetrics {
         self.runs_expired.load(Ordering::Relaxed)
     }
 
+    /// Runs quarantined after failing verification (cumulative).
+    pub fn runs_quarantined(&self) -> u64 {
+        self.runs_quarantined.load(Ordering::Relaxed)
+    }
+
+    /// Currently quarantined runs.
+    pub fn quarantined_live(&self) -> u64 {
+        self.quarantined_live.load(Ordering::Relaxed)
+    }
+
+    /// Quarantined runs rebuilt from segments by `repair()`.
+    pub fn runs_repaired(&self) -> u64 {
+        self.runs_repaired.load(Ordering::Relaxed)
+    }
+
+    /// Completed scrub passes over the run tier.
+    pub fn scrub_passes(&self) -> u64 {
+        self.scrub_passes.load(Ordering::Relaxed)
+    }
+
+    /// Transient I/O failures absorbed by retries.
+    pub fn io_retries(&self) -> u64 {
+        self.io_retries.load(Ordering::Relaxed)
+    }
+
     /// True once the store reported itself degraded.
     pub fn degraded(&self) -> bool {
         self.degraded.load(Ordering::Relaxed)
@@ -550,6 +607,11 @@ impl StoreMetrics {
         self.runs_pruned.store(0, Ordering::Relaxed);
         self.runs_searched.store(0, Ordering::Relaxed);
         self.runs_expired.store(0, Ordering::Relaxed);
+        self.runs_quarantined.store(0, Ordering::Relaxed);
+        self.quarantined_live.store(0, Ordering::Relaxed);
+        self.runs_repaired.store(0, Ordering::Relaxed);
+        self.scrub_passes.store(0, Ordering::Relaxed);
+        self.io_retries.store(0, Ordering::Relaxed);
         self.degraded.store(false, Ordering::Relaxed);
         self.server.reset();
     }
@@ -646,6 +708,33 @@ mod tests {
                 + m.runs_pruned()
                 + m.runs_searched()
                 + m.runs_expired(),
+            0
+        );
+    }
+
+    #[test]
+    fn failure_tolerance_counters() {
+        let m = StoreMetrics::new();
+        m.record_run_quarantined();
+        m.record_run_quarantined();
+        m.set_quarantined_live(2);
+        m.record_runs_repaired(2);
+        m.record_scrub_pass();
+        m.record_io_retry();
+        m.record_io_retry();
+        m.record_io_retry();
+        assert_eq!(m.runs_quarantined(), 2);
+        assert_eq!(m.quarantined_live(), 2);
+        assert_eq!(m.runs_repaired(), 2);
+        assert_eq!(m.scrub_passes(), 1);
+        assert_eq!(m.io_retries(), 3);
+        m.reset();
+        assert_eq!(
+            m.runs_quarantined()
+                + m.quarantined_live()
+                + m.runs_repaired()
+                + m.scrub_passes()
+                + m.io_retries(),
             0
         );
     }

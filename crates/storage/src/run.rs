@@ -479,11 +479,18 @@ pub fn decode_manifest(path: &Path, data: &[u8]) -> Result<Manifest, StorageErro
     if version != MANIFEST_VERSION {
         return Err(corrupt(path, format!("unsupported manifest version {version}")));
     }
-    let mut runs = Vec::with_capacity(count as usize);
+    let mut runs: Vec<ManifestRun> = Vec::with_capacity(count as usize);
     for _ in 0..count {
         let (Some(id), Some(table), Some(crc)) = (d.u64(), d.u8(), d.u32()) else {
             return Err(corrupt(path, "truncated manifest run entry"));
         };
+        // Run ids come from the monotone `next_run_id` counter, so a
+        // repeated id means the manifest itself is damaged — refusing it
+        // here keeps replay from opening (or double-counting) one file
+        // under two entries.
+        if runs.iter().any(|r| r.id == id) {
+            return Err(corrupt(path, format!("duplicate run id {id} in manifest")));
+        }
         runs.push(ManifestRun { id, table: TableId(table), crc });
     }
     if !d.is_done() {
@@ -608,6 +615,104 @@ impl RunSet {
             }
         }
         hit
+    }
+}
+
+/// One run pulled from the searched set after failing verification:
+/// identity, diagnosis, and the key-range coverage the answers lost.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QuarantinedRun {
+    /// Run id (names the file together with `table`).
+    pub id: u64,
+    /// Table whose rows the run held — the table whose answers narrowed.
+    pub table: TableId,
+    /// The damaged file (left on disk for diagnosis; never served from).
+    pub path: PathBuf,
+    /// What failed to verify.
+    pub reason: String,
+    /// Key range the run's zone map claimed, when the footer was still
+    /// readable — the keys whose reads may now under-report.
+    pub key_range: Option<(Vec<u8>, Vec<u8>)>,
+    /// Record count the zone map claimed, when readable.
+    pub records: Option<u64>,
+}
+
+/// The set of quarantined runs of one store. Corruption of an immutable
+/// run is not fatal — runs are derived from the segment log — so instead
+/// of failing reads, the store records the damaged run here, serves
+/// answers from the survivors, and reports itself
+/// [`Narrowed`](crate::kv::Coverage::Narrowed) until `repair()` rebuilds
+/// the lost state.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct QuarantineSet {
+    entries: Vec<QuarantinedRun>,
+}
+
+impl QuarantineSet {
+    /// An empty (healthy) set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// True when nothing is quarantined.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Number of quarantined runs.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Every quarantined run, in quarantine order.
+    pub fn entries(&self) -> &[QuarantinedRun] {
+        &self.entries
+    }
+
+    /// Whether run `id` of `table` is quarantined.
+    pub fn contains(&self, id: u64, table: TableId) -> bool {
+        self.entries.iter().any(|e| e.id == id && e.table == table)
+    }
+
+    /// Record a quarantine event. Re-quarantining the same run (scrub and
+    /// a read racing to diagnose the same damage) keeps the first entry.
+    /// Returns whether the entry was new.
+    pub fn record(&mut self, entry: QuarantinedRun) -> bool {
+        if self.contains(entry.id, entry.table) {
+            return false;
+        }
+        self.entries.push(entry);
+        true
+    }
+
+    /// Tables with at least one quarantined run, ascending.
+    pub fn tables(&self) -> Vec<TableId> {
+        let mut t: Vec<TableId> = Vec::new();
+        for e in &self.entries {
+            if !t.contains(&e.table) {
+                t.push(e.table);
+            }
+        }
+        t.sort_unstable();
+        t
+    }
+
+    /// The coverage this quarantine state implies: `Full` when empty,
+    /// otherwise `Narrowed` over the quarantined tables with the first
+    /// entry's diagnosis as the reason.
+    pub fn coverage(&self) -> crate::kv::Coverage {
+        match self.entries.first() {
+            None => crate::kv::Coverage::Full,
+            Some(first) => crate::kv::Coverage::Narrowed {
+                quarantined_tables: self.tables(),
+                reason: first.reason.clone(),
+            },
+        }
+    }
+
+    /// Forget every entry (repair rebuilt the tier).
+    pub fn clear(&mut self) {
+        self.entries.clear();
     }
 }
 
@@ -1009,6 +1114,70 @@ mod tests {
             Err(StorageError::CorruptRun { reason, .. }) if reason.contains("checksum")
         ));
         fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn manifest_rejects_duplicate_run_ids() {
+        let m = Manifest {
+            segment_floor: 0,
+            next_run_id: 2,
+            runs: vec![
+                ManifestRun { id: 1, table: TableId(1), crc: 0xAA },
+                ManifestRun { id: 1, table: TableId(2), crc: 0xBB },
+            ],
+        };
+        let data = encode_manifest(&m);
+        match decode_manifest(Path::new("MANIFEST"), &data) {
+            Err(StorageError::CorruptRun { reason, .. }) => {
+                assert!(reason.contains("duplicate run id 1"), "{reason}");
+            }
+            other => panic!("expected CorruptRun, got {other:?}"),
+        }
+        // Distinct ids across any tables stay accepted.
+        let ok = Manifest {
+            segment_floor: 0,
+            next_run_id: 3,
+            runs: vec![
+                ManifestRun { id: 1, table: TableId(1), crc: 0xAA },
+                ManifestRun { id: 2, table: TableId(1), crc: 0xBB },
+            ],
+        };
+        let data = encode_manifest(&ok);
+        assert_eq!(decode_manifest(Path::new("MANIFEST"), &data).unwrap(), ok);
+    }
+
+    #[test]
+    fn quarantine_set_tracks_runs_and_coverage() {
+        use crate::kv::Coverage;
+        let mut q = QuarantineSet::new();
+        assert!(q.is_empty());
+        assert_eq!(q.coverage(), Coverage::Full);
+        let entry = |id: u64, table: u8| QuarantinedRun {
+            id,
+            table: TableId(table),
+            path: PathBuf::from(run_file_name(id, TableId(table))),
+            reason: "checksum mismatch".into(),
+            key_range: Some((b"a".to_vec(), b"z".to_vec())),
+            records: Some(10),
+        };
+        assert!(q.record(entry(3, 2)));
+        assert!(q.record(entry(1, 1)));
+        // Re-quarantining the same run is a no-op.
+        assert!(!q.record(entry(3, 2)));
+        assert_eq!(q.len(), 2);
+        assert!(q.contains(3, TableId(2)));
+        assert!(!q.contains(3, TableId(1)));
+        assert_eq!(q.tables(), vec![TableId(1), TableId(2)]);
+        match q.coverage() {
+            Coverage::Narrowed { quarantined_tables, reason } => {
+                assert_eq!(quarantined_tables, vec![TableId(1), TableId(2)]);
+                assert!(reason.contains("checksum"), "{reason}");
+            }
+            Coverage::Full => panic!("expected Narrowed"),
+        }
+        q.clear();
+        assert!(q.is_empty());
+        assert_eq!(q.coverage(), Coverage::Full);
     }
 
     #[test]

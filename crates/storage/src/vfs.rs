@@ -21,13 +21,29 @@
 //! * **remove error after N calls** — a failed unlink during the
 //!   compaction sweep, which must tolerate any subset of old segments
 //!   surviving.
+//! * **transient errors for N ops** — interrupted-syscall-style failures
+//!   that succeed when simply re-issued; the mode [`RetryVfs`] exists to
+//!   absorb.
+//! * **bit rot** — a read-time byte flip at an armed offset of a matching
+//!   file: the on-disk bytes are fine, but every read through the seam
+//!   returns damaged data, the way a failing disk or controller does. This
+//!   is the mode that drives run quarantine.
+//!
+//! [`RetryVfs`] is the production-facing counterpart: a decorator over any
+//! [`Vfs`] that retries *transient* failures (classified by
+//! [`io_kind_is_transient`](crate::error::io_kind_is_transient)) with
+//! bounded exponential backoff plus deterministic jitter, so an interrupted
+//! syscall or momentary stall never reaches the degraded fuse.
 
+use crate::error::io_kind_is_transient;
 use parking_lot::Mutex;
 use std::fmt;
 use std::fs::{self, File, OpenOptions};
 use std::io::{self, BufWriter, Read, Write};
 use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 
 /// An open writable file handle behind the [`Vfs`] seam.
 pub trait VfsFile: Send {
@@ -138,6 +154,14 @@ struct FaultState {
     short_write: usize,
     /// Successful `remove_file` calls remaining before injected errors.
     fail_after_removes: Option<u64>,
+    /// Remaining fallible operations that fail with a *transient* error
+    /// (`ErrorKind::Interrupted`) before the filesystem behaves again.
+    transient_ops: u64,
+    /// Read-time bit rot: flip the byte at `.1` of every `read` of a file
+    /// whose name contains `.0`. The on-disk bytes stay intact.
+    bit_rot: Option<(String, usize)>,
+    /// Number of reads the bit-rot mode has damaged so far.
+    bit_rot_hits: u64,
     /// A simulated crash happened: every further operation fails.
     crashed: bool,
     /// Number of errors injected so far.
@@ -163,6 +187,10 @@ pub struct FaultFs {
 
 fn injected_error(what: &str) -> io::Error {
     io::Error::other(format!("injected fault: {what}"))
+}
+
+fn injected_transient(what: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::Interrupted, format!("injected transient fault: {what}"))
 }
 
 impl FaultFs {
@@ -193,6 +221,46 @@ impl FaultFs {
     /// Arm injected `remove_file` errors after `n` more successful removes.
     pub fn arm_fail_after_removes(&self, n: u64) {
         self.state.lock().fail_after_removes = Some(n);
+    }
+
+    /// Arm `n` transient failures: the next `n` fallible operations
+    /// (writes, reads, opens, renames) fail with `ErrorKind::Interrupted`,
+    /// then the filesystem behaves again — the failure a retry absorbs.
+    pub fn arm_transient_errors(&self, n: u64) {
+        self.state.lock().transient_ops = n;
+    }
+
+    /// Arm read-time bit rot: every `read` of a file whose name contains
+    /// `name_fragment` comes back with the byte at `offset` flipped
+    /// (XOR 0xFF). The bytes on disk are untouched — this models a failing
+    /// disk surface or controller, and persists until [`FaultFs::heal`].
+    pub fn arm_bit_rot(&self, name_fragment: &str, offset: usize) {
+        let mut st = self.state.lock();
+        st.bit_rot = Some((name_fragment.to_owned(), offset));
+        st.bit_rot_hits = 0;
+    }
+
+    /// Number of reads the armed bit-rot mode has damaged so far.
+    pub fn bit_rot_hits(&self) -> u64 {
+        self.state.lock().bit_rot_hits
+    }
+
+    /// True when a transient-failure budget is still armed.
+    pub fn transient_armed(&self) -> bool {
+        self.state.lock().transient_ops > 0
+    }
+
+    /// Decrement the transient budget if armed; `Some(err)` when this
+    /// operation should fail transiently.
+    fn take_transient(&self, what: &str) -> Option<io::Error> {
+        let mut st = self.state.lock();
+        if st.transient_ops > 0 {
+            st.transient_ops -= 1;
+            st.injected += 1;
+            Some(injected_transient(what))
+        } else {
+            None
+        }
     }
 
     /// Clear all armed faults and the crashed flag.
@@ -235,6 +303,12 @@ impl VfsFile for FaultFile {
         let mut st = self.state.lock();
         if st.crashed {
             return Err(injected_error("process crashed"));
+        }
+        if st.transient_ops > 0 {
+            // Clean failure: no bytes land, so a retry is safe.
+            st.transient_ops -= 1;
+            st.injected += 1;
+            return Err(injected_transient("write"));
         }
         if let Some(budget) = st.crash_after_bytes {
             if (buf.len() as u64) > budget {
@@ -291,22 +365,45 @@ impl Vfs for FaultFs {
 
     fn open_append(&self, path: &Path) -> io::Result<Box<dyn VfsFile>> {
         self.check_alive()?;
+        if let Some(e) = self.take_transient("open_append") {
+            return Err(e);
+        }
         let file = OpenOptions::new().create(true).append(true).open(path)?;
         Ok(Box::new(FaultFile { file, state: self.state.clone() }))
     }
 
     fn create(&self, path: &Path) -> io::Result<Box<dyn VfsFile>> {
         self.check_alive()?;
+        if let Some(e) = self.take_transient("create") {
+            return Err(e);
+        }
         Ok(Box::new(FaultFile { file: File::create(path)?, state: self.state.clone() }))
     }
 
     fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
         self.check_alive()?;
-        RealFs.read(path)
+        if let Some(e) = self.take_transient("read") {
+            return Err(e);
+        }
+        let mut data = RealFs.read(path)?;
+        let mut st = self.state.lock();
+        if let Some((fragment, offset)) = st.bit_rot.as_ref() {
+            let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+            if name.contains(fragment.as_str()) {
+                if let Some(byte) = data.get_mut(*offset) {
+                    *byte ^= 0xFF;
+                    st.bit_rot_hits += 1;
+                }
+            }
+        }
+        Ok(data)
     }
 
     fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
         self.check_alive()?;
+        if let Some(e) = self.take_transient("rename") {
+            return Err(e);
+        }
         fs::rename(from, to)
     }
 
@@ -334,6 +431,194 @@ impl Vfs for FaultFs {
     fn read_dir_names(&self, dir: &Path) -> io::Result<Vec<String>> {
         self.check_alive()?;
         RealFs.read_dir_names(dir)
+    }
+}
+
+/// Backoff policy for [`RetryVfs`]: up to `retries` re-issues of a
+/// transient failure, sleeping `base * 2^attempt` (capped at `cap`) plus
+/// deterministic jitter between attempts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Maximum number of re-issues after the first failure.
+    pub retries: u32,
+    /// Backoff before the first retry; doubles per attempt.
+    pub base: Duration,
+    /// Upper bound on any single backoff sleep.
+    pub cap: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self { retries: 3, base: Duration::from_millis(1), cap: Duration::from_millis(20) }
+    }
+}
+
+/// SplitMix64 step — the deterministic jitter source. No RNG dependency:
+/// a shared counter hashed through this gives well-spread, reproducible
+/// jitter values.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+impl RetryPolicy {
+    /// Sleep before retry number `attempt` (0-based): half the capped
+    /// exponential step deterministically, plus jitter over the other half
+    /// so concurrent retriers decorrelate.
+    fn delay(&self, attempt: u32, salt: u64) -> Duration {
+        let exp = self
+            .base
+            .checked_mul(1u32.checked_shl(attempt).unwrap_or(u32::MAX))
+            .unwrap_or(self.cap)
+            .min(self.cap);
+        let half = exp / 2;
+        let jitter_span = half.as_nanos() as u64;
+        let jitter = if jitter_span == 0 { 0 } else { splitmix64(salt) % (jitter_span + 1) };
+        half + Duration::from_nanos(jitter)
+    }
+}
+
+/// Shared retry bookkeeping between a [`RetryVfs`] and the [`RetryFile`]
+/// handles it opens: the policy, a retry tally, a jitter sequence, and an
+/// optional [`StoreMetrics`] to mirror retries into.
+#[derive(Debug)]
+struct RetryShared {
+    policy: RetryPolicy,
+    retries: AtomicU64,
+    jitter_seq: AtomicU64,
+    metrics: Mutex<Option<Arc<crate::metrics::StoreMetrics>>>,
+}
+
+impl RetryShared {
+    /// Run `op`, re-issuing transient failures per the policy. Non-transient
+    /// errors and budget exhaustion propagate the last error unchanged.
+    fn run<T>(&self, mut op: impl FnMut() -> io::Result<T>) -> io::Result<T> {
+        let mut attempt = 0u32;
+        loop {
+            match op() {
+                Ok(v) => return Ok(v),
+                Err(e) if io_kind_is_transient(e.kind()) && attempt < self.policy.retries => {
+                    self.retries.fetch_add(1, Ordering::Relaxed);
+                    if let Some(m) = self.metrics.lock().as_ref() {
+                        m.record_io_retry();
+                    }
+                    let salt = self.jitter_seq.fetch_add(1, Ordering::Relaxed);
+                    std::thread::sleep(self.policy.delay(attempt, salt));
+                    attempt += 1;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+}
+
+/// Decorator over any [`Vfs`] that absorbs *transient* I/O failures
+/// (classified by [`io_kind_is_transient`]) with bounded exponential
+/// backoff plus deterministic jitter. Permanent errors and corruption pass
+/// through untouched — retrying them would only delay the degraded fuse or
+/// re-read the same damaged bytes.
+///
+/// Retrying `write_all` through the seam is safe because a transient
+/// failure is by definition clean: `std::io`'s `write_all` already absorbs
+/// `Interrupted` mid-stream, so a transient error surfacing here means no
+/// bytes of the failing call landed (the injected faults in [`FaultFs`]
+/// uphold the same contract).
+#[derive(Debug, Clone)]
+pub struct RetryVfs {
+    inner: Arc<dyn Vfs>,
+    shared: Arc<RetryShared>,
+}
+
+impl RetryVfs {
+    /// Wrap `inner` with the default policy.
+    pub fn new(inner: Arc<dyn Vfs>) -> Self {
+        Self::with_policy(inner, RetryPolicy::default())
+    }
+
+    /// Wrap `inner` with an explicit policy.
+    pub fn with_policy(inner: Arc<dyn Vfs>, policy: RetryPolicy) -> Self {
+        Self {
+            inner,
+            shared: Arc::new(RetryShared {
+                policy,
+                retries: AtomicU64::new(0),
+                jitter_seq: AtomicU64::new(0),
+                metrics: Mutex::new(None),
+            }),
+        }
+    }
+
+    /// Mirror every absorbed retry into `metrics` (as
+    /// [`StoreMetrics::record_io_retry`]).
+    pub fn set_metrics(&self, metrics: Arc<crate::metrics::StoreMetrics>) {
+        *self.shared.metrics.lock() = Some(metrics);
+    }
+
+    /// Total transient failures absorbed so far (across all handles).
+    pub fn retries(&self) -> u64 {
+        self.shared.retries.load(Ordering::Relaxed)
+    }
+}
+
+/// Writable handle opened through a [`RetryVfs`]; shares its policy and
+/// retry tally.
+struct RetryFile {
+    inner: Box<dyn VfsFile>,
+    shared: Arc<RetryShared>,
+}
+
+impl VfsFile for RetryFile {
+    fn write_all(&mut self, buf: &[u8]) -> io::Result<()> {
+        let inner = &mut self.inner;
+        self.shared.run(|| inner.write_all(buf))
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        let inner = &mut self.inner;
+        self.shared.run(|| inner.flush())
+    }
+
+    fn sync_all(&mut self) -> io::Result<()> {
+        let inner = &mut self.inner;
+        self.shared.run(|| inner.sync_all())
+    }
+}
+
+impl Vfs for RetryVfs {
+    fn create_dir_all(&self, path: &Path) -> io::Result<()> {
+        self.shared.run(|| self.inner.create_dir_all(path))
+    }
+
+    fn open_append(&self, path: &Path) -> io::Result<Box<dyn VfsFile>> {
+        let inner = self.shared.run(|| self.inner.open_append(path))?;
+        Ok(Box::new(RetryFile { inner, shared: self.shared.clone() }))
+    }
+
+    fn create(&self, path: &Path) -> io::Result<Box<dyn VfsFile>> {
+        let inner = self.shared.run(|| self.inner.create(path))?;
+        Ok(Box::new(RetryFile { inner, shared: self.shared.clone() }))
+    }
+
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
+        self.shared.run(|| self.inner.read(path))
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        self.shared.run(|| self.inner.rename(from, to))
+    }
+
+    fn remove_file(&self, path: &Path) -> io::Result<()> {
+        self.shared.run(|| self.inner.remove_file(path))
+    }
+
+    fn sync_dir(&self, path: &Path) -> io::Result<()> {
+        self.shared.run(|| self.inner.sync_dir(path))
+    }
+
+    fn read_dir_names(&self, dir: &Path) -> io::Result<Vec<String>> {
+        self.shared.run(|| self.inner.read_dir_names(dir))
     }
 }
 
@@ -421,5 +706,131 @@ mod tests {
         assert!(!fs_handle.crashed());
         assert!(b.exists());
         fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn transient_errors_fail_cleanly_then_recover() {
+        let dir = tmp_dir("transient");
+        let path = dir.join("f");
+        let fs_handle = FaultFs::new();
+        let mut f = fs_handle.open_append(&path).unwrap();
+        fs_handle.arm_transient_errors(2);
+        assert!(fs_handle.transient_armed());
+        // A transient write fails cleanly: no bytes land.
+        let err = f.write_all(b"abcd").unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::Interrupted);
+        let err = fs_handle.read(&path).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::Interrupted);
+        assert!(!fs_handle.transient_armed());
+        // Budget exhausted: the same operations now succeed.
+        f.write_all(b"abcd").unwrap();
+        assert_eq!(fs_handle.read(&path).unwrap(), b"abcd");
+        assert!(!fs_handle.crashed());
+        assert_eq!(fs_handle.injected_errors(), 2);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn bit_rot_flips_one_read_byte_but_leaves_disk_intact() {
+        let dir = tmp_dir("bitrot");
+        let path = dir.join("run-000001-t001.run");
+        fs::write(&path, b"hello").unwrap();
+        let fs_handle = FaultFs::new();
+        fs_handle.arm_bit_rot("run-000001", 1);
+        let rotted = fs_handle.read(&path).unwrap();
+        assert_eq!(rotted, [b'h', b'e' ^ 0xFF, b'l', b'l', b'o']);
+        assert_eq!(fs_handle.bit_rot_hits(), 1);
+        // Non-matching names and out-of-range offsets pass through clean.
+        let other = dir.join("seg-000001.log");
+        fs::write(&other, b"clean").unwrap();
+        assert_eq!(fs_handle.read(&other).unwrap(), b"clean");
+        fs_handle.arm_bit_rot("run-000001", 999);
+        assert_eq!(fs_handle.read(&path).unwrap(), b"hello");
+        assert_eq!(fs_handle.bit_rot_hits(), 0); // arm_bit_rot resets the tally
+                                                 // The bytes on disk were never touched.
+        assert_eq!(RealFs.read(&path).unwrap(), b"hello");
+        fs_handle.heal();
+        assert_eq!(fs_handle.read(&path).unwrap(), b"hello");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn retry_vfs_absorbs_transient_faults() {
+        let dir = tmp_dir("retry");
+        let path = dir.join("f");
+        let faults = FaultFs::new();
+        let retry = RetryVfs::with_policy(
+            Arc::new(faults.clone()),
+            RetryPolicy {
+                retries: 3,
+                base: Duration::from_micros(10),
+                cap: Duration::from_micros(50),
+            },
+        );
+        let metrics = Arc::new(crate::metrics::StoreMetrics::new());
+        retry.set_metrics(metrics.clone());
+
+        let mut f = retry.open_append(&path).unwrap();
+        faults.arm_transient_errors(2);
+        // Two injected transients absorbed inside one logical write.
+        f.write_all(b"payload").unwrap();
+        f.sync_all().unwrap();
+        drop(f);
+        assert_eq!(retry.retries(), 2);
+        assert_eq!(metrics.io_retries(), 2);
+        assert_eq!(retry.read(&path).unwrap(), b"payload");
+
+        // Also absorbed on the read path.
+        faults.arm_transient_errors(1);
+        assert_eq!(retry.read(&path).unwrap(), b"payload");
+        assert_eq!(retry.retries(), 3);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn retry_vfs_exhausts_budget_and_passes_permanent_errors_through() {
+        let dir = tmp_dir("retry-limits");
+        let path = dir.join("f");
+        let faults = FaultFs::new();
+        let retry = RetryVfs::with_policy(
+            Arc::new(faults.clone()),
+            RetryPolicy {
+                retries: 2,
+                base: Duration::from_micros(10),
+                cap: Duration::from_micros(50),
+            },
+        );
+
+        // More transients than the budget: the last error surfaces.
+        faults.arm_transient_errors(10);
+        let err = retry.read(&path).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::Interrupted);
+        assert_eq!(retry.retries(), 2);
+        faults.heal();
+
+        // Permanent errors are not retried at all.
+        let mut f = retry.open_append(&path).unwrap();
+        faults.arm_fail_after_writes(0);
+        let before = retry.retries();
+        assert!(f.write_all(b"x").is_err());
+        assert_eq!(retry.retries(), before);
+        // heal() zeroed the tally; only the permanent write error remains.
+        assert_eq!(faults.injected_errors(), 1);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn retry_policy_delay_is_bounded_and_jittered() {
+        let p = RetryPolicy::default();
+        for attempt in 0..40 {
+            for salt in 0..8 {
+                let d = p.delay(attempt, salt);
+                assert!(d <= p.cap, "attempt {attempt} salt {salt}: {d:?}");
+            }
+        }
+        // Jitter decorrelates equal attempts with different salts.
+        let spread: std::collections::HashSet<_> =
+            (0..16).map(|salt| RetryPolicy::default().delay(3, salt)).collect();
+        assert!(spread.len() > 1, "jitter produced identical delays");
     }
 }

@@ -1,0 +1,166 @@
+//! Property suite for the quarantine read path: for arbitrary table
+//! contents and an arbitrary subset of damaged runs, reads over the
+//! narrowed store must never panic, never serve bytes from a quarantined
+//! run, and keep serving the surviving tables exactly. With the segment
+//! history retained, `repair()` must then restore every row and report
+//! full coverage again.
+//!
+//! The model is a plain `BTreeMap` per table — after compaction each
+//! table's rows live in exactly one immutable run, so quarantining that
+//! run must make the table read as empty (the delta was drained by the
+//! compaction), while untouched tables keep agreeing with the model.
+
+use proptest::prelude::*;
+use seqdet_storage::run::parse_run_file_name;
+use seqdet_storage::{Coverage, DiskOptions, DiskStore, KvStore, TableId};
+use std::collections::{BTreeMap, BTreeSet};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static CASE: AtomicU64 = AtomicU64::new(0);
+
+fn tmp_dir() -> PathBuf {
+    let n = CASE.fetch_add(1, Ordering::Relaxed);
+    let dir = std::env::temp_dir().join(format!("seqdet-qprop-{}-{n}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Arbitrary byte strings with length in `lo..hi`.
+fn arb_bytes(lo: usize, hi: usize) -> impl Strategy<Value = Vec<u8>> {
+    prop::collection::vec(0u8..=255, lo..hi)
+}
+
+/// Per-table contents: a handful of tables, each with at least one row so
+/// compaction produces a run to damage. Keys collide across tables on
+/// purpose — quarantine is per-run, not per-key.
+fn arb_tables() -> impl Strategy<Value = BTreeMap<u8, BTreeMap<Vec<u8>, Vec<u8>>>> {
+    prop::collection::vec(
+        (0u8..6, prop::collection::vec((arb_bytes(1, 12), arb_bytes(0, 24)), 1..12)),
+        1..4,
+    )
+    .prop_map(|tables| {
+        let mut out: BTreeMap<u8, BTreeMap<Vec<u8>, Vec<u8>>> = BTreeMap::new();
+        for (t, rows) in tables {
+            out.entry(t).or_default().extend(rows);
+        }
+        out
+    })
+}
+
+/// Flip one byte in the middle of the file — the run CRC covers every
+/// byte before the trailer, so any flip must be diagnosed.
+fn flip_mid_byte(path: &Path) {
+    let mut data = std::fs::read(path).expect("read run file");
+    let mid = data.len() / 2;
+    if let Some(b) = data.get_mut(mid) {
+        *b ^= 0xFF;
+    }
+    std::fs::write(path, &data).expect("write damaged run file");
+}
+
+/// The run file a table compacted into, if any.
+fn run_path_for(dir: &Path, table: TableId) -> Option<PathBuf> {
+    for entry in std::fs::read_dir(dir).expect("read store dir") {
+        let path = entry.expect("dir entry").path();
+        let Some(name) = path.file_name().and_then(|n| n.to_str()) else { continue };
+        if let Some((_, t)) = parse_run_file_name(name) {
+            if t == table {
+                return Some(path);
+            }
+        }
+    }
+    None
+}
+
+proptest! {
+    // Each case builds, compacts, damages, scrubs and repairs a real
+    // on-disk store; keep the case count modest.
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn narrowed_reads_never_serve_quarantined_data_and_repair_restores_full(
+        tables in arb_tables(),
+        quarantine_mask in 0u8..=255,
+        probes in prop::collection::vec(arb_bytes(0, 12), 0..8),
+    ) {
+        let dir = tmp_dir();
+        let store = DiskStore::open_with(
+            &dir,
+            DiskOptions { retain_segments: true, ..DiskOptions::default() },
+        )
+        .expect("open");
+
+        for (&t, rows) in &tables {
+            for (k, v) in rows {
+                store.put(TableId(t), k, v).expect("put");
+            }
+        }
+        store.compact().expect("compact");
+
+        // Damage an arbitrary (possibly empty) subset of the tables' runs.
+        let damaged: BTreeSet<u8> = tables
+            .keys()
+            .enumerate()
+            .filter(|(i, _)| quarantine_mask & (1 << (i % 8)) != 0)
+            .map(|(_, &t)| t)
+            .collect();
+        for &t in &damaged {
+            let path = run_path_for(&dir, TableId(t)).expect("every table compacted to a run");
+            flip_mid_byte(&path);
+        }
+
+        let outcome = store.scrub();
+        prop_assert_eq!(outcome.runs_checked, tables.len());
+        prop_assert_eq!(outcome.newly_quarantined, damaged.len());
+
+        // Coverage names exactly the damaged tables.
+        match store.coverage() {
+            Coverage::Full => prop_assert!(damaged.is_empty()),
+            Coverage::Narrowed { quarantined_tables, .. } => {
+                let expected: Vec<TableId> = damaged.iter().map(|&t| TableId(t)).collect();
+                prop_assert_eq!(quarantined_tables, expected);
+            }
+        }
+
+        // Reads never panic and never resurrect quarantined bytes: a
+        // damaged table's rows all vanished with its run (the delta was
+        // drained into it), survivors still agree with the model.
+        for (&t, rows) in &tables {
+            let table = TableId(t);
+            for (k, v) in rows {
+                let got = store.get(table, k);
+                if damaged.contains(&t) {
+                    prop_assert!(got.is_none(), "table {t} is quarantined");
+                } else {
+                    prop_assert_eq!(got.as_deref(), Some(v.as_slice()));
+                }
+                // The pruning pre-check must stay panic-free too.
+                let _ = store.key_may_exist(table, k);
+                prop_assert_eq!(store.get_checked(table, k), store.get(table, k));
+            }
+            for probe in &probes {
+                if !rows.contains_key(probe) {
+                    prop_assert!(store.get(table, probe).is_none());
+                }
+            }
+        }
+
+        // Segments were retained, so repair replays the full history and
+        // every table — including the quarantined ones — comes back whole.
+        let repaired = store.repair().expect("repair");
+        prop_assert_eq!(repaired.repaired, damaged.len());
+        if !damaged.is_empty() {
+            prop_assert!(repaired.full_history, "retained segments make repair lossless");
+        }
+        prop_assert!(store.coverage().is_full());
+        for (&t, rows) in &tables {
+            for (k, v) in rows {
+                prop_assert_eq!(store.get(TableId(t), k).as_deref(), Some(v.as_slice()));
+            }
+        }
+
+        drop(store);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

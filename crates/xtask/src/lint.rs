@@ -479,6 +479,26 @@ mod tests {
     }
 
     #[test]
+    fn quarantine_and_repair_paths_are_inside_the_no_panic_scope() {
+        // The partial-failure tolerance machinery runs exactly when the
+        // filesystem is misbehaving: the scrub/quarantine/repair paths
+        // (disk.rs), the quarantine ledger and run verification (run.rs),
+        // the failure taxonomy (error.rs) and the retry/fault VFS layers
+        // (vfs.rs) must degrade or narrow, never panic.
+        let src = "fn f(x: std::io::Result<()>) { x.expect(\"scrub\"); }";
+        for file in [
+            "crates/storage/src/disk.rs",
+            "crates/storage/src/run.rs",
+            "crates/storage/src/error.rs",
+            "crates/storage/src/vfs.rs",
+        ] {
+            let v = lint_source(file, src);
+            assert_eq!(v.len(), 1, "{file} must be linted: {v:?}");
+            assert_eq!(v[0].rule, "no-panic");
+        }
+    }
+
+    #[test]
     fn test_code_is_exempt() {
         let src = "fn prod() -> u32 { 1 }\n#[cfg(test)]\nmod tests {\n #[test]\n fn t() { None::<u32>.unwrap(); }\n}";
         assert!(lint_source(QUERY_FILE, src).is_empty());

@@ -123,6 +123,7 @@ fn overload_sheds_with_immediate_503() {
         let mut response = String::new();
         stream.read_to_string(&mut response).unwrap();
         assert!(response.starts_with("HTTP/1.1 503"), "{response}");
+        assert!(response.contains("Retry-After: 1"), "shed hints a backoff: {response}");
         assert!(response.contains("overloaded"), "{response}");
         assert!(
             started.elapsed() < Duration::from_secs(1),
