@@ -25,6 +25,6 @@ pub mod subtree;
 pub mod suffix;
 pub mod textsearch;
 
-pub use sase::SaseEngine;
+pub use sase::{NfaMatch, RichTraceMatches, SaseEngine};
 pub use subtree::SubtreeIndex;
 pub use textsearch::TextSearchIndex;

@@ -7,17 +7,20 @@
 
 use crate::tables::META;
 use crate::Result;
-use seqdet_log::{Activity, ActivityInterner, TraceId};
+use seqdet_log::{Activity, ActivityInterner, Attr, AttrInterner, TraceId};
 use seqdet_storage::codec::{Dec, Enc};
 use seqdet_storage::{FxHashMap, KvStore};
 
 const KEY_ACTIVITIES: &[u8] = b"activities";
 const KEY_TRACES: &[u8] = b"traces";
+// Absent on stores written before attribute support — loads as empty.
+const KEY_ATTRS: &[u8] = b"attrs";
 
-/// Bidirectional activity and trace-name catalogs.
+/// Bidirectional activity, trace-name and attribute-key catalogs.
 #[derive(Debug, Default, Clone)]
 pub struct Catalog {
     activities: ActivityInterner,
+    attrs: AttrInterner,
     trace_names: Vec<String>,
     traces_by_name: FxHashMap<String, TraceId>,
 }
@@ -51,6 +54,31 @@ impl Catalog {
     /// Number of distinct activities (`l`).
     pub fn num_activities(&self) -> usize {
         self.activities.len()
+    }
+
+    /// The attribute-key interner.
+    pub fn attrs(&self) -> &AttrInterner {
+        &self.attrs
+    }
+
+    /// Intern an attribute-key name.
+    pub fn intern_attr(&mut self, name: &str) -> Attr {
+        self.attrs.intern(name)
+    }
+
+    /// Resolve an attribute-key name (without interning).
+    pub fn attr(&self, name: &str) -> Option<Attr> {
+        self.attrs.get(name)
+    }
+
+    /// Resolve an attribute-key id to its name.
+    pub fn attr_name(&self, a: Attr) -> Option<&str> {
+        self.attrs.name(a)
+    }
+
+    /// Number of distinct attribute keys.
+    pub fn num_attrs(&self) -> usize {
+        self.attrs.len()
     }
 
     /// Intern a trace name, issuing a new id on first sight.
@@ -88,6 +116,7 @@ impl Catalog {
     pub fn save<S: KvStore>(&self, store: &S) -> Result<()> {
         store.put(META, KEY_ACTIVITIES, &encode_names(self.activities.iter().map(|(_, n)| n)))?;
         store.put(META, KEY_TRACES, &encode_names(self.trace_names.iter().map(String::as_str)))?;
+        store.put(META, KEY_ATTRS, &encode_names(self.attrs.iter().map(|(_, n)| n)))?;
         Ok(())
     }
 
@@ -102,6 +131,11 @@ impl Catalog {
         if let Some(row) = store.get(META, KEY_TRACES) {
             for name in decode_names(&row)? {
                 cat.intern_trace(&name);
+            }
+        }
+        if let Some(row) = store.get(META, KEY_ATTRS) {
+            for name in decode_names(&row)? {
+                cat.attrs.intern(&name);
             }
         }
         Ok(cat)
@@ -169,13 +203,32 @@ mod tests {
         for t in ["t-1", "t-2"] {
             c.intern_trace(t);
         }
+        for k in ["amount", "region"] {
+            c.intern_attr(k);
+        }
         c.save(&store).unwrap();
         let loaded = Catalog::load(&store).unwrap();
         assert_eq!(loaded.num_activities(), 3);
         assert_eq!(loaded.num_traces(), 2);
+        assert_eq!(loaded.num_attrs(), 2);
         assert_eq!(loaded.activity("B"), c.activity("B"));
         assert_eq!(loaded.trace("t-2"), c.trace("t-2"));
+        assert_eq!(loaded.attr("region"), c.attr("region"));
+        assert_eq!(loaded.attr_name(Attr(0)), Some("amount"));
+        assert!(loaded.attr("missing").is_none());
         assert_eq!(loaded.trace_ids().count(), 2);
+    }
+
+    #[test]
+    fn stores_without_attr_key_load_empty_attr_catalog() {
+        // Simulates a store written before attribute support existed.
+        let store = MemStore::new();
+        let mut c = Catalog::new();
+        c.intern_activity("A");
+        store.put(META, KEY_ACTIVITIES, &encode_names(["A"].into_iter())).unwrap();
+        let loaded = Catalog::load(&store).unwrap();
+        assert_eq!(loaded.num_activities(), 1);
+        assert_eq!(loaded.num_attrs(), 0);
     }
 
     #[test]

@@ -29,12 +29,13 @@ use crate::pairs::{create_pairs, PairKey, TracePairs};
 use crate::policy::{Policy, StnmMethod};
 use crate::postings::{encode_postings_v2, PostingFormat};
 use crate::tables::{
-    self, append_seq, index_partition, merge_counts, merge_last_checked, read_last_checked,
-    read_seq, Posting, COUNT, INDEX, LAST_CHECKED, MAX_PARTITIONS, RCOUNT, SEQ,
+    self, append_attrs, append_seq, index_partition, merge_counts, merge_last_checked,
+    read_last_checked, read_seq, Posting, ATTRS, COUNT, INDEX, LAST_CHECKED, MAX_PARTITIONS,
+    RCOUNT, SEQ,
 };
 use crate::{CoreError, Result};
 use seqdet_exec::Executor;
-use seqdet_log::{Activity, Event, EventLog, TraceId, Ts};
+use seqdet_log::{Activity, AttrEntry, Event, EventLog, TraceId, Ts};
 use seqdet_storage::{FxHashMap, FxHashSet, KvStore, MemStore, TableId};
 use std::sync::Arc;
 
@@ -126,6 +127,9 @@ struct TraceWork {
     trace: TraceId,
     full: Vec<Event>,
     new_from: usize,
+    /// Attribute entries of the *accepted* new events (same duplicate guard
+    /// as the events themselves), ready to append to the `Attrs` table.
+    new_attrs: Vec<AttrEntry>,
 }
 
 /// Outcome of one batch update.
@@ -235,7 +239,8 @@ impl<S: KvStore> Indexer<S> {
         // ------------------------------------------------------------------
         struct Pending {
             trace: TraceId,
-            events: Vec<Event>, // batch events, activities remapped
+            events: Vec<Event>,    // batch events, activities remapped
+            attrs: Vec<AttrEntry>, // batch attrs, keys remapped
         }
         let mut pending = Vec::with_capacity(log.num_traces());
         for trace in log.traces() {
@@ -250,7 +255,16 @@ impl<S: KvStore> Indexer<S> {
                     Event::new(self.catalog.intern_activity(aname), ev.ts)
                 })
                 .collect();
-            pending.push(Pending { trace: id, events });
+            let attrs = log
+                .trace_attrs(trace.id())
+                .iter()
+                .map(|&(ts, a, v)| {
+                    // Remap the batch-local attribute key into the catalog.
+                    let kname = log.attr_name(a).expect("attr has a name");
+                    (ts, self.catalog.intern_attr(kname), v)
+                })
+                .collect();
+            pending.push(Pending { trace: id, events, attrs });
         }
 
         // ------------------------------------------------------------------
@@ -272,7 +286,15 @@ impl<S: KvStore> Indexer<S> {
                 }
                 full.push(ev);
             }
-            Ok((TraceWork { trace: p.trace, full, new_from }, skipped))
+            // Attrs ride with their event: the same duplicate guard keeps
+            // the Attrs row parallel to the Seq row across resent batches.
+            let new_attrs = p
+                .attrs
+                .iter()
+                .copied()
+                .filter(|&(ts, _, _)| stored_last.is_none_or(|last| ts > last))
+                .collect();
+            Ok((TraceWork { trace: p.trace, full, new_from, new_attrs }, skipped))
         });
         let mut work = Vec::with_capacity(pending.len());
         let mut skipped_events = 0usize;
@@ -365,8 +387,12 @@ impl<S: KvStore> Indexer<S> {
     ) -> Result<UpdateStats> {
         let store = self.store.as_ref();
 
-        // 5a. Seq: append only the new tail of each trace.
-        for r in self.executor.map(work, |w| append_seq(store, w.trace, &w.full[w.new_from..])) {
+        // 5a. Seq: append only the new tail of each trace, plus the new
+        //     tail's attribute entries (no-op for attribute-free traces).
+        for r in self.executor.map(work, |w| {
+            append_seq(store, w.trace, &w.full[w.new_from..])?;
+            append_attrs(store, w.trace, &w.new_attrs)
+        }) {
             r?;
         }
 
@@ -530,6 +556,10 @@ impl<S: KvStore> Indexer<S> {
                 pruned += 1;
                 changed = true;
             }
+            // The Attrs row shadows the Seq row; drop it alongside.
+            if self.store.delete(ATTRS, &tables::seq_key(id))? {
+                changed = true;
+            }
         }
         // Rewrite LastChecked rows without the pruned traces.
         for (key, _) in self.store.scan(LAST_CHECKED) {
@@ -593,6 +623,17 @@ pub fn posting_format<S: KvStore>(store: &S) -> PostingFormat {
     get_meta(store, META_POSTING_FORMAT)
         .and_then(|s| PostingFormat::from_name(&s))
         .unwrap_or(PostingFormat::V1)
+}
+
+/// The pattern-matching policy the store's pairs were created under.
+/// Un-indexed stores read as [`Policy::SkipTillNextMatch`] (the default the
+/// indexer would write on its first batch). Query layers use this to reject
+/// queries the stored pairs cannot answer — e.g. rich skip-till patterns
+/// over an SC index, whose adjacent-only pairs would miss candidates.
+pub fn index_policy<S: KvStore>(store: &S) -> Policy {
+    get_meta(store, META_POLICY)
+        .and_then(|s| Policy::from_name(&s))
+        .unwrap_or(Policy::SkipTillNextMatch)
 }
 
 /// Monotonic counter bumped by every mutation of the indexed contents —
@@ -878,6 +919,33 @@ mod tests {
         let g3 = index_generation(store.as_ref());
         ix.prune_traces(&["unknown"]).unwrap();
         assert_eq!(index_generation(store.as_ref()), g3);
+    }
+
+    #[test]
+    fn attrs_are_indexed_incrementally_and_pruned() {
+        let mut ix = Indexer::new(IndexConfig::new(Policy::SkipTillNextMatch));
+        let mut b1 = EventLogBuilder::new();
+        b1.add("t", "A", 1).attr("amount", 150);
+        b1.add("t", "B", 2);
+        ix.index_log(&b1.build()).unwrap();
+        // Batch 2 resends (A,1) with a *different* attr value — the event is
+        // a duplicate, so its attrs must be dropped with it — and extends
+        // the trace with an attributed C.
+        let mut b2 = EventLogBuilder::new();
+        b2.add("t", "A", 1).attr("amount", 999);
+        b2.add("t", "C", 3).attr("amount", -5).attr("region", 2);
+        ix.index_log(&b2.build()).unwrap();
+        let t = ix.catalog().trace("t").unwrap();
+        let amount = ix.catalog().attr("amount").unwrap();
+        let region = ix.catalog().attr("region").unwrap();
+        let row = tables::read_attrs(ix.store().as_ref(), t).unwrap();
+        assert_eq!(row, [(1, amount, 150), (3, amount, -5), (3, region, 2)]);
+        // Attr catalog survives reopen.
+        let re = Indexer::open(ix.store()).unwrap();
+        assert_eq!(re.catalog().attr("region"), Some(region));
+        // Pruning the trace drops its Attrs row too.
+        assert_eq!(ix.prune_traces(&["t"]).unwrap(), 1);
+        assert!(tables::read_attrs(ix.store().as_ref(), t).unwrap().is_empty());
     }
 
     #[test]

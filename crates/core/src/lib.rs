@@ -45,7 +45,9 @@ pub use decode::{
     active_decode_kind, decode_postings_v2_into, v2_decode_with_kind, DecodeKind, DecodeScratch,
 };
 pub use error::CoreError;
-pub use indexer::{index_generation, posting_format, IndexConfig, Indexer, UpdateStats};
+pub use indexer::{
+    index_generation, index_policy, posting_format, IndexConfig, Indexer, UpdateStats,
+};
 pub use pairs::{create_pairs, PairKey, TracePairs};
 pub use policy::{Policy, StnmMethod};
 pub use postings::{IndexPostingCursor, PostingCursorV2, PostingFormat};

@@ -19,7 +19,7 @@ use crate::error::CoreError;
 use crate::pairs::PairKey;
 use crate::Result;
 use bytes::Bytes;
-use seqdet_log::{Activity, Event, TraceId, Ts};
+use seqdet_log::{Activity, Attr, AttrEntry, Event, TraceId, Ts};
 use seqdet_storage::codec::{Dec, Enc};
 use seqdet_storage::{KvStore, TableId};
 
@@ -35,6 +35,11 @@ pub const RCOUNT: TableId = TableId(3);
 pub const LAST_CHECKED: TableId = TableId(4);
 /// Catalog / configuration table id.
 pub const META: TableId = TableId(5);
+/// Event-attribute table id: per-trace `(ts, attr, value)` records backing
+/// attribute predicates in rich patterns. Key = trace id, like `Seq`; the
+/// row is append-only and parallel to the `Seq` row (attribute timestamps
+/// always reference stored events). Absent rows mean "no attributes".
+pub const ATTRS: TableId = TableId(6);
 
 /// First table id used for per-period `Index` partitions.
 pub const INDEX_PARTITION_BASE: u8 = 16;
@@ -414,6 +419,52 @@ pub fn merge_last_checked<S: KvStore>(
     Ok(())
 }
 
+// ---------------------------------------------------------------------------
+// Attrs table
+// ---------------------------------------------------------------------------
+
+/// Encode event-attribute entries as fixed 20-byte `Attrs` records
+/// (`ts: u64, attr: u32, value: i64`, little-endian).
+pub fn encode_attrs(entries: &[AttrEntry]) -> Vec<u8> {
+    let mut e = Enc::with_capacity(entries.len() * 20);
+    for &(ts, attr, value) in entries {
+        e.u64(ts).u32(attr.0).u64(value as u64);
+    }
+    e.into_vec()
+}
+
+/// Decode an `Attrs` row.
+pub fn decode_attrs(row: &[u8]) -> Result<Vec<AttrEntry>> {
+    let mut d = Dec::new(row);
+    let mut out = Vec::with_capacity(row.len() / 20);
+    while !d.is_done() {
+        let (Some(ts), Some(a), Some(v)) = (d.u64(), d.u32(), d.u64()) else {
+            return Err(corrupt("Attrs", row.len()));
+        };
+        out.push((ts, Attr(a), v as i64));
+    }
+    Ok(out)
+}
+
+/// Append attribute entries to the `Attrs` row of `trace`. A no-op for an
+/// empty slice, so attribute-free workloads never touch the table.
+pub fn append_attrs<S: KvStore>(store: &S, trace: TraceId, entries: &[AttrEntry]) -> Result<()> {
+    if entries.is_empty() {
+        return Ok(());
+    }
+    store.append(ATTRS, &seq_key(trace), &encode_attrs(entries))?;
+    Ok(())
+}
+
+/// Read the attribute entries of `trace`, sorted by `(ts, attr)` order of
+/// arrival (batches append in ts order; empty if the trace has none).
+pub fn read_attrs<S: KvStore>(store: &S, trace: TraceId) -> Result<Vec<AttrEntry>> {
+    match store.get(ATTRS, &seq_key(trace)) {
+        Some(row) => decode_attrs(&row),
+        None => Ok(Vec::new()),
+    }
+}
+
 fn corrupt(table: &'static str, len: usize) -> CoreError {
     CoreError::Corrupt { table, message: format!("row of {len} bytes has a truncated record") }
 }
@@ -510,6 +561,24 @@ mod tests {
         assert!(decode_postings(&[]).unwrap().is_empty());
         assert!(decode_counts(&[]).unwrap().is_empty());
         assert!(decode_last_checked(&[]).unwrap().is_empty());
+        assert!(decode_attrs(&[]).unwrap().is_empty());
+    }
+
+    #[test]
+    fn attrs_roundtrip_append_and_negative_values() {
+        let store = MemStore::new();
+        let t = TraceId(3);
+        append_attrs(&store, t, &[(5, Attr(0), -40), (5, Attr(1), 7)]).unwrap();
+        append_attrs(&store, t, &[(9, Attr(0), i64::MIN)]).unwrap();
+        // Empty appends never create a row.
+        append_attrs(&store, TraceId(4), &[]).unwrap();
+        assert!(store.get(ATTRS, &seq_key(TraceId(4))).is_none());
+        let row = read_attrs(&store, t).unwrap();
+        assert_eq!(row, [(5, Attr(0), -40), (5, Attr(1), 7), (9, Attr(0), i64::MIN)]);
+        assert!(read_attrs(&store, TraceId(99)).unwrap().is_empty());
+        // Torn records are detected.
+        store.put(ATTRS, &seq_key(TraceId(5)), &[1, 2, 3]).unwrap();
+        assert!(read_attrs(&store, TraceId(5)).is_err());
     }
 
     #[test]

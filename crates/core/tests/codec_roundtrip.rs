@@ -13,12 +13,13 @@
 use proptest::prelude::*;
 use seqdet_core::postings::{decode_index_row, decode_postings_v2, encode_postings_v2};
 use seqdet_core::tables::{
-    decode_counts, decode_events, decode_last_checked, decode_postings, encode_counts,
-    encode_events, encode_last_checked, encode_postings, CountEntry, LastCheckedEntry, Posting,
+    decode_attrs, decode_counts, decode_events, decode_last_checked, decode_postings, encode_attrs,
+    encode_counts, encode_events, encode_last_checked, encode_postings, CountEntry,
+    LastCheckedEntry, Posting,
 };
 use seqdet_core::PostingFormat;
 use seqdet_core::{decode_postings_v2_into, DecodeScratch};
-use seqdet_log::{Activity, Event, TraceId};
+use seqdet_log::{Activity, Attr, AttrEntry, Event, TraceId};
 
 fn events_strategy() -> impl Strategy<Value = Vec<Event>> {
     prop::collection::vec((0u32..1000, 0u64..1 << 48), 0..64)
@@ -60,6 +61,11 @@ fn encode_index_row(format: PostingFormat, postings: &[Posting]) -> Vec<u8> {
 /// its registered roundtrip exercises the appending form on both sides.
 fn encode_postings_v2_into(postings: &[Posting], out: &mut Vec<u8>) {
     out.extend_from_slice(&encode_postings_v2(postings));
+}
+
+fn attrs_strategy() -> impl Strategy<Value = Vec<AttrEntry>> {
+    prop::collection::vec((0u64..1 << 48, 0u32..100, i64::MIN..=i64::MAX), 0..64)
+        .prop_map(|v| v.into_iter().map(|(ts, a, val)| (ts, Attr(a), val)).collect())
 }
 
 fn last_checked_strategy() -> impl Strategy<Value = Vec<LastCheckedEntry>> {
@@ -132,6 +138,12 @@ proptest! {
         prop_assert_eq!(decode_last_checked(&row).unwrap(), entries);
     }
 
+    #[test]
+    fn attrs_roundtrip(entries in attrs_strategy()) {
+        let row = encode_attrs(&entries);
+        prop_assert_eq!(decode_attrs(&row).unwrap(), entries);
+    }
+
     // ---------------------------------------------------------------
     // Hostile-input half: decoders must never panic.
     // ---------------------------------------------------------------
@@ -146,6 +158,7 @@ proptest! {
         let _ = decode_index_row(PostingFormat::V2, &row);
         let _ = decode_counts(&row);
         let _ = decode_last_checked(&row);
+        let _ = decode_attrs(&row);
     }
 
     #[test]
@@ -191,4 +204,5 @@ fn empty_rows_are_valid_everywhere() {
     assert!(decode_index_row(PostingFormat::V2, &[]).unwrap().is_empty());
     assert!(decode_counts(&[]).unwrap().is_empty());
     assert!(decode_last_checked(&[]).unwrap().is_empty());
+    assert!(decode_attrs(&[]).unwrap().is_empty());
 }

@@ -9,6 +9,9 @@
 //!   if present.
 //! * The timestamp column may be omitted (2-column rows); the event then
 //!   receives its per-trace position, per the paper's positional fallback.
+//! * Columns past the timestamp carry integer event attributes as
+//!   `key=value` (e.g. `case-1,checkout,42,amount=150`) — the data the
+//!   rich-pattern predicates (`DETECT a[amount > 100]`) filter on.
 //! * Fields containing commas can be double-quoted; `""` escapes a quote.
 
 use crate::error::LogError;
@@ -76,17 +79,28 @@ pub fn read_csv_into<R: BufRead>(reader: R, builder: &mut EventLogBuilder) -> Re
             2 => {
                 builder.add_positional(&fields[0], &fields[1]);
             }
-            3 => {
+            n if n >= 3 => {
                 let ts: Ts = fields[2].trim().parse().map_err(|_| LogError::Parse {
                     line: i + 1,
                     message: format!("invalid timestamp {:?}", fields[2]),
                 })?;
                 builder.add(&fields[0], &fields[1], ts);
+                for field in &fields[3..] {
+                    let (key, value) = field.split_once('=').ok_or_else(|| LogError::Parse {
+                        line: i + 1,
+                        message: format!("expected key=value attribute, got {field:?}"),
+                    })?;
+                    let value: i64 = value.trim().parse().map_err(|_| LogError::Parse {
+                        line: i + 1,
+                        message: format!("invalid attribute value {value:?} for {key:?}"),
+                    })?;
+                    builder.attr(key.trim(), value);
+                }
             }
             n => {
                 return Err(LogError::Parse {
                     line: i + 1,
-                    message: format!("expected 2 or 3 fields, got {n}"),
+                    message: format!("expected at least 2 fields, got {n}"),
                 })
             }
         }
@@ -99,9 +113,17 @@ pub fn write_csv<W: Write>(log: &EventLog, mut out: W) -> Result<()> {
     writeln!(out, "trace,activity,timestamp")?;
     for trace in log.traces() {
         let tname = log.trace_name(trace.id()).unwrap_or("?");
+        let attrs = log.trace_attrs(trace.id());
         for ev in trace.events() {
             let aname = log.activity_name(ev.activity).unwrap_or("?");
-            writeln!(out, "{},{},{}", quote_csv(tname), quote_csv(aname), ev.ts)?;
+            write!(out, "{},{},{}", quote_csv(tname), quote_csv(aname), ev.ts)?;
+            // Attribute entries are keyed by the event's final (unique
+            // within the trace) timestamp.
+            for (_, key, value) in attrs.iter().filter(|(ts, _, _)| *ts == ev.ts) {
+                let kname = log.attr_name(*key).unwrap_or("?");
+                write!(out, ",{}={}", quote_csv(kname), value)?;
+            }
+            writeln!(out)?;
         }
     }
     Ok(())
@@ -165,8 +187,29 @@ mod tests {
 
     #[test]
     fn wrong_arity_rejected() {
-        assert!(read_csv(Cursor::new("t1,A,1,extra\n")).is_err());
         assert!(read_csv(Cursor::new("justone\n")).is_err());
+    }
+
+    #[test]
+    fn malformed_attribute_rejected() {
+        // No '=' separator.
+        assert!(read_csv(Cursor::new("t1,A,1,extra\n")).is_err());
+        // Non-integer value.
+        assert!(read_csv(Cursor::new("t1,A,1,amount=lots\n")).is_err());
+    }
+
+    #[test]
+    fn attribute_columns_roundtrip() {
+        let text = "t1,A,1,amount=150\nt1,B,2\nt1,C,3,amount=-7,retries=2\n";
+        let log = read_csv(Cursor::new(text)).unwrap();
+        let t = log.trace_by_name("t1").unwrap().id();
+        let amount = log.attr("amount").unwrap();
+        let retries = log.attr("retries").unwrap();
+        assert_eq!(log.trace_attrs(t), [(1, amount, 150), (3, amount, -7), (3, retries, 2)]);
+        let mut out = Vec::new();
+        write_csv(&log, &mut out).unwrap();
+        let log2 = read_csv(Cursor::new(out)).unwrap();
+        assert_eq!(log2.trace_attrs(log2.trace_by_name("t1").unwrap().id()), log.trace_attrs(t));
     }
 
     #[test]

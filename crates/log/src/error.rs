@@ -24,6 +24,9 @@ pub enum LogError {
     },
     /// An activity id was used that the interner has never issued.
     UnknownActivity(u32),
+    /// A rich pattern violated a structural rule (empty, negated boundary
+    /// element, negated Kleene, ...).
+    InvalidPattern(String),
     /// Underlying I/O failure.
     Io(std::io::Error),
 }
@@ -42,6 +45,7 @@ impl fmt::Display for LogError {
                 }
             }
             LogError::UnknownActivity(id) => write!(f, "unknown activity id {id}"),
+            LogError::InvalidPattern(msg) => write!(f, "invalid pattern: {msg}"),
             LogError::Io(e) => write!(f, "io error: {e}"),
         }
     }

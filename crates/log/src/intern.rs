@@ -100,6 +100,79 @@ impl ActivityInterner {
     }
 }
 
+/// A dense identifier for an event-attribute *key* (e.g. `amount`,
+/// `region`). Like [`Activity`], the id is only meaningful relative to the
+/// [`AttrInterner`] that issued it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Attr(pub u32);
+
+impl Attr {
+    /// Raw id as a `usize`, handy for indexing per-attribute vectors.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for Attr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "k{}", self.0)
+    }
+}
+
+/// Bidirectional mapping between attribute-key names and [`Attr`] ids —
+/// the attribute-key counterpart of [`ActivityInterner`]. Attribute *keys*
+/// are few (a schema), attribute *values* are many; interning the keys keeps
+/// per-event attribute records at a fixed 20 bytes.
+#[derive(Debug, Default, Clone)]
+pub struct AttrInterner {
+    names: Vec<String>,
+    by_name: HashMap<String, Attr>,
+}
+
+impl AttrInterner {
+    /// Create an empty interner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Intern `name`, returning the existing id if already present.
+    pub fn intern(&mut self, name: &str) -> Attr {
+        if let Some(&a) = self.by_name.get(name) {
+            return a;
+        }
+        let a = Attr(self.names.len() as u32);
+        self.names.push(name.to_owned());
+        self.by_name.insert(name.to_owned(), a);
+        a
+    }
+
+    /// Look up the id of a name without interning.
+    pub fn get(&self, name: &str) -> Option<Attr> {
+        self.by_name.get(name).copied()
+    }
+
+    /// Resolve an id back to its name.
+    pub fn name(&self, a: Attr) -> Option<&str> {
+        self.names.get(a.index()).map(String::as_str)
+    }
+
+    /// Number of distinct attribute keys interned so far.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// True when no key has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Iterate over `(Attr, name)` pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (Attr, &str)> {
+        self.names.iter().enumerate().map(|(i, n)| (Attr(i as u32), n.as_str()))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -29,14 +29,16 @@ pub mod error;
 pub mod intern;
 pub mod ops;
 pub mod pattern;
+pub mod richpat;
 pub mod stats;
 pub mod trace;
 pub mod xes;
 
 pub use error::LogError;
-pub use intern::{Activity, ActivityInterner};
+pub use intern::{Activity, ActivityInterner, Attr, AttrInterner};
 pub use pattern::Pattern;
-pub use trace::{Event, EventLog, EventLogBuilder, Trace, TraceBuilder, TraceId, Ts};
+pub use richpat::{CmpOp, PatternElem, PredKey, Predicate, RichPattern};
+pub use trace::{AttrEntry, Event, EventLog, EventLogBuilder, Trace, TraceBuilder, TraceId, Ts};
 
 /// Crate-wide result alias.
 pub type Result<T> = std::result::Result<T, LogError>;

@@ -12,9 +12,14 @@
 //! ties deterministically by bumping the later event forward.
 
 use crate::error::LogError;
-use crate::intern::{Activity, ActivityInterner};
+use crate::intern::{Activity, ActivityInterner, Attr, AttrInterner};
 use crate::Result;
 use std::collections::HashMap;
+
+/// One event-attribute value inside a trace: the attribute `attr` of the
+/// event at timestamp `ts` has integer value `value`. Timestamps are unique
+/// within a trace (strict order), so `(ts, attr)` identifies the value.
+pub type AttrEntry = (Ts, Attr, i64);
 
 /// Timestamp type. Either a real epoch-based stamp or, per the paper, the
 /// position of the event in its trace when no timestamp is recorded.
@@ -202,8 +207,13 @@ impl TraceBuilder {
 #[derive(Debug, Clone, Default)]
 pub struct EventLog {
     activities: ActivityInterner,
+    attr_names: AttrInterner,
     trace_names: Vec<String>,
     traces: Vec<Trace>,
+    // Parallel to `traces`: per-trace attribute values sorted by ts. Most
+    // logs carry no attributes, so this is a Vec-of-empty-Vecs in the
+    // common case rather than a field on the 12-byte `Event`.
+    trace_attrs: Vec<Vec<AttrEntry>>,
     by_name: HashMap<String, TraceId>,
 }
 
@@ -270,6 +280,28 @@ impl EventLog {
     pub fn activity_name(&self, a: Activity) -> Option<&str> {
         self.activities.name(a)
     }
+
+    /// The attribute-key catalog.
+    #[inline]
+    pub fn attr_names(&self) -> &AttrInterner {
+        &self.attr_names
+    }
+
+    /// Resolve an attribute-key name (without interning).
+    pub fn attr(&self, name: &str) -> Option<Attr> {
+        self.attr_names.get(name)
+    }
+
+    /// Resolve an attribute-key id back to its name.
+    pub fn attr_name(&self, a: Attr) -> Option<&str> {
+        self.attr_names.name(a)
+    }
+
+    /// Attribute values of a trace, sorted by event timestamp. Empty for
+    /// unknown trace ids and for traces without attributes.
+    pub fn trace_attrs(&self, id: TraceId) -> &[AttrEntry] {
+        self.trace_attrs.get(id.index()).map(Vec::as_slice).unwrap_or(&[])
+    }
 }
 
 /// Builder that accepts raw `(trace name, activity name, timestamp)` records
@@ -282,10 +314,22 @@ impl EventLog {
 #[derive(Debug, Default)]
 pub struct EventLogBuilder {
     activities: ActivityInterner,
+    attr_names: AttrInterner,
     trace_names: Vec<String>,
     by_name: HashMap<String, TraceId>,
     // (arrival order kept per trace)
-    pending: Vec<Vec<(Activity, Option<Ts>)>>,
+    pending: Vec<Vec<PendingEvent>>,
+    // Trace slot of the most recently added event; `attr()` attaches there.
+    last_slot: Option<usize>,
+}
+
+/// One raw record awaiting assembly: activity, optional explicit timestamp,
+/// and any attributes attached via [`EventLogBuilder::attr`].
+#[derive(Debug, Clone)]
+struct PendingEvent {
+    activity: Activity,
+    ts: Option<Ts>,
+    attrs: Vec<(Attr, i64)>,
 }
 
 impl EventLogBuilder {
@@ -315,7 +359,8 @@ impl EventLogBuilder {
     pub fn add(&mut self, trace: &str, activity: &str, ts: Ts) -> &mut Self {
         let a = self.activities.intern(activity);
         let slot = self.trace_slot(trace);
-        self.pending[slot].push((a, Some(ts)));
+        self.pending[slot].push(PendingEvent { activity: a, ts: Some(ts), attrs: Vec::new() });
+        self.last_slot = Some(slot);
         self
     }
 
@@ -323,7 +368,27 @@ impl EventLogBuilder {
     pub fn add_positional(&mut self, trace: &str, activity: &str) -> &mut Self {
         let a = self.activities.intern(activity);
         let slot = self.trace_slot(trace);
-        self.pending[slot].push((a, None));
+        self.pending[slot].push(PendingEvent { activity: a, ts: None, attrs: Vec::new() });
+        self.last_slot = Some(slot);
+        self
+    }
+
+    /// Attach an integer attribute to the most recently added event
+    /// (chain after `add`/`add_positional`). Setting the same key twice on
+    /// one event overwrites the earlier value. A no-op before the first
+    /// event is added.
+    pub fn attr(&mut self, key: &str, value: i64) -> &mut Self {
+        let a = self.attr_names.intern(key);
+        if let Some(ev) = self
+            .last_slot
+            .and_then(|slot| self.pending.get_mut(slot))
+            .and_then(|evs| evs.last_mut())
+        {
+            match ev.attrs.iter_mut().find(|(k, _)| *k == a) {
+                Some(entry) => entry.1 = value,
+                None => ev.attrs.push((a, value)),
+            }
+        }
         self
     }
 
@@ -335,29 +400,33 @@ impl EventLogBuilder {
     /// Assemble the final log.
     pub fn build(self) -> EventLog {
         let mut traces = Vec::with_capacity(self.pending.len());
+        let mut trace_attrs = Vec::with_capacity(self.pending.len());
         for (i, pend) in self.pending.into_iter().enumerate() {
             let id = TraceId(i as u32);
-            // Assign positional stamps, then stable-sort by ts.
-            let mut evs: Vec<Event> = pend
+            // Assign positional stamps, then stable-sort by ts. Attributes
+            // ride alongside their event through sort/dedup/bump so they end
+            // up keyed by the event's *final* timestamp.
+            let mut evs: Vec<(Event, Vec<(Attr, i64)>)> = pend
                 .into_iter()
                 .enumerate()
-                .map(|(pos, (a, ts))| Event::new(a, ts.unwrap_or(pos as Ts + 1)))
+                .map(|(pos, p)| (Event::new(p.activity, p.ts.unwrap_or(pos as Ts + 1)), p.attrs))
                 .collect();
-            evs.sort_by_key(|e| e.ts);
+            evs.sort_by_key(|(e, _)| e.ts);
             // An identical (activity, ts) record is a resend — drop it.
             // (Log shippers re-deliver; §3.1.3's LastChecked guard handles
             // cross-batch resends, this handles within-batch ones.) Resends
             // may be interleaved with other same-ts events, so dedup within
-            // each equal-ts run, keeping first-arrival order.
+            // each equal-ts run, keeping first-arrival order. The first
+            // arrival's attributes win; a resend's attrs are dropped with it.
             {
-                let mut kept: Vec<Event> = Vec::with_capacity(evs.len());
+                let mut kept: Vec<(Event, Vec<(Attr, i64)>)> = Vec::with_capacity(evs.len());
                 let mut run_start = 0;
-                for ev in evs.drain(..) {
-                    if kept.last().is_some_and(|last| last.ts != ev.ts) {
+                for (ev, attrs) in evs.drain(..) {
+                    if kept.last().is_some_and(|(last, _)| last.ts != ev.ts) {
                         run_start = kept.len();
                     }
-                    if !kept[run_start..].contains(&ev) {
-                        kept.push(ev);
+                    if !kept[run_start..].iter().any(|(k, _)| *k == ev) {
+                        kept.push((ev, attrs));
                     }
                 }
                 evs = kept;
@@ -365,17 +434,28 @@ impl EventLogBuilder {
             // Bump remaining (genuinely different) ties minimally to
             // restore strictness.
             for j in 1..evs.len() {
-                if evs[j].ts <= evs[j - 1].ts {
-                    evs[j].ts = evs[j - 1].ts + 1;
+                if evs[j].0.ts <= evs[j - 1].0.ts {
+                    evs[j].0.ts = evs[j - 1].0.ts + 1;
                 }
             }
-            traces.push(Trace { id, events: evs });
+            let mut attrs_out: Vec<AttrEntry> = Vec::new();
+            let events: Vec<Event> = evs
+                .into_iter()
+                .map(|(e, attrs)| {
+                    attrs_out.extend(attrs.into_iter().map(|(k, v)| (e.ts, k, v)));
+                    e
+                })
+                .collect();
+            traces.push(Trace { id, events });
+            trace_attrs.push(attrs_out);
         }
         EventLog {
             activities: self.activities,
+            attr_names: self.attr_names,
             trace_names: self.trace_names,
             by_name: self.by_name,
             traces,
+            trace_attrs,
         }
     }
 }
@@ -484,6 +564,42 @@ mod tests {
         assert!(log.activity("Z").is_none());
         assert_eq!(log.traces().count(), 2);
         assert_eq!(log.trace(TraceId(1)).unwrap().id(), TraceId(1));
+    }
+
+    #[test]
+    fn builder_attrs_follow_events_through_sort_and_bump() {
+        let mut b = EventLogBuilder::new();
+        // Out-of-order arrival; B@5 and C@5 tie, so C is bumped to 6.
+        b.add("t", "B", 5).attr("amount", 10);
+        b.add("t", "A", 1).attr("amount", 1).attr("region", 7);
+        b.add("t", "C", 5).attr("amount", 30);
+        let log = b.build();
+        let t = log.trace_by_name("t").unwrap();
+        let amount = log.attr("amount").unwrap();
+        let region = log.attr("region").unwrap();
+        assert_eq!(
+            log.trace_attrs(t.id()),
+            [(1, amount, 1), (1, region, 7), (5, amount, 10), (6, amount, 30)]
+        );
+        // Unknown trace ids have no attrs.
+        assert!(log.trace_attrs(TraceId(99)).is_empty());
+        assert_eq!(log.attr_name(amount), Some("amount"));
+        assert!(log.attr("missing").is_none());
+    }
+
+    #[test]
+    fn builder_attr_overwrites_same_key_and_resends_keep_first_attrs() {
+        let mut b = EventLogBuilder::new();
+        // attr() before any event is a documented no-op.
+        b.attr("orphan", 1);
+        b.add("t", "A", 5).attr("x", 1).attr("x", 2);
+        // Exact resend of (A,5): dropped, first arrival's attrs win.
+        b.add("t", "A", 5).attr("x", 99);
+        let log = b.build();
+        let t = log.trace_by_name("t").unwrap();
+        assert_eq!(t.len(), 1);
+        let x = log.attr("x").unwrap();
+        assert_eq!(log.trace_attrs(t.id()), [(5, x, 2)]);
     }
 
     #[test]

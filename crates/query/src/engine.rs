@@ -6,12 +6,12 @@ use crate::cache::{CacheStats, PostingCache};
 use crate::continuation::{self, ContinuationMethod, Proposition};
 use crate::detect::{self, DetectResult, JoinStrategy, ReadCtx};
 use crate::stats::{self, PatternStats};
-use crate::{QueryError, Result};
+use crate::{richpat, QueryError, Result};
 use parking_lot::RwLock;
 use seqdet_core::indexer::active_index_tables;
-use seqdet_core::{index_generation, posting_format, Catalog, PostingFormat};
+use seqdet_core::{index_generation, index_policy, posting_format, Catalog, Policy, PostingFormat};
 use seqdet_exec::Executor;
-use seqdet_log::Pattern;
+use seqdet_log::{Pattern, RichPattern};
 use seqdet_storage::{Coverage, KvStore, StoreMetrics, TableId};
 use std::sync::Arc;
 
@@ -342,6 +342,64 @@ impl<S: KvStore> QueryEngine<S> {
         }
         let (generation, tables, format) = self.snapshot();
         continuation::accurate_at(&self.ctx(generation, &tables, format), pattern, pos, self.join)
+    }
+
+    /// Rich patterns assume skip-till semantics (anchors may be separated
+    /// by irrelevant events); an SC store's adjacent-only pairs would miss
+    /// candidates, so reject up front with a clear error.
+    fn check_rich_supported(&self) -> Result<()> {
+        if index_policy(self.store.as_ref()) == Policy::StrictContiguity {
+            return Err(QueryError::InvalidPattern(
+                "rich patterns (Kleene/negation/predicates/window) need an STNM index; \
+                 this store was indexed under SC"
+                    .into(),
+            ));
+        }
+        Ok(())
+    }
+
+    /// **Rich-pattern detection**: Kleene plus, negation, per-event
+    /// predicates and an optional `WITHIN` window, compiled onto the pair
+    /// index (skeleton candidates + per-trace verifier — see
+    /// [`crate::richpat`]). Returns greedy non-overlapping canonical
+    /// matches; reported timestamps are the positive elements' anchors.
+    pub fn detect_rich(
+        &self,
+        pattern: &RichPattern,
+        within: Option<seqdet_log::Ts>,
+    ) -> Result<DetectResult> {
+        self.check_rich_supported()?;
+        let (mut result, coverage) = self.stamped(|| {
+            let (generation, tables, format) = self.snapshot();
+            richpat::detect_rich(&self.ctx(generation, &tables, format), pattern, within)
+        })?;
+        result.coverage = coverage;
+        Ok(result)
+    }
+
+    /// Rich-pattern skip-till-any-match: exact count of valid anchor
+    /// assignments per trace (saturating) plus up to `enumerate_limit`
+    /// example matches, under the same operator set as
+    /// [`QueryEngine::detect_rich`] — including `WITHIN`, which the plain
+    /// [`QueryEngine::detect_any_match`] does not support.
+    pub fn detect_rich_any(
+        &self,
+        pattern: &RichPattern,
+        within: Option<seqdet_log::Ts>,
+        enumerate_limit: usize,
+    ) -> Result<AnyMatchResult> {
+        self.check_rich_supported()?;
+        let (mut result, coverage) = self.stamped(|| {
+            let (generation, tables, format) = self.snapshot();
+            richpat::any_match_rich(
+                &self.ctx(generation, &tables, format),
+                pattern,
+                within,
+                enumerate_limit,
+            )
+        })?;
+        result.coverage = coverage;
+        Ok(result)
     }
 
     /// §7 extension: skip-till-any-match detection with exact embedding

@@ -9,6 +9,11 @@ pub enum QueryError {
     Core(seqdet_core::CoreError),
     /// The pattern references an activity name unknown to the catalog.
     UnknownActivity(String),
+    /// A predicate references an attribute key unknown to the catalog.
+    UnknownAttribute(String),
+    /// The pattern is structurally invalid (or unsupported by the store's
+    /// indexing policy) for the requested query.
+    InvalidPattern(String),
     /// The pattern is too short for the requested query.
     PatternTooShort {
         /// Required minimum length.
@@ -25,6 +30,10 @@ impl fmt::Display for QueryError {
             QueryError::UnknownActivity(name) => {
                 write!(f, "pattern references unknown activity {name:?}")
             }
+            QueryError::UnknownAttribute(name) => {
+                write!(f, "predicate references unknown attribute {name:?}")
+            }
+            QueryError::InvalidPattern(msg) => write!(f, "invalid pattern: {msg}"),
             QueryError::PatternTooShort { required, actual } => {
                 write!(f, "pattern of length {actual} is too short (need ≥ {required})")
             }
@@ -54,6 +63,10 @@ mod tests {
     #[test]
     fn display_variants() {
         assert!(QueryError::UnknownActivity("X".into()).to_string().contains("\"X\""));
+        assert!(QueryError::UnknownAttribute("amt".into()).to_string().contains("\"amt\""));
+        assert!(QueryError::InvalidPattern("no elements".into())
+            .to_string()
+            .contains("invalid pattern"));
         let e = QueryError::PatternTooShort { required: 2, actual: 1 };
         assert!(e.to_string().contains("length 1"));
         let e: QueryError =

@@ -43,6 +43,7 @@ pub mod detect;
 pub mod engine;
 pub mod error;
 pub mod lang;
+pub mod richpat;
 pub mod stats;
 
 pub use anymatch::AnyMatchResult;

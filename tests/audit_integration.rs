@@ -90,6 +90,31 @@ fn corrupted_count_row_is_detected_end_to_end() {
     std::fs::remove_dir_all(&dir).expect("cleanup");
 }
 
+/// Walk the segment frame layout (crc `u32`, op `u8`, table `u8`,
+/// klen `u32`, vlen `u32`, key, value — all little-endian) and return an
+/// offset in the middle of a record value, preferring one at or past the
+/// segment midpoint so the damage is mid-file.
+fn payload_offset(bytes: &[u8]) -> Option<usize> {
+    let mut off = 0usize;
+    let mut best = None;
+    while off + 14 <= bytes.len() {
+        let klen = u32::from_le_bytes(bytes[off + 6..off + 10].try_into().ok()?) as usize;
+        let vlen = u32::from_le_bytes(bytes[off + 10..off + 14].try_into().ok()?) as usize;
+        let end = off + 14 + klen + vlen;
+        if end > bytes.len() {
+            break;
+        }
+        if vlen >= 8 {
+            best = Some(off + 14 + klen + vlen / 2);
+            if off >= bytes.len() / 2 {
+                break;
+            }
+        }
+        off = end;
+    }
+    best
+}
+
 /// A flipped bit inside a segment fails the CRC frame check: the verifier
 /// pinpoints it, and a full reopen refuses the store with `CorruptSegment`
 /// instead of silently replaying damaged records.
@@ -113,7 +138,11 @@ fn bit_flipped_segment_is_detected_and_refused() {
         .expect("segments exist");
     let mut bytes = std::fs::read(&seg).expect("segment readable");
     assert!(bytes.len() > 64, "segment too small to damage meaningfully");
-    let mid = bytes.len() / 2;
+    // Flip a bit inside a record *payload* near the midpoint. A blind flip
+    // at len/2 can land in a frame's length field, which turns the rest of
+    // the file into a plausible torn tail — tolerated by design as a crash
+    // frontier. Damaging value bytes pins the checksum property proper.
+    let mid = payload_offset(&bytes).expect("segment has a sizeable record value");
     bytes[mid] ^= 0x10;
     std::fs::write(&seg, &bytes).expect("segment writable");
 

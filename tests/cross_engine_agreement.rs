@@ -27,7 +27,7 @@
 use proptest::prelude::*;
 use seqdet::prelude::*;
 use seqdet_baselines::{SaseEngine, SubtreeIndex, TextSearchIndex};
-use seqdet_log::{EventLog, Pattern, TraceId};
+use seqdet_log::{CmpOp, EventLog, Pattern, PatternElem, PredKey, Predicate, RichPattern, TraceId};
 use seqdet_query::{CandidateJoin, QueryEngine};
 use seqdet_storage::MemStore;
 
@@ -84,6 +84,41 @@ fn arb_traces() -> impl Strategy<Value = Vec<Vec<u32>>> {
 
 fn arb_pattern(max_len: usize) -> impl Strategy<Value = Vec<u32>> {
     prop::collection::vec(0u32..5, 2..=max_len)
+}
+
+/// Generated rich element: (activity, kind 0 = plain / 1 = Kleene /
+/// 2 = negated, ts-predicate code 0..3). `build_log` attaches no event
+/// attributes, so the predicate dimension here is timestamp-only; the
+/// attribute dimension is exercised by `tests/pattern_semantics.rs`.
+fn arb_rich_elems() -> impl Strategy<Value = Vec<(u32, u32, u32)>> {
+    prop::collection::vec((0u32..5, 0u32..3, 0u32..4), 2..5)
+}
+
+/// Lower the generated shape onto the log's interner as a structurally
+/// valid [`RichPattern`] (first/last positive, negation never Kleene).
+/// `None` if some activity never occurs in the log.
+fn rich_pattern(log: &EventLog, elems: &[(u32, u32, u32)]) -> Option<RichPattern> {
+    let last = elems.len() - 1;
+    let lowered = elems
+        .iter()
+        .enumerate()
+        .map(|(i, &(a, kind, pred))| {
+            let negated = kind == 2 && i != 0 && i != last;
+            let preds = match pred {
+                1 => vec![Predicate { key: PredKey::Ts, op: CmpOp::Ge, value: 2 }],
+                2 => vec![Predicate { key: PredKey::Ts, op: CmpOp::Le, value: 20 }],
+                3 => vec![Predicate { key: PredKey::Ts, op: CmpOp::Ne, value: 3 }],
+                _ => Vec::new(),
+            };
+            Some(PatternElem {
+                activity: log.activity(&format!("a{a}"))?,
+                negated,
+                kleene: kind == 1 && !negated,
+                preds,
+            })
+        })
+        .collect::<Option<Vec<_>>>()?;
+    RichPattern::new(lowered).ok()
 }
 
 proptest! {
@@ -184,6 +219,47 @@ proptest! {
         for t in stnm.traces() {
             prop_assert!(stam_traces.contains(&t));
         }
+    }
+
+    #[test]
+    fn rich_operators_agree_across_engine_configs(
+        traces in arb_traces(),
+        elems in arb_rich_elems(),
+        within_raw in 0u64..12,
+    ) {
+        let log = build_log(&traces);
+        let Some(p) = rich_pattern(&log, &elems) else { return Ok(()) };
+        let within = (within_raw > 0).then_some(within_raw);
+        let [v1, v2, v2_probe, v2_bitmap] = engines_for(&log, Policy::SkipTillNextMatch);
+
+        // Posting format and candidate-join strategy must be invisible:
+        // all four configurations answer bit-identically.
+        let detect = v2.detect_rich(&p, within).expect("detect runs");
+        prop_assert_eq!(&v1.detect_rich(&p, within).expect("detect runs"), &detect);
+        prop_assert_eq!(&v2_probe.detect_rich(&p, within).expect("detect runs"), &detect);
+        prop_assert_eq!(&v2_bitmap.detect_rich(&p, within).expect("detect runs"), &detect);
+        let any = v2.detect_rich_any(&p, within, 3).expect("any-match runs");
+        prop_assert_eq!(&v1.detect_rich_any(&p, within, 3).expect("any-match runs"), &any);
+        prop_assert_eq!(&v2_probe.detect_rich_any(&p, within, 3).expect("any-match runs"), &any);
+        prop_assert_eq!(&v2_bitmap.detect_rich_any(&p, within, 3).expect("any-match runs"), &any);
+
+        // And the answers equal the scan oracle's, exactly.
+        let sase = SaseEngine::new(&log);
+        let mut expected: Vec<(TraceId, Vec<u64>)> =
+            sase.detect_rich(&p, within).into_iter().map(|m| (m.trace, m.timestamps)).collect();
+        expected.sort();
+        let mut got: Vec<(TraceId, Vec<u64>)> =
+            detect.matches.iter().map(|m| (m.trace, m.timestamps.clone())).collect();
+        got.sort();
+        prop_assert_eq!(got, expected);
+        let expected_any: Vec<(TraceId, u64, Vec<Vec<u64>>)> = sase
+            .any_match_rich(&p, within, 3)
+            .into_iter()
+            .map(|m| (m.trace, m.count, m.examples))
+            .collect();
+        let got_any: Vec<(TraceId, u64, Vec<Vec<u64>>)> =
+            any.traces.iter().map(|m| (m.trace, m.count, m.examples.clone())).collect();
+        prop_assert_eq!(got_any, expected_any);
     }
 
     #[test]

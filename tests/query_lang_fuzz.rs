@@ -1,0 +1,215 @@
+//! Parser robustness: the query language fronts the HTTP server, so its
+//! input is fully attacker-controlled. Two properties are enforced here:
+//!
+//! 1. **No panics, ever** — `parse_query` (and `lang::run` behind it)
+//!    returns `Err` on hostile input, it never unwinds. The no-panic token
+//!    lint (`cargo xtask lint`) bans `unwrap`/`panic!` in
+//!    `crates/query/src/` statically; this suite checks the dynamic
+//!    property on random byte soup and on structured near-miss inputs.
+//! 2. **Errors carry information** — every rejection names the offending
+//!    token or construct; an empty or generic message would make the
+//!    server's 400 responses useless.
+
+use proptest::prelude::*;
+use seqdet::prelude::*;
+use seqdet_query::{lang, parse_query};
+use seqdet_storage::MemStore;
+
+/// Fragments the generators splice together: keywords, operators, names,
+/// numbers and junk — heavy on the boundary forms that have historically
+/// broken tokenizers (dangling quotes, operator runs, half-built
+/// predicates).
+const FRAGMENTS: &[&str] = &[
+    "DETECT",
+    "STATS",
+    "CONTINUE",
+    "WITHIN",
+    "ANY",
+    "MATCH",
+    "LIMIT",
+    "USING",
+    "ALL",
+    "PAIRS",
+    "K",
+    "MAX",
+    "GAP",
+    "AT",
+    "a",
+    "b",
+    "'q u o'",
+    "'",
+    "''",
+    "->",
+    "-",
+    ">",
+    "<",
+    "!",
+    "!=",
+    "<=",
+    ">=",
+    "=",
+    "+",
+    "[",
+    "]",
+    ",",
+    "ts",
+    "amount",
+    "0",
+    "5",
+    "-5",
+    "2h",
+    "99999999999999999999",
+    "9d",
+    "[]",
+    "[x",
+    "x]",
+    "a[b=1]",
+    "a[b=1",
+    "b+",
+    "!c",
+    "!+",
+    "+!",
+    "a->",
+    "->b",
+    "🦀",
+];
+
+fn splice(indices: &[usize], seps: &[usize]) -> String {
+    let mut s = String::new();
+    for (i, &f) in indices.iter().enumerate() {
+        s.push_str(FRAGMENTS[f % FRAGMENTS.len()]);
+        match seps.get(i).copied().unwrap_or(0) % 3 {
+            0 => s.push(' '),
+            1 => {}
+            _ => s.push('\t'),
+        }
+    }
+    s
+}
+
+fn arb_bytes() -> impl Strategy<Value = Vec<u8>> {
+    prop::collection::vec(0u8..=255, 0..120)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Random byte soup (lossily decoded): parse never panics.
+    #[test]
+    fn arbitrary_bytes_never_panic(bytes in arb_bytes()) {
+        let input = String::from_utf8_lossy(&bytes);
+        let _ = parse_query(&input);
+    }
+
+    /// Random splices of real grammar fragments: syntactically *almost*
+    /// valid input is where recursive-descent parsers index out of bounds.
+    /// Parsing never panics, and every rejection has a non-empty message.
+    #[test]
+    fn spliced_fragments_never_panic(
+        indices in prop::collection::vec(0usize..64, 0..12),
+        seps in prop::collection::vec(0usize..3, 0..12),
+    ) {
+        let input = splice(&indices, &seps);
+        if let Err(e) = parse_query(&input) {
+            prop_assert!(!e.message.is_empty(), "empty error for {input:?}");
+        }
+    }
+
+    /// End-to-end through `lang::run` against a live engine: execution of
+    /// hostile input returns `Err` or `Ok`, never panics — covering the
+    /// catalog-resolution and routing layers on top of the parser.
+    #[test]
+    fn run_on_hostile_input_never_panics(
+        indices in prop::collection::vec(0usize..64, 0..10),
+        seps in prop::collection::vec(0usize..3, 0..10),
+    ) {
+        let input = splice(&indices, &seps);
+        let _ = lang::run(&hostile_engine(), &input);
+    }
+}
+
+fn hostile_engine() -> seqdet_query::QueryEngine<MemStore> {
+    let mut b = EventLogBuilder::new();
+    b.add("t0", "a", 1).attr("amount", 1);
+    b.add("t0", "b", 2);
+    let mut ix = Indexer::new(IndexConfig::new(Policy::SkipTillNextMatch));
+    ix.index_log(&b.build()).expect("valid log");
+    seqdet_query::QueryEngine::new(ix.store()).expect("indexed store")
+}
+
+/// Deterministic hostile inputs with the error substrings users actually
+/// see. Pinning the text keeps messages from degrading into generic
+/// "parse error" as the grammar grows.
+#[test]
+fn error_messages_name_the_problem() {
+    for (input, expect) in [
+        ("", "empty query"),
+        ("DETECT", "expected a pattern"),
+        ("FROB a -> b", "unknown statement"),
+        ("DETECT 'oops", "unterminated quoted string"),
+        ("DETECT a ->", "dangling '->'"),
+        ("DETECT -> a", "must not start with or repeat '->'"),
+        ("DETECT a[amount > 1", "unterminated predicate list"),
+        ("DETECT a[amount ? 1]", "expected a comparison operator"),
+        ("DETECT a[amount > b]", "expects an integer"),
+        ("DETECT a[> 1]", "expected an attribute key"),
+        ("DETECT !", "expected an activity name"),
+        ("DETECT a WITHIN", "WITHIN expects a duration"),
+        ("DETECT a WITHIN 2y", "WITHIN expects a duration"),
+        ("DETECT a WITHIN 9999999999999999999d", "overflows"),
+        ("DETECT a WITHIN 99999999999999999999", "WITHIN expects a duration"),
+        ("DETECT a LIMIT x", "LIMIT expects a number"),
+        ("STATS a+ -> b", "unexpected token"),
+        ("STATS !a", "DETECT-only"),
+        ("CONTINUE a[x=1]", "unexpected token"),
+        ("CONTINUE a USING turbo", "unknown continuation method"),
+        ("CONTINUE a K x", "K expects a number"),
+    ] {
+        let e = parse_query(input).expect_err(input);
+        assert!(
+            e.message.contains(expect),
+            "input {input:?}: message {:?} lacks {expect:?}",
+            e.message
+        );
+    }
+}
+
+/// Structural (post-parse) rejections also carry named causes, mapped to
+/// typed query errors that the server renders as 4xx.
+#[test]
+fn execution_errors_name_the_problem() {
+    let engine = hostile_engine();
+    for (input, expect) in [
+        ("DETECT a -> zz", "unknown activity \"zz\""),
+        ("DETECT a[bogus > 1] -> b", "unknown attribute \"bogus\""),
+        ("DETECT !a -> b", "invalid pattern"),
+        ("DETECT a -> !b", "invalid pattern"),
+        ("DETECT !a", "invalid pattern"),
+    ] {
+        let e = lang::run(&engine, input).expect_err(input);
+        assert!(
+            e.to_string().contains(expect),
+            "input {input:?}: error {:?} lacks {expect:?}",
+            e.to_string()
+        );
+    }
+}
+
+/// The `''` escape, operator-glued names and keyword-vs-name boundary
+/// cases parse to the right shapes (regression pins for tokenizer edges).
+#[test]
+fn tokenizer_edge_cases_parse() {
+    // Quoted keyword is an activity, not a clause.
+    assert!(parse_query("DETECT 'within' -> 'any'").is_ok());
+    // Escaped quote inside a name.
+    assert!(parse_query("DETECT 'it''s' -> b").is_ok());
+    // Hyphenated word stays one name; glued arrow still splits.
+    let q = parse_query("DETECT add-to-cart->checkout").expect("parses");
+    let lang::Query::Detect { elements, .. } = q else { panic!("expected DETECT") };
+    assert_eq!(elements.len(), 2);
+    assert_eq!(elements[0].name, "add-to-cart");
+    // Negative predicate literals survive the '-' handling.
+    let q = parse_query("DETECT a[amount > -5]").expect("parses");
+    let lang::Query::Detect { elements, .. } = q else { panic!("expected DETECT") };
+    assert_eq!(elements[0].preds[0].value, -5);
+}
